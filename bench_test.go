@@ -1,0 +1,355 @@
+// Benchmarks regenerating every table and figure of the paper, plus the
+// ablations DESIGN.md calls out. Each benchmark reports the experiment's
+// key quantities as custom metrics, so `go test -bench=. -benchmem`
+// doubles as the reproduction log (captured into bench_output.txt).
+package iotrace
+
+import (
+	"bytes"
+	"testing"
+
+	"iotrace/internal/apps"
+	"iotrace/internal/collect"
+	"iotrace/internal/exp"
+	"iotrace/internal/sim"
+	"iotrace/internal/trace"
+	"iotrace/internal/workload"
+)
+
+// --- Table 1 and Table 2 ----------------------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sts, err := exp.AllStats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range sts {
+			if s.Name == "venus" {
+				b.ReportMetric(s.MBps(), "venus-MB/s")
+				b.ReportMetric(s.IOps(), "venus-IOs/s")
+			}
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sts, err := exp.AllStats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range sts {
+			if s.Name == "forma" {
+				b.ReportMetric(s.RWDataRatio(), "forma-r/w")
+			}
+		}
+	}
+}
+
+// --- Figures 3 and 4 ---------------------------------------------------
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := exp.Figure3Data()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Cycle.PeakMBps, "peak-MB/s")
+		b.ReportMetric(f.Cycle.MeanMBps, "mean-MB/s")
+		b.ReportMetric(f.Cycle.PeriodSec, "period-s")
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := exp.Figure4Data()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Cycle.PeakMBps, "peak-MB/s")
+		b.ReportMetric(f.Cycle.MeanMBps, "mean-MB/s")
+		b.ReportMetric(f.Cycle.PeriodSec, "period-s")
+	}
+}
+
+// --- Figures 6, 7, 8 ----------------------------------------------------
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := exp.Figure6Data()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Result.IdleSeconds(), "idle-s")
+		b.ReportMetric(float64(f.Result.Disk.ReadBytes)/1e6, "disk-read-MB")
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := exp.Figure7Data()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Result.Cache.ReadHitRatio(), "ssd-hit-ratio")
+		b.ReportMetric(float64(f.Result.Disk.ReadBytes)/1e6, "disk-read-MB")
+		b.ReportMetric(float64(f.Result.Disk.WriteBytes)/1e6, "disk-write-MB")
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.Figure8Data(exp.DefaultFigure8Sizes(), exp.DefaultFigure8Blocks())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.BlockKB == 4 && (p.CacheMB == 4 || p.CacheMB == 256) {
+				b.ReportMetric(p.IdleSec, "idle-s-"+itoa(p.CacheMB)+"MB")
+			}
+		}
+	}
+}
+
+// --- Headlines and ablations --------------------------------------------
+
+func BenchmarkWriteBehindAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.WriteBehindData()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.IdleOffSec, "idle-off-s")
+		b.ReportMetric(r.IdleOnSec, "idle-on-s")
+		b.ReportMetric(r.Improvement(), "improvement-x")
+	}
+}
+
+func BenchmarkSSDUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.SSDUtilizationData(apps.Names())
+		if err != nil {
+			b.Fatal(err)
+		}
+		minU, over99 := 1.0, 0
+		for _, r := range rows {
+			if r.Utilization < minU {
+				minU = r.Utilization
+			}
+			if r.Utilization > 0.99 {
+				over99++
+			}
+		}
+		b.ReportMetric(100*minU, "min-util-%")
+		b.ReportMetric(float64(over99), "apps-over-99%")
+	}
+}
+
+func BenchmarkCacheLocality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.CacheLocalityData()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.HitRatio, r.App+"-hit-ratio")
+		}
+	}
+}
+
+func BenchmarkBufferLimitAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.BufferLimitData([]int64{16, 64}, []int{0, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			name := "idle-s-" + itoa(p.CacheMB) + "MB-cap"
+			if p.LimitDiv == 0 {
+				name = "idle-s-" + itoa(p.CacheMB) + "MB-free"
+			}
+			b.ReportMetric(p.IdleSec, name)
+		}
+	}
+}
+
+func BenchmarkNPlusOne(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := exp.NPlusOneData(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			b.ReportMetric(100*p.Utilization, "util-%-"+itoa(int64(p.Copies))+"copies")
+		}
+	}
+}
+
+func BenchmarkQueueingAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.QueueingAblationData()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.WallNoQueueSec, "wall-s-noqueue")
+		b.ReportMetric(r.WallQueueSec, "wall-s-fcfs")
+	}
+}
+
+// --- Trace format and collection ----------------------------------------
+
+func BenchmarkASCIIvsBinary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := exp.TraceFormatSizesData("venus")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(f.ASCII), "ascii-bytes")
+		b.ReportMetric(float64(f.Binary), "binary-bytes")
+		b.ReportMetric(float64(f.Binary)/float64(f.ASCII), "binary/ascii")
+	}
+}
+
+func BenchmarkCompressionRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := exp.TraceFormatSizesData("les")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.CompressionRatio(), "compressed/raw")
+	}
+}
+
+func BenchmarkCollectionOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.CollectionOverheadData("venus")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Overhead.Fraction(), "overhead-%")
+		b.ReportMetric(float64(r.Rebuild.MaxBuffered), "max-buffered")
+	}
+}
+
+// --- Microbenchmarks: substrate throughput -------------------------------
+
+func venusTrace(b *testing.B) []*trace.Record {
+	b.Helper()
+	spec, err := apps.Lookup("venus")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, err := workload.Generate(spec.Build(apps.DefaultSeed("venus"), 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return recs
+}
+
+func BenchmarkGenerateVenus(b *testing.B) {
+	spec, err := apps.Lookup("venus")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Generate(spec.Build(apps.DefaultSeed("venus"), 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceEncodeASCII(b *testing.B) {
+	recs := venusTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := trace.WriteAll(&buf, trace.FormatASCII, recs); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkTraceDecodeASCII(b *testing.B) {
+	recs := venusTrace(b)
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, trace.FormatASCII, recs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadAll(bytes.NewReader(data), trace.FormatASCII); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateVenusPair(b *testing.B) {
+	spec, err := apps.Lookup("venus")
+	if err != nil {
+		b.Fatal(err)
+	}
+	t1, err := workload.Generate(spec.Build(1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	t2, err := workload.Generate(spec.Build(2, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(sim.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AddProcess("a", t1); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AddProcess("b", t2); err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WallSeconds(), "simulated-s")
+	}
+}
+
+func BenchmarkCollectPipeline(b *testing.B) {
+	recs := venusTrace(b)
+	var data []*trace.Record
+	for _, r := range recs {
+		if !r.IsComment() {
+			data = append(data, r)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rebuilt, _, _ := collect.Collect(data, collect.DefaultOptions())
+		if len(rebuilt) != len(data) {
+			b.Fatal("reconstruction lost records")
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

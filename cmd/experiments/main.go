@@ -1,0 +1,62 @@
+// Command experiments regenerates the paper's tables, figures, and
+// headline findings.
+//
+// Usage:
+//
+//	experiments            # run everything (several minutes)
+//	experiments -list      # show available experiment ids
+//	experiments -run table1,figure8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"iotrace/internal/exp"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list experiments and exit")
+		run  = flag.String("run", "", "comma-separated experiment ids (default: all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []exp.Experiment
+	if *run == "" {
+		todo = exp.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := exp.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		rep, err := e.Run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		fmt.Println(rep)
+		fmt.Printf("(%s in %.1f s)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

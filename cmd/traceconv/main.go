@@ -1,0 +1,94 @@
+// Command traceconv converts traces between the format's encodings and
+// merges multiple single-process traces into one time-ordered stream
+// (the form multi-process analyses consume).
+//
+// Usage:
+//
+//	traceconv -in ascii -out binary venus.trace venus.bin
+//	traceconv -merge -out ascii merged.trace a.trace b.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"iotrace/internal/core"
+	"iotrace/internal/trace"
+)
+
+func main() {
+	var (
+		inFormat  = flag.String("in", "ascii", "input format: ascii, binary, ascii-raw")
+		outFormat = flag.String("out", "binary", "output format")
+		merge     = flag.Bool("merge", false, "merge several inputs into one time-ordered trace")
+	)
+	flag.Parse()
+
+	args := flag.Args()
+	if *merge {
+		if len(args) < 3 {
+			fmt.Fprintln(os.Stderr, "usage: traceconv -merge [-in f] [-out f] OUTPUT INPUT...")
+			os.Exit(2)
+		}
+		outPath, inPaths := args[0], args[1:]
+		var all []*trace.Record
+		for _, path := range inPaths {
+			recs, err := core.LoadTraceFile(path, *inFormat)
+			if err != nil {
+				fatal(err)
+			}
+			all = append(all, recs...)
+		}
+		// Stable sort by wall-clock start; comments keep their position
+		// relative to the records around them only approximately, so
+		// drop per-trace end markers (a merged stream has no single end).
+		var data []*trace.Record
+		var comments []*trace.Record
+		for _, r := range all {
+			if r.IsComment() {
+				if _, _, ok := trace.ParseEndComment(r.CommentText); !ok {
+					comments = append(comments, r)
+				}
+				continue
+			}
+			data = append(data, r)
+		}
+		sort.SliceStable(data, func(a, b int) bool { return data[a].Start < data[b].Start })
+		merged := append(comments, data...)
+		if err := core.SaveTraceFile(outPath, *outFormat, merged); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("merged %d inputs: %d records (%d comments) -> %s\n",
+			len(inPaths), len(data), len(comments), outPath)
+		return
+	}
+
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: traceconv [-in f] [-out f] INPUT OUTPUT")
+		os.Exit(2)
+	}
+	recs, err := core.LoadTraceFile(args[0], *inFormat)
+	if err != nil {
+		fatal(err)
+	}
+	if err := core.SaveTraceFile(args[1], *outFormat, recs); err != nil {
+		fatal(err)
+	}
+	inInfo, err := os.Stat(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	outInfo, err := os.Stat(args[1])
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s (%s, %d bytes) -> %s (%s, %d bytes)\n",
+		args[0], *inFormat, inInfo.Size(), args[1], *outFormat, outInfo.Size())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceconv:", err)
+	os.Exit(1)
+}

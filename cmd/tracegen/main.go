@@ -1,0 +1,79 @@
+// Command tracegen generates a synthetic application I/O trace in the
+// paper's trace format.
+//
+// Usage:
+//
+//	tracegen -app venus -o venus.trace
+//	tracegen -app les -seed 7 -pid 2 -format binary -o les.trace
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iotrace/internal/apps"
+	"iotrace/internal/core"
+	"iotrace/internal/workload"
+)
+
+func main() {
+	var (
+		app    = flag.String("app", "venus", "application to generate (see -list)")
+		seed   = flag.Uint64("seed", 0, "generator seed (0 = the app's default)")
+		pid    = flag.Uint("pid", 1, "process id stamped on the records")
+		format = flag.String("format", "ascii", "trace format: ascii, binary, ascii-raw")
+		out    = flag.String("o", "", "output file (default: <app>.trace)")
+		list   = flag.Bool("list", false, "list available applications and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range apps.Names() {
+			spec, _ := apps.Lookup(name)
+			fmt.Printf("%-8s %s\n", name, spec.Paper.Description)
+		}
+		return
+	}
+
+	spec, err := apps.Lookup(*app)
+	if err != nil {
+		fatal(err)
+	}
+	s := *seed
+	if s == 0 {
+		s = apps.DefaultSeed(*app)
+	}
+	m := spec.Build(s, uint32(*pid))
+	recs, err := workload.Generate(m)
+	if err != nil {
+		fatal(err)
+	}
+
+	path := *out
+	if path == "" {
+		path = *app + ".trace"
+	}
+	if err := core.SaveTraceFile(path, *format, recs); err != nil {
+		fatal(err)
+	}
+	data := 0
+	for _, r := range recs {
+		if !r.IsComment() {
+			data++
+		}
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d records (%d data) in %s format, %d bytes\n",
+		path, len(recs), data, strings.ToLower(*format), fi.Size())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command tracestat characterizes trace files the way §5 of the paper
+// does: Table 1/2 statistics, the per-file breakdown with I/O-class
+// attribution, sequentiality, and cycle detection.
+//
+// Usage:
+//
+//	tracestat venus.trace
+//	tracestat -format binary -files -series a.trace b.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"iotrace/internal/analysis"
+	"iotrace/internal/core"
+	"iotrace/internal/stats"
+	"iotrace/internal/trace"
+)
+
+func main() {
+	var (
+		format = flag.String("format", "ascii", "trace format: ascii, binary, ascii-raw")
+		files  = flag.Bool("files", false, "include the per-file breakdown")
+		series = flag.Bool("series", false, "include the data-rate-over-CPU-time chart")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracestat [-format f] [-files] [-series] trace...")
+		os.Exit(2)
+	}
+
+	fmt.Println(analysis.Table1Header())
+	var all []*analysis.Stats
+	for _, path := range flag.Args() {
+		recs, err := core.LoadTraceFile(path, *format)
+		if err != nil {
+			fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		s := analysis.Compute(name, recs)
+		all = append(all, s)
+		fmt.Println(analysis.Table1Row(s))
+	}
+	fmt.Println()
+	fmt.Println(analysis.Table2Header())
+	for _, s := range all {
+		fmt.Println(analysis.Table2Row(s))
+	}
+
+	for i, path := range flag.Args() {
+		s := all[i]
+		fmt.Printf("\n-- %s: %.0f%% sequential, %.0f%% async --\n",
+			s.Name, 100*s.SeqFraction(), 100*s.AsyncFraction())
+		recs, err := core.LoadTraceFile(path, *format)
+		if err != nil {
+			fatal(err)
+		}
+		c := analysis.DetectCycle(recs)
+		if c.PeriodSec > 0 {
+			fmt.Printf("cycle: %.0f s period (autocorr %.2f), peak %.1f MB/s over mean %.1f MB/s\n",
+				c.PeriodSec, c.Autocorr, c.PeakMBps, c.MeanMBps)
+		}
+		if *files {
+			fmt.Print(analysis.FileReport(s))
+		}
+		if *series {
+			ts := analysis.RateSeries(recs, analysis.CPUTime, analysis.ReadsAndWrites, trace.TicksPerSecond)
+			fmt.Print(stats.Sparkline(analysis.MBPerSecond(ts), 80, 10))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracestat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package iotrace reproduces Ethan L. Miller's "Input/Output Behavior of
+// Supercomputing Applications" (UCB/CSD 91/616, 1991): the compressed
+// ASCII trace format of its appendix, the user-level trace-collection
+// pipeline of §4, synthetic regenerations of the seven traced Cray Y-MP
+// applications calibrated to Tables 1-2, the characterization analyses of
+// §5, and the trace-driven buffering simulator of §6 with read-ahead,
+// write-behind, main-memory and SSD cache tiers, and the paper's
+// no-queueing disk model.
+//
+// The public surface lives in internal/core (library facade),
+// internal/exp (per-table/figure reproduction harness), the cmd/ tools,
+// and the examples/ programs. bench_test.go in this directory regenerates
+// every table and figure as a benchmark; see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for measured-vs-paper results.
+package iotrace

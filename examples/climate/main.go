@@ -1,0 +1,89 @@
+// Climate: the §3 memory-vs-I/O tradeoff across the three atmosphere
+// models. gcm keeps its arrays in memory and barely touches the file
+// system; venus shrinks its arrays to fit a fast batch queue and stages
+// constantly; ccm sits between. The example shows why: the batch system
+// rewards small memory with turnaround, and the I/O system pays for it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iotrace/internal/analysis"
+	"iotrace/internal/core"
+	"iotrace/internal/cray"
+	"iotrace/internal/sim"
+)
+
+func main() {
+	// Characterize the three climate models.
+	models := []struct {
+		name     string
+		memoryMW int // in-memory array footprint the implementor chose
+	}{
+		{"gcm", 60},  // whole data set in memory
+		{"ccm", 16},  // intermediate
+		{"venus", 4}, // tiny arrays, heavy staging
+	}
+
+	fmt.Println("I/O intensity vs memory footprint (§3):")
+	fmt.Println(analysis.Table1Header())
+	stats := map[string]*analysis.Stats{}
+	for _, m := range models {
+		w, err := core.NewWorkload(m.name, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := w.Characterize()[0]
+		stats[m.name] = s
+		fmt.Println(analysis.Table1Row(s))
+	}
+	fmt.Println()
+
+	// The batch-queue pressure that drove venus's design: equal CPU
+	// demand, very different turnaround by memory footprint.
+	q := cray.DefaultQueues()
+	var jobs []cray.Job
+	for _, m := range models {
+		for i := 0; i < 4; i++ {
+			jobs = append(jobs, cray.Job{
+				Name:     m.name,
+				MemoryMW: m.memoryMW,
+				CPUSec:   stats[m.name].CPUSeconds(),
+			})
+		}
+	}
+	placements, err := q.Schedule(jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := map[string]float64{}
+	queue := map[string]string{}
+	for _, p := range placements {
+		if p.Turnaround > worst[p.Job.Name] {
+			worst[p.Job.Name] = p.Turnaround
+			queue[p.Job.Name] = p.Queue
+		}
+	}
+	fmt.Println("batch turnaround for 4 simultaneous submissions of each model:")
+	for _, m := range models {
+		fmt.Printf("  %-6s %3d MW -> queue %-7s worst turnaround %7.0f s\n",
+			m.name, m.memoryMW, queue[m.name], worst[m.name])
+	}
+	fmt.Println()
+
+	// What the staging strategy costs the I/O system: venus needs the
+	// cache; gcm does not.
+	fmt.Println("solo run in a 16 MB main-memory cache:")
+	for _, m := range models {
+		w, _ := core.NewWorkload(m.name, 1)
+		cfg := sim.DefaultConfig()
+		cfg.CacheBytes = 16 << 20
+		res, err := w.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s idle %7.1f s of %7.1f s wall (utilization %5.1f%%)\n",
+			m.name, res.IdleSeconds(), res.WallSeconds(), 100*res.Utilization())
+	}
+}

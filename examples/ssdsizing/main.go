@@ -1,0 +1,60 @@
+// SSD sizing: the §6.4 configuration question. Given a job mix, how much
+// SSD does one processor's share need before the CPU stays busy? The
+// paper's answer: main-memory caches are too small to matter, a 32 MW
+// share gets nearly every application over 99% — "provide as much SSD
+// storage as possible, and maintain a smaller main memory cache".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iotrace/internal/core"
+	"iotrace/internal/cray"
+	"iotrace/internal/sim"
+)
+
+func main() {
+	// The job mix: one staging-heavy climate model plus one moderate one.
+	mix := func() *core.Workload {
+		w := &core.Workload{}
+		if err := w.Add("venus", 1); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Add("ccm", 1); err != nil {
+			log.Fatal(err)
+		}
+		return w
+	}
+
+	fmt.Println("CPU utilization for {venus, ccm} vs per-processor SSD share:")
+	fmt.Printf("%12s %12s %10s %10s\n", "share", "utilization", "idle (s)", "hit ratio")
+	var chosenMW int
+	for _, mw := range []int{1, 2, 4, 8, 16, 32, 64} {
+		cfg := sim.SSDConfig()
+		cfg.CacheBytes = cray.MWToBytes(mw)
+		res, err := mix().Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9d MW %11.2f%% %10.1f %10.3f\n",
+			mw, 100*res.Utilization(), res.IdleSeconds(), res.Cache.ReadHitRatio())
+		if chosenMW == 0 && res.Utilization() > 0.99 {
+			chosenMW = mw
+		}
+	}
+	if chosenMW > 0 {
+		fmt.Printf("\nsmallest share with >99%% utilization: %d MW (paper's per-CPU share: 32 MW)\n", chosenMW)
+	}
+
+	// The §6.4 contrast: the largest defensible main-memory cache (4 MW
+	// of a 16 MW allotment) still cannot do what the SSD does.
+	cfg := sim.DefaultConfig()
+	cfg.CacheBytes = cray.MWToBytes(4)
+	res, err := mix().Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4 MW main-memory cache for comparison: %.2f%% utilization, %.1f s idle\n",
+		100*res.Utilization(), res.IdleSeconds())
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import "math"
+
+// The §5.1 rate models: the paper sizes the three I/O classes with
+// back-of-envelope arithmetic. These helpers encode that arithmetic so
+// configurations can be checked against it (and so the paper's own
+// examples become executable spec tests).
+
+// RequiredRateMBps returns the average data rate of compulsory I/O: a
+// program that reads inMB of configuration and writes outMB of results
+// over runSec of CPU time. The paper's example: 50 MB in + 100 MB out
+// over 200 s = 0.75 MB/s, "easily sustainable by most workstations".
+func RequiredRateMBps(inMB, outMB, runSec float64) float64 {
+	if runSec <= 0 {
+		return 0
+	}
+	return (inMB + outMB) / runSec
+}
+
+// CheckpointRateMBps returns the average data rate of checkpointing
+// stateMB every intervalSec of CPU time. The paper's example: 40 MB
+// every 20 s = 2 MB/s, "far less than the maximum rate most
+// supercomputers provide".
+func CheckpointRateMBps(stateMB, intervalSec float64) float64 {
+	if intervalSec <= 0 {
+		return 0
+	}
+	return stateMB / intervalSec
+}
+
+// SwapRateMBps returns the sustained data rate of memory-limitation I/O:
+// every data point of bytesPerPoint must cross the I/O system once per
+// iteration, and each point costs flopsPerPoint of computation on a
+// machine sustaining mflops. The paper's example: 3 words (24 bytes) per
+// 200 FLOPs on a 200 MFLOP processor is "almost 25 MB/sec".
+func SwapRateMBps(bytesPerPoint, flopsPerPoint, mflops float64) float64 {
+	if flopsPerPoint <= 0 {
+		return 0
+	}
+	return mflops * 1e6 / flopsPerPoint * bytesPerPoint / 1e6
+}
+
+// AmdahlRateMBps returns Amdahl's metric: one Mbit of I/O per second for
+// each MIPS of processing. 200 "MIPS" needs 200 Mbit/s = 25 MB/s.
+func AmdahlRateMBps(mips float64) float64 {
+	return mips / 8
+}
+
+// CheckpointPlan sizes a checkpointing policy: the application writer
+// "balances the cost of writing the checkpoint against the cost of
+// redoing lost iterations", with "the likelihood of failure" setting the
+// interval (§5.1).
+type CheckpointPlan struct {
+	StateMB     float64 // checkpoint size
+	WriteSec    float64 // time to write one checkpoint
+	MTBFSec     float64 // mean time between failures
+	IntervalSec float64 // chosen checkpoint interval
+}
+
+// PlanCheckpoint picks the overhead-minimizing interval (Young's
+// approximation: sqrt(2 * writeCost * MTBF)) for a checkpoint of stateMB
+// written at bwMBps on a machine with the given MTBF.
+func PlanCheckpoint(stateMB, bwMBps, mtbfSec float64) CheckpointPlan {
+	p := CheckpointPlan{StateMB: stateMB, MTBFSec: mtbfSec}
+	if bwMBps > 0 {
+		p.WriteSec = stateMB / bwMBps
+	}
+	if p.WriteSec > 0 && mtbfSec > 0 {
+		p.IntervalSec = math.Sqrt(2 * p.WriteSec * mtbfSec)
+	}
+	return p
+}
+
+// OverheadFraction returns the expected fraction of running time lost to
+// a given interval: checkpoint writes (WriteSec per IntervalSec) plus
+// expected rework after a failure (half an interval per MTBF).
+func (p CheckpointPlan) OverheadFraction(intervalSec float64) float64 {
+	if intervalSec <= 0 || p.MTBFSec <= 0 {
+		return 0
+	}
+	return p.WriteSec/intervalSec + intervalSec/(2*p.MTBFSec)
+}
+
+// RateMBps returns the average I/O rate the plan's interval implies.
+func (p CheckpointPlan) RateMBps() float64 {
+	return CheckpointRateMBps(p.StateMB, p.IntervalSec)
+}

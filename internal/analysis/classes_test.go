@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The §5.1 examples, verbatim, as executable spec tests.
+
+func TestRequiredRatePaperExample(t *testing.T) {
+	// "For a program which runs for only 200 seconds, reading 50 MB of
+	// configuration and initialization data and writing 100 MB of
+	// output, the overall I/O rate is only .75 MB/sec."
+	if got := RequiredRateMBps(50, 100, 200); got != 0.75 {
+		t.Errorf("RequiredRateMBps = %v, want 0.75", got)
+	}
+	if RequiredRateMBps(1, 1, 0) != 0 {
+		t.Error("zero runtime should yield 0")
+	}
+}
+
+func TestCheckpointRatePaperExample(t *testing.T) {
+	// "For a program that saves 40 MB of state every 20 CPU seconds, the
+	// average I/O rate is only 2 MB/sec."
+	if got := CheckpointRateMBps(40, 20); got != 2 {
+		t.Errorf("CheckpointRateMBps = %v, want 2", got)
+	}
+	if CheckpointRateMBps(40, 0) != 0 {
+		t.Error("zero interval should yield 0")
+	}
+}
+
+func TestSwapRatePaperExample(t *testing.T) {
+	// "If each data point consists of 3 words and requires 200
+	// floating-point operations, there must be 24 bytes of I/O for every
+	// 200 FLOPS ... For a 200 MFLOP processor, the average sustained
+	// rate will be almost 25 MB/sec."
+	got := SwapRateMBps(24, 200, 200)
+	if got != 24 { // 24 bytes per 200 FLOPs at 200 MFLOPs = 24 MB/s
+		t.Errorf("SwapRateMBps = %v, want 24 (\"almost 25\")", got)
+	}
+	if SwapRateMBps(24, 0, 200) != 0 {
+		t.Error("zero FLOPs per point should yield 0")
+	}
+}
+
+func TestAmdahlPaperExample(t *testing.T) {
+	// "Amdahl's metric ... would require 200 bits, or 25 bytes of I/O
+	// for those 200 FLOPS" — i.e. 25 MB/s at 200 MIPS.
+	if got := AmdahlRateMBps(200); got != 25 {
+		t.Errorf("AmdahlRateMBps(200) = %v, want 25", got)
+	}
+	// The swap-I/O example sits just under Amdahl's balance line.
+	if SwapRateMBps(24, 200, 200) >= AmdahlRateMBps(200) {
+		t.Error("the paper's swap example should be 'quite close' but below Amdahl")
+	}
+}
+
+func TestPlanCheckpoint(t *testing.T) {
+	// 40 MB checkpoints at 10 MB/s with a 4-hour MTBF.
+	p := PlanCheckpoint(40, 10, 4*3600)
+	if p.WriteSec != 4 {
+		t.Errorf("WriteSec = %v, want 4", p.WriteSec)
+	}
+	want := math.Sqrt(2 * 4 * 4 * 3600)
+	if math.Abs(p.IntervalSec-want) > 1e-9 {
+		t.Errorf("IntervalSec = %v, want %v", p.IntervalSec, want)
+	}
+	// The optimum beats nearby intervals.
+	opt := p.OverheadFraction(p.IntervalSec)
+	for _, f := range []float64{0.25, 0.5, 2, 4} {
+		if p.OverheadFraction(p.IntervalSec*f) < opt {
+			t.Errorf("interval x%v beats the optimum", f)
+		}
+	}
+	if p.RateMBps() <= 0 {
+		t.Error("plan rate should be positive")
+	}
+	// Degenerate inputs.
+	z := PlanCheckpoint(40, 0, 3600)
+	if z.IntervalSec != 0 || z.OverheadFraction(10) != 0 && z.WriteSec != 0 {
+		t.Errorf("degenerate plan = %+v", z)
+	}
+	if p.OverheadFraction(0) != 0 {
+		t.Error("zero interval overhead should be 0")
+	}
+}
+
+func TestYoungIntervalIsOptimalProperty(t *testing.T) {
+	// Property: for any positive cost and MTBF, the planned interval's
+	// overhead is no worse than 2x-off intervals on either side.
+	f := func(costRaw, mtbfRaw uint16) bool {
+		cost := 0.1 + float64(costRaw%1000)/10
+		mtbf := 60 + float64(mtbfRaw%50000)
+		p := PlanCheckpoint(cost*10, 10, mtbf) // writeSec = cost
+		opt := p.OverheadFraction(p.IntervalSec)
+		return p.OverheadFraction(p.IntervalSec/2) >= opt-1e-12 &&
+			p.OverheadFraction(p.IntervalSec*2) >= opt-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasuredAppsAgainstClassModels(t *testing.T) {
+	// gcm and upw are required-I/O-only: their measured rates must sit
+	// near the required-rate model and far below Amdahl's line for a
+	// ~300-MIPS-class CPU; venus's swap rate must be the dominant class.
+	// (Uses the published Table 1 values, not a simulation.)
+	gcm := RequiredRateMBps(20.3, 227.3, 1897)
+	if gcm > 0.2 {
+		t.Errorf("gcm required-rate model = %v MB/s, want ~0.13", gcm)
+	}
+	venusSwap := 44.1 // measured MB/s, nearly all swap class
+	if venusSwap < AmdahlRateMBps(200) {
+		t.Errorf("venus's staging demand (%v MB/s) should exceed Amdahl for 200 MIPS (%v)",
+			venusSwap, AmdahlRateMBps(200))
+	}
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"iotrace/internal/trace"
+)
+
+// I/O-class attribution (§5.1). Real traces do not label requests as
+// required, checkpoint, or swap; the paper classifies them by structure.
+// This heuristic does the same per file:
+//
+//   - a file only read near the start of the run, or only written near
+//     the end, carries *required* (compulsory) I/O;
+//   - a file rewritten periodically, without being read back, carries
+//     *checkpoint* I/O (state saved in case of failure);
+//   - a file both read and written throughout the run carries *swap*
+//     (memory-limitation) I/O, the class that dominates bandwidth.
+type ClassBreakdown struct {
+	RequiredBytes   int64
+	CheckpointBytes int64
+	SwapBytes       int64
+}
+
+// Total returns all classified bytes.
+func (c ClassBreakdown) Total() int64 {
+	return c.RequiredBytes + c.CheckpointBytes + c.SwapBytes
+}
+
+// edgeFrac bounds the head/tail windows (as fractions of total CPU time)
+// used to call a file's activity "start-only" or "end-only".
+const edgeFrac = 0.15
+
+// Classify attributes each file's bytes to one of the three §5.1 classes
+// and returns the per-class totals.
+func Classify(s *Stats) ClassBreakdown {
+	var out ClassBreakdown
+	total := s.CPUTicks
+	for _, f := range s.Files {
+		out.add(classifyFile(f, total), f.Bytes())
+	}
+	return out
+}
+
+func (c *ClassBreakdown) add(class string, bytes int64) {
+	switch class {
+	case "required":
+		c.RequiredBytes += bytes
+	case "checkpoint":
+		c.CheckpointBytes += bytes
+	default:
+		c.SwapBytes += bytes
+	}
+}
+
+// ClassifyFile names the class of a single file's I/O: "required",
+// "checkpoint", or "swap".
+func ClassifyFile(f *FileStats, totalCPU trace.Ticks) string {
+	return classifyFile(f, totalCPU)
+}
+
+func classifyFile(f *FileStats, totalCPU trace.Ticks) string {
+	if totalCPU <= 0 {
+		return "required"
+	}
+	head := trace.Ticks(float64(totalCPU) * edgeFrac)
+	tail := totalCPU - head
+
+	readOnly := f.WriteCount == 0
+	writeOnly := f.ReadCount == 0
+
+	// Start-only reads and end-only writes are compulsory I/O.
+	if readOnly && f.LastIO <= head {
+		return "required"
+	}
+	if writeOnly && f.FirstIO >= tail {
+		return "required"
+	}
+
+	// A write-only file overwritten repeatedly (bytes written well beyond
+	// its size) that is spread across the run is a checkpoint file; a
+	// write-only file written about once through is streamed results
+	// (required). Files both read and written are swap.
+	if writeOnly {
+		span := f.LastIO - f.FirstIO
+		rewrites := float64(f.WriteBytes) / float64(maxInt64(f.MaxEnd, 1))
+		if rewrites >= 2 && span > head {
+			return "checkpoint"
+		}
+		return "required"
+	}
+	if readOnly {
+		// Read repeatedly through the run: staged input, i.e. swap.
+		if f.LastIO-f.FirstIO > head {
+			return "swap"
+		}
+		return "required"
+	}
+	return "swap"
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"iotrace/internal/stats"
+	"iotrace/internal/trace"
+)
+
+// Physical-level trace analysis (§4.1). The format ties each logical read
+// or write to the physical I/Os it generated through the operationId
+// field; physical records carry block-number offsets and block-count
+// lengths. Background work — read-ahead issued by the file system,
+// delayed writes issued by the flusher — carries no operation id.
+
+// PhysicalStats characterizes a physical-level trace.
+type PhysicalStats struct {
+	Records int64
+
+	DemandReadBlocks   int64 // fetches caused directly by a logical read
+	PrefetchBlocks     int64 // read-ahead fetches (TRACE_READAHEAD kind)
+	DemandWriteBlocks  int64 // writes carrying an operation id (write-through)
+	DelayedWriteBlocks int64 // flusher write-backs (no operation id)
+
+	Attributed int64 // records carrying an operation id
+}
+
+// TotalBlocks returns all blocks moved.
+func (p *PhysicalStats) TotalBlocks() int64 {
+	return p.DemandReadBlocks + p.PrefetchBlocks + p.DemandWriteBlocks + p.DelayedWriteBlocks
+}
+
+// TotalBytes converts the block counts to bytes (TRACE_BLOCK_SIZE units).
+func (p *PhysicalStats) TotalBytes() int64 { return p.TotalBlocks() * trace.BlockSize }
+
+// PrefetchFraction returns the share of read blocks moved by read-ahead.
+func (p *PhysicalStats) PrefetchFraction() float64 {
+	return stats.Ratio(float64(p.PrefetchBlocks), float64(p.PrefetchBlocks+p.DemandReadBlocks))
+}
+
+// DelayedWriteFraction returns the share of written blocks that reached
+// disk through write-behind rather than synchronously.
+func (p *PhysicalStats) DelayedWriteFraction() float64 {
+	return stats.Ratio(float64(p.DelayedWriteBlocks), float64(p.DelayedWriteBlocks+p.DemandWriteBlocks))
+}
+
+// ComputePhysical characterizes a physical-level trace. Logical records
+// and comments in the input are ignored.
+func ComputePhysical(recs []*trace.Record) *PhysicalStats {
+	p := &PhysicalStats{}
+	for _, r := range recs {
+		if r.IsComment() || r.Type.IsLogical() {
+			continue
+		}
+		p.Records++
+		if r.OperationID != 0 {
+			p.Attributed++
+		}
+		switch {
+		case r.Type.IsWrite() && r.OperationID != 0:
+			p.DemandWriteBlocks += r.Length
+		case r.Type.IsWrite():
+			p.DelayedWriteBlocks += r.Length
+		case r.Type.Kind() == trace.ReadAheadK:
+			p.PrefetchBlocks += r.Length
+		default:
+			p.DemandReadBlocks += r.Length
+		}
+	}
+	return p
+}
+
+// OpKey identifies one logical operation across the logical/physical
+// boundary: operation ids are unique within a process.
+type OpKey struct {
+	PID uint32
+	Op  uint32
+}
+
+// Join maps each logical operation to the physical records it generated.
+// Logical records with operation id 0 and unattributed physical records
+// (background read-ahead and flusher work) are excluded.
+func Join(logical, physical []*trace.Record) map[OpKey][]*trace.Record {
+	out := make(map[OpKey][]*trace.Record)
+	wanted := make(map[OpKey]bool)
+	for _, r := range logical {
+		if r.IsComment() || !r.Type.IsLogical() || r.OperationID == 0 {
+			continue
+		}
+		wanted[OpKey{r.ProcessID, r.OperationID}] = true
+	}
+	for _, r := range physical {
+		if r.IsComment() || r.Type.IsLogical() || r.OperationID == 0 {
+			continue
+		}
+		k := OpKey{r.ProcessID, r.OperationID}
+		if wanted[k] {
+			out[k] = append(out[k], r)
+		}
+	}
+	return out
+}
+
+// JoinStats summarizes a logical/physical join.
+type JoinStats struct {
+	LogicalOps  int64 // logical operations considered
+	OpsWithDisk int64 // logical operations that generated physical I/O
+}
+
+// DiskFraction is the share of logical operations that reached the disk
+// (the complement of the cache's absorption).
+func (j JoinStats) DiskFraction() float64 {
+	return stats.Ratio(float64(j.OpsWithDisk), float64(j.LogicalOps))
+}
+
+// SummarizeJoin computes join statistics for a logical trace against its
+// physical trace.
+func SummarizeJoin(logical, physical []*trace.Record) JoinStats {
+	joined := Join(logical, physical)
+	var st JoinStats
+	for _, r := range logical {
+		if r.IsComment() || !r.Type.IsLogical() || r.OperationID == 0 {
+			continue
+		}
+		st.LogicalOps++
+		if len(joined[OpKey{r.ProcessID, r.OperationID}]) > 0 {
+			st.OpsWithDisk++
+		}
+	}
+	return st
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"testing"
+
+	"iotrace/internal/trace"
+)
+
+// phys builds a physical record (block-number offset, block-count length).
+func phys(pid, op uint32, kind trace.RecordType, blockOff, blocks int64, write bool, start trace.Ticks) *trace.Record {
+	rt := trace.PhysicalRecord | kind
+	if write {
+		rt |= trace.WriteOp
+	}
+	return &trace.Record{Type: rt, ProcessID: pid, OperationID: op,
+		FileID: 1, Offset: blockOff, Length: blocks, Start: start, Completion: 1}
+}
+
+func TestComputePhysical(t *testing.T) {
+	recs := []*trace.Record{
+		{Type: trace.Comment, CommentText: "ignored"},
+		rec(1, 1, 0, 4096, 0, 0, false, false),        // logical: ignored
+		phys(1, 5, trace.FileData, 0, 8, false, 10),   // demand read
+		phys(1, 0, trace.ReadAheadK, 8, 8, false, 20), // prefetch
+		phys(1, 6, trace.FileData, 0, 4, true, 30),    // write-through
+		phys(0, 0, trace.FileData, 16, 12, true, 40),  // flusher write-back
+	}
+	p := ComputePhysical(recs)
+	if p.Records != 4 {
+		t.Fatalf("Records = %d", p.Records)
+	}
+	if p.DemandReadBlocks != 8 || p.PrefetchBlocks != 8 {
+		t.Errorf("reads = %d demand, %d prefetch", p.DemandReadBlocks, p.PrefetchBlocks)
+	}
+	if p.DemandWriteBlocks != 4 || p.DelayedWriteBlocks != 12 {
+		t.Errorf("writes = %d demand, %d delayed", p.DemandWriteBlocks, p.DelayedWriteBlocks)
+	}
+	if p.Attributed != 2 {
+		t.Errorf("Attributed = %d", p.Attributed)
+	}
+	if p.TotalBlocks() != 32 || p.TotalBytes() != 32*trace.BlockSize {
+		t.Errorf("totals = %d blocks, %d bytes", p.TotalBlocks(), p.TotalBytes())
+	}
+	if got := p.PrefetchFraction(); got != 0.5 {
+		t.Errorf("PrefetchFraction = %v", got)
+	}
+	if got := p.DelayedWriteFraction(); got != 0.75 {
+		t.Errorf("DelayedWriteFraction = %v", got)
+	}
+	empty := ComputePhysical(nil)
+	if empty.PrefetchFraction() != 0 || empty.DelayedWriteFraction() != 0 {
+		t.Error("empty fractions should be 0")
+	}
+}
+
+func TestJoinLogicalPhysical(t *testing.T) {
+	logical := []*trace.Record{
+		func() *trace.Record {
+			r := rec(1, 1, 0, 4096, 0, 0, false, false)
+			r.OperationID = 5
+			return r
+		}(),
+		func() *trace.Record {
+			r := rec(1, 1, 4096, 4096, 10, 5, false, false)
+			r.OperationID = 6
+			return r
+		}(),
+		func() *trace.Record {
+			r := rec(2, 1, 0, 4096, 20, 0, false, false)
+			r.OperationID = 5 // same op id, different process
+			return r
+		}(),
+	}
+	physical := []*trace.Record{
+		phys(1, 5, trace.FileData, 0, 8, false, 1),
+		phys(1, 5, trace.FileData, 100, 8, false, 2), // same op, second extent
+		phys(2, 5, trace.FileData, 200, 8, false, 3),
+		phys(1, 0, trace.ReadAheadK, 8, 8, false, 4), // unattributed
+		phys(1, 99, trace.FileData, 0, 8, false, 5),  // no matching logical op
+	}
+	j := Join(logical, physical)
+	if len(j[OpKey{1, 5}]) != 2 {
+		t.Errorf("op (1,5) joined %d records, want 2", len(j[OpKey{1, 5}]))
+	}
+	if len(j[OpKey{2, 5}]) != 1 {
+		t.Errorf("op (2,5) joined %d records, want 1", len(j[OpKey{2, 5}]))
+	}
+	if len(j[OpKey{1, 6}]) != 0 {
+		t.Error("op (1,6) should have no physical records")
+	}
+	if _, ok := j[OpKey{1, 99}]; ok {
+		t.Error("unmatched physical op joined")
+	}
+
+	st := SummarizeJoin(logical, physical)
+	if st.LogicalOps != 3 || st.OpsWithDisk != 2 {
+		t.Errorf("join stats = %+v", st)
+	}
+	if got := st.DiskFraction(); got < 0.66 || got > 0.67 {
+		t.Errorf("DiskFraction = %v", got)
+	}
+}

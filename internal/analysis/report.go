@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report rendering: the paper's Table 1 and Table 2 as fixed-width text.
+
+// Table1Header returns the header lines of Table 1.
+func Table1Header() string {
+	return fmt.Sprintf("%-8s %9s %10s %10s %10s %8s %8s %8s",
+		"app", "run (s)", "data (MB)", "I/O (MB)", "#I/Os", "avg (MB)", "MB/sec", "IOs/sec")
+}
+
+// Table1Row renders one application's Table 1 row.
+func Table1Row(s *Stats) string {
+	return fmt.Sprintf("%-8s %9.0f %10.1f %10.1f %10d %8.3f %8.2f %8.1f",
+		s.Name, s.CPUSeconds(), float64(s.DataSetBytes())/MB,
+		float64(s.TotalBytes())/MB, s.Records, s.AvgKB()/1000, s.MBps(), s.IOps())
+}
+
+// Table2Header returns the header lines of Table 2.
+func Table2Header() string {
+	return fmt.Sprintf("%-8s %10s %10s %10s %10s %9s %9s",
+		"app", "rd MB/s", "wr MB/s", "rd IO/s", "wr IO/s", "avg KB", "r/w data")
+}
+
+// Table2Row renders one application's Table 2 row.
+func Table2Row(s *Stats) string {
+	return fmt.Sprintf("%-8s %10.4g %10.4g %10.4g %10.4g %9.1f %9.2f",
+		s.Name, s.ReadMBps(), s.WriteMBps(), s.ReadIOps(), s.WriteIOps(),
+		s.AvgKB(), s.RWDataRatio())
+}
+
+// FileReport renders the per-file breakdown (large files first), the
+// §5.2 view of where an application's bytes go.
+func FileReport(s *Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %6s %10s %10s %8s %8s %6s %s\n",
+		"file", "id", "rd MB", "wr MB", "#reqs", "req KB", "seq%", "class")
+	for _, f := range s.LargeFiles() {
+		name := f.Name
+		if name == "" {
+			name = fmt.Sprintf("(file %d)", f.FileID)
+		}
+		fmt.Fprintf(&b, "%-20s %6d %10.1f %10.1f %8d %8.1f %5.0f%% %s\n",
+			name, f.FileID, float64(f.ReadBytes)/MB, float64(f.WriteBytes)/MB,
+			f.Requests(), float64(f.RequestSizeMode())/1024, 100*f.SeqFraction(),
+			ClassifyFile(f, s.CPUTicks))
+	}
+	nSmall := 0
+	for _, f := range s.Files {
+		if !f.IsLarge() {
+			nSmall++
+		}
+	}
+	if nSmall > 0 {
+		fmt.Fprintf(&b, "(+%d small files, %.2f%% of bytes)\n", nSmall, 100*s.SmallFileByteShare())
+	}
+	return b.String()
+}

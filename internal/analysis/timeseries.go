@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"iotrace/internal/stats"
+	"iotrace/internal/trace"
+)
+
+// TimeBase selects the clock a rate series is binned against.
+type TimeBase int
+
+const (
+	// CPUTime bins by the requesting process's CPU clock — the paper's
+	// Figures 3 and 4 ("MB per CPU second"), which filter out
+	// multiprogramming effects.
+	CPUTime TimeBase = iota
+	// WallTime bins by wall-clock start time — the simulator's Figures 6
+	// and 7.
+	WallTime
+)
+
+// Direction filters a rate series by transfer direction.
+type Direction int
+
+const (
+	ReadsAndWrites Direction = iota
+	ReadsOnly
+	WritesOnly
+)
+
+// RateSeries bins the bytes moved by a trace into fixed-width time bins.
+// binWidth is in ticks; the values are bytes per bin (callers divide by
+// bin seconds for MB/s). Records from all processes in the trace fall on
+// one axis; for the paper's per-application figures, traces hold a single
+// process.
+func RateSeries(recs []*trace.Record, base TimeBase, dir Direction, binWidth trace.Ticks) *stats.TimeSeries {
+	ts := stats.NewTimeSeries(int64(binWidth))
+	for _, r := range recs {
+		if r.IsComment() {
+			continue
+		}
+		if dir == ReadsOnly && !r.Type.IsRead() {
+			continue
+		}
+		if dir == WritesOnly && !r.Type.IsWrite() {
+			continue
+		}
+		t := r.ProcessTime
+		if base == WallTime {
+			t = r.Start
+		}
+		ts.Add(int64(t), float64(r.Length))
+	}
+	return ts
+}
+
+// MBPerSecond converts a byte-binned series to MB-per-second values.
+func MBPerSecond(ts *stats.TimeSeries) []float64 {
+	binSec := float64(ts.BinWidth) / float64(trace.TicksPerSecond)
+	out := make([]float64, ts.Len())
+	for i, v := range ts.Bins() {
+		out[i] = v / MB / binSec
+	}
+	return out
+}
+
+// Cycle describes detected periodic structure in a trace's demand.
+type Cycle struct {
+	// PeriodSec is the dominant burst period in seconds (0 when no
+	// periodicity was found).
+	PeriodSec float64
+	// Autocorr is the autocorrelation at the detected period.
+	Autocorr float64
+	// PeakMBps and MeanMBps characterize burstiness.
+	PeakMBps float64
+	MeanMBps float64
+}
+
+// PeakToMean returns the burstiness ratio (0 when the mean is 0).
+func (c Cycle) PeakToMean() float64 {
+	if c.MeanMBps == 0 {
+		return 0
+	}
+	return c.PeakMBps / c.MeanMBps
+}
+
+// DetectCycle finds the dominant I/O demand period of a trace using
+// autocorrelation of its 1-second CPU-time rate series (§5.3: "demand
+// patterns for all of the cycles in a single application were remarkably
+// similar").
+func DetectCycle(recs []*trace.Record) Cycle {
+	ts := RateSeries(recs, CPUTime, ReadsAndWrites, trace.TicksPerSecond)
+	mbps := MBPerSecond(ts)
+	var c Cycle
+	if len(mbps) == 0 {
+		return c
+	}
+	sum := 0.0
+	for _, v := range mbps {
+		sum += v
+		if v > c.PeakMBps {
+			c.PeakMBps = v
+		}
+	}
+	c.MeanMBps = sum / float64(len(mbps))
+	lag := stats.DominantPeriod(mbps, 2, len(mbps)/2, 0.1)
+	if lag > 0 {
+		c.PeriodSec = float64(lag)
+		c.Autocorr = stats.Autocorrelation(mbps, lag)
+	}
+	return c
+}

@@ -1,0 +1,111 @@
+// Package apps provides calibrated synthetic models of the seven
+// applications the paper traced on the NASA Ames Cray Y-MP: bvi, ccm,
+// forma, gcm, les, venus, and upw.
+//
+// Each model is tuned so its generated trace reproduces the statistics of
+// the paper's Tables 1 and 2 (running time, data-set size, total I/O,
+// request count and size, per-direction rates, read/write ratio) and the
+// qualitative structure of §3 and §5 (iteration cycles, burstiness,
+// sequentiality, interleaved staging files, explicit async I/O).
+//
+// Several printed table cells in the available scan are internally
+// inconsistent (they disagree with MB/s x running time or MB/s ÷ IOs/s
+// from the same row). The Paper targets here are the reconciled values:
+// MB/s and IOs/s are taken as primary and the rest derived; every
+// reconciliation is noted in EXPERIMENTS.md. Generators must land within
+// CalibrationTolerance of these targets (enforced by tests).
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"iotrace/internal/workload"
+)
+
+// CalibrationTolerance is the maximum relative error allowed between a
+// generated trace's statistics and the paper targets.
+const CalibrationTolerance = 0.10
+
+// MB is the decimal megabyte the paper's tables use.
+const MB = 1e6
+
+// Paper holds the published (reconciled) characterization of one traced
+// application: Table 1's totals and Table 2's per-direction rates.
+type Paper struct {
+	Name        string
+	Description string
+
+	// Table 1.
+	RunningSec float64 // CPU seconds
+	DataSetMB  float64 // total size of all files accessed
+	TotalIOMB  float64 // bytes read + written
+	NumIOs     float64 // read + write calls
+	AvgKB      float64 // mean request size
+	MBps       float64 // TotalIOMB / RunningSec
+	IOps       float64 // NumIOs / RunningSec
+
+	// Table 2.
+	ReadMBps    float64
+	WriteMBps   float64
+	ReadIOps    float64
+	WriteIOps   float64
+	RWDataRatio float64 // bytes read / bytes written
+}
+
+// Spec couples the paper targets with the model builder.
+type Spec struct {
+	Paper Paper
+	// Build returns the synthetic model. Distinct seed/pid let callers
+	// co-schedule several copies without artificial lockstep.
+	Build func(seed uint64, pid uint32) *workload.Model
+}
+
+var registry = map[string]Spec{
+	"bvi":   {Paper: bviPaper, Build: BVI},
+	"ccm":   {Paper: ccmPaper, Build: CCM},
+	"forma": {Paper: formaPaper, Build: Forma},
+	"gcm":   {Paper: gcmPaper, Build: GCM},
+	"les":   {Paper: lesPaper, Build: LES},
+	"upw":   {Paper: upwPaper, Build: UPW},
+	"venus": {Paper: venusPaper, Build: Venus},
+}
+
+// Names returns the application names in the paper's (alphabetical) table
+// order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the spec for name.
+func Lookup(name string) (Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("apps: unknown application %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Build generates the named model with the default seed and pid 1.
+func Build(name string) (*workload.Model, error) {
+	s, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build(DefaultSeed(name), 1), nil
+}
+
+// DefaultSeed returns a stable per-application seed.
+func DefaultSeed(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,139 @@
+package apps
+
+import "iotrace/internal/workload"
+
+// bvi, les and forma: the blade-vortex CFD code designed around the SSD,
+// the explicitly asynchronous large-eddy simulation, and the Cray-1-era
+// sparse structural dynamics solver.
+
+var bviPaper = Paper{
+	Name:        "bvi",
+	Description: "blade-vortex interaction CFD; designed for the SSD, very many small requests",
+	RunningSec:  1258, DataSetMB: 171, TotalIOMB: 22191, NumIOs: 1381484,
+	AvgKB: 16.1, MBps: 17.6, IOps: 1097,
+	ReadMBps: 12.3, WriteMBps: 5.34, ReadIOps: 913, WriteIOps: 185,
+	RWDataRatio: 2.31,
+}
+
+// BVI builds the bvi model: 100 cycles staging two ~85 MB field files in
+// 13.5 KB reads and 29 KB writes, interleaved — the small-request pattern
+// that is cheap on the SSD but pays heavy per-call overhead on disk.
+func BVI(seed uint64, pid uint32) *workload.Model {
+	return &workload.Model{
+		Name: "bvi", PID: pid, Seed: seed,
+		CPUJitterFrac: 0.3,
+		Files: []workload.File{
+			{Name: "bvi.grid", Size: 85_000_000, RequestSize: 13_824},
+			{Name: "bvi.field", Size: 86_000_000, RequestSize: 29_696},
+		},
+		Phases: []workload.Phase{
+			{Name: "iterate", Repeat: 100, CPUPerCycle: 12.58, BurstCPUFrac: 0.35,
+				Interleave: true,
+				Ops: []workload.Op{
+					// Two read streams share the grid file's cursor,
+					// sweeping it 1.8x per cycle in 13.5 KB requests;
+					// the 29 KB write-back stream walks the field file
+					// continuously, wrapping across cycles.
+					{FileIdx: 0, Bytes: 77_365_000, Class: workload.Swap, Rewind: true},
+					{FileIdx: 0, Bytes: 77_365_000, Class: workload.Swap},
+					{FileIdx: 1, Write: true, Bytes: 67_180_000, Class: workload.Swap},
+				}},
+		},
+	}
+}
+
+var lesPaper = Paper{
+	Name:        "les",
+	Description: "large eddy simulation (Navier-Stokes with turbulence); explicit asynchronous I/O",
+	RunningSec:  146, DataSetMB: 224, TotalIOMB: 7187, NumIOs: 22384,
+	AvgKB: 325, MBps: 49.2, IOps: 153,
+	ReadMBps: 24.0, WriteMBps: 25.2, ReadIOps: 74, WriteIOps: 81,
+	RWDataRatio: 0.95,
+}
+
+// LES builds the les model: 12 cycles sweeping a 220 MB field file with
+// 320 KB asynchronous reads and writes.
+func LES(seed uint64, pid uint32) *workload.Model {
+	return &workload.Model{
+		Name: "les", PID: pid, Seed: seed, Async: true,
+		CPUJitterFrac: 0.3,
+		Files: []workload.File{
+			{Name: "les.field", Size: 220_000_000, RequestSize: 320 << 10},
+			{Name: "les.in", Size: 2_000_000, RequestSize: 32 << 10},
+			{Name: "les.out", Size: 2_000_000, RequestSize: 32 << 10},
+		},
+		Phases: []workload.Phase{
+			{Name: "init", Repeat: 1, CPUPerCycle: 3,
+				Ops: []workload.Op{{FileIdx: 1, Bytes: 2_000_000, Class: workload.Required, Rewind: true}}},
+			{Name: "iterate", Repeat: 12, CPUPerCycle: 11.667, BurstCPUFrac: 0.62,
+				Ops: []workload.Op{
+					{FileIdx: 0, Bytes: 292_000_000, Class: workload.Swap, Rewind: true},
+					{FileIdx: 0, Write: true, Bytes: 306_600_000, Class: workload.Swap, Rewind: true},
+				}},
+			{Name: "finish", Repeat: 1, CPUPerCycle: 3,
+				Ops: []workload.Op{{FileIdx: 2, Write: true, Bytes: 2_000_000, Class: workload.Required, Rewind: true}}},
+		},
+	}
+}
+
+var formaPaper = Paper{
+	Name:        "forma",
+	Description: "sparse-matrix structural dynamics (Cray 1 heritage); blocks re-read many times per write",
+	RunningSec:  206, DataSetMB: 30.0, TotalIOMB: 15162, NumIOs: 475826,
+	AvgKB: 32.6, MBps: 73.6, IOps: 2310,
+	ReadMBps: 67.5, WriteMBps: 6.13, ReadIOps: 1990, WriteIOps: 300,
+	RWDataRatio: 11.0,
+}
+
+// Forma builds the forma model: 40 cycles sweeping a 26 MB blocked sparse
+// matrix about thirteen times each (hence the read/write ratio of 11),
+// with a strided sub-stream that skips empty blocks, writing back a 4 MB
+// solution file.
+func Forma(seed uint64, pid uint32) *workload.Model {
+	return &workload.Model{
+		Name: "forma", PID: pid, Seed: seed,
+		CPUJitterFrac: 0.3,
+		Files: []workload.File{
+			{Name: "forma.mtx", Size: 26_000_000, RequestSize: 34_304},
+			{Name: "forma.sol", Size: 4_000_000, RequestSize: 20_736},
+		},
+		Phases: []workload.Phase{
+			{Name: "iterate", Repeat: 40, CPUPerCycle: 5.15, BurstCPUFrac: 0.55,
+				Ops: []workload.Op{
+					{FileIdx: 0, Bytes: 300_000_000, Class: workload.Swap, Rewind: true},
+					// Sparse sweep: skip an empty block after each full one.
+					{FileIdx: 0, Bytes: 47_500_000, Class: workload.Swap, Stride: 34_304},
+					{FileIdx: 1, Write: true, Bytes: 31_575_000, Class: workload.Swap, Rewind: true},
+				}},
+		},
+	}
+}
+
+var upwPaper = Paper{
+	Name:        "upw",
+	Description: "approximate polynomial factorization; compulsory I/O only, ten minutes of pure compute",
+	RunningSec:  596, DataSetMB: 62, TotalIOMB: 61.5, NumIOs: 1940,
+	AvgKB: 32.5, MBps: 0.103, IOps: 3.26,
+	ReadMBps: 0.0111, WriteMBps: 0.0921, ReadIOps: 0.34, WriteIOps: 2.82,
+	RWDataRatio: 0.12,
+}
+
+// UPW builds the upw model: one 6.6 MB input read, ten long compute
+// stretches each appending 5.5 MB of results, then exit.
+func UPW(seed uint64, pid uint32) *workload.Model {
+	return &workload.Model{
+		Name: "upw", PID: pid, Seed: seed,
+		CPUJitterFrac: 0.3,
+		Files: []workload.File{
+			{Name: "upw.in", Size: 7_000_000, RequestSize: 32 << 10},
+			{Name: "upw.out", Size: 55_000_000, RequestSize: 32 << 10},
+		},
+		Phases: []workload.Phase{
+			{Name: "init", Repeat: 1, CPUPerCycle: 3,
+				Ops: []workload.Op{{FileIdx: 0, Bytes: 6_600_000, Class: workload.Required, Rewind: true}}},
+			{Name: "compute", Repeat: 10, CPUPerCycle: 59, BurstCPUFrac: 0.2,
+				Ops: []workload.Op{{FileIdx: 1, Write: true, Bytes: 5_490_000, Class: workload.Required}}},
+			{Name: "wrapup", Repeat: 1, CPUPerCycle: 3},
+		},
+	}
+}

@@ -1,0 +1,220 @@
+package collect
+
+import (
+	"reflect"
+	"testing"
+
+	"iotrace/internal/apps"
+	"iotrace/internal/trace"
+	"iotrace/internal/workload"
+)
+
+// testTrace builds a small multi-file, time-ordered trace.
+func testTrace(n int) []*trace.Record {
+	var recs []*trace.Record
+	start := trace.Ticks(0)
+	ptime := trace.Ticks(0)
+	for i := 0; i < n; i++ {
+		fid := uint32(1 + i%3)
+		rt := trace.LogicalRecord
+		if i%2 == 0 {
+			rt |= trace.WriteOp
+		}
+		recs = append(recs, &trace.Record{
+			Type: rt, ProcessID: 9, FileID: fid,
+			Offset: int64(i) * 1024, Length: 1024,
+			Start: start, Completion: 3, ProcessTime: ptime,
+		})
+		start += 7
+		ptime += 5
+	}
+	return recs
+}
+
+func TestPacketEncodeDecodeRoundTrip(t *testing.T) {
+	p := &Packet{
+		PID: 3, FileID: 8, Seq: 42, Flags: 0,
+		FirstStart: 1000, FirstPTime: 900,
+		Entries: []Entry{
+			{Flags: uint16(trace.LogicalRecord), Offset: 0, Length: 4096, StartDelta: 0, Completion: 5, PTimeDelta: 0},
+			{Flags: uint16(trace.LogicalRecord | trace.WriteOp), Offset: 4096, Length: 512, StartDelta: 10, Completion: 2, PTimeDelta: 7},
+		},
+	}
+	enc := p.Encode(nil)
+	if len(enc) != p.EncodedSize() {
+		t.Fatalf("encoded %d bytes, EncodedSize says %d", len(enc), p.EncodedSize())
+	}
+	got, rest, err := DecodePacket(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d leftover bytes", len(rest))
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("roundtrip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodePacket(make([]byte, 10)); err == nil {
+		t.Error("short header accepted")
+	}
+	bad := make([]byte, HeaderBytes)
+	if _, _, err := DecodePacket(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	p := &Packet{Entries: []Entry{{Length: 1}}}
+	enc := p.Encode(nil)
+	if _, _, err := DecodePacket(enc[:len(enc)-4]); err == nil {
+		t.Error("truncated entries accepted")
+	}
+}
+
+func TestBatchingAmortizesHeaders(t *testing.T) {
+	recs := testTrace(3000)
+	_, report, _ := Collect(recs, DefaultOptions())
+	if report.Calls != 3000 {
+		t.Fatalf("calls = %d", report.Calls)
+	}
+	// One header per ~256 calls plus flush markers: far below one per call.
+	ratio := report.HeaderAmortization()
+	if ratio >= 0.5 {
+		t.Errorf("batched/unbatched size ratio = %.3f, want well below 0.5", ratio)
+	}
+	// Data packets only (markers excluded from the arithmetic): at 256
+	// entries per packet and 3 interleaved files, about 12 data packets.
+	if report.Packets > 30 {
+		t.Errorf("packets = %d, expected aggressive batching", report.Packets)
+	}
+}
+
+func TestOverheadUnderTwentyPercent(t *testing.T) {
+	// §4.3: "Overheads were less than 20% of I/O system call time".
+	recs := testTrace(5000)
+	_, report, _ := Collect(recs, DefaultOptions())
+	if f := report.Fraction(); f >= 0.20 {
+		t.Errorf("tracing overhead fraction = %.3f, want < 0.20", f)
+	}
+	if report.OverheadTicks == 0 {
+		t.Error("overhead not accounted")
+	}
+}
+
+func TestReconstructReproducesStream(t *testing.T) {
+	recs := testTrace(2000)
+	rebuilt, _, st := Collect(recs, DefaultOptions())
+	if len(rebuilt) != len(recs) {
+		t.Fatalf("rebuilt %d records, want %d", len(rebuilt), len(recs))
+	}
+	for i := range recs {
+		want := *recs[i]
+		want.OperationID = 0 // packets do not carry operation ids
+		if *rebuilt[i] != want {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, rebuilt[i], &want)
+		}
+	}
+	if st.Records != len(recs) || st.Packets == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestForcedFlushBoundsBuffering(t *testing.T) {
+	recs := testTrace(5000)
+	opts := DefaultOptions()
+	opts.FlushEvery = 500
+	_, report, st := Collect(recs, opts)
+	if report.ForcedFlushes != 10 {
+		t.Errorf("forced flushes = %d, want 10", report.ForcedFlushes)
+	}
+	// Reconstruction buffering is bounded by the flush interval.
+	if st.MaxBuffered > 500 {
+		t.Errorf("max buffered = %d, want <= 500", st.MaxBuffered)
+	}
+	// A large interval buffers more.
+	opts.FlushEvery = 100_000
+	_, _, st2 := Collect(recs, opts)
+	if st2.MaxBuffered <= st.MaxBuffered {
+		t.Errorf("larger flush interval should buffer more: %d vs %d", st2.MaxBuffered, st.MaxBuffered)
+	}
+}
+
+func TestInterleavedFilesReorderAcrossPackets(t *testing.T) {
+	// Entries for different files land in different packets; the
+	// reconstructor must re-interleave them by start time.
+	recs := testTrace(600)
+	opts := DefaultOptions()
+	opts.BatchEntries = 100
+	rebuilt, _, _ := Collect(recs, opts)
+	for i := 1; i < len(rebuilt); i++ {
+		if rebuilt[i].Start < rebuilt[i-1].Start {
+			t.Fatalf("record %d out of order after reconstruction", i)
+		}
+	}
+	// All three files present, still interleaved in the output.
+	if rebuilt[0].FileID == rebuilt[1].FileID && rebuilt[1].FileID == rebuilt[2].FileID {
+		t.Error("reconstruction lost interleaving")
+	}
+}
+
+func TestCollectRealWorkload(t *testing.T) {
+	// End to end over a real generated application trace.
+	m, err := apps.Build("ccm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := workload.Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data []*trace.Record
+	for _, r := range recs {
+		if !r.IsComment() {
+			data = append(data, r)
+		}
+	}
+	rebuilt, report, st := Collect(data, DefaultOptions())
+	if len(rebuilt) != len(data) {
+		t.Fatalf("rebuilt %d of %d records", len(rebuilt), len(data))
+	}
+	if f := report.Fraction(); f >= 0.20 {
+		t.Errorf("overhead fraction %.3f on ccm", f)
+	}
+	if st.MaxBuffered == 0 {
+		t.Error("no buffering observed")
+	}
+	for i := 1; i < len(rebuilt); i++ {
+		if rebuilt[i].Start < rebuilt[i-1].Start {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+}
+
+func TestCollectorBytes(t *testing.T) {
+	col := NewCollector(4)
+	h := NewHooks(col.Channel(), DefaultOptions())
+	Replay(h, testTrace(100))
+	h.Close()
+	packets := col.Close()
+	if col.Bytes() == 0 {
+		t.Error("no bytes accounted")
+	}
+	var want int64
+	for _, p := range packets {
+		want += int64(p.EncodedSize())
+	}
+	if col.Bytes() != want {
+		t.Errorf("Bytes = %d, want %d", col.Bytes(), want)
+	}
+}
+
+func TestHooksSkipComments(t *testing.T) {
+	col := NewCollector(4)
+	h := NewHooks(col.Channel(), DefaultOptions())
+	h.Record(&trace.Record{Type: trace.Comment, CommentText: "ignored"})
+	rep := h.Close()
+	col.Close()
+	if rep.Calls != 0 {
+		t.Error("comment counted as a call")
+	}
+}

@@ -1,0 +1,123 @@
+package collect
+
+import (
+	"sort"
+
+	"iotrace/internal/trace"
+)
+
+// Collector is the procstat analog: a goroutine draining the packet pipe
+// into an in-memory trace file.
+type Collector struct {
+	in      chan *Packet
+	done    chan struct{}
+	packets []*Packet
+	bytes   int64
+}
+
+// NewCollector starts the collector.
+func NewCollector(buffer int) *Collector {
+	c := &Collector{in: make(chan *Packet, buffer), done: make(chan struct{})}
+	go func() {
+		defer close(c.done)
+		for p := range c.in {
+			c.packets = append(c.packets, p)
+			c.bytes += int64(p.EncodedSize())
+		}
+	}()
+	return c
+}
+
+// Channel returns the pipe the hooks write to.
+func (c *Collector) Channel() chan<- *Packet { return c.in }
+
+// Close ends collection and returns the packets in arrival order.
+func (c *Collector) Close() []*Packet {
+	close(c.in)
+	<-c.done
+	return c.packets
+}
+
+// Bytes returns the total encoded trace-file size.
+func (c *Collector) Bytes() int64 { return c.bytes }
+
+// ReconstructStats reports the cost of rebuilding the time-ordered
+// stream: the paper notes every I/O between forced flushes must be
+// buffered, since a packet written at a flush can contain accesses from
+// much earlier in the run.
+type ReconstructStats struct {
+	Packets     int
+	Records     int
+	MaxBuffered int // peak records held before a flush boundary allowed draining
+}
+
+// Reconstruct rebuilds the single time-ordered record stream from
+// packets (in arrival order). Records drain at flush boundaries; within a
+// buffered window they sort by wall start time, breaking ties by packet
+// sequence then in-packet order, so reconstruction is deterministic.
+func Reconstruct(packets []*Packet) ([]*trace.Record, ReconstructStats) {
+	var (
+		out     []*trace.Record
+		st      ReconstructStats
+		pending []*trace.Record
+	)
+	st.Packets = len(packets)
+
+	drain := func() {
+		sort.SliceStable(pending, func(a, b int) bool {
+			return pending[a].Start < pending[b].Start
+		})
+		out = append(out, pending...)
+		pending = pending[:0]
+	}
+
+	for _, p := range packets {
+		if p.Flags&FlagFlushBoundary != 0 {
+			drain()
+			continue
+		}
+		start := p.FirstStart
+		ptime := p.FirstPTime
+		for i := range p.Entries {
+			e := &p.Entries[i]
+			start += e.StartDelta
+			ptime += e.PTimeDelta
+			if i == 0 {
+				// FirstStart/FirstPTime are absolute; deltas of the
+				// first entry are zero by construction.
+				start = p.FirstStart
+				ptime = p.FirstPTime
+			}
+			pending = append(pending, &trace.Record{
+				Type:        trace.RecordType(e.Flags),
+				ProcessID:   p.PID,
+				FileID:      p.FileID,
+				OperationID: 0, // library-level packets do not carry it
+				Offset:      e.Offset,
+				Length:      e.Length,
+				Start:       start,
+				Completion:  e.Completion,
+				ProcessTime: ptime,
+			})
+			if len(pending) > st.MaxBuffered {
+				st.MaxBuffered = len(pending)
+			}
+		}
+	}
+	drain()
+	st.Records = len(out)
+	return out, st
+}
+
+// Collect runs the whole pipeline over a trace: hooks -> pipe ->
+// collector -> reconstruction. It returns the reconstructed stream, the
+// overhead report, and reconstruction stats.
+func Collect(recs []*trace.Record, opts Options) ([]*trace.Record, OverheadReport, ReconstructStats) {
+	col := NewCollector(64)
+	h := NewHooks(col.Channel(), opts)
+	Replay(h, recs)
+	report := h.Close()
+	packets := col.Close()
+	rebuilt, st := Reconstruct(packets)
+	return rebuilt, report, st
+}

@@ -1,0 +1,186 @@
+package collect
+
+import (
+	"sort"
+
+	"iotrace/internal/trace"
+)
+
+// Options tunes the instrumented library.
+type Options struct {
+	// BatchEntries is the per-file batch size: one header is amortized
+	// over this many calls before a packet is emitted.
+	BatchEntries int
+	// FlushEvery forces every partial batch out after this many total
+	// I/Os — the paper's "trace packets were forced out every hundred
+	// thousand I/Os".
+	FlushEvery int64
+	// PerCallTicks and PerPacketTicks model the tracing overhead charged
+	// inside the I/O path.
+	PerCallTicks   trace.Ticks
+	PerPacketTicks trace.Ticks
+	// SyscallTicks is the baseline I/O system-call code time the
+	// overhead is compared against (§4.3's "<20% of I/O system call
+	// time").
+	SyscallTicks trace.Ticks
+}
+
+// DefaultOptions matches the paper's description.
+func DefaultOptions() Options {
+	return Options{
+		BatchEntries:   256,
+		FlushEvery:     100_000,
+		PerCallTicks:   1, // 10 us of library bookkeeping per call
+		PerPacketTicks: 5, // 50 us to assemble and send a packet
+		SyscallTicks:   10,
+	}
+}
+
+// OverheadReport accounts for the tracing cost.
+type OverheadReport struct {
+	Calls          int64
+	Packets        int64
+	ForcedFlushes  int64
+	OverheadTicks  trace.Ticks
+	SyscallTicks   trace.Ticks
+	BytesEmitted   int64
+	UnbatchedBytes int64 // what one-packet-per-call would have cost
+}
+
+// Fraction returns tracing overhead as a fraction of I/O system-call
+// time; the paper reports staying under 0.20.
+func (o OverheadReport) Fraction() float64 {
+	if o.SyscallTicks == 0 {
+		return 0
+	}
+	return float64(o.OverheadTicks) / float64(o.SyscallTicks)
+}
+
+// HeaderAmortization returns the size ratio of batched to unbatched
+// emission (smaller is better).
+func (o OverheadReport) HeaderAmortization() float64 {
+	if o.UnbatchedBytes == 0 {
+		return 0
+	}
+	return float64(o.BytesEmitted) / float64(o.UnbatchedBytes)
+}
+
+// batchState accumulates one file's pending entries.
+type batchState struct {
+	packet    Packet
+	lastStart trace.Ticks
+	lastPTime trace.Ticks
+}
+
+// Hooks is the instrumented-library end of the pipeline. It is not safe
+// for concurrent use: the Cray libraries ran inside one process's I/O
+// path, and so do we.
+type Hooks struct {
+	opts    Options
+	out     chan<- *Packet
+	batches map[uint64]*batchState // key: pid<<32 | fileID
+	order   []uint64               // stable flush order
+	seq     uint64
+	count   int64
+	report  OverheadReport
+}
+
+// NewHooks returns hooks emitting packets on out.
+func NewHooks(out chan<- *Packet, opts Options) *Hooks {
+	if opts.BatchEntries <= 0 {
+		opts.BatchEntries = 1
+	}
+	if opts.FlushEvery <= 0 {
+		opts.FlushEvery = 100_000
+	}
+	return &Hooks{opts: opts, out: out, batches: make(map[uint64]*batchState)}
+}
+
+// Record traces one read or write call.
+func (h *Hooks) Record(r *trace.Record) {
+	if r.IsComment() {
+		return
+	}
+	key := uint64(r.ProcessID)<<32 | uint64(r.FileID)
+	b := h.batches[key]
+	if b == nil {
+		b = &batchState{packet: Packet{PID: r.ProcessID, FileID: r.FileID,
+			FirstStart: r.Start, FirstPTime: r.ProcessTime}}
+		h.batches[key] = b
+		h.order = append(h.order, key)
+	}
+	if len(b.packet.Entries) == 0 {
+		b.packet.FirstStart = r.Start
+		b.packet.FirstPTime = r.ProcessTime
+		b.lastStart = r.Start
+		b.lastPTime = r.ProcessTime
+	}
+	b.packet.Entries = append(b.packet.Entries, Entry{
+		Flags:      uint16(r.Type),
+		Offset:     r.Offset,
+		Length:     r.Length,
+		StartDelta: r.Start - b.lastStart,
+		Completion: r.Completion,
+		PTimeDelta: r.ProcessTime - b.lastPTime,
+	})
+	b.lastStart = r.Start
+	b.lastPTime = r.ProcessTime
+
+	h.count++
+	h.report.Calls++
+	h.report.OverheadTicks += h.opts.PerCallTicks
+	h.report.SyscallTicks += h.opts.SyscallTicks
+	h.report.UnbatchedBytes += HeaderBytes + EntryBytes
+
+	if len(b.packet.Entries) >= h.opts.BatchEntries {
+		h.emit(key, b)
+	}
+	if h.count%h.opts.FlushEvery == 0 {
+		h.flushAll()
+		h.report.ForcedFlushes++
+	}
+}
+
+// emit sends one batch as a packet and resets the batch.
+func (h *Hooks) emit(key uint64, b *batchState) {
+	if len(b.packet.Entries) == 0 {
+		return
+	}
+	p := b.packet // copy
+	p.Seq = h.seq
+	h.seq++
+	b.packet.Entries = nil
+	h.report.Packets++
+	h.report.OverheadTicks += h.opts.PerPacketTicks
+	h.report.BytesEmitted += int64(p.EncodedSize())
+	h.out <- &p
+}
+
+// flushAll emits every partial batch (in first-seen key order, for
+// determinism) followed by a flush-boundary marker.
+func (h *Hooks) flushAll() {
+	sort.Slice(h.order, func(a, b int) bool { return h.order[a] < h.order[b] })
+	for _, key := range h.order {
+		h.emit(key, h.batches[key])
+	}
+	marker := &Packet{Seq: h.seq, Flags: FlagFlushBoundary}
+	h.seq++
+	h.report.BytesEmitted += int64(marker.EncodedSize())
+	h.report.Packets++
+	h.out <- marker
+}
+
+// Close flushes all batches and returns the overhead report. The output
+// channel is left open for the caller to close.
+func (h *Hooks) Close() OverheadReport {
+	h.flushAll()
+	return h.report
+}
+
+// Replay drives the hooks from an existing trace, as if the traced
+// application were running: every data record becomes one library call.
+func Replay(h *Hooks, recs []*trace.Record) {
+	for _, r := range recs {
+		h.Record(r)
+	}
+}

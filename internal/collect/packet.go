@@ -1,0 +1,120 @@
+// Package collect reimplements the paper's trace-collection pipeline
+// (§4.3): instrumented user-level I/O library hooks batch per-file trace
+// entries into packets with an 8-word header, force all batches out every
+// hundred thousand I/Os, and ship them over a pipe to a collector process
+// (procstat). Analysis later reconstructs the single time-ordered request
+// stream, which requires buffering everything between forced flushes.
+//
+// In this reproduction the "library" is driven by replaying a synthetic
+// trace, the pipe is a Go channel, and procstat is a goroutine — the same
+// topology, observable end to end.
+package collect
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"iotrace/internal/trace"
+)
+
+// Entry is one read or write call inside a packet: four words, so a
+// header amortized over a whole batch dominates per-call cost only when
+// batches are tiny (the paper's motivation for batching).
+type Entry struct {
+	Flags      uint16      // trace.RecordType bits
+	Offset     int64       // byte offset in file
+	Length     int64       // request length
+	StartDelta trace.Ticks // wall start, relative to previous entry in this packet
+	Completion trace.Ticks // completion latency
+	PTimeDelta trace.Ticks // process CPU delta, relative to previous entry
+}
+
+// Packet flag bits.
+const (
+	// FlagFlushBoundary marks a synthetic marker packet emitted after a
+	// forced flush of all batches: everything before it is complete, so
+	// the reconstructor may drain its buffer.
+	FlagFlushBoundary uint32 = 1 << iota
+)
+
+// Packet is one batch of entries for a single file, preceded on the wire
+// by an 8-word (64-byte) header.
+type Packet struct {
+	PID        uint32
+	FileID     uint32
+	Seq        uint64 // emission order, for deterministic reconstruction
+	Flags      uint32
+	FirstStart trace.Ticks // absolute wall start of the first entry
+	FirstPTime trace.Ticks // absolute process CPU of the first entry
+	Entries    []Entry
+}
+
+// HeaderBytes is the encoded header size: eight 8-byte words, as on the
+// Cray.
+const HeaderBytes = 64
+
+// EntryBytes is the encoded per-call size: four words.
+const EntryBytes = 32
+
+const packetMagic = 0x696f7472 // "iotr"
+
+// EncodedSize returns the packet's wire size.
+func (p *Packet) EncodedSize() int { return HeaderBytes + EntryBytes*len(p.Entries) }
+
+// Encode appends the packet's wire form to dst.
+func (p *Packet) Encode(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, packetMagic)
+	dst = binary.BigEndian.AppendUint32(dst, p.Flags)
+	dst = binary.BigEndian.AppendUint32(dst, p.PID)
+	dst = binary.BigEndian.AppendUint32(dst, p.FileID)
+	dst = binary.BigEndian.AppendUint64(dst, p.Seq)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.FirstStart))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.FirstPTime))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(len(p.Entries)))
+	dst = append(dst, make([]byte, HeaderBytes-48)...) // reserved words
+	for _, e := range p.Entries {
+		dst = binary.BigEndian.AppendUint16(dst, e.Flags)
+		dst = binary.BigEndian.AppendUint16(dst, 0) // pad
+		dst = binary.BigEndian.AppendUint32(dst, uint32(e.StartDelta))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Offset))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(e.Length))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(e.Completion))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(e.PTimeDelta))
+	}
+	return dst
+}
+
+// DecodePacket parses one packet from b, returning the remainder.
+func DecodePacket(b []byte) (*Packet, []byte, error) {
+	if len(b) < HeaderBytes {
+		return nil, b, fmt.Errorf("collect: truncated header (%d bytes)", len(b))
+	}
+	if binary.BigEndian.Uint32(b) != packetMagic {
+		return nil, b, fmt.Errorf("collect: bad packet magic %#x", binary.BigEndian.Uint32(b))
+	}
+	p := &Packet{
+		Flags:      binary.BigEndian.Uint32(b[4:]),
+		PID:        binary.BigEndian.Uint32(b[8:]),
+		FileID:     binary.BigEndian.Uint32(b[12:]),
+		Seq:        binary.BigEndian.Uint64(b[16:]),
+		FirstStart: trace.Ticks(binary.BigEndian.Uint64(b[24:])),
+		FirstPTime: trace.Ticks(binary.BigEndian.Uint64(b[32:])),
+	}
+	n := int(binary.BigEndian.Uint64(b[40:]))
+	b = b[HeaderBytes:]
+	if len(b) < n*EntryBytes {
+		return nil, b, fmt.Errorf("collect: packet truncated: %d entries promised, %d bytes left", n, len(b))
+	}
+	p.Entries = make([]Entry, n)
+	for i := 0; i < n; i++ {
+		e := &p.Entries[i]
+		e.Flags = binary.BigEndian.Uint16(b)
+		e.StartDelta = trace.Ticks(binary.BigEndian.Uint32(b[4:]))
+		e.Offset = int64(binary.BigEndian.Uint64(b[8:]))
+		e.Length = int64(binary.BigEndian.Uint64(b[16:]))
+		e.Completion = trace.Ticks(binary.BigEndian.Uint32(b[24:]))
+		e.PTimeDelta = trace.Ticks(binary.BigEndian.Uint32(b[28:]))
+		b = b[EntryBytes:]
+	}
+	return p, b, nil
+}

@@ -1,0 +1,146 @@
+// Package core is the library facade: generate (or load) application I/O
+// traces, characterize them the way the paper's §5 does, and run them
+// through the §6 buffering simulator.
+//
+// A downstream user's typical session:
+//
+//	w, _ := core.NewWorkload("venus", 2)        // two copies of venus
+//	stats := w.Characterize()                    // Table 1/2 statistics
+//	cfg := sim.DefaultConfig()                   // 32 MB cache, RA+WB
+//	res, _ := w.Simulate(cfg)                    // idle time, rates, hits
+//
+// Everything is deterministic: the same workload name and seed always
+// produce the same trace, simulation, and statistics.
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"iotrace/internal/analysis"
+	"iotrace/internal/apps"
+	"iotrace/internal/sim"
+	"iotrace/internal/trace"
+	"iotrace/internal/workload"
+)
+
+// Process is one traced process: a name and its records.
+type Process struct {
+	Name    string
+	Records []*trace.Record
+}
+
+// Workload is a set of processes to be studied or co-scheduled.
+type Workload struct {
+	Procs []Process
+}
+
+// NewWorkload generates copies distinct instances of the named paper
+// application (different seeds and pids, so co-scheduled copies do not
+// run in lockstep).
+func NewWorkload(app string, copies int) (*Workload, error) {
+	w := &Workload{}
+	if err := w.Add(app, copies); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Add appends copies more instances of the named application.
+func (w *Workload) Add(app string, copies int) error {
+	spec, err := apps.Lookup(app)
+	if err != nil {
+		return err
+	}
+	if copies < 1 {
+		return fmt.Errorf("core: %d copies", copies)
+	}
+	for i := 0; i < copies; i++ {
+		n := len(w.Procs)
+		m := spec.Build(apps.DefaultSeed(app)+uint64(i), uint32(n+1))
+		recs, err := workload.Generate(m)
+		if err != nil {
+			return err
+		}
+		name := app
+		if copies > 1 {
+			name = fmt.Sprintf("%s(%d)", app, i+1)
+		}
+		w.Procs = append(w.Procs, Process{Name: name, Records: recs})
+	}
+	return nil
+}
+
+// AddTrace appends an externally supplied trace as one process.
+func (w *Workload) AddTrace(name string, recs []*trace.Record) {
+	w.Procs = append(w.Procs, Process{Name: name, Records: recs})
+}
+
+// Characterize computes per-process trace statistics.
+func (w *Workload) Characterize() []*analysis.Stats {
+	out := make([]*analysis.Stats, 0, len(w.Procs))
+	for _, p := range w.Procs {
+		out = append(out, analysis.Compute(p.Name, p.Records))
+	}
+	return out
+}
+
+// Simulate runs all processes on one simulated CPU under cfg.
+func (w *Workload) Simulate(cfg sim.Config) (*sim.Result, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range w.Procs {
+		if err := s.AddProcess(p.Name, p.Records); err != nil {
+			return nil, err
+		}
+	}
+	return s.Run()
+}
+
+// Apps lists the built-in paper applications.
+func Apps() []string { return apps.Names() }
+
+// SaveTrace writes a trace to w in the named format ("ascii", "binary",
+// "ascii-raw").
+func SaveTrace(w io.Writer, format string, recs []*trace.Record) error {
+	f, err := trace.ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	return trace.WriteAll(w, f, recs)
+}
+
+// LoadTrace reads a trace from r in the named format.
+func LoadTrace(r io.Reader, format string) ([]*trace.Record, error) {
+	f, err := trace.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	return trace.ReadAll(r, f)
+}
+
+// SaveTraceFile writes a trace to path.
+func SaveTraceFile(path, format string, recs []*trace.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveTrace(f, format, recs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTraceFile reads a trace from path.
+func LoadTraceFile(path, format string) ([]*trace.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadTrace(f, format)
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"iotrace/internal/sim"
+)
+
+func TestNewWorkloadAndCharacterize(t *testing.T) {
+	w, err := NewWorkload("ccm", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Procs) != 2 {
+		t.Fatalf("%d procs", len(w.Procs))
+	}
+	if w.Procs[0].Name == w.Procs[1].Name {
+		t.Error("copies share a name")
+	}
+	sts := w.Characterize()
+	if len(sts) != 2 {
+		t.Fatalf("%d stats", len(sts))
+	}
+	for _, s := range sts {
+		if s.Records == 0 || s.MBps() <= 0 {
+			t.Errorf("degenerate stats: %v", s)
+		}
+	}
+	// Distinct seeds: statistics close but traces not identical.
+	if len(w.Procs[0].Records) == len(w.Procs[1].Records) {
+		same := true
+		for i := range w.Procs[0].Records {
+			a, b := w.Procs[0].Records[i], w.Procs[1].Records[i]
+			if a.Start != b.Start {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("copies are identical traces")
+		}
+	}
+}
+
+func TestWorkloadErrors(t *testing.T) {
+	if _, err := NewWorkload("nosuch", 1); err == nil {
+		t.Error("unknown app accepted")
+	}
+	w := &Workload{}
+	if err := w.Add("ccm", 0); err == nil {
+		t.Error("zero copies accepted")
+	}
+}
+
+func TestWorkloadSimulate(t *testing.T) {
+	w, err := NewWorkload("ccm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Simulate(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallSeconds() <= 0 || res.Utilization() <= 0 {
+		t.Errorf("degenerate result: %v", res)
+	}
+	// ccm's CPU time is ~205 s; wall cannot be below that.
+	if res.WallSeconds() < 200 {
+		t.Errorf("wall %.1f s below ccm's CPU time", res.WallSeconds())
+	}
+}
+
+func TestAppsList(t *testing.T) {
+	names := Apps()
+	if len(names) != 7 {
+		t.Fatalf("Apps() = %v", names)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	w, err := NewWorkload("upw", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := w.Procs[0].Records
+	for _, format := range []string{"ascii", "binary", "ascii-raw"} {
+		var buf bytes.Buffer
+		if err := SaveTrace(&buf, format, recs); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		got, err := LoadTrace(&buf, format)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("%s: %d != %d records", format, len(got), len(recs))
+		}
+	}
+	if err := SaveTrace(&bytes.Buffer{}, "xml", recs); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := LoadTrace(&bytes.Buffer{}, "xml"); err == nil {
+		t.Error("unknown format accepted on load")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	w, err := NewWorkload("upw", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "upw.trace")
+	if err := SaveTraceFile(path, "ascii", w.Procs[0].Records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTraceFile(path, "ascii")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(w.Procs[0].Records) {
+		t.Fatalf("%d != %d records", len(got), len(w.Procs[0].Records))
+	}
+	if err := SaveTraceFile("/nonexistent-dir/x", "ascii", nil); err == nil {
+		t.Error("bad path accepted")
+	}
+	if _, err := LoadTraceFile("/nonexistent-file", "ascii"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestAddTrace(t *testing.T) {
+	w := &Workload{}
+	w.AddTrace("external", nil)
+	if len(w.Procs) != 1 || w.Procs[0].Name != "external" {
+		t.Error("AddTrace failed")
+	}
+}
+
+func TestMixedWorkloadSimulate(t *testing.T) {
+	w := &Workload{}
+	if err := w.Add("upw", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add("gcm", 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Procs) != 2 {
+		t.Fatal("mixed workload incomplete")
+	}
+	res, err := w.Simulate(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gcm (1897 s CPU) dominates; both mostly compute, so wall is near
+	// the sum only if they contend — they do share one CPU.
+	if res.WallSeconds() < 1897 {
+		t.Errorf("wall %.1f s below gcm's CPU demand", res.WallSeconds())
+	}
+}

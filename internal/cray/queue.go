@@ -1,0 +1,120 @@
+package cray
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Batch queue model of §2.2: UNICOS batch jobs are queued by CPU-time and
+// memory requirements; each queue owns a fixed memory partition because
+// the Y-MP has no virtual memory (a program's memory is contiguously
+// allocated at start and held until exit). Turnaround is shortest for the
+// job that asks for the least memory — the pressure that drove the venus
+// programmer to a tiny in-memory array and heavy staging I/O.
+
+// QueueClass describes one batch queue: jobs needing at most MemoryMW
+// and at most CPULimitSec run here, drawing on a PartitionMW-word
+// partition that may hold several jobs at once.
+type QueueClass struct {
+	Name        string
+	MemoryMW    int     // per-job memory ceiling
+	CPULimitSec float64 // per-job CPU-time ceiling
+	PartitionMW int     // memory reserved for this queue
+}
+
+// Job is a batch submission.
+type Job struct {
+	Name      string
+	MemoryMW  int
+	CPUSec    float64
+	submitSeq int
+}
+
+// Placement reports where a job ran and its simulated timings.
+type Placement struct {
+	Job        Job
+	Queue      string
+	StartSec   float64 // when memory became available
+	FinishSec  float64
+	Turnaround float64 // finish - submission (submission is time 0 for all)
+}
+
+// QueueSystem is a simplified NQS: jobs are dispatched FIFO within a
+// queue, a queue runs as many jobs concurrently as fit its partition, and
+// every resident job makes full-speed progress (CPU contention is the
+// buffering simulator's concern, not the queue model's).
+type QueueSystem struct {
+	Classes []QueueClass
+}
+
+// DefaultQueues reflects the NAS configuration's spirit: small-memory
+// queues turn around fast because their partitions hold many jobs.
+func DefaultQueues() QueueSystem {
+	return QueueSystem{Classes: []QueueClass{
+		{Name: "small", MemoryMW: 4, CPULimitSec: 1200, PartitionMW: 16},
+		{Name: "medium", MemoryMW: 16, CPULimitSec: 4800, PartitionMW: 48},
+		{Name: "large", MemoryMW: 64, CPULimitSec: 36000, PartitionMW: 64},
+	}}
+}
+
+// classify returns the first queue whose limits admit the job.
+func (q QueueSystem) classify(j Job) (QueueClass, error) {
+	for _, c := range q.Classes {
+		if j.MemoryMW <= c.MemoryMW && j.CPUSec <= c.CPULimitSec {
+			return c, nil
+		}
+	}
+	return QueueClass{}, fmt.Errorf("cray: job %q (%d MW, %.0f s) fits no queue", j.Name, j.MemoryMW, j.CPUSec)
+}
+
+// Schedule places all jobs (submitted simultaneously at time 0) and
+// returns their placements in completion order. Within a queue, jobs run
+// FIFO by submission order; a job starts as soon as its queue's free
+// partition memory covers its request.
+func (q QueueSystem) Schedule(jobs []Job) ([]Placement, error) {
+	byQueue := make(map[string][]Job)
+	for i, j := range jobs {
+		j.submitSeq = i
+		c, err := q.classify(j)
+		if err != nil {
+			return nil, err
+		}
+		byQueue[c.Name] = append(byQueue[c.Name], j)
+	}
+
+	var out []Placement
+	for _, c := range q.Classes {
+		pending := byQueue[c.Name]
+		sort.SliceStable(pending, func(a, b int) bool { return pending[a].submitSeq < pending[b].submitSeq })
+
+		// running holds (finish time, memory) of resident jobs.
+		type resident struct {
+			finish float64
+			mem    int
+		}
+		var running []resident
+		freeMW := c.PartitionMW
+		now := 0.0
+		for _, j := range pending {
+			// Wait for enough free memory, retiring finishers in time order.
+			for freeMW < j.MemoryMW {
+				sort.Slice(running, func(a, b int) bool { return running[a].finish < running[b].finish })
+				if len(running) == 0 {
+					return nil, fmt.Errorf("cray: queue %s partition %d MW cannot hold job %q (%d MW)", c.Name, c.PartitionMW, j.Name, j.MemoryMW)
+				}
+				now = running[0].finish
+				freeMW += running[0].mem
+				running = running[1:]
+			}
+			freeMW -= j.MemoryMW
+			fin := now + j.CPUSec
+			running = append(running, resident{fin, j.MemoryMW})
+			out = append(out, Placement{
+				Job: j, Queue: c.Name,
+				StartSec: now, FinishSec: fin, Turnaround: fin,
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].FinishSec < out[b].FinishSec })
+	return out, nil
+}

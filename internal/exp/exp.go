@@ -1,0 +1,146 @@
+// Package exp is the paper-reproduction harness: one runner per table,
+// figure, and headline claim of the evaluation, each returning both a
+// rendered text report and structured values that benchmarks and tests
+// assert on. The per-experiment index lives in DESIGN.md; measured-vs-
+// paper numbers are recorded in EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"iotrace/internal/apps"
+	"iotrace/internal/sim"
+	"iotrace/internal/stats"
+	"iotrace/internal/trace"
+	"iotrace/internal/workload"
+)
+
+// Report is a rendered experiment outcome.
+type Report struct {
+	ID    string
+	Title string
+	Text  string
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("== %s: %s ==\n%s", r.ID, r.Title, r.Text)
+}
+
+// traceCache memoizes generated traces: experiments and benchmarks reuse
+// the same deterministic inputs.
+var traceCache = struct {
+	sync.Mutex
+	m map[string][]*trace.Record
+}{m: make(map[string][]*trace.Record)}
+
+// appTrace returns the trace of one instance of app (instance 0 is the
+// default seed; higher instances shift seed and pid for co-scheduling).
+func appTrace(app string, instance int) ([]*trace.Record, error) {
+	key := fmt.Sprintf("%s/%d", app, instance)
+	traceCache.Lock()
+	defer traceCache.Unlock()
+	if recs, ok := traceCache.m[key]; ok {
+		return recs, nil
+	}
+	spec, err := apps.Lookup(app)
+	if err != nil {
+		return nil, err
+	}
+	m := spec.Build(apps.DefaultSeed(app)+uint64(instance), uint32(instance+1))
+	recs, err := workload.Generate(m)
+	if err != nil {
+		return nil, err
+	}
+	traceCache.m[key] = recs
+	return recs, nil
+}
+
+// runPair simulates n copies of app under cfg.
+func runCopies(app string, n int, cfg sim.Config) (*sim.Result, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		recs, err := appTrace(app, i)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.AddProcess(fmt.Sprintf("%s(%d)", app, i+1), recs); err != nil {
+			return nil, err
+		}
+	}
+	return s.Run()
+}
+
+// renderSeries renders an MB/s series as a labelled ASCII chart limited
+// to maxSec seconds.
+func renderSeries(label string, mbps []float64, maxSec int) string {
+	if maxSec > 0 && len(mbps) > maxSec {
+		mbps = mbps[:maxSec]
+	}
+	peak, sum := 0.0, 0.0
+	for _, v := range mbps {
+		sum += v
+		if v > peak {
+			peak = v
+		}
+	}
+	mean := 0.0
+	if len(mbps) > 0 {
+		mean = sum / float64(len(mbps))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d s shown, peak %.1f MB/s, mean %.1f MB/s)\n", label, len(mbps), peak, mean)
+	b.WriteString(stats.Sparkline(mbps, 80, 10))
+	return b.String()
+}
+
+// Experiment couples an ID with its runner, for cmd/experiments.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*Report, error)
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Characteristics of the traced applications", Table1},
+		{"table2", "I/O request rates and data rates", Table2},
+		{"figure3", "Data rate over time for venus", Figure3},
+		{"figure4", "Data rate over time for les", Figure4},
+		{"figure6", "2x venus, 32 MB main-memory cache: disk traffic", Figure6},
+		{"figure7", "2x venus, 128 MB SSD cache: disk traffic", Figure7},
+		{"figure8", "Idle time vs cache size (4 KB and 8 KB blocks)", func() (*Report, error) { return Figure8(DefaultFigure8Sizes(), DefaultFigure8Blocks()) }},
+		{"writebehind", "Write-behind headline: idle 211 s -> 1 s", WriteBehindHeadline},
+		{"ssd", "SSD utilization: all but one app >99% solo", func() (*Report, error) { return SSDUtilization(apps.Names()) }},
+		{"locality", "Supercomputer caches are speed-matching, not locality, buffers", CacheLocality},
+		{"bufferlimit", "Per-process buffer limits are counterproductive", BufferLimit},
+		{"nplusone", "n+1 rule: utilization vs resident jobs", NPlusOne},
+		{"queueing", "Ablation: the paper's no-queueing disk simplification", QueueingAblation},
+		{"delayedwrite", "Ablation: Sprite-style 30 s delayed writes", DelayedWrite},
+		{"hierarchy", "§6.4 configuration: SSD plus main-memory front tier", Hierarchy},
+		{"physical", "Logical-to-physical I/O transformation (§4.1 operation ids)", PhysicalTrace},
+		{"format", "ASCII vs binary trace size; compression", TraceFormatSizes},
+		{"collection", "Trace-collection overhead and batching", CollectionOverhead},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+}

@@ -1,0 +1,445 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTablesRender(t *testing.T) {
+	r1, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range []string{"bvi", "ccm", "forma", "gcm", "les", "upw", "venus"} {
+		if !strings.Contains(r1.Text, app) {
+			t.Errorf("table1 missing %s", app)
+		}
+	}
+	if !strings.Contains(r1.Text, "paper") {
+		t.Error("table1 missing paper comparison rows")
+	}
+	r2, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r2.Text, "venus") || !strings.Contains(r2.Text, "paper") {
+		t.Error("table2 incomplete")
+	}
+}
+
+func TestFigure3VenusShape(t *testing.T) {
+	f, err := Figure3Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~379 one-second bins; mean near 44 MB/s; bursty peaks.
+	if len(f.MBps) < 350 || len(f.MBps) > 420 {
+		t.Errorf("series length %d, want ~379", len(f.MBps))
+	}
+	mean := 0.0
+	for _, v := range f.MBps {
+		mean += v
+	}
+	mean /= float64(len(f.MBps))
+	if mean < 39 || mean > 49 {
+		t.Errorf("mean %.1f MB/s, paper 44.1", mean)
+	}
+	if r := f.Cycle.PeakToMean(); r < 1.5 {
+		t.Errorf("peak/mean %.2f, want bursty", r)
+	}
+	if f.Cycle.PeriodSec < 3 || f.Cycle.PeriodSec > 12 {
+		t.Errorf("period %.1f s, want ~5 (or harmonic)", f.Cycle.PeriodSec)
+	}
+}
+
+func TestFigure4LesShape(t *testing.T) {
+	f, err := Figure4Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.MBps) < 130 || len(f.MBps) > 165 {
+		t.Errorf("series length %d, want ~146", len(f.MBps))
+	}
+	mean := 0.0
+	for _, v := range f.MBps {
+		mean += v
+	}
+	mean /= float64(len(f.MBps))
+	if mean < 44 || mean > 59 {
+		t.Errorf("mean %.1f MB/s, paper ~49-53", mean)
+	}
+	if f.Cycle.PeriodSec < 9 || f.Cycle.PeriodSec > 28 {
+		t.Errorf("period %.1f s, want ~12 (or harmonic)", f.Cycle.PeriodSec)
+	}
+}
+
+func TestFigure6BurstyDiskTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	f, err := Figure6Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := f.TotalMBps()
+	if len(total) < 200 {
+		t.Fatalf("only %d seconds of traffic", len(total))
+	}
+	window := total[:200]
+	peak, sum := 0.0, 0.0
+	for _, v := range window {
+		sum += v
+		if v > peak {
+			peak = v
+		}
+	}
+	mean := sum / float64(len(window))
+	if mean < 5 {
+		t.Errorf("mean disk traffic %.1f MB/s, expected heavy re-fetch traffic at 32 MB", mean)
+	}
+	// The paper's point: buffering did NOT smooth the rate.
+	if peak < 1.5*mean {
+		t.Errorf("peak %.1f vs mean %.1f: traffic unexpectedly smooth", peak, mean)
+	}
+}
+
+func TestFigure7SSDAbsorbsReads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	f, err := Figure7Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var readTotal, writeTotal float64
+	for _, v := range f.ReadMBps {
+		readTotal += v
+	}
+	for _, v := range f.WriteMBps {
+		writeTotal += v
+	}
+	// "Almost all of the read requests were satisfied by the SSD": disk
+	// reads are only the initial fill (~2 datasets), far below writes.
+	if readTotal > writeTotal/4 {
+		t.Errorf("disk reads %.0f MB vs writes %.0f MB: SSD did not absorb reads", readTotal, writeTotal)
+	}
+	if f.Result.Cache.ReadHitRatio() < 0.95 {
+		t.Errorf("hit ratio %.3f, want near 1", f.Result.Cache.ReadHitRatio())
+	}
+	// Writes to disk remain bursty (Figure 7's observation).
+	peak, sum := 0.0, 0.0
+	n := 0
+	for _, v := range f.WriteMBps {
+		sum += v
+		n++
+		if v > peak {
+			peak = v
+		}
+	}
+	if n > 0 && peak < 1.5*sum/float64(n) {
+		t.Errorf("flusher writes unexpectedly smooth: peak %.1f mean %.1f", peak, sum/float64(n))
+	}
+}
+
+func TestFigure8IdleFallsWithCacheSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	pts, err := Figure8Data([]int64{4, 32, 128}, []int64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	small, mid, large := pts[0], pts[1], pts[2]
+	if small.IdleSec <= mid.IdleSec || mid.IdleSec <= large.IdleSec {
+		t.Errorf("idle not decreasing: %.1f -> %.1f -> %.1f", small.IdleSec, mid.IdleSec, large.IdleSec)
+	}
+	// The drop from smallest to largest is dramatic in the paper.
+	if small.IdleSec < 20*(large.IdleSec+1) {
+		t.Errorf("idle drop too small: %.1f vs %.1f", small.IdleSec, large.IdleSec)
+	}
+	if large.HitRatio < 0.9 {
+		t.Errorf("large-cache hit ratio %.3f", large.HitRatio)
+	}
+}
+
+func TestWriteBehindHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	r, err := WriteBehindData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 211 s -> 1 s. Shape: order-of-magnitude-plus reduction.
+	if r.Improvement() < 20 {
+		t.Errorf("write-behind improvement %.1fx (%.1f -> %.1f s), want >= 20x",
+			r.Improvement(), r.IdleOffSec, r.IdleOnSec)
+	}
+	if r.IdleOffSec < 50 {
+		t.Errorf("write-through idle %.1f s, expected substantial", r.IdleOffSec)
+	}
+	if r.IdleOnSec > 10 {
+		t.Errorf("write-behind idle %.1f s, expected near zero", r.IdleOnSec)
+	}
+}
+
+func TestSSDUtilizationHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	rows, err := SSDUtilizationData([]string{"venus", "ccm", "gcm", "les", "upw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Utilization < 0.99 {
+			t.Errorf("%s: SSD solo utilization %.4f, want > 0.99", r.App, r.Utilization)
+		}
+	}
+}
+
+func TestCacheLocalityContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	rows, err := CacheLocalityData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// BSD workloads hit ~80% in caches this size; these hit far less.
+		if r.HitRatio > 0.5 {
+			t.Errorf("%s: 2 MB cache hit ratio %.3f, expected well under the BSD 0.8", r.App, r.HitRatio)
+		}
+	}
+}
+
+func TestBufferLimitWorsensSeveralCases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	pts, err := BufferLimitData([]int64{16, 64}, []int{0, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §6.2: the limit "did not relieve the problem, and actually worsened
+	// CPU utilization in several cases". Both capped cells must be worse
+	// than their uncapped baselines.
+	base := map[int64]float64{}
+	for _, p := range pts {
+		if p.LimitDiv == 0 {
+			base[p.CacheMB] = p.IdleSec
+		}
+	}
+	for _, p := range pts {
+		if p.LimitDiv == 0 {
+			continue
+		}
+		if p.IdleSec <= base[p.CacheMB] {
+			t.Errorf("cache %d MB: cap/%d idle %.1f s did not worsen baseline %.1f s",
+				p.CacheMB, p.LimitDiv, p.IdleSec, base[p.CacheMB])
+		}
+	}
+}
+
+func TestNPlusOneSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	pts, err := NPlusOneData(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Utilization < 0.98 {
+			t.Errorf("%d venus copies under SSD: utilization %.4f, want near 1", p.Copies, p.Utilization)
+		}
+	}
+}
+
+func TestQueueingAblationSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	r, err := QueueingAblationData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WallQueueSec < r.WallNoQueueSec {
+		t.Errorf("queueing made the run faster: %.1f vs %.1f s", r.WallQueueSec, r.WallNoQueueSec)
+	}
+}
+
+func TestTraceFormatSizesClaim(t *testing.T) {
+	f, err := TraceFormatSizesData("venus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ASCII >= f.Binary {
+		t.Errorf("ASCII %d >= binary %d: the appendix claim fails", f.ASCII, f.Binary)
+	}
+	if f.ASCII >= f.ASCIIRaw {
+		t.Errorf("compression did not shrink the trace: %d vs %d", f.ASCII, f.ASCIIRaw)
+	}
+	if f.CompressionRatio() > 0.7 {
+		t.Errorf("compression ratio %.2f, expected strong savings on sequential traces", f.CompressionRatio())
+	}
+}
+
+func TestCollectionOverheadClaim(t *testing.T) {
+	r, err := CollectionOverheadData("venus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := r.Overhead.Fraction(); f >= 0.20 {
+		t.Errorf("overhead fraction %.3f, paper claims < 0.20", f)
+	}
+	if !r.Reordered {
+		t.Error("reconstructed stream differs from the original")
+	}
+	// The floor is payload/unbatched = 32/96 = 1/3: batching can only
+	// amortize the 64-byte headers, not the 32-byte entries.
+	if r.Overhead.HeaderAmortization() > 0.36 {
+		t.Errorf("batching ratio %.2f, want near the 0.33 payload floor", r.Overhead.HeaderAmortization())
+	}
+}
+
+func TestPhysicalTransformation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	r, err := PhysicalData("venus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Physical.Records == 0 {
+		t.Fatal("no physical records")
+	}
+	// Read-ahead must carry a substantial share of sequential reads.
+	if f := r.Physical.PrefetchFraction(); f < 0.3 {
+		t.Errorf("prefetch fraction %.2f, want substantial", f)
+	}
+	// Write-behind absorbs every write at this cache size.
+	if f := r.Physical.DelayedWriteFraction(); f < 0.99 {
+		t.Errorf("delayed-write fraction %.2f, want ~1", f)
+	}
+	// The cache absorbs a majority of logical operations.
+	if f := r.Join.DiskFraction(); f > 0.7 {
+		t.Errorf("disk fraction %.2f, want well under 1", f)
+	}
+}
+
+func TestHierarchyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	rows, err := HierarchyData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	memOnly, ssdOnly, both := rows[0], rows[1], rows[2]
+	// §6.4: the SSD is the decisive resource; main memory alone cannot
+	// keep venus busy.
+	if ssdOnly.Utilization < memOnly.Utilization+0.2 {
+		t.Errorf("SSD (%.3f) should far exceed main-memory-only (%.3f)",
+			ssdOnly.Utilization, memOnly.Utilization)
+	}
+	// The front tier must never hurt, and should shave channel time.
+	if both.WallSec > ssdOnly.WallSec+0.5 {
+		t.Errorf("front tier slowed the run: %.1f vs %.1f s", both.WallSec, ssdOnly.WallSec)
+	}
+	if both.FrontHitRatio <= 0 {
+		t.Error("front tier saw no hits")
+	}
+}
+
+func TestDelayedWriteDoesNotHelpUtilization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	r, err := DelayedWriteData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §2.1/§6.2: waiting buys no CPU utilization for these workloads.
+	if r.IdleDelayedSec < r.IdleEagerSec*0.98 {
+		t.Errorf("30 s delay improved idle: %.1f vs %.1f s", r.IdleDelayedSec, r.IdleEagerSec)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 16 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, want := range []string{"table1", "table2", "figure3", "figure4", "figure6", "figure7", "figure8"} {
+		if !seen[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+	if _, err := ByID("table1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nosuch"); err == nil {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestLightweightReportsRender(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "figure3", "figure4", "format", "collection"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rep.Text == "" || !strings.Contains(rep.String(), id) {
+			t.Errorf("%s: empty or unlabelled report", id)
+		}
+	}
+}
+
+func TestAppTraceUnknown(t *testing.T) {
+	if _, err := appTrace("nosuch", 0); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestAppTraceMemoized(t *testing.T) {
+	a, err := appTrace("ccm", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := appTrace("ccm", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("trace cache did not memoize")
+	}
+	c, err := appTrace("ccm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] == &c[0] {
+		t.Error("instances share one trace")
+	}
+}

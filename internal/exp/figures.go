@@ -1,0 +1,210 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"iotrace/internal/analysis"
+	"iotrace/internal/sim"
+	"iotrace/internal/trace"
+)
+
+// DemandFigure is the structured result behind Figures 3 and 4: an
+// application's data rate over process CPU time.
+type DemandFigure struct {
+	App   string
+	MBps  []float64 // 1-second bins of MB per CPU second
+	Cycle analysis.Cycle
+}
+
+// demandFigure builds the rate-over-CPU-time series for one application.
+func demandFigure(app string) (*DemandFigure, error) {
+	recs, err := appTrace(app, 0)
+	if err != nil {
+		return nil, err
+	}
+	ts := analysis.RateSeries(recs, analysis.CPUTime, analysis.ReadsAndWrites, trace.TicksPerSecond)
+	return &DemandFigure{
+		App:   app,
+		MBps:  analysis.MBPerSecond(ts),
+		Cycle: analysis.DetectCycle(recs),
+	}, nil
+}
+
+func (f *DemandFigure) render(id, title string) *Report {
+	var b strings.Builder
+	b.WriteString(renderSeries(f.App+" data rate (MB per CPU second)", f.MBps, 0))
+	fmt.Fprintf(&b, "detected cycle: %.0f s period (autocorr %.2f), peak/mean %.1f\n",
+		f.Cycle.PeriodSec, f.Cycle.Autocorr, f.Cycle.PeakToMean())
+	return &Report{ID: id, Title: title, Text: b.String()}
+}
+
+// Figure3 reproduces the venus demand figure: regular bursts, peaks near
+// twice the 44 MB/s mean.
+func Figure3() (*Report, error) {
+	f, err := Figure3Data()
+	if err != nil {
+		return nil, err
+	}
+	return f.render("figure3", "Data rate over time for venus"), nil
+}
+
+// Figure3Data returns the structured venus series.
+func Figure3Data() (*DemandFigure, error) { return demandFigure("venus") }
+
+// Figure4 reproduces the les demand figure.
+func Figure4() (*Report, error) {
+	f, err := Figure4Data()
+	if err != nil {
+		return nil, err
+	}
+	return f.render("figure4", "Data rate over time for les"), nil
+}
+
+// Figure4Data returns the structured les series.
+func Figure4Data() (*DemandFigure, error) { return demandFigure("les") }
+
+// DiskTrafficFigure is the structured result behind Figures 6 and 7: the
+// cache-to-disk traffic while two venus copies run.
+type DiskTrafficFigure struct {
+	CacheMB   int64
+	Tier      sim.Tier
+	ReadMBps  []float64 // disk reads, 1-second wall-clock bins
+	WriteMBps []float64
+	Result    *sim.Result
+}
+
+// TotalMBps returns combined read+write disk traffic.
+func (f *DiskTrafficFigure) TotalMBps() []float64 {
+	n := len(f.ReadMBps)
+	if len(f.WriteMBps) > n {
+		n = len(f.WriteMBps)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if i < len(f.ReadMBps) {
+			out[i] += f.ReadMBps[i]
+		}
+		if i < len(f.WriteMBps) {
+			out[i] += f.WriteMBps[i]
+		}
+	}
+	return out
+}
+
+// diskTraffic runs 2x venus under the given cache and returns the disk
+// rate series.
+func diskTraffic(cacheMB int64, tier sim.Tier) (*DiskTrafficFigure, error) {
+	cfg := sim.DefaultConfig()
+	cfg.Tier = tier
+	cfg.CacheBytes = cacheMB << 20
+	res, err := runCopies("venus", 2, cfg)
+	if err != nil {
+		return nil, err
+	}
+	toMBps := func(ts interface {
+		Bins() []float64
+	}) []float64 {
+		bins := ts.Bins()
+		out := make([]float64, len(bins))
+		for i, v := range bins {
+			out[i] = v / 1e6
+		}
+		return out
+	}
+	return &DiskTrafficFigure{
+		CacheMB: cacheMB, Tier: tier,
+		ReadMBps:  toMBps(res.DiskReadRate),
+		WriteMBps: toMBps(res.DiskWriteRate),
+		Result:    res,
+	}, nil
+}
+
+// Figure6 reproduces Figure 6: two venus copies with a 32 MB main-memory
+// cache; the first 200 seconds of wall time show bursty, unsmoothed disk
+// traffic.
+func Figure6() (*Report, error) {
+	f, err := Figure6Data()
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString(renderSeries("disk traffic, 2x venus, 32 MB cache", f.TotalMBps(), 200))
+	fmt.Fprintf(&b, "%s\n", f.Result)
+	return &Report{ID: "figure6", Title: "2x venus, 32 MB main-memory cache", Text: b.String()}, nil
+}
+
+// Figure6Data returns the structured Figure 6 series.
+func Figure6Data() (*DiskTrafficFigure, error) { return diskTraffic(32, sim.MainMemory) }
+
+// Figure7 reproduces Figure 7: the same pair under a 128 MB SSD-class
+// cache; reads are absorbed, while writes from cache to disk "still did
+// not come evenly".
+func Figure7() (*Report, error) {
+	f, err := Figure7Data()
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString(renderSeries("disk writes, 2x venus, 128 MB SSD", f.WriteMBps, 200))
+	b.WriteString(renderSeries("disk reads (fill only)", f.ReadMBps, 200))
+	fmt.Fprintf(&b, "%s\n", f.Result)
+	return &Report{ID: "figure7", Title: "2x venus, 128 MB SSD cache", Text: b.String()}, nil
+}
+
+// Figure7Data returns the structured Figure 7 series.
+func Figure7Data() (*DiskTrafficFigure, error) { return diskTraffic(128, sim.SSD) }
+
+// Figure8Point is one cell of the Figure 8 sweep.
+type Figure8Point struct {
+	CacheMB  int64
+	BlockKB  int64
+	IdleSec  float64
+	WallSec  float64
+	HitRatio float64
+}
+
+// DefaultFigure8Sizes returns the paper's cache-size axis.
+func DefaultFigure8Sizes() []int64 { return []int64{4, 8, 16, 32, 64, 128, 256} }
+
+// DefaultFigure8Blocks returns the paper's block sizes.
+func DefaultFigure8Blocks() []int64 { return []int64{4, 8} }
+
+// Figure8Data sweeps cache and block size for two venus copies.
+func Figure8Data(sizesMB, blocksKB []int64) ([]Figure8Point, error) {
+	var out []Figure8Point
+	for _, bk := range blocksKB {
+		for _, mb := range sizesMB {
+			cfg := sim.DefaultConfig()
+			cfg.CacheBytes = mb << 20
+			cfg.BlockBytes = bk << 10
+			res, err := runCopies("venus", 2, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Figure8Point{
+				CacheMB: mb, BlockKB: bk,
+				IdleSec:  res.IdleSeconds(),
+				WallSec:  res.WallSeconds(),
+				HitRatio: res.Cache.ReadHitRatio(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Figure8 reproduces Figure 8: idle time while two venus instances run,
+// against cache size, for 4 KB and 8 KB blocks. The paper notes execution
+// would be 761 s with no idle time.
+func Figure8(sizesMB, blocksKB []int64) (*Report, error) {
+	pts, err := Figure8Data(sizesMB, blocksKB)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %10s %12s %12s %10s\n", "cache MB", "block KB", "idle (s)", "wall (s)", "hit ratio")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%10d %10d %12.1f %12.1f %10.3f\n", p.CacheMB, p.BlockKB, p.IdleSec, p.WallSec, p.HitRatio)
+	}
+	return &Report{ID: "figure8", Title: "Idle time vs cache size, 2x venus", Text: b.String()}, nil
+}

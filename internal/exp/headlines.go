@@ -1,0 +1,316 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"iotrace/internal/sim"
+)
+
+// WriteBehindResult is the structured §6.2 headline: write-behind cut
+// idle time from 211 s to 1 s for two venus copies with a 128 MB cache.
+type WriteBehindResult struct {
+	IdleOffSec float64 // write-behind disabled
+	IdleOnSec  float64 // write-behind enabled
+}
+
+// Improvement returns the idle-time reduction factor.
+func (r WriteBehindResult) Improvement() float64 {
+	if r.IdleOnSec == 0 {
+		return r.IdleOffSec
+	}
+	return r.IdleOffSec / r.IdleOnSec
+}
+
+// WriteBehindData measures the headline.
+func WriteBehindData() (WriteBehindResult, error) {
+	cfg := sim.DefaultConfig()
+	cfg.CacheBytes = 128 << 20
+	cfg.WriteBehind = false
+	off, err := runCopies("venus", 2, cfg)
+	if err != nil {
+		return WriteBehindResult{}, err
+	}
+	cfg.WriteBehind = true
+	on, err := runCopies("venus", 2, cfg)
+	if err != nil {
+		return WriteBehindResult{}, err
+	}
+	return WriteBehindResult{IdleOffSec: off.IdleSeconds(), IdleOnSec: on.IdleSeconds()}, nil
+}
+
+// WriteBehindHeadline renders the write-behind ablation.
+func WriteBehindHeadline() (*Report, error) {
+	r, err := WriteBehindData()
+	if err != nil {
+		return nil, err
+	}
+	text := fmt.Sprintf("2x venus, 128 MB cache:\n  write-behind off: %6.1f s idle\n  write-behind on:  %6.1f s idle  (%.0fx less)\npaper: 211 s -> 1 s\n",
+		r.IdleOffSec, r.IdleOnSec, r.Improvement())
+	return &Report{ID: "writebehind", Title: "Write-behind headline", Text: text}, nil
+}
+
+// SSDUtilizationRow is one application's solo run against the per-CPU
+// SSD share (32 MW = 256 MB).
+type SSDUtilizationRow struct {
+	App         string
+	Utilization float64
+	IdleSec     float64
+	HitRatio    float64
+}
+
+// SSDUtilizationData runs each application alone with the SSD cache.
+// bvi's staging files lived on the SSD, so its cache starts warm; the
+// others start cold.
+func SSDUtilizationData(names []string) ([]SSDUtilizationRow, error) {
+	var rows []SSDUtilizationRow
+	for _, name := range names {
+		cfg := sim.SSDConfig()
+		cfg.WarmCache = name == "bvi"
+		res, err := runCopies(name, 1, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SSDUtilizationRow{
+			App:         name,
+			Utilization: res.Utilization(),
+			IdleSec:     res.IdleSeconds(),
+			HitRatio:    res.Cache.ReadHitRatio(),
+		})
+	}
+	return rows, nil
+}
+
+// SSDUtilization renders the §6.3 headline: with a 32 MW SSD share, all
+// but one application utilized the CPU over 99% running alone.
+func SSDUtilization(names []string) (*Report, error) {
+	rows, err := SSDUtilizationData(names)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %10s %10s\n", "app", "utilization", "idle (s)", "hit ratio")
+	over99 := 0
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %11.2f%% %10.1f %10.3f\n", r.App, 100*r.Utilization, r.IdleSec, r.HitRatio)
+		if r.Utilization > 0.99 {
+			over99++
+		}
+	}
+	fmt.Fprintf(&b, "%d of %d over 99%% (paper: all but one)\n", over99, len(rows))
+	return &Report{ID: "ssd", Title: "SSD (32 MW share) solo utilization", Text: b.String()}, nil
+}
+
+// LocalityResult is the §2.1/§6.2 contrast: a small main-memory cache
+// that gives BSD workloads 80%+ hit rates is only a speed-matching buffer
+// here.
+type LocalityResult struct {
+	App        string
+	CacheMB    int64
+	HitRatio   float64
+	BSDHitRate float64 // the comparison point from the BSD study
+}
+
+// CacheLocalityData measures venus and les hit ratios in a 2 MB cache.
+// Read-ahead is off: prefetch hits measure pipelining, not locality, and
+// the BSD comparison is about reuse of resident data.
+func CacheLocalityData() ([]LocalityResult, error) {
+	var out []LocalityResult
+	for _, app := range []string{"venus", "les"} {
+		cfg := sim.DefaultConfig()
+		cfg.CacheBytes = 2 << 20
+		cfg.ReadAhead = false
+		res, err := runCopies(app, 1, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LocalityResult{
+			App: app, CacheMB: 2,
+			HitRatio:   res.Cache.ReadHitRatio(),
+			BSDHitRate: 0.80,
+		})
+	}
+	return out, nil
+}
+
+// CacheLocality renders the locality contrast.
+func CacheLocality() (*Report, error) {
+	rows, err := CacheLocalityData()
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString("2 MB main-memory cache (a VAX-class cache that gave BSD workloads 80%+ hits):\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-6s read hit ratio %.3f (BSD study: ~%.2f)\n", r.App, r.HitRatio, r.BSDHitRate)
+	}
+	b.WriteString("supercomputer files are too large and cycled too completely for locality caching;\nthe cache serves as a speed-matching buffer instead (§6.2)\n")
+	return &Report{ID: "locality", Title: "Cache-locality contrast", Text: b.String()}, nil
+}
+
+// BufferLimitPoint is one cell of the §6.2 buffer-limit grid: two venus
+// copies under a cache of CacheMB with each process capped at
+// cache/LimitDiv blocks (LimitDiv 0 = no cap).
+type BufferLimitPoint struct {
+	CacheMB  int64
+	LimitDiv int
+	IdleSec  float64
+}
+
+// BufferLimitData sweeps per-process ownership caps. The paper found the
+// limit "did not provide relieve the problem, and actually worsened CPU
+// utilization in several cases"; the grid shows the same inconsistency —
+// an occasional win, losses elsewhere.
+func BufferLimitData(cachesMB []int64, divs []int) ([]BufferLimitPoint, error) {
+	var out []BufferLimitPoint
+	for _, mb := range cachesMB {
+		for _, div := range divs {
+			cfg := sim.DefaultConfig()
+			cfg.CacheBytes = mb << 20
+			if div > 0 {
+				cfg.PerProcessBlockLimit = cfg.CacheBlocks() / div
+			}
+			res, err := runCopies("venus", 2, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, BufferLimitPoint{CacheMB: mb, LimitDiv: div, IdleSec: res.IdleSeconds()})
+		}
+	}
+	return out, nil
+}
+
+// DefaultBufferLimitGrid returns the grid used by the experiment.
+func DefaultBufferLimitGrid() ([]int64, []int) {
+	return []int64{16, 64}, []int{0, 4, 8}
+}
+
+// BufferLimit renders the buffer-limit ablation.
+func BufferLimit() (*Report, error) {
+	caches, divs := DefaultBufferLimitGrid()
+	pts, err := BufferLimitData(caches, divs)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %14s %10s\n", "cache MB", "per-proc cap", "idle (s)")
+	for _, p := range pts {
+		cap := "none"
+		if p.LimitDiv > 0 {
+			cap = fmt.Sprintf("cache/%d", p.LimitDiv)
+		}
+		fmt.Fprintf(&b, "%10d %14s %10.1f\n", p.CacheMB, cap, p.IdleSec)
+	}
+	b.WriteString("paper: the limit \"did not relieve the problem, and actually worsened CPU utilization in several cases\"\n")
+	return &Report{ID: "bufferlimit", Title: "Per-process buffer limit ablation", Text: b.String()}, nil
+}
+
+// NPlusOnePoint is one job-count measurement.
+type NPlusOnePoint struct {
+	Copies      int
+	Utilization float64
+	WallSec     float64
+}
+
+// NPlusOneData sweeps the number of co-resident venus copies under the
+// SSD configuration.
+func NPlusOneData(maxCopies int) ([]NPlusOnePoint, error) {
+	var out []NPlusOnePoint
+	for n := 1; n <= maxCopies; n++ {
+		res, err := runCopies("venus", n, sim.SSDConfig())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, NPlusOnePoint{Copies: n, Utilization: res.Utilization(), WallSec: res.WallSeconds()})
+	}
+	return out, nil
+}
+
+// NPlusOneCPUsData runs the §2.2 rule as stated: jobs venus copies on
+// nCPUs processors sharing one small disk-backed cache, returning the
+// CPU utilization. "In practice, n+1 jobs resident in main memory will
+// keep n processors busy."
+func NPlusOneCPUsData(nCPUs int, jobs []int) ([]NPlusOnePoint, error) {
+	var out []NPlusOnePoint
+	for _, n := range jobs {
+		cfg := sim.DefaultConfig()
+		cfg.NumCPUs = nCPUs
+		cfg.CacheBytes = 8 << 20
+		res, err := runCopies("venus", n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, NPlusOnePoint{Copies: n, Utilization: res.Utilization(), WallSec: res.WallSeconds()})
+	}
+	return out, nil
+}
+
+// NPlusOne renders the §6/§7 claim: with a large SSD, one or two
+// I/O-intensive processes keep a CPU fully utilized — and the §2.2 rule
+// proper, on multiple CPUs with a conventional cache.
+func NPlusOne() (*Report, error) {
+	pts, err := NPlusOneData(3)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString("one CPU, 32 MW SSD share:\n")
+	fmt.Fprintf(&b, "%8s %12s %10s\n", "copies", "utilization", "wall (s)")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%8d %11.2f%% %10.1f\n", p.Copies, 100*p.Utilization, p.WallSec)
+	}
+	b.WriteString("paper: \"with a large SSD, only one or two processes per processor are needed\"\n\n")
+
+	cpuPts, err := NPlusOneCPUsData(2, []int{2, 3, 4})
+	if err != nil {
+		return nil, err
+	}
+	b.WriteString("two CPUs, 8 MB disk-backed cache (the §2.2 rule as stated):\n")
+	fmt.Fprintf(&b, "%8s %12s %10s\n", "jobs", "utilization", "wall (s)")
+	for _, p := range cpuPts {
+		fmt.Fprintf(&b, "%8d %11.2f%% %10.1f\n", p.Copies, 100*p.Utilization, p.WallSec)
+	}
+	b.WriteString("paper: \"n+1 jobs resident in main memory will keep n processors busy\"\n")
+	return &Report{ID: "nplusone", Title: "n+1 rule", Text: b.String()}, nil
+}
+
+// QueueingResult is our ablation of the paper's no-queueing disk model.
+type QueueingResult struct {
+	WallNoQueueSec float64
+	WallQueueSec   float64
+	IdleNoQueueSec float64
+	IdleQueueSec   float64
+}
+
+// QueueingAblationData compares 2x venus with and without FCFS disk
+// queueing at 32 MB cache.
+func QueueingAblationData() (QueueingResult, error) {
+	cfg := sim.DefaultConfig()
+	cfg.CacheBytes = 32 << 20
+	nq, err := runCopies("venus", 2, cfg)
+	if err != nil {
+		return QueueingResult{}, err
+	}
+	cfg.DiskQueueing = true
+	q, err := runCopies("venus", 2, cfg)
+	if err != nil {
+		return QueueingResult{}, err
+	}
+	return QueueingResult{
+		WallNoQueueSec: nq.WallSeconds(), WallQueueSec: q.WallSeconds(),
+		IdleNoQueueSec: nq.IdleSeconds(), IdleQueueSec: q.IdleSeconds(),
+	}, nil
+}
+
+// QueueingAblation renders the queueing ablation: the paper notes its
+// constant-time assumption "significantly affected" results; queueing
+// slows everything down.
+func QueueingAblation() (*Report, error) {
+	r, err := QueueingAblationData()
+	if err != nil {
+		return nil, err
+	}
+	text := fmt.Sprintf("2x venus, 32 MB cache:\n  no queueing (paper's model): wall %7.1f s, idle %7.1f s\n  FCFS queueing:               wall %7.1f s, idle %7.1f s\n",
+		r.WallNoQueueSec, r.IdleNoQueueSec, r.WallQueueSec, r.IdleQueueSec)
+	return &Report{ID: "queueing", Title: "Disk-queueing ablation", Text: text}, nil
+}

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"iotrace/internal/analysis"
+	"iotrace/internal/apps"
+)
+
+// AllStats characterizes every paper application (one instance each).
+func AllStats() ([]*analysis.Stats, error) {
+	var out []*analysis.Stats
+	for _, name := range apps.Names() {
+		recs, err := appTrace(name, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, analysis.Compute(name, recs))
+	}
+	return out, nil
+}
+
+// Table1 regenerates the paper's Table 1 with a measured-vs-paper pair of
+// rows per application.
+func Table1() (*Report, error) {
+	sts, err := AllStats()
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString(analysis.Table1Header())
+	b.WriteByte('\n')
+	for _, s := range sts {
+		spec, err := apps.Lookup(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		p := spec.Paper
+		b.WriteString(analysis.Table1Row(s))
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%-8s %9.0f %10.1f %10.1f %10.0f %8.3f %8.2f %8.1f\n",
+			"  paper", p.RunningSec, p.DataSetMB, p.TotalIOMB, p.NumIOs,
+			p.AvgKB*1.024/1000, p.MBps, p.IOps)
+	}
+	return &Report{ID: "table1", Title: "Characteristics of the traced applications", Text: b.String()}, nil
+}
+
+// Table2 regenerates the paper's Table 2.
+func Table2() (*Report, error) {
+	sts, err := AllStats()
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString(analysis.Table2Header())
+	b.WriteByte('\n')
+	for _, s := range sts {
+		spec, err := apps.Lookup(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		p := spec.Paper
+		b.WriteString(analysis.Table2Row(s))
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%-8s %10.4g %10.4g %10.4g %10.4g %9.1f %9.2f\n",
+			"  paper", p.ReadMBps, p.WriteMBps, p.ReadIOps, p.WriteIOps, p.AvgKB, p.RWDataRatio)
+	}
+	return &Report{ID: "table2", Title: "I/O request rates and data rates", Text: b.String()}, nil
+}

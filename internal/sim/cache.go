@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"container/list"
+)
+
+// blockKey identifies one cache block: a block-aligned slice of one file.
+type blockKey struct {
+	file uint32
+	idx  int64
+}
+
+// block is one resident cache block.
+type block struct {
+	key        blockKey
+	owner      uint32 // pid that brought the block in (0 = system)
+	dirty      bool
+	pinned     bool  // being flushed; not evictable
+	prefetched bool  // brought in by read-ahead, not yet referenced
+	dirtyAt    int64 // tick the block became dirty (delayed-write aging)
+
+	elem      *list.Element // position in LRU list
+	dirtyElem *list.Element // position in dirty FIFO (nil when clean)
+}
+
+// fetch is an in-flight disk read filling cache blocks. Requests needing
+// a block that is already being fetched join the fetch's waiters instead
+// of fetching again.
+type fetch struct {
+	keys       []blockKey
+	owner      uint32
+	prefetched bool
+	waiters    []*ioWait
+}
+
+// ioWait tracks a synchronous request waiting on one or more fetches.
+type ioWait struct {
+	remaining int
+	resume    func()
+}
+
+func (w *ioWait) fetchDone() {
+	w.remaining--
+	if w.remaining == 0 {
+		w.resume()
+	}
+}
+
+// cacheStats counts request- and block-level cache activity.
+type cacheStats struct {
+	ReadHitReqs    int64 // read requests fully satisfied in cache
+	ReadMissReqs   int64 // read requests needing any disk block
+	RAHitReqs      int64 // hit requests touching read-ahead blocks
+	WriteAbsorbed  int64 // writes absorbed by write-behind
+	WriteThrough   int64 // writes that went synchronously to disk
+	Bypasses       int64 // requests that skipped the cache entirely
+	PrefetchOps    int64 // read-ahead fetches issued
+	WastedPrefetch int64 // prefetched blocks evicted unreferenced
+	SpaceStalls    int64 // requests that had to wait for buffer space
+}
+
+// ReadHitRatio returns the fraction of read requests fully satisfied in
+// the cache.
+func (c cacheStats) ReadHitRatio() float64 {
+	t := c.ReadHitReqs + c.ReadMissReqs
+	if t == 0 {
+		return 0
+	}
+	return float64(c.ReadHitReqs) / float64(t)
+}
+
+// cache is the block cache (or the system-managed SSD, in SSD tier).
+type cache struct {
+	blockSize int64
+	capacity  int
+	limit     int // per-process block cap (0 = none)
+
+	blocks   map[blockKey]*block
+	lru      *list.List // front = least recently used
+	dirty    *list.List // front = oldest dirty block
+	pending  map[blockKey]*fetch
+	owned    map[uint32]int
+	reserved int // slots promised to in-flight fetches
+
+	stats cacheStats
+}
+
+func newCache(cfg *Config) *cache {
+	return &cache{
+		blockSize: cfg.BlockBytes,
+		capacity:  cfg.CacheBlocks(),
+		limit:     cfg.PerProcessBlockLimit,
+		blocks:    make(map[blockKey]*block),
+		lru:       list.New(),
+		dirty:     list.New(),
+		pending:   make(map[blockKey]*fetch),
+		owned:     make(map[uint32]int),
+	}
+}
+
+// blockRange returns the keys covering [off, off+length) of file.
+func (c *cache) blockRange(file uint32, off, length int64) []blockKey {
+	if length <= 0 {
+		return []blockKey{{file, off / c.blockSize}}
+	}
+	first := off / c.blockSize
+	last := (off + length - 1) / c.blockSize
+	keys := make([]blockKey, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		keys = append(keys, blockKey{file, i})
+	}
+	return keys
+}
+
+// touch moves a resident block to the MRU end and reports whether it was
+// an unreferenced prefetch.
+func (c *cache) touch(b *block) (wasPrefetch bool) {
+	c.lru.MoveToBack(b.elem)
+	wasPrefetch = b.prefetched
+	b.prefetched = false
+	return wasPrefetch
+}
+
+// resident returns the block for key, or nil.
+func (c *cache) resident(key blockKey) *block { return c.blocks[key] }
+
+// used returns occupied plus reserved slots.
+func (c *cache) used() int { return len(c.blocks) + c.reserved }
+
+// evict removes a clean, unpinned block.
+func (c *cache) evict(b *block) {
+	if b.dirty || b.pinned {
+		panic("sim: evicting dirty or pinned block")
+	}
+	if b.prefetched {
+		c.stats.WastedPrefetch++
+	}
+	c.lru.Remove(b.elem)
+	delete(c.blocks, b.key)
+	c.owned[b.owner]--
+}
+
+// evictLRUClean evicts the least recently used clean unpinned block,
+// optionally restricted to one owner. It reports success.
+func (c *cache) evictLRUClean(owner uint32, restrict bool) bool {
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		b := e.Value.(*block)
+		if b.dirty || b.pinned {
+			continue
+		}
+		if restrict && b.owner != owner {
+			continue
+		}
+		c.evict(b)
+		return true
+	}
+	return false
+}
+
+// canEverFit reports whether a request for n slots by pid could ever be
+// satisfied: callers bypass the cache entirely when it cannot.
+func (c *cache) canEverFit(pid uint32, n int) bool {
+	if n > c.capacity {
+		return false
+	}
+	if c.limit > 0 && pid != 0 && n > c.limit {
+		return false
+	}
+	return true
+}
+
+// acquire reserves n slots for pid, evicting clean blocks as needed. It
+// reports failure (without side effects that matter: evictions performed
+// before failing are harmless) when dirty or pinned blocks prevent it, in
+// which case the caller must wait for the flusher.
+func (c *cache) acquire(pid uint32, n int) bool {
+	if !c.canEverFit(pid, n) {
+		return false
+	}
+	// Per-process ownership cap (§6.2's counterproductive limit): evict
+	// the process's own clean blocks first.
+	if c.limit > 0 && pid != 0 {
+		for c.owned[pid]+n > c.limit {
+			if !c.evictLRUClean(pid, true) {
+				return false
+			}
+		}
+	}
+	for c.used()+n > c.capacity {
+		if !c.evictLRUClean(0, false) {
+			return false
+		}
+	}
+	c.reserved += n
+	return true
+}
+
+// insert makes key resident (filling a reserved slot) or, if already
+// resident, just touches it. Newly inserted blocks land at the MRU end.
+// now stamps dirty blocks for delayed-write aging.
+func (c *cache) insert(key blockKey, owner uint32, dirty, prefetched bool, now int64) *block {
+	if b := c.blocks[key]; b != nil {
+		// Already resident (e.g. a write raced an in-flight fetch); the
+		// reservation is released, existing state wins, dirtiness merges.
+		c.reserved--
+		c.touch(b)
+		if dirty && !b.dirty {
+			c.markDirty(b, now)
+		}
+		return b
+	}
+	b := &block{key: key, owner: owner, prefetched: prefetched}
+	b.elem = c.lru.PushBack(b)
+	c.blocks[key] = b
+	c.owned[owner]++
+	c.reserved--
+	if dirty {
+		c.markDirty(b, now)
+	}
+	return b
+}
+
+// markDirty queues a block for the flusher.
+func (c *cache) markDirty(b *block, now int64) {
+	if b.dirty {
+		return
+	}
+	b.dirty = true
+	b.dirtyAt = now
+	b.dirtyElem = c.dirty.PushBack(b)
+}
+
+// oldestDirty returns the longest-dirty block, or nil.
+func (c *cache) oldestDirty() *block {
+	front := c.dirty.Front()
+	if front == nil {
+		return nil
+	}
+	return front.Value.(*block)
+}
+
+// markClean is called by the flusher when a block reaches disk.
+func (c *cache) markClean(b *block) {
+	if !b.dirty {
+		return
+	}
+	b.dirty = false
+	c.dirty.Remove(b.dirtyElem)
+	b.dirtyElem = nil
+}
+
+// dirtyCount returns the number of dirty blocks.
+func (c *cache) dirtyCount() int { return c.dirty.Len() }
+
+// oldestDirtyRun returns the oldest dirty block and its contiguous dirty,
+// unpinned successors in the same file, up to maxRun blocks, pinning them
+// for flushing.
+func (c *cache) oldestDirtyRun(maxRun int) []*block {
+	front := c.dirty.Front()
+	if front == nil {
+		return nil
+	}
+	first := front.Value.(*block)
+	run := []*block{first}
+	first.pinned = true
+	for len(run) < maxRun {
+		next := c.blocks[blockKey{first.key.file, first.key.idx + int64(len(run))}]
+		if next == nil || !next.dirty || next.pinned {
+			break
+		}
+		next.pinned = true
+		run = append(run, next)
+	}
+	return run
+}

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"testing"
+)
+
+func testCache(capBlocks int, limit int) *cache {
+	cfg := DefaultConfig()
+	cfg.CacheBytes = int64(capBlocks) * cfg.BlockBytes
+	cfg.PerProcessBlockLimit = limit
+	return newCache(&cfg)
+}
+
+func TestBlockRange(t *testing.T) {
+	c := testCache(16, 0)
+	bs := c.blockSize
+	cases := []struct {
+		off, ln     int64
+		first, last int64
+	}{
+		{0, bs, 0, 0},
+		{0, bs + 1, 0, 1},
+		{bs - 1, 2, 0, 1},
+		{bs, bs, 1, 1},
+		{3 * bs, 4 * bs, 3, 6},
+		{10, 0, 0, 0}, // degenerate zero length maps to one block
+	}
+	for _, tc := range cases {
+		keys := c.blockRange(7, tc.off, tc.ln)
+		if keys[0].idx != tc.first || keys[len(keys)-1].idx != tc.last {
+			t.Errorf("blockRange(%d,%d) = [%d..%d], want [%d..%d]",
+				tc.off, tc.ln, keys[0].idx, keys[len(keys)-1].idx, tc.first, tc.last)
+		}
+		for _, k := range keys {
+			if k.file != 7 {
+				t.Fatal("wrong file in key")
+			}
+		}
+	}
+}
+
+func TestAcquireInsertEvict(t *testing.T) {
+	c := testCache(4, 0)
+	for i := int64(0); i < 4; i++ {
+		if !c.acquire(1, 1) {
+			t.Fatalf("acquire %d failed", i)
+		}
+		c.insert(blockKey{1, i}, 1, false, false, 0)
+	}
+	if c.used() != 4 || c.owned[1] != 4 {
+		t.Fatalf("used %d owned %d", c.used(), c.owned[1])
+	}
+	// A fifth block evicts the LRU (block 0).
+	if !c.acquire(1, 1) {
+		t.Fatal("acquire with evictable blocks failed")
+	}
+	c.insert(blockKey{1, 4}, 1, false, false, 0)
+	if c.resident(blockKey{1, 0}) != nil {
+		t.Error("LRU block survived eviction")
+	}
+	if c.resident(blockKey{1, 4}) == nil {
+		t.Error("new block not resident")
+	}
+}
+
+func TestTouchProtectsFromEviction(t *testing.T) {
+	c := testCache(3, 0)
+	for i := int64(0); i < 3; i++ {
+		c.acquire(1, 1)
+		c.insert(blockKey{1, i}, 1, false, false, 0)
+	}
+	c.touch(c.resident(blockKey{1, 0})) // 0 becomes MRU; 1 is now LRU
+	c.acquire(1, 1)
+	c.insert(blockKey{1, 3}, 1, false, false, 0)
+	if c.resident(blockKey{1, 0}) == nil {
+		t.Error("touched block evicted")
+	}
+	if c.resident(blockKey{1, 1}) != nil {
+		t.Error("LRU block not evicted")
+	}
+}
+
+func TestDirtyBlocksNotEvictable(t *testing.T) {
+	c := testCache(2, 0)
+	c.acquire(1, 2)
+	c.insert(blockKey{1, 0}, 1, true, false, 0)
+	c.insert(blockKey{1, 1}, 1, true, false, 0)
+	if c.acquire(1, 1) {
+		t.Error("acquire succeeded with only dirty blocks resident")
+	}
+	// Cleaning one makes space.
+	c.markClean(c.resident(blockKey{1, 0}))
+	if !c.acquire(1, 1) {
+		t.Error("acquire failed after cleaning")
+	}
+}
+
+func TestPinnedBlocksNotEvictable(t *testing.T) {
+	c := testCache(2, 0)
+	c.acquire(1, 2)
+	c.insert(blockKey{1, 0}, 1, false, false, 0)
+	c.insert(blockKey{1, 1}, 1, false, false, 0)
+	c.resident(blockKey{1, 0}).pinned = true
+	c.resident(blockKey{1, 1}).pinned = true
+	if c.acquire(1, 1) {
+		t.Error("acquire evicted a pinned block")
+	}
+	c.resident(blockKey{1, 0}).pinned = false
+	if !c.acquire(1, 1) {
+		t.Error("acquire failed after unpinning")
+	}
+}
+
+func TestCanEverFit(t *testing.T) {
+	c := testCache(8, 4)
+	if c.canEverFit(1, 9) {
+		t.Error("request larger than capacity fits")
+	}
+	if c.canEverFit(1, 5) {
+		t.Error("request larger than per-process limit fits")
+	}
+	if !c.canEverFit(1, 4) {
+		t.Error("request at limit rejected")
+	}
+	// The system pseudo-pid is not subject to the per-process limit.
+	if !c.canEverFit(0, 8) {
+		t.Error("system request rejected by per-process limit")
+	}
+}
+
+func TestPerProcessLimitEvictsOwnBlocks(t *testing.T) {
+	c := testCache(8, 2)
+	c.acquire(1, 2)
+	c.insert(blockKey{1, 0}, 1, false, false, 0)
+	c.insert(blockKey{1, 1}, 1, false, false, 0)
+	c.acquire(2, 2)
+	c.insert(blockKey{2, 0}, 2, false, false, 0)
+	c.insert(blockKey{2, 1}, 2, false, false, 0)
+	// Process 1 wants 2 more: its own blocks must go, not process 2's.
+	if !c.acquire(1, 2) {
+		t.Fatal("acquire failed")
+	}
+	if c.resident(blockKey{1, 0}) != nil || c.resident(blockKey{1, 1}) != nil {
+		t.Error("own blocks not evicted under per-process limit")
+	}
+	if c.resident(blockKey{2, 0}) == nil || c.resident(blockKey{2, 1}) == nil {
+		t.Error("other process's blocks evicted")
+	}
+}
+
+func TestPerProcessLimitBlocksOnOwnDirty(t *testing.T) {
+	c := testCache(8, 2)
+	c.acquire(1, 2)
+	c.insert(blockKey{1, 0}, 1, true, false, 0)
+	c.insert(blockKey{1, 1}, 1, true, false, 0)
+	if c.acquire(1, 1) {
+		t.Error("limit acquire succeeded over own dirty blocks")
+	}
+	c.markClean(c.resident(blockKey{1, 0}))
+	if !c.acquire(1, 1) {
+		t.Error("limit acquire failed after cleaning")
+	}
+}
+
+func TestInsertAlreadyResidentMergesDirty(t *testing.T) {
+	c := testCache(4, 0)
+	c.acquire(1, 1)
+	c.insert(blockKey{1, 0}, 1, false, false, 0)
+	// A raced second insert (reservation made elsewhere) releases its
+	// reservation and merges dirtiness.
+	c.acquire(1, 1)
+	c.insert(blockKey{1, 0}, 2, true, false, 0)
+	b := c.resident(blockKey{1, 0})
+	if !b.dirty {
+		t.Error("dirtiness not merged")
+	}
+	if b.owner != 1 {
+		t.Error("original owner clobbered")
+	}
+	if c.used() != 1 {
+		t.Errorf("used = %d, want 1 (reservation released)", c.used())
+	}
+}
+
+func TestOldestDirtyRun(t *testing.T) {
+	c := testCache(16, 0)
+	// Dirty blocks 3,4,5 of file 1 (3 oldest) and block 9 of file 2.
+	for _, idx := range []int64{3, 4, 5} {
+		c.acquire(1, 1)
+		c.insert(blockKey{1, idx}, 1, true, false, 0)
+	}
+	c.acquire(1, 1)
+	c.insert(blockKey{2, 9}, 1, true, false, 0)
+	run := c.oldestDirtyRun(8)
+	if len(run) != 3 {
+		t.Fatalf("run length = %d, want 3", len(run))
+	}
+	for i, b := range run {
+		if b.key.file != 1 || b.key.idx != int64(3+i) {
+			t.Errorf("run[%d] = %+v", i, b.key)
+		}
+		if !b.pinned {
+			t.Error("run block not pinned")
+		}
+	}
+	// Bounded by maxRun.
+	for _, b := range run {
+		b.pinned = false
+		c.markClean(b)
+	}
+	run = c.oldestDirtyRun(1)
+	if len(run) != 1 || run[0].key != (blockKey{2, 9}) {
+		t.Errorf("bounded run = %+v", run)
+	}
+	c.markClean(run[0])
+	run[0].pinned = false
+	if got := c.oldestDirtyRun(4); got != nil {
+		t.Errorf("run on clean cache = %v", got)
+	}
+}
+
+func TestWastedPrefetchCounted(t *testing.T) {
+	c := testCache(2, 0)
+	c.acquire(1, 1)
+	c.insert(blockKey{1, 0}, 1, false, true, 0) // prefetched
+	c.acquire(1, 1)
+	c.insert(blockKey{1, 1}, 1, false, false, 0)
+	// Evicting the unreferenced prefetch counts as waste.
+	c.acquire(1, 1)
+	c.insert(blockKey{1, 2}, 1, false, false, 0)
+	if c.stats.WastedPrefetch != 1 {
+		t.Errorf("WastedPrefetch = %d", c.stats.WastedPrefetch)
+	}
+	// A touched prefetch does not count.
+	c.touch(c.resident(blockKey{1, 1}))
+}
+
+func TestHitRatio(t *testing.T) {
+	var st cacheStats
+	if st.ReadHitRatio() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+	st.ReadHitReqs, st.ReadMissReqs = 3, 1
+	if st.ReadHitRatio() != 0.75 {
+		t.Errorf("ratio = %v", st.ReadHitRatio())
+	}
+}
+
+func TestEvictPanicsOnDirty(t *testing.T) {
+	c := testCache(2, 0)
+	c.acquire(1, 1)
+	c.insert(blockKey{1, 0}, 1, true, false, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("evicting dirty block did not panic")
+		}
+	}()
+	c.evict(c.resident(blockKey{1, 0}))
+}

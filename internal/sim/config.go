@@ -1,0 +1,198 @@
+// Package sim is a trace-driven, discrete-event reimplementation of the
+// paper's cache simulator (§6): a single CPU running several traced
+// processes under a round-robin scheduler, a block file cache with
+// read-ahead and write-behind, and a simple no-queueing disk model.
+//
+// Reads that miss suspend the requesting process until the disk delivers;
+// cache hits cost only a copy (or an SSD channel transfer, in SSD mode)
+// and the process keeps the CPU — the paper's "I/Os to and from the SSD
+// are done without suspending the process". Write-behind lets writers
+// continue as soon as data is copied into cache, with a background flusher
+// draining dirty blocks to disk; turning it off makes writes write-through
+// and synchronous. Explicitly asynchronous application requests (les)
+// never suspend.
+package sim
+
+import (
+	"fmt"
+
+	"iotrace/internal/cray"
+	"iotrace/internal/trace"
+)
+
+// Tier selects what the cache models: a slice of main memory, or the
+// solid-state disk treated "as a huge main-memory cache with per-block
+// penalties for cache hits" (§6.3).
+type Tier int
+
+const (
+	MainMemory Tier = iota
+	SSD
+)
+
+func (t Tier) String() string {
+	if t == SSD {
+		return "ssd"
+	}
+	return "main-memory"
+}
+
+// Config parameterizes one simulation run. The zero value is not valid;
+// start from DefaultConfig.
+type Config struct {
+	// CacheBytes and BlockBytes size the cache. The paper sweeps cache
+	// size 4..256 MB and block size 4 KB / 8 KB (Figure 8).
+	CacheBytes int64
+	BlockBytes int64
+
+	// ReadAhead prefetches, after each sequential read, the amount of
+	// data just read (§6.2's policy). WriteBehind lets writers continue
+	// before data reaches disk.
+	ReadAhead   bool
+	WriteBehind bool
+
+	// Tier selects main-memory hit costs or SSD channel hit costs.
+	Tier Tier
+
+	// PerProcessBlockLimit caps the cache blocks one process may own
+	// (0 = no cap). §6.2 found such caps counterproductive.
+	PerProcessBlockLimit int
+
+	// WarmCache preloads every file a trace touches into the cache
+	// (clean) before the run, for steady-state measurements of data sets
+	// that live in the SSD (bvi's staging files did).
+	WarmCache bool
+
+	// NumCPUs is the number of processors sharing the ready queue, the
+	// cache, and the volume. The paper simulates one CPU; more lets the
+	// §2.2 n+1 rule (n+1 resident jobs keep n processors busy) run as
+	// stated.
+	NumCPUs int
+
+	// Scheduler and OS overheads.
+	QuantumTicks   trace.Ticks // round-robin time slice
+	SwitchTicks    trace.Ticks // process context-switch overhead
+	FSCallTicks    trace.Ticks // file-system code per request
+	InterruptTicks trace.Ticks // I/O completion service time
+
+	// Storage models.
+	Volume cray.Volume
+	SSDDev cray.SSD
+
+	// DiskQueueing enables FCFS queueing at the volume. The paper's
+	// simulator deliberately omitted queueing ("no queueing at the
+	// disks"); this is the ablation knob for that simplification.
+	DiskQueueing bool
+
+	// MaxFlushRunBlocks bounds how many contiguous dirty blocks the
+	// flusher groups into one disk write.
+	MaxFlushRunBlocks int
+
+	// RecordPhysical emits a physical-level trace record for every
+	// volume access (demand fetch, read-ahead, flusher write-back),
+	// exercising the trace format's physical-record half: block-number
+	// offsets and operation ids tying physical I/Os to the logical
+	// requests that caused them (§4.1).
+	RecordPhysical bool
+
+	// FlushDelayTicks makes dirty blocks ineligible for write-behind
+	// until they have aged this long — Sprite's delayed-write policy
+	// (§2.1). The paper argues the delay buys nothing for supercomputer
+	// workloads (files are too big and long-lived to be deleted before
+	// the flush); 0 flushes eagerly.
+	FlushDelayTicks trace.Ticks
+
+	// FrontBytes sizes an optional main-memory tier in front of the
+	// cache: §6.4's recommended configuration pairs "as much SSD storage
+	// as possible" with "a smaller main memory cache". Blocks resident
+	// in the front tier hit at memory-copy cost instead of the SSD
+	// channel cost. 0 disables the tier (the paper's single-level runs).
+	FrontBytes int64
+
+	// RateBinTicks is the bin width of the result's rate series.
+	RateBinTicks trace.Ticks
+}
+
+// DefaultConfig returns the baseline configuration used by the paper
+// reproductions: 32 MB main-memory cache, 4 KB blocks, read-ahead and
+// write-behind on, no per-process limit, no disk queueing.
+func DefaultConfig() Config {
+	return Config{
+		NumCPUs:           1,
+		CacheBytes:        32 << 20,
+		BlockBytes:        4 << 10,
+		ReadAhead:         true,
+		WriteBehind:       true,
+		Tier:              MainMemory,
+		QuantumTicks:      1000, // 10 ms
+		SwitchTicks:       3,    // 30 us
+		FSCallTicks:       10,   // 100 us
+		InterruptTicks:    3,    // 30 us
+		Volume:            cray.DefaultVolume(),
+		SSDDev:            cray.DefaultSSD(),
+		MaxFlushRunBlocks: 256,
+		RateBinTicks:      trace.TicksPerSecond,
+	}
+}
+
+// SSDConfig returns the §6.3 configuration: the cache is one processor's
+// share of the SSD.
+func SSDConfig() Config {
+	c := DefaultConfig()
+	c.Tier = SSD
+	c.CacheBytes = c.SSDDev.PerCPUShareBytes()
+	return c
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.BlockBytes <= 0 {
+		return fmt.Errorf("sim: block size %d", c.BlockBytes)
+	}
+	if c.CacheBytes < c.BlockBytes {
+		return fmt.Errorf("sim: cache %d smaller than one block %d", c.CacheBytes, c.BlockBytes)
+	}
+	if c.QuantumTicks <= 0 {
+		return fmt.Errorf("sim: quantum %d", c.QuantumTicks)
+	}
+	if c.NumCPUs < 1 {
+		return fmt.Errorf("sim: %d CPUs", c.NumCPUs)
+	}
+	if c.SwitchTicks < 0 || c.FSCallTicks < 0 || c.InterruptTicks < 0 {
+		return fmt.Errorf("sim: negative overhead")
+	}
+	if c.Volume.Stripe <= 0 {
+		return fmt.Errorf("sim: volume stripe %d", c.Volume.Stripe)
+	}
+	if c.MaxFlushRunBlocks <= 0 {
+		return fmt.Errorf("sim: flush run %d", c.MaxFlushRunBlocks)
+	}
+	if c.RateBinTicks <= 0 {
+		return fmt.Errorf("sim: rate bin %d", c.RateBinTicks)
+	}
+	if c.PerProcessBlockLimit < 0 {
+		return fmt.Errorf("sim: per-process limit %d", c.PerProcessBlockLimit)
+	}
+	if c.FrontBytes < 0 {
+		return fmt.Errorf("sim: front tier %d bytes", c.FrontBytes)
+	}
+	return nil
+}
+
+// CacheBlocks returns the cache capacity in blocks.
+func (c *Config) CacheBlocks() int {
+	return int(c.CacheBytes / c.BlockBytes)
+}
+
+// hitCost returns the CPU cost of moving size bytes between the process
+// and the cache tier.
+func (c *Config) hitCost(size int64) trace.Ticks {
+	switch c.Tier {
+	case SSD:
+		us := c.SSDDev.SetupMicros + float64(size)/c.SSDDev.BytesPerMicrosec
+		return trace.TicksFromMicroseconds(int64(us))
+	default:
+		// Main-memory copy at ~2 GB/s.
+		return trace.TicksFromMicroseconds(size / 2048)
+	}
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+
+	"iotrace/internal/trace"
+)
+
+func TestDiskSequentialIsTransferOnly(t *testing.T) {
+	cfg := DefaultConfig()
+	d := newDisk(&cfg)
+	p1 := d.pos(1, 0)
+	first := d.accessTime(p1, 1<<20)
+	// Second access immediately after the first ends: zero distance.
+	second := d.accessTime(d.pos(1, 1<<20), 1<<20)
+	if second >= first {
+		t.Errorf("sequential access (%v) should be cheaper than a seeking one (%v)", second, first)
+	}
+	// Pure transfer: 1 MiB at the aggregate volume bandwidth.
+	wantMs := float64(1<<20) / cfg.Volume.BandwidthBytesPerSec() * 1000
+	got := float64(second) / 100
+	if got < wantMs*0.99 || got > wantMs*1.01 {
+		t.Errorf("sequential transfer = %.2f ms, want %.2f ms", got, wantMs)
+	}
+}
+
+func TestDiskSeekGrowsWithDistance(t *testing.T) {
+	cfg := DefaultConfig()
+	d := newDisk(&cfg)
+	d.accessTime(d.pos(1, 0), 4096)
+	near := d.accessTime(d.pos(1, 1<<20), 4096) // ~1 MB away
+	d.lastPos = 0
+	far := d.accessTime(4<<30, 4096) // 4 GB away: max seek
+	if near >= far {
+		t.Errorf("near seek %v should cost less than far seek %v", near, far)
+	}
+	// Far seek is capped at MaxSeek + rotation + transfer.
+	maxMs := cfg.Volume.Disk.MaxSeekMs + cfg.Volume.Disk.HalfRotationMs +
+		4096/cfg.Volume.BandwidthBytesPerSec()*1000
+	if got := float64(far) / 100; got > maxMs+0.1 {
+		t.Errorf("far seek %.2f ms exceeds cap %.2f ms", got, maxMs)
+	}
+}
+
+func TestDiskCrossFileSeekMatchesPaper(t *testing.T) {
+	// §6.2: an uncached transfer when switching between staging files
+	// "might take as long as 15 ms". A ~500 KB request crossing file
+	// bases should land in that neighbourhood.
+	cfg := DefaultConfig()
+	d := newDisk(&cfg)
+	d.accessTime(d.pos(1, 0), 496<<10)
+	cross := d.accessTime(d.pos(2, 0), 496<<10)
+	ms := float64(cross) / 100
+	if ms < 8 || ms > 25 {
+		t.Errorf("cross-file 496 KB access = %.1f ms, want ~10-20 ms", ms)
+	}
+}
+
+func TestDiskFileBasesAreDistinct(t *testing.T) {
+	cfg := DefaultConfig()
+	d := newDisk(&cfg)
+	a := d.pos(1, 0)
+	b := d.pos(2, 0)
+	c := d.pos(1, 4096)
+	if a == b {
+		t.Error("two files share a base")
+	}
+	if c != a+4096 {
+		t.Error("offsets within a file are not linear")
+	}
+	if d.pos(2, 0) != b {
+		t.Error("file base not stable")
+	}
+}
+
+// runDiskAccess drives Simulator.diskAccess through the event loop.
+func runDiskAccess(t *testing.T, cfg Config, n int, write bool) (*Simulator, []trace.Ticks) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var completions []trace.Ticks
+	for i := 0; i < n; i++ {
+		s.diskAccess(1, int64(i)*1<<20, 1<<20, write, func() {
+			completions = append(completions, s.now)
+		})
+	}
+	// Drain events manually (no processes registered).
+	s.runEvents()
+	return s, completions
+}
+
+func TestDiskNoQueueingOverlaps(t *testing.T) {
+	// The paper's simplification: concurrent requests do not queue, so n
+	// simultaneous accesses complete at roughly the same time.
+	cfg := DefaultConfig()
+	cfg.DiskQueueing = false
+	_, comps := runDiskAccess(t, cfg, 4, false)
+	if len(comps) != 4 {
+		t.Fatalf("%d completions", len(comps))
+	}
+	// Four overlapped 1 MiB transfers must finish much sooner than four
+	// serialized ones: the spread (first pays a seek, the rest pure
+	// transfer) stays under two transfer times, not four.
+	transfer := trace.Ticks(float64(1<<20) / cfg.Volume.BandwidthBytesPerSec() * float64(trace.TicksPerSecond))
+	spread := comps[len(comps)-1] - comps[0]
+	if spread > 2*transfer {
+		t.Errorf("no-queueing completions spread %v, want under %v", spread, 2*transfer)
+	}
+}
+
+func TestDiskQueueingSerializes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DiskQueueing = true
+	_, comps := runDiskAccess(t, cfg, 4, false)
+	if len(comps) != 4 {
+		t.Fatalf("%d completions", len(comps))
+	}
+	// Each transfer takes >= 1 MiB / bandwidth; completions must be
+	// separated by at least that.
+	minGap := trace.Ticks(float64(1<<20) / cfg.Volume.BandwidthBytesPerSec() * float64(trace.TicksPerSecond) * 0.99)
+	for i := 1; i < len(comps); i++ {
+		if gap := comps[i] - comps[i-1]; gap < minGap {
+			t.Errorf("queueing gap %v < %v", gap, minGap)
+		}
+	}
+}
+
+func TestDiskStatsAccumulate(t *testing.T) {
+	cfg := DefaultConfig()
+	s, _ := runDiskAccess(t, cfg, 3, true)
+	if s.disk.writes != 3 || s.disk.writeBytes != 3<<20 {
+		t.Errorf("writes %d bytes %d", s.disk.writes, s.disk.writeBytes)
+	}
+	if s.disk.reads != 0 {
+		t.Error("phantom reads")
+	}
+	if s.disk.busyTicks <= 0 {
+		t.Error("no busy time recorded")
+	}
+	if s.diskWriteRate.Total() != float64(3<<20) {
+		t.Errorf("write rate series total %v", s.diskWriteRate.Total())
+	}
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"container/heap"
+
+	"iotrace/internal/trace"
+)
+
+// event is one scheduled simulator action. Ties on time break by sequence
+// number, making runs fully deterministic.
+type event struct {
+	at  trace.Ticks
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// schedule queues fn to run dt ticks from now.
+func (s *Simulator) schedule(dt trace.Ticks, fn func()) {
+	if dt < 0 {
+		dt = 0
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: s.now + dt, seq: s.seq, fn: fn})
+}
+
+// runEvents drains the event queue. It returns false if the queue empties
+// while processes are still unfinished (a stall, indicating a simulator
+// bug or an unsatisfiable configuration).
+func (s *Simulator) runEvents() bool {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		e.fn()
+	}
+	for _, p := range s.procs {
+		if !p.done {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestFrontCacheLRU(t *testing.T) {
+	f := newFrontCache(2)
+	k := func(i int64) []blockKey { return []blockKey{{1, i}} }
+	if f.touch(k(0)) {
+		t.Error("cold lookup hit")
+	}
+	if !f.touch(k(0)) {
+		t.Error("warm lookup missed")
+	}
+	f.touch(k(1))
+	f.touch(k(0)) // keep 0 hot; 1 is LRU
+	f.touch(k(2)) // evicts 1; order now 0 (LRU), 2 (MRU)
+	if f.touch(k(1)) {
+		t.Error("evicted key still resident")
+	}
+	// Re-inserting 1 evicted 0 (the LRU); 2 must still be resident.
+	if !f.touch(k(2)) {
+		t.Error("MRU key evicted")
+	}
+	if f.HitRatio() <= 0 || f.HitRatio() >= 1 {
+		t.Errorf("hit ratio = %v", f.HitRatio())
+	}
+	// Multi-block lookups hit only when every block is resident.
+	g := newFrontCache(4)
+	if g.touch([]blockKey{{1, 0}, {1, 1}}) {
+		t.Error("cold multi-block lookup hit")
+	}
+	if !g.touch([]blockKey{{1, 0}, {1, 1}}) {
+		t.Error("warm multi-block lookup missed")
+	}
+	if g.touch([]blockKey{{1, 0}, {1, 9}}) {
+		t.Error("partial multi-block lookup hit")
+	}
+}
+
+func TestFrontCacheDisabled(t *testing.T) {
+	if newFrontCache(0) != nil {
+		t.Error("zero capacity should disable the tier")
+	}
+	var empty frontCache
+	if empty.HitRatio() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+}
+
+func TestFrontTierCutsSSDChannelCost(t *testing.T) {
+	// Re-reading one hot megabyte repeatedly: with the front tier the
+	// copies run at memory speed, so the run finishes sooner and the
+	// front tier reports hits.
+	items := make([]ioItem, 200)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: 0, ln: 1 << 20, cpuBefore: 0.001}
+	}
+	base := SSDConfig()
+	base.WarmCache = true
+	base.ReadAhead = false
+	ssdOnly := run(t, base, mkTrace(1, items, 0.1))
+
+	tiered := base
+	tiered.FrontBytes = 8 << 20
+	withFront := run(t, tiered, mkTrace(1, items, 0.1))
+
+	if withFront.WallSeconds() >= ssdOnly.WallSeconds() {
+		t.Errorf("front tier did not speed up hot re-reads: %.4f vs %.4f s",
+			withFront.WallSeconds(), ssdOnly.WallSeconds())
+	}
+	if withFront.FrontHitRatio < 0.9 {
+		t.Errorf("front hit ratio = %.3f, want hot", withFront.FrontHitRatio)
+	}
+	if ssdOnly.FrontHitRatio != 0 {
+		t.Error("disabled tier reported hits")
+	}
+}
+
+func TestFrontTierColdWorkingSetMisses(t *testing.T) {
+	// A working set far larger than the front tier: almost every hit
+	// falls through to the SSD channel.
+	items := make([]ioItem, 100)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i%50) << 20, ln: 1 << 20, cpuBefore: 0.001}
+	}
+	cfg := SSDConfig()
+	cfg.WarmCache = true
+	cfg.ReadAhead = false
+	cfg.FrontBytes = 2 << 20 // two blocks' worth of 1 MB requests
+	res := run(t, cfg, mkTrace(1, items, 0.1))
+	if res.FrontHitRatio > 0.1 {
+		t.Errorf("front hit ratio = %.3f on a thrashing working set", res.FrontHitRatio)
+	}
+}
+
+func TestFrontBytesValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FrontBytes = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative front size accepted")
+	}
+}
+
+func TestFrontTierPreservesResults(t *testing.T) {
+	// The tier only changes hit costs, never what reaches disk.
+	items := make([]ioItem, 30)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i%10) << 20, ln: 1 << 20,
+			write: i%3 == 0, cpuBefore: 0.002}
+	}
+	a := SSDConfig()
+	a.WarmCache = true
+	plain := run(t, a, mkTrace(1, items, 0.2))
+	b := a
+	b.FrontBytes = 16 << 20
+	front := run(t, b, mkTrace(1, items, 0.2))
+	if plain.Disk.WriteBytes != front.Disk.WriteBytes {
+		t.Errorf("front tier changed disk writes: %d vs %d", plain.Disk.WriteBytes, front.Disk.WriteBytes)
+	}
+	if plain.Cache.ReadHitReqs != front.Cache.ReadHitReqs {
+		t.Errorf("front tier changed hit accounting: %d vs %d", plain.Cache.ReadHitReqs, front.Cache.ReadHitReqs)
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestMultiCPUParallelCompute(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumCPUs = 2
+	a := mkTrace(1, []ioItem{{file: 1, ln: 4096}}, 5)
+	b := mkTrace(2, []ioItem{{file: 2, ln: 4096}}, 5)
+	res := run(t, cfg, a, b)
+	// Two 5-second compute jobs on two CPUs run side by side.
+	if res.WallSeconds() > 5.5 {
+		t.Errorf("wall = %.2f s, want ~5 (parallel)", res.WallSeconds())
+	}
+	if res.Utilization() < 0.98 {
+		t.Errorf("utilization = %.4f", res.Utilization())
+	}
+	if res.NumCPUs != 2 {
+		t.Errorf("NumCPUs = %d", res.NumCPUs)
+	}
+}
+
+func TestMultiCPUIdleCapacityCounted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumCPUs = 2
+	res := run(t, cfg, mkTrace(1, []ioItem{{file: 1, ln: 4096}}, 5))
+	// One job on two CPUs: half the capacity is idle.
+	if u := res.Utilization(); u < 0.45 || u > 0.55 {
+		t.Errorf("utilization = %.3f, want ~0.5", u)
+	}
+	if res.IdleSeconds() < 4.5 {
+		t.Errorf("idle = %.2f s, want ~5 (one whole idle CPU)", res.IdleSeconds())
+	}
+}
+
+func TestMultiCPUMoreJobsThanCPUs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumCPUs = 2
+	a := mkTrace(1, []ioItem{{file: 1, ln: 4096}}, 4)
+	b := mkTrace(2, []ioItem{{file: 2, ln: 4096}}, 4)
+	c := mkTrace(3, []ioItem{{file: 3, ln: 4096}}, 4)
+	res := run(t, cfg, a, b, c)
+	// 12 s of compute over 2 CPUs: wall ~6 s, full utilization.
+	if res.WallSeconds() < 6 || res.WallSeconds() > 6.6 {
+		t.Errorf("wall = %.2f s, want ~6", res.WallSeconds())
+	}
+	if res.Utilization() < 0.98 {
+		t.Errorf("utilization = %.4f", res.Utilization())
+	}
+}
+
+// TestNPlusOneRuleAsStated exercises §2.2 directly: with n CPUs and
+// I/O-intensive jobs, n+1 resident jobs beat n jobs on utilization.
+func TestNPlusOneRuleAsStated(t *testing.T) {
+	build := func(pid uint32) []ioItem {
+		items := make([]ioItem, 60)
+		for i := range items {
+			// Far-apart offsets: every read seeks and misses.
+			items[i] = ioItem{file: uint32(pid), off: int64(i) * 64 << 20, ln: 1 << 20, cpuBefore: 0.01}
+		}
+		return items
+	}
+	runJobs := func(n int) float64 {
+		cfg := DefaultConfig()
+		cfg.NumCPUs = 2
+		cfg.ReadAhead = false
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pid := 1; pid <= n; pid++ {
+			if err := s.AddProcess(string(rune('A'+pid)), mkTrace(uint32(pid), build(uint32(pid)), 0.2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Utilization()
+	}
+	atN := runJobs(2)      // n jobs on n CPUs
+	atNPlus1 := runJobs(3) // n+1 jobs
+	if atN > 0.85 {
+		t.Errorf("n-jobs utilization %.3f unexpectedly high for I/O-bound jobs", atN)
+	}
+	if atNPlus1 <= atN {
+		t.Errorf("n+1 rule violated: %d jobs -> %.3f, %d jobs -> %.3f", 2, atN, 3, atNPlus1)
+	}
+}

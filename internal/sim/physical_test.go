@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"iotrace/internal/trace"
+)
+
+func TestPhysicalTraceEmission(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecordPhysical = true
+	items := []ioItem{
+		{file: 1, off: 0, ln: 1 << 20, cpuBefore: 0.05},              // demand miss
+		{file: 1, off: 1 << 20, ln: 1 << 20, cpuBefore: 0.05},        // sequential: RA covers it
+		{file: 2, off: 0, ln: 1 << 20, write: true, cpuBefore: 0.05}, // absorbed, flushed later
+	}
+	res := run(t, cfg, mkTrace(1, items, 0.5))
+	if len(res.Physical) == 0 {
+		t.Fatal("no physical records emitted")
+	}
+
+	var demandReads, raReads, flushWrites int
+	var prev trace.Ticks
+	for i, r := range res.Physical {
+		if r.Type.IsLogical() {
+			t.Fatalf("physical trace contains logical record %v", r)
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("physical record %d invalid: %v", i, err)
+		}
+		if r.FileID != volumeDeviceID {
+			t.Errorf("physical record on device %d", r.FileID)
+		}
+		if r.Start < prev {
+			t.Errorf("physical record %d out of order", i)
+		}
+		prev = r.Start
+		switch {
+		case r.Type.IsWrite() && r.OperationID == 0:
+			flushWrites++
+		case r.Type.Kind() == trace.ReadAheadK:
+			raReads++
+			if r.OperationID != 0 {
+				t.Error("read-ahead record carries an operation id")
+			}
+		case r.Type.IsRead():
+			demandReads++
+			if r.OperationID == 0 {
+				t.Error("demand fetch lost its operation id")
+			}
+			if r.ProcessID != 1 {
+				t.Errorf("demand fetch pid = %d", r.ProcessID)
+			}
+		}
+	}
+	if demandReads == 0 {
+		t.Error("no demand fetches recorded")
+	}
+	if raReads == 0 {
+		t.Error("no read-ahead fetches recorded")
+	}
+	if flushWrites == 0 {
+		t.Error("no flusher write-backs recorded")
+	}
+}
+
+func TestPhysicalTraceRoundTripsThroughCodec(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecordPhysical = true
+	items := make([]ioItem, 10)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i) << 20, ln: 1 << 20,
+			write: i%3 == 0, cpuBefore: 0.02}
+	}
+	res := run(t, cfg, mkTrace(1, items, 0.5))
+	for _, format := range []trace.Format{trace.FormatASCII, trace.FormatBinary} {
+		var buf bytes.Buffer
+		if err := trace.WriteAll(&buf, format, res.Physical); err != nil {
+			t.Fatalf("%v: %v", format, err)
+		}
+		got, err := trace.ReadAll(&buf, format)
+		if err != nil {
+			t.Fatalf("%v: %v", format, err)
+		}
+		if len(got) != len(res.Physical) {
+			t.Fatalf("%v: %d != %d records", format, len(got), len(res.Physical))
+		}
+		for i := range got {
+			if *got[i] != *res.Physical[i] {
+				t.Fatalf("%v: record %d mismatch", format, i)
+			}
+		}
+	}
+}
+
+func TestPhysicalOffsetsAreBlockNumbers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecordPhysical = true
+	cfg.ReadAhead = false
+	items := []ioItem{{file: 1, off: 0, ln: 100 << 10, cpuBefore: 0.01}}
+	res := run(t, cfg, mkTrace(1, items, 0.1))
+	if len(res.Physical) != 1 {
+		t.Fatalf("%d physical records", len(res.Physical))
+	}
+	r := res.Physical[0]
+	// 100 KiB = 25 cache blocks = 200 512-byte trace blocks.
+	if r.Length != 200 {
+		t.Errorf("length = %d blocks, want 200", r.Length)
+	}
+	if r.Offset*trace.BlockSize%int64(cfg.BlockBytes) != 0 {
+		t.Errorf("offset %d not cache-block aligned", r.Offset)
+	}
+}
+
+func TestNoPhysicalTraceByDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	res := run(t, cfg, mkTrace(1, []ioItem{{file: 1, ln: 1 << 20}}, 0.1))
+	if res.Physical != nil {
+		t.Error("physical trace recorded without RecordPhysical")
+	}
+}
+
+func TestFlushDelayDefersWriteback(t *testing.T) {
+	mk := func(delay trace.Ticks) *Result {
+		cfg := DefaultConfig()
+		cfg.RecordPhysical = true
+		cfg.FlushDelayTicks = delay
+		items := []ioItem{{file: 1, off: 0, ln: 1 << 20, write: true, cpuBefore: 0.01}}
+		return run(t, cfg, mkTrace(1, items, 5))
+	}
+	eager := mk(0)
+	delayed := mk(2 * trace.TicksPerSecond)
+	if len(eager.Physical) != 1 || len(delayed.Physical) != 1 {
+		t.Fatalf("physical records: %d eager, %d delayed", len(eager.Physical), len(delayed.Physical))
+	}
+	if eager.Physical[0].Start > trace.TicksPerSecond {
+		t.Errorf("eager flush at %v, want promptly", eager.Physical[0].Start)
+	}
+	if delayed.Physical[0].Start < 2*trace.TicksPerSecond {
+		t.Errorf("delayed flush at %v, want after the 2 s age", delayed.Physical[0].Start)
+	}
+	// The data still reaches disk either way.
+	if eager.Disk.WriteBytes != delayed.Disk.WriteBytes {
+		t.Error("delay changed the bytes written")
+	}
+}
+
+func TestFlushDelayStillDrainsUnderPressure(t *testing.T) {
+	// Even with a long delay, a full cache must not deadlock: the writer
+	// stalls until the timer fires and the flusher frees space.
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 1 << 20
+	cfg.FlushDelayTicks = trace.TicksPerSecond / 2
+	items := make([]ioItem, 16)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i) << 19, ln: 1 << 19, write: true, cpuBefore: 0.001}
+	}
+	res := run(t, cfg, mkTrace(1, items, 0.1))
+	if res.Disk.WriteBytes != 16<<19 {
+		t.Errorf("wrote %d bytes, want %d", res.Disk.WriteBytes, 16<<19)
+	}
+	if res.Cache.SpaceStalls == 0 {
+		t.Error("expected stalls while dirty blocks aged")
+	}
+}

@@ -1,0 +1,754 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"iotrace/internal/stats"
+	"iotrace/internal/trace"
+)
+
+// proc is one traced process being replayed.
+type proc struct {
+	pid  uint32
+	name string
+	recs []*trace.Record // data records in process-CPU order
+
+	idx         int         // next record to issue
+	computeLeft trace.Ticks // CPU time to burn before the next action
+	endCPU      trace.Ticks // total CPU the process consumes
+
+	done         bool
+	cpu          int // CPU currently running this process (-1 when not running)
+	finishAt     trace.Ticks
+	cpuUsed      trace.Ticks
+	blockedSince trace.Ticks
+	blockedTotal trace.Ticks
+	blocked      bool
+
+	lastEnd map[uint32]int64 // per-file sequentiality for read-ahead
+}
+
+// ProcResult reports one process's outcome.
+type ProcResult struct {
+	PID        uint32
+	Name       string
+	FinishSec  float64
+	CPUSec     float64
+	BlockedSec float64
+}
+
+// DiskStats reports volume-level activity.
+type DiskStats struct {
+	Reads      int64
+	Writes     int64
+	ReadBytes  int64
+	WriteBytes int64
+	BusySec    float64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	WallTicks trace.Ticks // completion time of the last process
+	BusyTicks trace.Ticks // CPU busy time summed over all CPUs
+	IdleTicks trace.Ticks // idle CPU time summed over all CPUs
+	Switches  int64
+	NumCPUs   int
+
+	Procs []ProcResult
+	Cache cacheStats
+	Disk  DiskStats
+
+	// FrontHitRatio is the fraction of cache hits served from the
+	// optional main-memory front tier (0 when the tier is disabled).
+	FrontHitRatio float64
+
+	// DiskReadRate and DiskWriteRate bin bytes moved between cache and
+	// disk by wall-clock time (Figures 6 and 7); DemandRate bins the
+	// application-level request bytes.
+	DiskReadRate  *stats.TimeSeries
+	DiskWriteRate *stats.TimeSeries
+	DemandRate    *stats.TimeSeries
+
+	// Physical is the physical-level trace of every volume access
+	// (demand fetches, read-ahead, flusher write-backs), recorded when
+	// Config.RecordPhysical is set. Records use physical-record
+	// semantics: block-number offsets, block-count lengths, operation
+	// ids tying them to the logical requests that caused them.
+	Physical []*trace.Record
+
+	cfgRateBin trace.Ticks
+}
+
+// Utilization returns busy CPU time over total CPU capacity
+// (wall x CPUs) in [0,1].
+func (r *Result) Utilization() float64 {
+	if r.WallTicks == 0 || r.NumCPUs == 0 {
+		return 0
+	}
+	return float64(r.BusyTicks) / float64(int64(r.WallTicks)*int64(r.NumCPUs))
+}
+
+// WallSeconds returns the run's execution time.
+func (r *Result) WallSeconds() float64 { return r.WallTicks.Seconds() }
+
+// IdleSeconds returns the CPU idle time, the paper's Figure 8 metric.
+func (r *Result) IdleSeconds() float64 { return r.IdleTicks.Seconds() }
+
+func (r *Result) String() string {
+	return fmt.Sprintf("wall %.1fs busy %.1fs idle %.1fs (util %.2f%%), disk r/w %.1f/%.1f MB, hit ratio %.3f",
+		r.WallSeconds(), r.BusyTicks.Seconds(), r.IdleSeconds(), 100*r.Utilization(),
+		float64(r.Disk.ReadBytes)/1e6, float64(r.Disk.WriteBytes)/1e6, r.Cache.ReadHitRatio())
+}
+
+// spaceWaiter is a request stalled for buffer space. retry re-evaluates
+// the request against current cache state; it returns false to keep
+// waiting.
+type spaceWaiter struct {
+	pid   uint32
+	retry func() bool
+}
+
+// Simulator runs one configuration over a set of process traces.
+type Simulator struct {
+	cfg    Config
+	now    trace.Ticks
+	events eventHeap
+	seq    uint64
+
+	procs []*proc
+	ready []*proc
+	cpus  []*proc // per-CPU running process (nil = idle)
+
+	busy      trace.Ticks
+	switches  int64
+	maxFinish trace.Ticks
+
+	cache        *cache
+	front        *frontCache
+	disk         *disk
+	flushing     bool
+	flushTimer   bool
+	spaceWaiters []*spaceWaiter
+
+	diskReadRate  *stats.TimeSeries
+	diskWriteRate *stats.TimeSeries
+	demandRate    *stats.TimeSeries
+
+	physical []*trace.Record
+}
+
+// New returns a simulator for the given configuration.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:           cfg,
+		cpus:          make([]*proc, cfg.NumCPUs),
+		cache:         newCache(&cfg),
+		front:         newFrontCache(int(cfg.FrontBytes / cfg.BlockBytes)),
+		diskReadRate:  stats.NewTimeSeries(int64(cfg.RateBinTicks)),
+		diskWriteRate: stats.NewTimeSeries(int64(cfg.RateBinTicks)),
+		demandRate:    stats.NewTimeSeries(int64(cfg.RateBinTicks)),
+	}
+	s.disk = newDisk(&cfg)
+	return s, nil
+}
+
+// AddProcess registers one trace as a process. Traces must carry distinct
+// process ids; records must be in nondecreasing process-CPU order.
+func (s *Simulator) AddProcess(name string, recs []*trace.Record) error {
+	var data []*trace.Record
+	var pid uint32
+	var last trace.Ticks
+	for _, r := range recs {
+		if r.IsComment() {
+			continue
+		}
+		if len(data) == 0 {
+			pid = r.ProcessID
+		} else {
+			if r.ProcessID != pid {
+				return fmt.Errorf("sim: trace %s mixes pids %d and %d", name, pid, r.ProcessID)
+			}
+			if r.ProcessTime < last {
+				return fmt.Errorf("sim: trace %s has non-monotone process time", name)
+			}
+		}
+		last = r.ProcessTime
+		data = append(data, r)
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("sim: trace %s has no data records", name)
+	}
+	for _, p := range s.procs {
+		if p.pid == pid {
+			return fmt.Errorf("sim: duplicate pid %d (%s and %s)", pid, p.name, name)
+		}
+	}
+	endCPU, _, _ := trace.EndTimes(recs)
+	if endCPU < last {
+		endCPU = last
+	}
+	s.procs = append(s.procs, &proc{
+		pid: pid, name: name, recs: data, endCPU: endCPU,
+		cpu: -1, lastEnd: make(map[uint32]int64),
+	})
+	return nil
+}
+
+// Run executes the simulation to completion.
+func (s *Simulator) Run() (*Result, error) {
+	if len(s.procs) == 0 {
+		return nil, fmt.Errorf("sim: no processes")
+	}
+	if s.cfg.WarmCache {
+		s.warmCache()
+	}
+	for _, p := range s.procs {
+		p.computeLeft = p.recs[0].ProcessTime
+		s.ready = append(s.ready, p)
+	}
+	s.dispatch()
+	if ok := s.runEvents(); !ok {
+		return nil, fmt.Errorf("sim: stalled at %v with unfinished processes (configuration cannot make progress)", s.now)
+	}
+	return s.result(), nil
+}
+
+// warmCache preloads every block the traces will touch, oldest files
+// first, until the cache fills — the steady-state option for data sets
+// that live in the SSD.
+func (s *Simulator) warmCache() {
+	seen := map[uint32]int64{}
+	var order []uint32
+	for _, p := range s.procs {
+		for _, r := range p.recs {
+			if _, ok := seen[r.FileID]; !ok {
+				order = append(order, r.FileID)
+			}
+			if r.End() > seen[r.FileID] {
+				seen[r.FileID] = r.End()
+			}
+		}
+	}
+	for _, f := range order {
+		nBlocks := (seen[f] + s.cfg.BlockBytes - 1) / s.cfg.BlockBytes
+		for i := int64(0); i < nBlocks; i++ {
+			if !s.cache.acquire(0, 1) {
+				return // cache full
+			}
+			s.cache.insert(blockKey{f, i}, 0, false, false, int64(s.now))
+		}
+	}
+}
+
+// --- CPU scheduling -------------------------------------------------
+
+// dispatch hands ready processes to idle CPUs. "A job ready to run and
+// residing in memory is run on any of the processors that is available"
+// (§2.2).
+func (s *Simulator) dispatch() {
+	for cpu := range s.cpus {
+		if len(s.ready) == 0 {
+			return
+		}
+		if s.cpus[cpu] != nil {
+			continue
+		}
+		p := s.ready[0]
+		s.ready = s.ready[1:]
+		s.cpus[cpu] = p
+		p.cpu = cpu
+		s.switches++
+		s.busy += s.cfg.SwitchTicks
+		s.schedule(s.cfg.SwitchTicks, func() { s.runSlice(p) })
+	}
+}
+
+// release takes p off its CPU.
+func (s *Simulator) release(p *proc) {
+	s.cpus[p.cpu] = nil
+	p.cpu = -1
+}
+
+// runSlice lets the running process compute for up to one quantum.
+func (s *Simulator) runSlice(p *proc) {
+	slice := p.computeLeft
+	if slice > s.cfg.QuantumTicks {
+		slice = s.cfg.QuantumTicks
+	}
+	s.busy += slice
+	s.schedule(slice, func() { s.sliceEnd(p, slice) })
+}
+
+// sliceEnd handles quantum expiry or arrival at the process's next action.
+func (s *Simulator) sliceEnd(p *proc, slice trace.Ticks) {
+	p.computeLeft -= slice
+	p.cpuUsed += slice
+	if p.computeLeft > 0 {
+		// Quantum expired: back of the queue.
+		s.release(p)
+		s.ready = append(s.ready, p)
+		s.dispatch()
+		return
+	}
+	s.action(p)
+}
+
+// action issues the process's next I/O, or retires the process.
+func (s *Simulator) action(p *proc) {
+	if p.idx >= len(p.recs) {
+		p.done = true
+		p.finishAt = s.now
+		if s.now > s.maxFinish {
+			s.maxFinish = s.now
+		}
+		s.release(p)
+		s.dispatch()
+		return
+	}
+	r := p.recs[p.idx]
+	// File-system code runs on the CPU before the request reaches the
+	// cache — the overhead that § 3 says penalized bvi's small requests.
+	s.busy += s.cfg.FSCallTicks
+	s.schedule(s.cfg.FSCallTicks, func() { s.doIO(p, r) })
+}
+
+// advance sets up the compute burst that follows record idx.
+func (s *Simulator) advance(p *proc) {
+	r := p.recs[p.idx]
+	p.idx++
+	var next trace.Ticks
+	if p.idx < len(p.recs) {
+		next = p.recs[p.idx].ProcessTime - r.ProcessTime
+	} else {
+		next = p.endCPU - r.ProcessTime
+	}
+	if next < 0 {
+		next = 0
+	}
+	p.computeLeft = next
+}
+
+// continueRunning resumes the running process after an action that kept
+// the CPU (cache hit, absorbed write, async request).
+func (s *Simulator) continueRunning(p *proc, cost trace.Ticks) {
+	s.busy += cost
+	s.schedule(cost, func() {
+		s.advance(p)
+		s.runSlice(p)
+	})
+}
+
+// block suspends the running process until wake.
+func (s *Simulator) block(p *proc) {
+	p.blocked = true
+	p.blockedSince = s.now
+	s.release(p)
+	s.dispatch()
+}
+
+// wake readies a blocked process (its next compute burst was already set
+// up by advance).
+func (s *Simulator) wake(p *proc) {
+	p.blocked = false
+	p.blockedTotal += s.now - p.blockedSince
+	s.ready = append(s.ready, p)
+	s.dispatch()
+}
+
+// --- I/O paths ------------------------------------------------------
+
+func (s *Simulator) doIO(p *proc, r *trace.Record) {
+	s.demandRate.Add(int64(s.now), float64(r.Length))
+	if r.Type.IsWrite() {
+		s.doWrite(p, r)
+	} else {
+		s.doRead(p, r)
+	}
+}
+
+func (s *Simulator) doRead(p *proc, r *trace.Record) {
+	seq := r.Offset == p.lastEnd[r.FileID] && r.Offset > 0
+	p.lastEnd[r.FileID] = r.End()
+	async := r.Type.IsAsync()
+
+	keys := s.cache.blockRange(r.FileID, r.Offset, r.Length)
+	var missing []blockKey
+	joins := map[*fetch]bool{}
+	raTouched := false
+	for _, k := range keys {
+		if b := s.cache.resident(k); b != nil {
+			if s.cache.touch(b) {
+				raTouched = true
+			}
+			continue
+		}
+		if f := s.cache.pending[k]; f != nil {
+			joins[f] = true
+			continue
+		}
+		missing = append(missing, k)
+	}
+
+	if len(missing) == 0 && len(joins) == 0 {
+		// Full cache hit: the process keeps the CPU for the copy (or SSD
+		// channel transfer) and continues without suspending.
+		s.cache.stats.ReadHitReqs++
+		if raTouched {
+			s.cache.stats.RAHitReqs++
+		}
+		s.maybeReadAhead(p, r, seq)
+		s.continueRunning(p, s.tieredHitCost(keys, r.Length))
+		return
+	}
+	s.cache.stats.ReadMissReqs++
+
+	if async {
+		// Asynchronous request: the application overlaps the fetch with
+		// its own compute and never suspends — not for the disk, and not
+		// for buffer space.
+		if len(missing) > 0 {
+			tag := physOp{kind: trace.FileData, op: r.OperationID, pid: p.pid}
+			if s.cache.canEverFit(p.pid, len(missing)) && s.cache.acquire(p.pid, len(missing)) {
+				s.startFetch(p.pid, missing, false, tag)
+			} else {
+				s.cache.stats.Bypasses++
+				s.diskAccessTagged(r.FileID, r.Offset, r.Length, false, tag, func() {})
+			}
+		}
+		s.maybeReadAhead(p, r, seq)
+		s.continueRunning(p, 0)
+		return
+	}
+
+	// Synchronous miss: the process suspends until every needed block is
+	// in (its own fetch plus any fetches already in flight).
+	s.advance(p)
+	s.block(p)
+
+	// tryIssue classifies the needed blocks against *current* cache
+	// state (the world changes while a request waits for buffer space:
+	// fetches complete, blocks arrive or get evicted) and issues the
+	// miss if space permits. It reports false when the request must keep
+	// waiting for the flusher.
+	tryIssue := func() bool {
+		var missing []blockKey
+		joins := map[*fetch]bool{}
+		for _, k := range keys {
+			if b := s.cache.resident(k); b != nil {
+				s.cache.touch(b)
+				continue
+			}
+			if f := s.cache.pending[k]; f != nil {
+				joins[f] = true
+				continue
+			}
+			missing = append(missing, k)
+		}
+		haveSpace := true
+		if len(missing) > 0 {
+			if !s.cache.canEverFit(p.pid, len(missing)) {
+				haveSpace = false // permanent: bypass below
+			} else if !s.cache.acquire(p.pid, len(missing)) {
+				return false // transient: wait for the flusher
+			}
+		}
+		wait := &ioWait{resume: func() { s.wake(p) }}
+		if len(missing) > 0 {
+			wait.remaining++
+			tag := physOp{kind: trace.FileData, op: r.OperationID, pid: p.pid}
+			if haveSpace {
+				f := s.startFetch(p.pid, missing, false, tag)
+				f.waiters = append(f.waiters, wait)
+			} else {
+				s.cache.stats.Bypasses++
+				first, last := missing[0].idx, missing[len(missing)-1].idx
+				off := first * s.cfg.BlockBytes
+				size := (last - first + 1) * s.cfg.BlockBytes
+				s.diskAccessTagged(r.FileID, off, size, false, tag, func() { wait.fetchDone() })
+			}
+		}
+		for f := range joins {
+			wait.remaining++
+			f.waiters = append(f.waiters, wait)
+		}
+		s.maybeReadAhead(p, r, seq)
+		if wait.remaining == 0 {
+			// Everything arrived while this request waited for space.
+			s.wake(p)
+		}
+		return true
+	}
+
+	if !tryIssue() {
+		s.cache.stats.SpaceStalls++
+		s.spaceWaiters = append(s.spaceWaiters, &spaceWaiter{pid: p.pid, retry: tryIssue})
+	}
+}
+
+// startFetch issues a disk read covering keys (one contiguous span) and
+// registers it as pending. tag carries provenance for physical-level
+// trace emission.
+func (s *Simulator) startFetch(owner uint32, keys []blockKey, prefetched bool, tag physOp) *fetch {
+	f := &fetch{keys: keys, owner: owner, prefetched: prefetched}
+	for _, k := range keys {
+		s.cache.pending[k] = f
+	}
+	first, last := keys[0].idx, keys[len(keys)-1].idx
+	file := keys[0].file
+	off := first * s.cfg.BlockBytes
+	size := (last - first + 1) * s.cfg.BlockBytes
+	s.diskAccessTagged(file, off, size, false, tag, func() { s.completeFetch(f) })
+	return f
+}
+
+// completeFetch inserts fetched blocks and resumes waiters.
+func (s *Simulator) completeFetch(f *fetch) {
+	for _, k := range f.keys {
+		delete(s.cache.pending, k)
+		s.cache.insert(k, f.owner, false, f.prefetched, int64(s.now))
+	}
+	for _, w := range f.waiters {
+		w.fetchDone()
+	}
+	s.trySpaceWaiters()
+}
+
+// maybeReadAhead prefetches, after a sequential read, the amount of data
+// just read (§6.2's policy). Prefetches never stall: if buffer space is
+// tight the prefetch is skipped.
+func (s *Simulator) maybeReadAhead(p *proc, r *trace.Record, seq bool) {
+	if !s.cfg.ReadAhead || !seq || r.Length <= 0 {
+		return
+	}
+	keys := s.cache.blockRange(r.FileID, r.End(), r.Length)
+	var missing []blockKey
+	for _, k := range keys {
+		if s.cache.resident(k) == nil && s.cache.pending[k] == nil {
+			missing = append(missing, k)
+		}
+	}
+	// Only a contiguous leading span keeps the disk op simple; holes are
+	// rare for these sequential workloads.
+	missing = leadingRun(missing)
+	if len(missing) == 0 || !s.cache.acquire(p.pid, len(missing)) {
+		return
+	}
+	s.cache.stats.PrefetchOps++
+	s.startFetch(p.pid, missing, true, physOp{kind: trace.ReadAheadK, pid: p.pid})
+}
+
+// leadingRun trims keys to their first contiguous run.
+func leadingRun(keys []blockKey) []blockKey {
+	for i := 1; i < len(keys); i++ {
+		if keys[i].idx != keys[i-1].idx+1 {
+			return keys[:i]
+		}
+	}
+	return keys
+}
+
+func (s *Simulator) doWrite(p *proc, r *trace.Record) {
+	p.lastEnd[r.FileID] = r.End()
+	async := r.Type.IsAsync()
+	keys := s.cache.blockRange(r.FileID, r.Offset, r.Length)
+
+	// classify returns the blocks that need fresh slots right now
+	// (neither resident nor being fetched).
+	classify := func() []blockKey {
+		var toInsert []blockKey
+		for _, k := range keys {
+			if b := s.cache.resident(k); b != nil {
+				s.cache.touch(b)
+				continue
+			}
+			if s.cache.pending[k] != nil {
+				// A fetch is in flight; that fetch's insert will land the
+				// block and the markDirty pass below dirties whatever is
+				// resident by then.
+				continue
+			}
+			toInsert = append(toInsert, k)
+		}
+		return toInsert
+	}
+
+	// fill inserts the write's blocks (dirty when absorbing) and marks
+	// resident blocks dirty.
+	fill := func(toInsert []blockKey, dirty bool) {
+		for _, k := range toInsert {
+			s.cache.insert(k, p.pid, dirty, false, int64(s.now))
+		}
+		if dirty {
+			for _, k := range keys {
+				if b := s.cache.resident(k); b != nil {
+					s.cache.markDirty(b, int64(s.now))
+				}
+			}
+			s.kickFlusher()
+		}
+	}
+
+	if !s.cfg.WriteBehind {
+		// Write-through: data goes synchronously to disk (asynchronous
+		// application requests continue; the app manages the overlap).
+		// The cache still keeps a clean copy so re-reads hit.
+		toInsert := classify()
+		if len(toInsert) > 0 && s.cache.canEverFit(p.pid, len(toInsert)) && s.cache.acquire(p.pid, len(toInsert)) {
+			fill(toInsert, false)
+		}
+		s.cache.stats.WriteThrough++
+		tag := physOp{kind: trace.FileData, op: r.OperationID, pid: p.pid}
+		if async {
+			s.diskAccessTagged(r.FileID, r.Offset, r.Length, true, tag, func() {})
+			s.continueRunning(p, 0)
+			return
+		}
+		s.advance(p)
+		s.diskAccessTagged(r.FileID, r.Offset, r.Length, true, tag, func() { s.wake(p) })
+		s.block(p)
+		return
+	}
+
+	// Write-behind: absorb into the cache and continue. Asynchronous
+	// requests never stall for space (they bypass); synchronous ones wait
+	// for the flusher — the §6.2 stall that makes small caches unable to
+	// sustain write-behind.
+	toInsert := classify()
+	if len(toInsert) == 0 || (s.cache.canEverFit(p.pid, len(toInsert)) && s.cache.acquire(p.pid, len(toInsert))) {
+		fill(toInsert, true)
+		s.cache.stats.WriteAbsorbed++
+		s.continueRunning(p, s.tieredHitCost(keys, r.Length))
+		return
+	}
+	if !s.cache.canEverFit(p.pid, len(toInsert)) || async {
+		s.cache.stats.Bypasses++
+		tag := physOp{kind: trace.FileData, op: r.OperationID, pid: p.pid}
+		if async {
+			s.diskAccessTagged(r.FileID, r.Offset, r.Length, true, tag, func() {})
+			s.continueRunning(p, 0)
+			return
+		}
+		s.advance(p)
+		s.diskAccessTagged(r.FileID, r.Offset, r.Length, true, tag, func() { s.wake(p) })
+		s.block(p)
+		return
+	}
+	s.cache.stats.SpaceStalls++
+	s.advance(p)
+	s.block(p)
+	s.spaceWaiters = append(s.spaceWaiters, &spaceWaiter{pid: p.pid, retry: func() bool {
+		// Re-classify: the world may have changed while waiting.
+		toInsert := classify()
+		if len(toInsert) > 0 && !s.cache.acquire(p.pid, len(toInsert)) {
+			return false
+		}
+		fill(toInsert, true)
+		s.cache.stats.WriteAbsorbed++
+		s.wake(p)
+		return true
+	}})
+}
+
+// --- flusher and space management ------------------------------------
+
+// kickFlusher starts the background write-behind stream if idle. With a
+// Sprite-style flush delay configured, it waits for the oldest dirty
+// block to age before flushing (§2.1; the paper argues this buys nothing
+// for supercomputer workloads).
+func (s *Simulator) kickFlusher() {
+	if s.flushing || s.cache.dirtyCount() == 0 {
+		return
+	}
+	if d := s.cfg.FlushDelayTicks; d > 0 {
+		oldest := s.cache.oldestDirty()
+		if age := s.now - trace.Ticks(oldest.dirtyAt); age < d {
+			if !s.flushTimer {
+				s.flushTimer = true
+				s.schedule(d-age, func() {
+					s.flushTimer = false
+					s.kickFlusher()
+				})
+			}
+			return
+		}
+	}
+	run := s.cache.oldestDirtyRun(s.cfg.MaxFlushRunBlocks)
+	if len(run) == 0 {
+		return
+	}
+	s.flushing = true
+	first := run[0].key
+	off := first.idx * s.cfg.BlockBytes
+	size := int64(len(run)) * s.cfg.BlockBytes
+	s.diskAccess(first.file, off, size, true, func() {
+		for _, b := range run {
+			b.pinned = false
+			s.cache.markClean(b)
+		}
+		s.flushing = false
+		s.trySpaceWaiters()
+		s.kickFlusher()
+	})
+}
+
+// trySpaceWaiters admits stalled requests in FIFO order as space allows.
+func (s *Simulator) trySpaceWaiters() {
+	for len(s.spaceWaiters) > 0 {
+		w := s.spaceWaiters[0]
+		if !w.retry() {
+			// Head-of-line blocking is deliberate: FIFO fairness. Make
+			// sure the flusher is working on the head's behalf.
+			if s.cache.dirtyCount() > 0 {
+				s.kickFlusher()
+			}
+			return
+		}
+		s.spaceWaiters = s.spaceWaiters[1:]
+	}
+}
+
+// --- results ----------------------------------------------------------
+
+func (s *Simulator) result() *Result {
+	res := &Result{
+		WallTicks:     s.maxFinish,
+		BusyTicks:     s.busy,
+		Switches:      s.switches,
+		NumCPUs:       s.cfg.NumCPUs,
+		Cache:         s.cache.stats,
+		DiskReadRate:  s.diskReadRate,
+		DiskWriteRate: s.diskWriteRate,
+		DemandRate:    s.demandRate,
+		Physical:      s.physical,
+		cfgRateBin:    s.cfg.RateBinTicks,
+		Disk: DiskStats{
+			Reads: s.disk.reads, Writes: s.disk.writes,
+			ReadBytes: s.disk.readBytes, WriteBytes: s.disk.writeBytes,
+			BusySec: s.disk.busyTicks.Seconds(),
+		},
+	}
+	if s.front != nil {
+		res.FrontHitRatio = s.front.HitRatio()
+	}
+	capacity := trace.Ticks(int64(res.WallTicks) * int64(s.cfg.NumCPUs))
+	if res.BusyTicks > capacity {
+		// The busy accumulator can run a hair past the last finish when
+		// trailing OS work was scheduled; clamp.
+		res.BusyTicks = capacity
+	}
+	res.IdleTicks = capacity - res.BusyTicks
+	for _, p := range s.procs {
+		res.Procs = append(res.Procs, ProcResult{
+			PID: p.pid, Name: p.name,
+			FinishSec:  p.finishAt.Seconds(),
+			CPUSec:     p.cpuUsed.Seconds(),
+			BlockedSec: p.blockedTotal.Seconds(),
+		})
+	}
+	sort.Slice(res.Procs, func(a, b int) bool { return res.Procs[a].PID < res.Procs[b].PID })
+	return res
+}

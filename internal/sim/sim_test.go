@@ -1,0 +1,410 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"iotrace/internal/trace"
+)
+
+// ioItem is one step of a hand-built test trace.
+type ioItem struct {
+	file      uint32
+	off, ln   int64
+	write     bool
+	async     bool
+	cpuBefore float64 // seconds of compute preceding this I/O
+}
+
+// mkTrace assembles a single-process trace from items plus trailing
+// compute.
+func mkTrace(pid uint32, items []ioItem, tailCPU float64) []*trace.Record {
+	var recs []*trace.Record
+	cpu := trace.Ticks(0)
+	for i, it := range items {
+		cpu += trace.TicksFromSeconds(it.cpuBefore)
+		rt := trace.LogicalRecord
+		if it.write {
+			rt |= trace.WriteOp
+		}
+		if it.async {
+			rt |= trace.AsyncOp
+		}
+		recs = append(recs, &trace.Record{
+			Type: rt, ProcessID: pid, FileID: it.file,
+			OperationID: uint32(i + 1), Offset: it.off, Length: it.ln,
+			Start: cpu, Completion: 1, ProcessTime: cpu,
+		})
+	}
+	end := cpu + trace.TicksFromSeconds(tailCPU)
+	recs = append(recs, &trace.Record{Type: trace.Comment,
+		CommentText: trace.EndComment(end, end)})
+	return recs
+}
+
+func run(t *testing.T, cfg Config, traces ...[]*trace.Record) *Result {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range traces {
+		if err := s.AddProcess(string(rune('A'+i)), tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestComputeOnlyProcess(t *testing.T) {
+	cfg := DefaultConfig()
+	tr := mkTrace(1, []ioItem{{file: 1, off: 0, ln: 4096, cpuBefore: 0}}, 10)
+	res := run(t, cfg, tr)
+	// One tiny read then 10 s of compute: wall ~ 10 s, utilization ~ 1.
+	if res.WallSeconds() < 10 || res.WallSeconds() > 10.2 {
+		t.Errorf("wall = %.3f s, want ~10", res.WallSeconds())
+	}
+	if res.Utilization() < 0.99 {
+		t.Errorf("utilization = %.4f, want ~1", res.Utilization())
+	}
+	if len(res.Procs) != 1 || res.Procs[0].CPUSec < 9.9 {
+		t.Errorf("proc result = %+v", res.Procs)
+	}
+}
+
+func TestSyncReadMissBlocksProcess(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReadAhead = false
+	tr := mkTrace(1, []ioItem{
+		{file: 1, off: 0, ln: 1 << 20, cpuBefore: 0.1},
+	}, 0.1)
+	res := run(t, cfg, tr)
+	if res.Procs[0].BlockedSec <= 0 {
+		t.Error("sync miss did not block the process")
+	}
+	if res.Cache.ReadMissReqs != 1 || res.Cache.ReadHitReqs != 0 {
+		t.Errorf("cache stats %+v", res.Cache)
+	}
+	if res.Disk.Reads != 1 {
+		t.Errorf("disk reads = %d", res.Disk.Reads)
+	}
+	// Wall = compute + miss latency; idle equals blocked time.
+	if res.IdleSeconds() <= 0 {
+		t.Error("no idle time recorded for a solo blocking process")
+	}
+}
+
+func TestRereadHitsInCache(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReadAhead = false
+	tr := mkTrace(1, []ioItem{
+		{file: 1, off: 0, ln: 1 << 20, cpuBefore: 0.1},
+		{file: 1, off: 0, ln: 1 << 20, cpuBefore: 0.1}, // same data again
+	}, 0.1)
+	res := run(t, cfg, tr)
+	if res.Cache.ReadHitReqs != 1 || res.Cache.ReadMissReqs != 1 {
+		t.Errorf("cache stats %+v", res.Cache)
+	}
+	if res.Disk.Reads != 1 {
+		t.Errorf("disk reads = %d, want 1 (second read cached)", res.Disk.Reads)
+	}
+}
+
+func TestWriteBehindAbsorbsWrites(t *testing.T) {
+	cfg := DefaultConfig()
+	items := make([]ioItem, 20)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i) << 20, ln: 1 << 20, write: true, cpuBefore: 0.01}
+	}
+	wb := run(t, cfg, mkTrace(1, items, 0.5))
+
+	cfg2 := cfg
+	cfg2.WriteBehind = false
+	wt := run(t, cfg2, mkTrace(1, items, 0.5))
+
+	if wb.Cache.WriteAbsorbed != 20 {
+		t.Errorf("absorbed = %d, want 20", wb.Cache.WriteAbsorbed)
+	}
+	if wt.Cache.WriteThrough != 20 {
+		t.Errorf("write-through = %d, want 20", wt.Cache.WriteThrough)
+	}
+	if wb.Procs[0].BlockedSec > 0 {
+		t.Errorf("write-behind writer blocked %.3f s", wb.Procs[0].BlockedSec)
+	}
+	if wt.Procs[0].BlockedSec <= 0 {
+		t.Error("write-through writer never blocked")
+	}
+	if wb.WallSeconds() >= wt.WallSeconds() {
+		t.Errorf("write-behind wall %.3f >= write-through wall %.3f",
+			wb.WallSeconds(), wt.WallSeconds())
+	}
+	// All data still reaches disk via the flusher.
+	if wb.Disk.WriteBytes != 20<<20 {
+		t.Errorf("flusher wrote %d bytes, want %d", wb.Disk.WriteBytes, 20<<20)
+	}
+}
+
+func TestReadAheadCutsBlocking(t *testing.T) {
+	// Sequential reads with enough compute between them for the prefetch
+	// to land: read-ahead should eliminate nearly all blocking.
+	items := make([]ioItem, 30)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i) << 19, ln: 1 << 19, cpuBefore: 0.05}
+	}
+	cfg := DefaultConfig()
+	cfg.ReadAhead = true
+	ra := run(t, cfg, mkTrace(1, items, 0.1))
+	cfg.ReadAhead = false
+	no := run(t, cfg, mkTrace(1, items, 0.1))
+	if ra.Procs[0].BlockedSec >= no.Procs[0].BlockedSec {
+		t.Errorf("read-ahead blocked %.4f s, without %.4f s",
+			ra.Procs[0].BlockedSec, no.Procs[0].BlockedSec)
+	}
+	if ra.Cache.PrefetchOps == 0 {
+		t.Error("no prefetches issued")
+	}
+	if ra.Cache.RAHitReqs == 0 {
+		t.Error("no read-ahead hits")
+	}
+}
+
+func TestAsyncProcessNeverBlocks(t *testing.T) {
+	items := make([]ioItem, 20)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i) << 20, ln: 1 << 20,
+			write: i%2 == 1, async: true, cpuBefore: 0.01}
+	}
+	cfg := DefaultConfig()
+	cfg.ReadAhead = false
+	res := run(t, cfg, mkTrace(1, items, 0.2))
+	if res.Procs[0].BlockedSec != 0 {
+		t.Errorf("async process blocked %.4f s", res.Procs[0].BlockedSec)
+	}
+	if res.Utilization() < 0.95 {
+		t.Errorf("async utilization %.3f", res.Utilization())
+	}
+}
+
+func TestTwoCPUBoundProcessesShareTheCPU(t *testing.T) {
+	cfg := DefaultConfig()
+	a := mkTrace(1, []ioItem{{file: 1, off: 0, ln: 4096}}, 5)
+	b := mkTrace(2, []ioItem{{file: 2, off: 0, ln: 4096}}, 5)
+	res := run(t, cfg, a, b)
+	// 10 s of compute on one CPU: wall ~10 s, both finish near the end.
+	if res.WallSeconds() < 10 || res.WallSeconds() > 10.5 {
+		t.Errorf("wall = %.2f s", res.WallSeconds())
+	}
+	if res.Utilization() < 0.99 {
+		t.Errorf("utilization = %.4f", res.Utilization())
+	}
+	if res.Switches < 100 {
+		t.Errorf("switches = %d, want round-robin interleaving", res.Switches)
+	}
+	// Round robin: both processes finish within a quantum of each other.
+	gap := math.Abs(res.Procs[0].FinishSec - res.Procs[1].FinishSec)
+	if gap > 0.1 {
+		t.Errorf("finish gap = %.3f s, want interleaved finishes", gap)
+	}
+}
+
+func TestOneProcessComputesWhileOtherWaits(t *testing.T) {
+	// The n+1 rule's mechanism: B's compute fills A's I/O waits.
+	mkItems := func(file uint32) []ioItem {
+		items := make([]ioItem, 40)
+		for i := range items {
+			// Far-apart offsets so every read seeks and misses.
+			items[i] = ioItem{file: file, off: int64(i) * 64 << 20, ln: 1 << 20, cpuBefore: 0.002}
+		}
+		return items
+	}
+	cfg := DefaultConfig()
+	cfg.ReadAhead = false
+	solo := run(t, cfg, mkTrace(1, mkItems(1), 0.1))
+	pair := run(t, cfg, mkTrace(1, mkItems(1), 0.1), mkTrace(2, mkItems(2), 0.1))
+	if solo.Utilization() > 0.7 {
+		t.Errorf("solo I/O-bound utilization = %.3f, expected low", solo.Utilization())
+	}
+	if pair.Utilization() < solo.Utilization()*1.3 {
+		t.Errorf("pair utilization %.3f did not improve on solo %.3f",
+			pair.Utilization(), solo.Utilization())
+	}
+}
+
+func TestSSDTierHitsDoNotSuspend(t *testing.T) {
+	cfg := SSDConfig()
+	cfg.WarmCache = true
+	// Read-ahead would legitimately prefetch one block past the warmed
+	// extent; disable it to isolate hit behavior.
+	cfg.ReadAhead = false
+	items := make([]ioItem, 50)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i%10) << 20, ln: 1 << 20, cpuBefore: 0.01}
+	}
+	res := run(t, cfg, mkTrace(1, items, 0.1))
+	if res.Procs[0].BlockedSec != 0 {
+		t.Errorf("SSD hits blocked the process %.4f s", res.Procs[0].BlockedSec)
+	}
+	if res.Cache.ReadHitReqs != 50 {
+		t.Errorf("hits = %d, want 50 (warm cache)", res.Cache.ReadHitReqs)
+	}
+	if res.Disk.Reads != 0 {
+		t.Errorf("disk reads = %d, want 0", res.Disk.Reads)
+	}
+	// SSD hit costs are charged as busy CPU, so utilization stays high.
+	if res.Utilization() < 0.99 {
+		t.Errorf("utilization = %.4f", res.Utilization())
+	}
+}
+
+func TestSSDHitsCostMoreThanMemoryHits(t *testing.T) {
+	items := make([]ioItem, 40)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: 0, ln: 4 << 20, cpuBefore: 0.001}
+	}
+	mem := DefaultConfig()
+	mem.WarmCache = true
+	memRes := run(t, mem, mkTrace(1, items, 0.01))
+	ssd := SSDConfig()
+	ssd.WarmCache = true
+	ssdRes := run(t, ssd, mkTrace(1, items, 0.01))
+	if ssdRes.WallSeconds() <= memRes.WallSeconds() {
+		t.Errorf("SSD wall %.4f should exceed memory wall %.4f (channel cost)",
+			ssdRes.WallSeconds(), memRes.WallSeconds())
+	}
+}
+
+func TestSmallCacheForcesSpaceStalls(t *testing.T) {
+	// A burst of writes far larger than the cache: write-behind must
+	// stall for the flusher.
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 1 << 20 // 1 MB cache
+	items := make([]ioItem, 64)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i) << 19, ln: 1 << 19, write: true, cpuBefore: 0.0001}
+	}
+	res := run(t, cfg, mkTrace(1, items, 0.1))
+	if res.Cache.SpaceStalls == 0 {
+		t.Error("no space stalls despite cache pressure")
+	}
+	if res.Disk.WriteBytes != 64<<19 {
+		t.Errorf("disk writes %d bytes, want %d", res.Disk.WriteBytes, 64<<19)
+	}
+}
+
+func TestPerProcessLimitCausesBypassOrStall(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PerProcessBlockLimit = 64 // 256 KB at 4 KB blocks
+	items := make([]ioItem, 16)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i) << 20, ln: 1 << 20, write: true, cpuBefore: 0.001}
+	}
+	res := run(t, cfg, mkTrace(1, items, 0.1))
+	// 1 MB writes exceed the 256 KB ownership cap: they bypass the cache
+	// and go synchronously to disk.
+	if res.Cache.Bypasses == 0 {
+		t.Error("over-limit writes did not bypass")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	cfg := DefaultConfig()
+	items := make([]ioItem, 30)
+	for i := range items {
+		items[i] = ioItem{file: uint32(1 + i%3), off: int64(i) << 18, ln: 1 << 18,
+			write: i%2 == 0, cpuBefore: 0.003}
+	}
+	r1 := run(t, cfg, mkTrace(1, items, 0.2), mkTrace(2, items, 0.2))
+	r2 := run(t, cfg, mkTrace(1, items, 0.2), mkTrace(2, items, 0.2))
+	if r1.WallTicks != r2.WallTicks || r1.BusyTicks != r2.BusyTicks ||
+		r1.Switches != r2.Switches || r1.Cache != r2.Cache {
+		t.Errorf("nondeterministic results:\n%v\n%v", r1, r2)
+	}
+}
+
+func TestAddProcessErrors(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddProcess("empty", nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	good := mkTrace(1, []ioItem{{file: 1, ln: 4096}}, 1)
+	if err := s.AddProcess("a", good); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddProcess("dup", mkTrace(1, []ioItem{{file: 1, ln: 4096}}, 1)); err == nil {
+		t.Error("duplicate pid accepted")
+	}
+	mixed := mkTrace(2, []ioItem{{file: 1, ln: 4096}}, 1)
+	mixed[0].ProcessID = 3
+	mixed = append(mixed, &trace.Record{Type: trace.LogicalRecord, ProcessID: 4, FileID: 1, Length: 1})
+	if err := s.AddProcess("mixed", mixed); err == nil {
+		t.Error("mixed-pid trace accepted")
+	}
+	bad := mkTrace(5, []ioItem{{file: 1, ln: 4096, cpuBefore: 1}, {file: 1, ln: 4096}}, 1)
+	bad[1].ProcessTime = 0 // non-monotone
+	if err := s.AddProcess("bad", bad); err == nil {
+		t.Error("non-monotone trace accepted")
+	}
+}
+
+func TestRunWithoutProcesses(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Error("Run without processes succeeded")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.BlockBytes = 0 },
+		func(c *Config) { c.CacheBytes = 100 },
+		func(c *Config) { c.QuantumTicks = 0 },
+		func(c *Config) { c.SwitchTicks = -1 },
+		func(c *Config) { c.Volume.Stripe = 0 },
+		func(c *Config) { c.MaxFlushRunBlocks = 0 },
+		func(c *Config) { c.RateBinTicks = 0 },
+		func(c *Config) { c.PerProcessBlockLimit = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if MainMemory.String() != "main-memory" || SSD.String() != "ssd" {
+		t.Error("tier names wrong")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	cfg := DefaultConfig()
+	res := run(t, cfg, mkTrace(1, []ioItem{{file: 1, ln: 4096}}, 1))
+	if res.String() == "" {
+		t.Error("empty result string")
+	}
+}
+
+func TestDemandRateRecorded(t *testing.T) {
+	cfg := DefaultConfig()
+	items := []ioItem{
+		{file: 1, off: 0, ln: 10 << 20, cpuBefore: 0.1},
+		{file: 1, off: 10 << 20, ln: 10 << 20, write: true, cpuBefore: 0.1},
+	}
+	res := run(t, cfg, mkTrace(1, items, 0.1))
+	if res.DemandRate.Total() != float64(20<<20) {
+		t.Errorf("demand total = %v", res.DemandRate.Total())
+	}
+	if res.DiskReadRate.Total() <= 0 {
+		t.Error("no disk read traffic recorded")
+	}
+}

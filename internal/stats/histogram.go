@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a power-of-two bucketed histogram, suited to I/O request
+// sizes which span several orders of magnitude (the traced applications
+// range from sub-kilobyte parameter reads to half-megabyte array slabs).
+// Bucket i counts values v with 2^i <= v < 2^(i+1); values of 0 land in a
+// dedicated zero bucket.
+type Histogram struct {
+	zero    int64
+	buckets [64]int64
+	n       int64
+	total   float64
+}
+
+// Add records one observation. Negative values panic: sizes and counts
+// are non-negative by construction.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative histogram value %d", v))
+	}
+	h.n++
+	h.total += float64(v)
+	if v == 0 {
+		h.zero++
+		return
+	}
+	h.buckets[bitLen64(uint64(v))-1]++
+}
+
+func bitLen64(v uint64) int {
+	n := 0
+	for v != 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Mean returns the mean observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.total / float64(h.n)
+}
+
+// Bucket returns the count of observations in [2^i, 2^(i+1)).
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// Zero returns the count of zero observations.
+func (h *Histogram) Zero() int64 { return h.zero }
+
+// Mode returns the lower bound of the most populated bucket (0 when the
+// zero bucket wins or the histogram is empty).
+func (h *Histogram) Mode() int64 {
+	best, bestCount := int64(0), h.zero
+	for i, c := range h.buckets {
+		if c > bestCount {
+			bestCount = c
+			best = int64(1) << uint(i)
+		}
+	}
+	return best
+}
+
+// String renders the non-empty buckets, one per line, with proportional
+// bars — the compact form used by cmd/tracestat.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	if h.n == 0 {
+		return "(empty histogram)"
+	}
+	maxCount := h.zero
+	for _, c := range h.buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	line := func(label string, c int64) {
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("*", int(math.Ceil(float64(c)/float64(maxCount)*40)))
+		}
+		fmt.Fprintf(&b, "%12s %8d %s\n", label, c, bar)
+	}
+	if h.zero > 0 {
+		line("0", h.zero)
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		line(sizeLabel(int64(1)<<uint(i)), c)
+	}
+	return b.String()
+}
+
+// sizeLabel renders a power-of-two bound in the most readable unit.
+func sizeLabel(v int64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%dG", v>>30)
+	case v >= 1<<20:
+		return fmt.Sprintf("%dM", v>>20)
+	case v >= 1<<10:
+		return fmt.Sprintf("%dK", v>>10)
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,146 @@
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ASCII trace encoding.
+//
+// Each wire record is one line of space-separated printed decimal fields in
+// struct order: recordType, compression, [offset], [length], startTime,
+// completionTime, [operationId], [fileId], [processId], processTime.
+// Bracketed fields appear only when the corresponding compression flag is
+// clear. Comment records are the line "255 <text>".
+//
+// The paper found this variable-length printed form *smaller* than
+// fixed-width binary, because most delta and elided-adjacent values print
+// in one or two characters; it is also machine-independent (no byte-order
+// or word-length concerns).
+
+// appendASCII serializes w onto dst as one newline-terminated line.
+func appendASCII(dst []byte, w wireRecord) ([]byte, error) {
+	if w.Type.IsComment() {
+		if strings.ContainsRune(w.CommentText, '\n') {
+			return dst, fmt.Errorf("trace: comment text contains newline")
+		}
+		dst = strconv.AppendUint(dst, uint64(Comment), 10)
+		dst = append(dst, ' ')
+		dst = append(dst, w.CommentText...)
+		dst = append(dst, '\n')
+		return dst, nil
+	}
+	dst = strconv.AppendUint(dst, uint64(w.Type), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, uint64(w.Comp), 10)
+	if !w.Comp.Has(NoOffset) {
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, w.Offset, 10)
+	}
+	if !w.Comp.Has(NoLength) {
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, w.Length, 10)
+	}
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, w.StartDelta, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, w.Completion, 10)
+	if !w.Comp.Has(NoOperationID) {
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, uint64(w.OperationID), 10)
+	}
+	if !w.Comp.Has(NoFileID) {
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, uint64(w.FileID), 10)
+	}
+	if !w.Comp.Has(NoProcessID) {
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, uint64(w.ProcessID), 10)
+	}
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, w.ProcTimeDlt, 10)
+	dst = append(dst, '\n')
+	return dst, nil
+}
+
+// parseASCII decodes one line (without its trailing newline) into a wire
+// record.
+func parseASCII(line string) (wireRecord, error) {
+	line = strings.TrimRight(line, "\r")
+	if line == "" {
+		return wireRecord{}, fmt.Errorf("trace: empty record line")
+	}
+	// recordType is the first field; comments keep the rest verbatim.
+	head, rest, _ := strings.Cut(line, " ")
+	t, err := strconv.ParseUint(head, 10, 16)
+	if err != nil {
+		return wireRecord{}, fmt.Errorf("trace: bad record type %q: %v", head, err)
+	}
+	if RecordType(t).IsComment() {
+		return wireRecord{Type: Comment, CommentText: rest}, nil
+	}
+
+	fields := strings.Fields(rest)
+	w := wireRecord{Type: RecordType(t)}
+	i := 0
+	next := func(bits int) (uint64, error) {
+		if i >= len(fields) {
+			return 0, fmt.Errorf("trace: truncated record line %q", line)
+		}
+		v, err := strconv.ParseUint(fields[i], 10, bits)
+		if err != nil {
+			return 0, fmt.Errorf("trace: bad field %q in %q: %v", fields[i], line, err)
+		}
+		i++
+		return v, nil
+	}
+
+	v, err := next(16)
+	if err != nil {
+		return wireRecord{}, err
+	}
+	w.Comp = Compression(v)
+
+	if !w.Comp.Has(NoOffset) {
+		if w.Offset, err = next(64); err != nil {
+			return wireRecord{}, err
+		}
+	}
+	if !w.Comp.Has(NoLength) {
+		if w.Length, err = next(64); err != nil {
+			return wireRecord{}, err
+		}
+	}
+	if w.StartDelta, err = next(64); err != nil {
+		return wireRecord{}, err
+	}
+	if w.Completion, err = next(64); err != nil {
+		return wireRecord{}, err
+	}
+	if !w.Comp.Has(NoOperationID) {
+		if v, err = next(32); err != nil {
+			return wireRecord{}, err
+		}
+		w.OperationID = uint32(v)
+	}
+	if !w.Comp.Has(NoFileID) {
+		if v, err = next(32); err != nil {
+			return wireRecord{}, err
+		}
+		w.FileID = uint32(v)
+	}
+	if !w.Comp.Has(NoProcessID) {
+		if v, err = next(32); err != nil {
+			return wireRecord{}, err
+		}
+		w.ProcessID = uint32(v)
+	}
+	if w.ProcTimeDlt, err = next(64); err != nil {
+		return wireRecord{}, err
+	}
+	if i != len(fields) {
+		return wireRecord{}, fmt.Errorf("trace: %d trailing fields in %q", len(fields)-i, line)
+	}
+	return w, nil
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace encoding.
+//
+// The same compressed wire records as the ASCII form, but with fixed-width
+// big-endian fields at the widths of the paper's C struct: 2-byte
+// recordType and compression, 4-byte offset/length/operationId/fileId/
+// processId/processTime, 8-byte startTime/completionTime. Comment records
+// carry a 4-byte length followed by the text.
+//
+// This is the comparator for the paper's observation that variable-length
+// printed ASCII beats fixed-width binary: deltas and block-quantized values
+// are usually tiny, so their printed form is shorter than 4 or 8 bytes.
+
+const (
+	maxU32 = 1<<32 - 1
+	maxU64 = 1<<64 - 1
+)
+
+// appendBinary serializes w onto dst.
+func appendBinary(dst []byte, w wireRecord) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(w.Type))
+	if w.Type.IsComment() {
+		if len(w.CommentText) > maxU32 {
+			return dst, fmt.Errorf("trace: comment too long")
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(w.CommentText)))
+		dst = append(dst, w.CommentText...)
+		return dst, nil
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(w.Comp))
+	if !w.Comp.Has(NoOffset) {
+		if w.Offset > maxU32 {
+			return dst, fmt.Errorf("trace: offset %d overflows the 4-byte binary field", w.Offset)
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(w.Offset))
+	}
+	if !w.Comp.Has(NoLength) {
+		if w.Length > maxU32 {
+			return dst, fmt.Errorf("trace: length %d overflows the 4-byte binary field", w.Length)
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(w.Length))
+	}
+	dst = binary.BigEndian.AppendUint64(dst, w.StartDelta)
+	dst = binary.BigEndian.AppendUint64(dst, w.Completion)
+	if !w.Comp.Has(NoOperationID) {
+		dst = binary.BigEndian.AppendUint32(dst, w.OperationID)
+	}
+	if !w.Comp.Has(NoFileID) {
+		dst = binary.BigEndian.AppendUint32(dst, w.FileID)
+	}
+	if !w.Comp.Has(NoProcessID) {
+		dst = binary.BigEndian.AppendUint32(dst, w.ProcessID)
+	}
+	if w.ProcTimeDlt > maxU32 {
+		return dst, fmt.Errorf("trace: process-time delta %d overflows the 4-byte binary field", w.ProcTimeDlt)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(w.ProcTimeDlt))
+	return dst, nil
+}
+
+// binaryDecoder incrementally parses binary wire records from a stream.
+type binaryDecoder struct {
+	r   io.Reader
+	buf [8]byte
+}
+
+func (d *binaryDecoder) u16() (uint16, error) {
+	if _, err := io.ReadFull(d.r, d.buf[:2]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(d.buf[:2]), nil
+}
+
+func (d *binaryDecoder) u32() (uint32, error) {
+	if _, err := io.ReadFull(d.r, d.buf[:4]); err != nil {
+		return 0, noEOF(err)
+	}
+	return binary.BigEndian.Uint32(d.buf[:4]), nil
+}
+
+func (d *binaryDecoder) u64() (uint64, error) {
+	if _, err := io.ReadFull(d.r, d.buf[:8]); err != nil {
+		return 0, noEOF(err)
+	}
+	return binary.BigEndian.Uint64(d.buf[:8]), nil
+}
+
+// noEOF converts io.EOF to ErrUnexpectedEOF for reads inside a record: a
+// clean end of stream is only legal at a record boundary.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// next reads one wire record. It returns io.EOF only at a clean record
+// boundary.
+func (d *binaryDecoder) next() (wireRecord, error) {
+	t, err := d.u16()
+	if err != nil {
+		return wireRecord{}, err // io.EOF here means clean end of trace
+	}
+	w := wireRecord{Type: RecordType(t)}
+	if w.Type.IsComment() {
+		n, err := d.u32()
+		if err != nil {
+			return wireRecord{}, err
+		}
+		text := make([]byte, n)
+		if _, err := io.ReadFull(d.r, text); err != nil {
+			return wireRecord{}, noEOF(err)
+		}
+		w.CommentText = string(text)
+		return w, nil
+	}
+	c, err := d.u16()
+	if err != nil {
+		return wireRecord{}, noEOF(err)
+	}
+	w.Comp = Compression(c)
+	if !w.Comp.Has(NoOffset) {
+		v, err := d.u32()
+		if err != nil {
+			return wireRecord{}, err
+		}
+		w.Offset = uint64(v)
+	}
+	if !w.Comp.Has(NoLength) {
+		v, err := d.u32()
+		if err != nil {
+			return wireRecord{}, err
+		}
+		w.Length = uint64(v)
+	}
+	if w.StartDelta, err = d.u64(); err != nil {
+		return wireRecord{}, err
+	}
+	if w.Completion, err = d.u64(); err != nil {
+		return wireRecord{}, err
+	}
+	if !w.Comp.Has(NoOperationID) {
+		if w.OperationID, err = d.u32(); err != nil {
+			return wireRecord{}, err
+		}
+	}
+	if !w.Comp.Has(NoFileID) {
+		if w.FileID, err = d.u32(); err != nil {
+			return wireRecord{}, err
+		}
+	}
+	if !w.Comp.Has(NoProcessID) {
+		if w.ProcessID, err = d.u32(); err != nil {
+			return wireRecord{}, err
+		}
+	}
+	v, err := d.u32()
+	if err != nil {
+		return wireRecord{}, err
+	}
+	w.ProcTimeDlt = uint64(v)
+	return w, nil
+}

@@ -1,0 +1,295 @@
+package trace
+
+import "fmt"
+
+// wireRecord is a record as it appears on the wire: times are deltas and
+// elided fields are absent (their values here are meaningless when the
+// corresponding Compression flag is set). Offset and Length are already
+// divided by BlockSize when the block flags are set.
+type wireRecord struct {
+	Type        RecordType
+	Comp        Compression
+	Offset      uint64
+	Length      uint64
+	StartDelta  uint64 // vs previous record in trace (first: absolute)
+	Completion  uint64 // completion - start, always a delta
+	OperationID uint32
+	FileID      uint32
+	ProcessID   uint32
+	ProcTimeDlt uint64 // vs this process's previous I/O start (first: absolute)
+	CommentText string
+}
+
+// fileState is the per-file history both ends of the codec keep in order
+// to elide fields.
+type fileState struct {
+	fileID     uint32
+	nextOffset int64 // previous offset + previous length (sequential successor)
+	lastLength int64
+	lastOpID   uint32
+}
+
+// fileTable is a tiny LRU of per-file states, bounded at MaxOpenFiles per
+// the paper ("keep track of 32 open files for each process"). Recency
+// order is maintained in the slice: least recently used first. Linear
+// search is deliberate; the table never exceeds 32 entries.
+type fileTable struct {
+	entries []*fileState
+}
+
+// get returns the state for id and marks it most recently used.
+func (t *fileTable) get(id uint32) (*fileState, bool) {
+	for i, e := range t.entries {
+		if e.fileID == id {
+			copy(t.entries[i:], t.entries[i+1:])
+			t.entries[len(t.entries)-1] = e
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// put inserts a fresh state as most recently used, evicting the least
+// recently used entry if the table is full. The caller must have checked
+// the id is absent.
+func (t *fileTable) put(s *fileState) {
+	if len(t.entries) >= MaxOpenFiles {
+		copy(t.entries, t.entries[1:])
+		t.entries[len(t.entries)-1] = s
+		return
+	}
+	t.entries = append(t.entries, s)
+}
+
+// procState is the per-process history.
+type procState struct {
+	lastFileID uint32
+	hasFile    bool
+	lastPTime  Ticks
+	hasPTime   bool
+	files      fileTable
+}
+
+// codecState is the shared history state machine. Compressor and
+// Decompressor embed identical copies and apply identical updates, which
+// keeps elision decisions and reconstructions in lock-step.
+type codecState struct {
+	lastStart Ticks
+	lastPID   uint32
+	any       bool // at least one data record seen
+	procs     map[uint32]*procState
+}
+
+func newCodecState() codecState {
+	return codecState{procs: make(map[uint32]*procState)}
+}
+
+func (s *codecState) proc(pid uint32) *procState {
+	p := s.procs[pid]
+	if p == nil {
+		p = &procState{}
+		s.procs[pid] = p
+	}
+	return p
+}
+
+// update advances the history past a fully reconstructed record. Comment
+// records never reach here: they do not disturb compression state.
+func (s *codecState) update(r *Record) {
+	s.lastStart = r.Start
+	s.lastPID = r.ProcessID
+	s.any = true
+	p := s.proc(r.ProcessID)
+	p.lastFileID = r.FileID
+	p.hasFile = true
+	p.lastPTime = r.ProcessTime
+	p.hasPTime = true
+	if fs, ok := p.files.get(r.FileID); ok {
+		fs.nextOffset = r.Offset + r.Length
+		fs.lastLength = r.Length
+		fs.lastOpID = r.OperationID
+		return
+	}
+	p.files.put(&fileState{
+		fileID:     r.FileID,
+		nextOffset: r.Offset + r.Length,
+		lastLength: r.Length,
+		lastOpID:   r.OperationID,
+	})
+}
+
+// A Compressor turns full records into wire records, eliding every field
+// the shared history allows. The zero value is not usable; use
+// NewCompressor.
+type Compressor struct {
+	st codecState
+}
+
+// NewCompressor returns a Compressor with empty history.
+func NewCompressor() *Compressor { return &Compressor{st: newCodecState()} }
+
+// Compress converts r to its wire form. Records must be presented in
+// nondecreasing wall-clock start order (the order a trace is written);
+// out-of-order records are an error, as are records that fail Validate.
+func (c *Compressor) Compress(r *Record) (wireRecord, error) {
+	if err := r.Validate(); err != nil {
+		return wireRecord{}, err
+	}
+	if r.IsComment() {
+		return wireRecord{Type: Comment, CommentText: r.CommentText}, nil
+	}
+	w := wireRecord{Type: r.Type, Completion: uint64(r.Completion)}
+
+	// Start time: delta against the previous record in the trace.
+	if c.st.any {
+		d := r.Start - c.st.lastStart
+		if d < 0 {
+			return wireRecord{}, fmt.Errorf("trace: record out of order: start %v before previous %v", r.Start, c.st.lastStart)
+		}
+		w.StartDelta = uint64(d)
+	} else {
+		w.StartDelta = uint64(r.Start)
+	}
+
+	// Process id: elide when it repeats the previous record's.
+	if c.st.any && r.ProcessID == c.st.lastPID {
+		w.Comp |= NoProcessID
+	} else {
+		w.ProcessID = r.ProcessID
+	}
+
+	p := c.st.proc(r.ProcessID)
+
+	// Process time: delta against this process's previous I/O start.
+	if p.hasPTime {
+		d := r.ProcessTime - p.lastPTime
+		if d < 0 {
+			return wireRecord{}, fmt.Errorf("trace: process %d CPU clock moved backward (%v -> %v)", r.ProcessID, p.lastPTime, r.ProcessTime)
+		}
+		w.ProcTimeDlt = uint64(d)
+	} else {
+		w.ProcTimeDlt = uint64(r.ProcessTime)
+	}
+
+	// File id: elide when it repeats this process's previous file.
+	if p.hasFile && p.lastFileID == r.FileID {
+		w.Comp |= NoFileID
+	} else {
+		w.FileID = r.FileID
+	}
+
+	// Offset, length, operation id: elide against this file's history
+	// when present in the (bounded) per-process file table.
+	fs, known := p.files.get(r.FileID)
+	if known && r.Offset == fs.nextOffset {
+		w.Comp |= NoOffset
+	} else {
+		w.Offset = uint64(r.Offset)
+		if r.Offset%BlockSize == 0 {
+			w.Comp |= OffsetInBlocks
+			w.Offset /= BlockSize
+		}
+	}
+	if known && r.Length == fs.lastLength {
+		w.Comp |= NoLength
+	} else {
+		w.Length = uint64(r.Length)
+		if r.Length%BlockSize == 0 {
+			w.Comp |= LengthInBlocks
+			w.Length /= BlockSize
+		}
+	}
+	if known && r.OperationID == fs.lastOpID {
+		w.Comp |= NoOperationID
+	} else {
+		w.OperationID = r.OperationID
+	}
+
+	c.st.update(r)
+	return w, nil
+}
+
+// A Decompressor reconstructs full records from wire records. It maintains
+// history identical to the Compressor's, so a record stream compresses and
+// decompresses to itself exactly.
+type Decompressor struct {
+	st codecState
+}
+
+// NewDecompressor returns a Decompressor with empty history.
+func NewDecompressor() *Decompressor { return &Decompressor{st: newCodecState()} }
+
+// Decompress reconstructs the full record for w.
+func (d *Decompressor) Decompress(w wireRecord) (*Record, error) {
+	if w.Type.IsComment() {
+		return &Record{Type: Comment, CommentText: w.CommentText}, nil
+	}
+	r := &Record{Type: w.Type, Completion: Ticks(w.Completion)}
+
+	if d.st.any {
+		r.Start = d.st.lastStart + Ticks(w.StartDelta)
+	} else {
+		r.Start = Ticks(w.StartDelta)
+	}
+
+	if w.Comp.Has(NoProcessID) {
+		if !d.st.any {
+			return nil, fmt.Errorf("trace: first record elides process id")
+		}
+		r.ProcessID = d.st.lastPID
+	} else {
+		r.ProcessID = w.ProcessID
+	}
+
+	p := d.st.proc(r.ProcessID)
+
+	if p.hasPTime {
+		r.ProcessTime = p.lastPTime + Ticks(w.ProcTimeDlt)
+	} else {
+		r.ProcessTime = Ticks(w.ProcTimeDlt)
+	}
+
+	if w.Comp.Has(NoFileID) {
+		if !p.hasFile {
+			return nil, fmt.Errorf("trace: process %d elides file id with no history", r.ProcessID)
+		}
+		r.FileID = p.lastFileID
+	} else {
+		r.FileID = w.FileID
+	}
+
+	fs, known := p.files.get(r.FileID)
+	if w.Comp.Has(NoOffset) {
+		if !known {
+			return nil, fmt.Errorf("trace: file %d elides offset with no history", r.FileID)
+		}
+		r.Offset = fs.nextOffset
+	} else {
+		r.Offset = int64(w.Offset)
+		if w.Comp.Has(OffsetInBlocks) {
+			r.Offset *= BlockSize
+		}
+	}
+	if w.Comp.Has(NoLength) {
+		if !known {
+			return nil, fmt.Errorf("trace: file %d elides length with no history", r.FileID)
+		}
+		r.Length = fs.lastLength
+	} else {
+		r.Length = int64(w.Length)
+		if w.Comp.Has(LengthInBlocks) {
+			r.Length *= BlockSize
+		}
+	}
+	if w.Comp.Has(NoOperationID) {
+		if !known {
+			return nil, fmt.Errorf("trace: file %d elides operation id with no history", r.FileID)
+		}
+		r.OperationID = fs.lastOpID
+	} else {
+		r.OperationID = w.OperationID
+	}
+
+	d.st.update(r)
+	return r, nil
+}

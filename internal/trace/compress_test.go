@@ -1,0 +1,371 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// mkRec builds a logical data record with the given identity and shape.
+func mkRec(pid, fid uint32, op uint32, off, ln int64, start, ptime Ticks, write bool) *Record {
+	rt := LogicalRecord
+	if write {
+		rt |= WriteOp
+	}
+	return &Record{
+		Type: rt, ProcessID: pid, FileID: fid, OperationID: op,
+		Offset: off, Length: ln, Start: start, Completion: 2, ProcessTime: ptime,
+	}
+}
+
+// roundTrip compresses then decompresses a whole trace and requires
+// exact reconstruction.
+func roundTrip(t *testing.T, recs []*Record) []wireRecord {
+	t.Helper()
+	c := NewCompressor()
+	d := NewDecompressor()
+	wires := make([]wireRecord, 0, len(recs))
+	for i, r := range recs {
+		w, err := c.Compress(r)
+		if err != nil {
+			t.Fatalf("record %d: compress: %v", i, err)
+		}
+		wires = append(wires, w)
+		got, err := d.Decompress(w)
+		if err != nil {
+			t.Fatalf("record %d: decompress: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Fatalf("record %d: roundtrip mismatch:\n got %+v\nwant %+v", i, got, r)
+		}
+	}
+	return wires
+}
+
+func TestSequentialElidesOffset(t *testing.T) {
+	recs := []*Record{
+		mkRec(1, 1, 1, 0, 4096, 0, 0, false),
+		mkRec(1, 1, 2, 4096, 4096, 100, 50, false), // sequential, same length
+		mkRec(1, 1, 3, 8192, 4096, 200, 100, false),
+	}
+	wires := roundTrip(t, recs)
+	if wires[0].Comp.Has(NoOffset) {
+		t.Error("first access to a file must carry its offset")
+	}
+	for i := 1; i < 3; i++ {
+		if !wires[i].Comp.Has(NoOffset) {
+			t.Errorf("record %d: sequential access should elide offset (comp=%08b)", i, wires[i].Comp)
+		}
+		if !wires[i].Comp.Has(NoLength) {
+			t.Errorf("record %d: repeated length should be elided", i)
+		}
+		if !wires[i].Comp.Has(NoFileID) {
+			t.Errorf("record %d: repeated file should be elided", i)
+		}
+		if !wires[i].Comp.Has(NoProcessID) {
+			t.Errorf("record %d: repeated process should be elided", i)
+		}
+	}
+}
+
+func TestBlockQuantizedFields(t *testing.T) {
+	recs := []*Record{
+		mkRec(1, 1, 1, 3*BlockSize, 8*BlockSize, 0, 0, false),
+		mkRec(1, 1, 2, 100, 513, 10, 5, false), // not block aligned
+	}
+	wires := roundTrip(t, recs)
+	w := wires[0]
+	if !w.Comp.Has(OffsetInBlocks) || w.Offset != 3 {
+		t.Errorf("block-aligned offset should be stored in blocks: comp=%08b off=%d", w.Comp, w.Offset)
+	}
+	if !w.Comp.Has(LengthInBlocks) || w.Length != 8 {
+		t.Errorf("block-aligned length should be stored in blocks: comp=%08b len=%d", w.Comp, w.Length)
+	}
+	w = wires[1]
+	if w.Comp.Has(OffsetInBlocks) || w.Offset != 100 {
+		t.Errorf("unaligned offset must be stored in bytes: comp=%08b off=%d", w.Comp, w.Offset)
+	}
+	if w.Comp.Has(LengthInBlocks) || w.Length != 513 {
+		t.Errorf("unaligned length must be stored in bytes: comp=%08b len=%d", w.Comp, w.Length)
+	}
+}
+
+func TestInterleavedFilesStayCompressed(t *testing.T) {
+	// The paper calls out venus-style interleaved access to several files:
+	// per-file history keeps such traces compressed.
+	var recs []*Record
+	start := Ticks(0)
+	for cycle := 0; cycle < 5; cycle++ {
+		for fid := uint32(1); fid <= 6; fid++ {
+			off := int64(cycle) * 8192
+			recs = append(recs, mkRec(1, fid, uint32(len(recs)+1), off, 8192, start, start/2, false))
+			start += 10
+		}
+	}
+	wires := roundTrip(t, recs)
+	// After the first full cycle, every access is sequential with the
+	// previous access to the same file and repeats its length.
+	for i := 6; i < len(wires); i++ {
+		if !wires[i].Comp.Has(NoOffset) || !wires[i].Comp.Has(NoLength) {
+			t.Errorf("record %d: interleaved sequential access not elided (comp=%08b)", i, wires[i].Comp)
+		}
+	}
+}
+
+func TestOperationIDElision(t *testing.T) {
+	recs := []*Record{
+		mkRec(1, 1, 42, 0, 512, 0, 0, false),
+		mkRec(1, 1, 42, 512, 512, 10, 5, false), // same opId as file's last
+		mkRec(1, 1, 43, 1024, 512, 20, 10, false),
+	}
+	wires := roundTrip(t, recs)
+	if wires[0].Comp.Has(NoOperationID) {
+		t.Error("first record must carry its operation id")
+	}
+	if !wires[1].Comp.Has(NoOperationID) {
+		t.Error("repeated operation id should be elided")
+	}
+	if wires[2].Comp.Has(NoOperationID) {
+		t.Error("changed operation id must be present")
+	}
+}
+
+func TestLRUEvictionForcesFullRecord(t *testing.T) {
+	// Touch MaxOpenFiles+1 distinct files, then revisit the first: its
+	// state must have been evicted, so offset/length/opId are re-emitted,
+	// and the decompressor reconstructs regardless.
+	var recs []*Record
+	start := Ticks(0)
+	for fid := uint32(1); fid <= MaxOpenFiles+1; fid++ {
+		recs = append(recs, mkRec(1, fid, uint32(fid), 0, 4096, start, start, false))
+		start += 10
+	}
+	// Sequential follow-up on file 1 (would elide offset if state survived).
+	recs = append(recs, mkRec(1, 1, 99, 4096, 4096, start, start, false))
+	wires := roundTrip(t, recs)
+	last := wires[len(wires)-1]
+	if last.Comp.Has(NoOffset) || last.Comp.Has(NoLength) || last.Comp.Has(NoOperationID) {
+		t.Errorf("evicted file state must not be elided against (comp=%08b)", last.Comp)
+	}
+}
+
+func TestLRUKeepsHotFiles(t *testing.T) {
+	// Re-touching a file keeps it resident even as cold files stream by.
+	var recs []*Record
+	start := Ticks(0)
+	hotOff := int64(0)
+	add := func(fid uint32, off int64) {
+		recs = append(recs, mkRec(1, fid, uint32(len(recs)+1), off, 4096, start, start, false))
+		start += 10
+	}
+	add(1, hotOff)
+	for fid := uint32(100); fid < 100+MaxOpenFiles-1; fid++ {
+		add(fid, 0)
+		hotOff += 4096
+		add(1, hotOff) // keep file 1 hot; stays sequential
+	}
+	wires := roundTrip(t, recs)
+	// Every second access from index 2 on is the hot file; all sequential.
+	for i := 2; i < len(wires); i += 2 {
+		if !wires[i].Comp.Has(NoOffset) {
+			t.Errorf("hot file access %d lost its history (comp=%08b)", i, wires[i].Comp)
+		}
+	}
+}
+
+func TestPerProcessIndependence(t *testing.T) {
+	// Two processes touch the same fileId value; their histories are
+	// independent (fileIds are unique within a process, per the paper).
+	recs := []*Record{
+		mkRec(1, 7, 1, 0, 512, 0, 0, false),
+		mkRec(2, 7, 1, 9999, 100, 5, 0, true),
+		mkRec(1, 7, 2, 512, 512, 10, 5, false),
+		mkRec(2, 7, 2, 10099, 100, 15, 5, true),
+	}
+	wires := roundTrip(t, recs)
+	if !wires[2].Comp.Has(NoOffset) {
+		t.Error("process 1's sequential access should elide despite process 2's interleaving")
+	}
+	if !wires[3].Comp.Has(NoOffset) {
+		t.Error("process 2's sequential access should elide despite process 1's interleaving")
+	}
+	if wires[1].Comp.Has(NoProcessID) {
+		t.Error("process change must carry the process id")
+	}
+}
+
+func TestOutOfOrderStartRejected(t *testing.T) {
+	c := NewCompressor()
+	if _, err := c.Compress(mkRec(1, 1, 1, 0, 512, 100, 0, false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compress(mkRec(1, 1, 2, 512, 512, 50, 5, false)); err == nil {
+		t.Error("out-of-order start time accepted")
+	}
+}
+
+func TestBackwardProcessClockRejected(t *testing.T) {
+	c := NewCompressor()
+	if _, err := c.Compress(mkRec(1, 1, 1, 0, 512, 0, 100, false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compress(mkRec(1, 1, 2, 512, 512, 10, 50, false)); err == nil {
+		t.Error("backwards process CPU clock accepted")
+	}
+}
+
+func TestInvalidRecordRejected(t *testing.T) {
+	c := NewCompressor()
+	if _, err := c.Compress(&Record{Type: LogicalRecord, Offset: -4}); err == nil {
+		t.Error("invalid record accepted by compressor")
+	}
+}
+
+func TestDecompressorCorruptFlags(t *testing.T) {
+	cases := []wireRecord{
+		{Type: LogicalRecord, Comp: NoProcessID},   // no previous record
+		{Type: LogicalRecord, Comp: NoFileID},      // no per-process history
+		{Type: LogicalRecord, Comp: NoOffset},      // no per-file history
+		{Type: LogicalRecord, Comp: NoLength},      // no per-file history
+		{Type: LogicalRecord, Comp: NoOperationID}, // no per-file history
+	}
+	for i, w := range cases {
+		d := NewDecompressor()
+		if _, err := d.Decompress(w); err == nil {
+			t.Errorf("case %d: corrupt elision flags accepted", i)
+		}
+	}
+}
+
+func TestCommentsDoNotDisturbState(t *testing.T) {
+	c := NewCompressor()
+	d := NewDecompressor()
+	r1 := mkRec(1, 1, 1, 0, 512, 0, 0, false)
+	w1, err := c.Compress(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decompress(w1); err != nil {
+		t.Fatal(err)
+	}
+	cw, err := c.Compress(&Record{Type: Comment, CommentText: "between records"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decompress(cw); err != nil {
+		t.Fatal(err)
+	}
+	// Sequential follow-up must still elide everything.
+	r2 := mkRec(1, 1, 1, 512, 512, 10, 5, false)
+	w2, err := c.Compress(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NoOffset | NoLength | NoOperationID | NoFileID | NoProcessID
+	if w2.Comp != want {
+		t.Errorf("comment disturbed compression state: comp=%08b want %08b", w2.Comp, want)
+	}
+	got, err := d.Decompress(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r2) {
+		t.Errorf("roundtrip after comment mismatch: got %+v want %+v", got, r2)
+	}
+}
+
+// genTrace builds a pseudo-random but valid (time-ordered, per-process
+// monotone CPU clock) trace for property tests.
+func genTrace(seed int64, n int) []*Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]*Record, 0, n)
+	start := Ticks(0)
+	ptime := map[uint32]Ticks{}
+	fileOff := map[[2]uint32]int64{}
+	for i := 0; i < n; i++ {
+		if rng.Intn(20) == 0 {
+			recs = append(recs, &Record{Type: Comment, CommentText: "c"})
+			continue
+		}
+		pid := uint32(1 + rng.Intn(3))
+		fid := uint32(1 + rng.Intn(40)) // > MaxOpenFiles to exercise eviction
+		key := [2]uint32{pid, fid}
+		var off int64
+		switch rng.Intn(3) {
+		case 0: // sequential
+			off = fileOff[key]
+		case 1: // aligned random
+			off = int64(rng.Intn(1<<20)) * BlockSize
+		default: // unaligned random
+			off = int64(rng.Intn(1 << 28))
+		}
+		ln := int64(rng.Intn(1 << 19))
+		if rng.Intn(2) == 0 {
+			ln = (ln / BlockSize) * BlockSize
+		}
+		rt := LogicalRecord
+		if rng.Intn(2) == 0 {
+			rt |= WriteOp
+		}
+		if rng.Intn(4) == 0 {
+			rt |= AsyncOp
+		}
+		start += Ticks(rng.Intn(1000))
+		ptime[pid] += Ticks(rng.Intn(500))
+		recs = append(recs, &Record{
+			Type: rt, ProcessID: pid, FileID: fid,
+			OperationID: uint32(i + 1), Offset: off, Length: ln,
+			Start: start, Completion: Ticks(rng.Intn(2000)),
+			ProcessTime: ptime[pid],
+		})
+		fileOff[key] = off + ln
+	}
+	return recs
+}
+
+func TestPropertyRoundTripRandomTraces(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		recs := genTrace(seed, 2000)
+		c := NewCompressor()
+		d := NewDecompressor()
+		for i, r := range recs {
+			w, err := c.Compress(r)
+			if err != nil {
+				t.Fatalf("seed %d record %d: %v", seed, i, err)
+			}
+			got, err := d.Decompress(w)
+			if err != nil {
+				t.Fatalf("seed %d record %d: %v", seed, i, err)
+			}
+			if !reflect.DeepEqual(got, r) {
+				t.Fatalf("seed %d record %d mismatch:\n got %+v\nwant %+v", seed, i, got, r)
+			}
+		}
+	}
+}
+
+func TestCompressionSavesFieldsOnSequentialTrace(t *testing.T) {
+	// A fully sequential single-file trace should elide nearly every
+	// identity field after the first record: this is the paper's claim
+	// that compression works especially well for supercomputer traces.
+	var recs []*Record
+	off := int64(0)
+	for i := 0; i < 1000; i++ {
+		recs = append(recs, mkRec(1, 1, 1, off, 32768, Ticks(i*10), Ticks(i*5), false))
+		off += 32768
+	}
+	c := NewCompressor()
+	elided := 0
+	for _, r := range recs {
+		w, err := c.Compress(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Comp.Has(NoOffset | NoLength | NoOperationID | NoFileID | NoProcessID) {
+			elided++
+		}
+	}
+	if elided != len(recs)-1 {
+		t.Errorf("fully-elided records = %d, want %d", elided, len(recs)-1)
+	}
+}

@@ -1,0 +1,74 @@
+package trace
+
+import "testing"
+
+func TestEndCommentRoundTrip(t *testing.T) {
+	text := EndComment(123456, 234567)
+	cpu, wall, ok := ParseEndComment(text)
+	if !ok || cpu != 123456 || wall != 234567 {
+		t.Errorf("ParseEndComment(%q) = %v, %v, %v", text, cpu, wall, ok)
+	}
+	bad := []string{
+		"",
+		"end cpu=12",         // missing wall
+		"end cpu=x wall=1",   // bad cpu
+		"end cpu=1 wall=x",   // bad wall
+		"end cpu=-1 wall=1",  // negative
+		"ended cpu=1 wall=2", // wrong prefix
+		"file 3 = /tmp/x",    // different convention
+	}
+	for _, s := range bad {
+		if _, _, ok := ParseEndComment(s); ok {
+			t.Errorf("ParseEndComment(%q) accepted", s)
+		}
+	}
+}
+
+func TestEndTimesWithMarker(t *testing.T) {
+	tr := []*Record{
+		mkRec(1, 1, 1, 0, 512, 10, 5, false),
+		{Type: Comment, CommentText: EndComment(777, 999)},
+	}
+	cpu, wall, ok := EndTimes(tr)
+	if !ok || cpu != 777 || wall != 999 {
+		t.Errorf("EndTimes = %v, %v, %v", cpu, wall, ok)
+	}
+}
+
+func TestEndTimesFallsBackToLastRecord(t *testing.T) {
+	tr := []*Record{
+		mkRec(1, 1, 1, 0, 512, 10, 5, false),
+		mkRec(1, 1, 2, 512, 512, 40, 25, false),
+		{Type: Comment, CommentText: "not an end marker"},
+	}
+	cpu, wall, ok := EndTimes(tr)
+	if ok {
+		t.Error("fallback should report no marker")
+	}
+	if cpu != 25 || wall != 40 {
+		t.Errorf("fallback clocks = %v, %v, want 25, 40", cpu, wall)
+	}
+}
+
+func TestEndTimesEmptyTrace(t *testing.T) {
+	cpu, wall, ok := EndTimes(nil)
+	if ok || cpu != 0 || wall != 0 {
+		t.Errorf("empty EndTimes = %v, %v, %v", cpu, wall, ok)
+	}
+	onlyComments := []*Record{{Type: Comment, CommentText: "x"}}
+	if _, _, ok := EndTimes(onlyComments); ok {
+		t.Error("comment-only trace reported a marker")
+	}
+}
+
+func TestEndCommentPrecedesDataFallback(t *testing.T) {
+	// A marker anywhere in the trace wins over the last record.
+	tr := []*Record{
+		{Type: Comment, CommentText: EndComment(100, 200)},
+		mkRec(1, 1, 1, 0, 512, 10, 5, false),
+	}
+	cpu, wall, ok := EndTimes(tr)
+	if !ok || cpu != 100 || wall != 200 {
+		t.Errorf("EndTimes = %v, %v, %v", cpu, wall, ok)
+	}
+}

@@ -1,0 +1,308 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Format selects the on-disk encoding of a trace stream. Both formats
+// carry the same compressed wire records; they differ only in field
+// serialization.
+type Format int
+
+const (
+	// FormatASCII is the paper's permanent format: variable-length
+	// printed decimal, one record per line, machine independent.
+	FormatASCII Format = iota
+	// FormatBinary is the fixed-width big-endian comparator format.
+	FormatBinary
+	// FormatASCIIRaw is ASCII with compression disabled: every field of
+	// every record is present and absolute times are emitted as deltas
+	// against nothing elided. It exists to measure what the compression
+	// flags buy (a paper-motivated ablation).
+	FormatASCIIRaw
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatASCII:
+		return "ascii"
+	case FormatBinary:
+		return "binary"
+	case FormatASCIIRaw:
+		return "ascii-raw"
+	}
+	return "unknown(" + strconv.Itoa(int(f)) + ")"
+}
+
+// ParseFormat converts a format name ("ascii", "binary", "ascii-raw") to a
+// Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "ascii", "text":
+		return FormatASCII, nil
+	case "binary", "bin":
+		return FormatBinary, nil
+	case "ascii-raw", "raw":
+		return FormatASCIIRaw, nil
+	}
+	return 0, fmt.Errorf("trace: unknown format %q", s)
+}
+
+// A Writer compresses and serializes records to an underlying stream.
+type Writer struct {
+	format Format
+	bw     *bufio.Writer
+	comp   *Compressor
+	buf    []byte
+	n      int64
+}
+
+// NewWriter returns a Writer emitting the given format.
+func NewWriter(w io.Writer, format Format) *Writer {
+	return &Writer{format: format, bw: bufio.NewWriterSize(w, 64<<10), comp: NewCompressor()}
+}
+
+// WriteRecord compresses and writes one record.
+func (w *Writer) WriteRecord(r *Record) error {
+	var wire wireRecord
+	var err error
+	if w.format == FormatASCIIRaw {
+		// Raw mode bypasses elision: validate and emit every field.
+		// Times are still the wire-format deltas so that raw and
+		// compressed streams stay semantically identical.
+		wire, err = w.comp.Compress(r)
+		if err != nil {
+			return err
+		}
+		if !wire.Type.IsComment() {
+			wire = expandWire(wire, r)
+		}
+	} else {
+		wire, err = w.comp.Compress(r)
+		if err != nil {
+			return err
+		}
+	}
+
+	w.buf = w.buf[:0]
+	switch w.format {
+	case FormatASCII, FormatASCIIRaw:
+		w.buf, err = appendASCII(w.buf, wire)
+	case FormatBinary:
+		w.buf, err = appendBinary(w.buf, wire)
+	default:
+		err = fmt.Errorf("trace: unknown format %v", w.format)
+	}
+	if err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// expandWire undoes field elision on a compressed wire record, restoring
+// every field from the full record r.
+func expandWire(wire wireRecord, r *Record) wireRecord {
+	wire.Comp = 0
+	wire.Offset = uint64(r.Offset)
+	wire.Length = uint64(r.Length)
+	wire.OperationID = r.OperationID
+	wire.FileID = r.FileID
+	wire.ProcessID = r.ProcessID
+	return wire
+}
+
+// Comment writes a comment record. The paper used comments to record
+// fileId-to-name correspondences and trace provenance.
+func (w *Writer) Comment(text string) error {
+	return w.WriteRecord(&Record{Type: Comment, CommentText: text})
+}
+
+// Records returns the number of records written so far.
+func (w *Writer) Records() int64 { return w.n }
+
+// Flush writes any buffered data to the underlying stream.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// A Reader parses and decompresses records from an underlying stream.
+type Reader struct {
+	format Format
+	br     *bufio.Reader
+	bin    *binaryDecoder
+	dec    *Decompressor
+	n      int64
+}
+
+// NewReader returns a Reader for the given format.
+func NewReader(r io.Reader, format Format) *Reader {
+	rd := &Reader{format: format, dec: NewDecompressor()}
+	switch format {
+	case FormatBinary:
+		rd.bin = &binaryDecoder{r: bufio.NewReaderSize(r, 64<<10)}
+	default:
+		rd.br = bufio.NewReaderSize(r, 64<<10)
+	}
+	return rd
+}
+
+// ReadRecord returns the next fully reconstructed record, or io.EOF at a
+// clean end of stream.
+func (r *Reader) ReadRecord() (*Record, error) {
+	var wire wireRecord
+	switch r.format {
+	case FormatASCII, FormatASCIIRaw:
+		line, err := r.br.ReadString('\n')
+		if err == io.EOF && line != "" {
+			// Final line without trailing newline is still a record.
+			err = nil
+		} else if err != nil {
+			return nil, err
+		}
+		line = strings.TrimSuffix(line, "\n")
+		wire, err = parseASCII(line)
+		if err != nil {
+			return nil, err
+		}
+	case FormatBinary:
+		var err error
+		wire, err = r.bin.next()
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("trace: unknown format %v", r.format)
+	}
+	rec, err := r.dec.Decompress(wire)
+	if err != nil {
+		return nil, err
+	}
+	r.n++
+	return rec, nil
+}
+
+// Records returns the number of records read so far.
+func (r *Reader) Records() int64 { return r.n }
+
+// WriteAll writes every record of t to w in the given format and flushes.
+func WriteAll(w io.Writer, format Format, t []*Record) error {
+	tw := NewWriter(w, format)
+	for _, rec := range t {
+		if err := tw.WriteRecord(rec); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// ReadAll reads records until EOF. Comment records are included; callers
+// that only want data records should filter with Record.IsComment.
+func ReadAll(r io.Reader, format Format) ([]*Record, error) {
+	tr := NewReader(r, format)
+	var out []*Record
+	for {
+		rec, err := tr.ReadRecord()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// fileNamePrefix is the comment convention for fileId-to-name mappings.
+const fileNamePrefix = "file "
+
+// FileNameComment formats the conventional comment body recording that
+// fileID corresponds to name.
+func FileNameComment(fileID uint32, name string) string {
+	return fileNamePrefix + strconv.FormatUint(uint64(fileID), 10) + " = " + name
+}
+
+// ParseFileNameComment parses a comment body produced by FileNameComment.
+// ok is false when the comment is not a file-name mapping.
+func ParseFileNameComment(text string) (fileID uint32, name string, ok bool) {
+	rest, found := strings.CutPrefix(text, fileNamePrefix)
+	if !found {
+		return 0, "", false
+	}
+	idStr, name, found := strings.Cut(rest, " = ")
+	if !found {
+		return 0, "", false
+	}
+	id, err := strconv.ParseUint(idStr, 10, 32)
+	if err != nil {
+		return 0, "", false
+	}
+	return uint32(id), name, true
+}
+
+// endPrefix is the comment convention recording a process's final CPU and
+// wall clocks. The paper's tracer saw process exits via the standard Cray
+// event packets; this comment carries the same information in-band.
+const endPrefix = "end cpu="
+
+// EndComment formats the conventional trace-end comment.
+func EndComment(cpu, wall Ticks) string {
+	return endPrefix + strconv.FormatInt(int64(cpu), 10) + " wall=" + strconv.FormatInt(int64(wall), 10)
+}
+
+// ParseEndComment parses a comment produced by EndComment. ok is false
+// when the comment is not a trace-end marker.
+func ParseEndComment(text string) (cpu, wall Ticks, ok bool) {
+	rest, found := strings.CutPrefix(text, endPrefix)
+	if !found {
+		return 0, 0, false
+	}
+	cpuStr, wallStr, found := strings.Cut(rest, " wall=")
+	if !found {
+		return 0, 0, false
+	}
+	c, err1 := strconv.ParseInt(cpuStr, 10, 64)
+	w, err2 := strconv.ParseInt(wallStr, 10, 64)
+	if err1 != nil || err2 != nil || c < 0 || w < 0 {
+		return 0, 0, false
+	}
+	return Ticks(c), Ticks(w), true
+}
+
+// EndTimes scans a trace for its end comment. When absent, it falls back
+// to the last record's clocks (ok reports whether a marker was found).
+func EndTimes(t []*Record) (cpu, wall Ticks, ok bool) {
+	for i := len(t) - 1; i >= 0; i-- {
+		r := t[i]
+		if r.IsComment() {
+			if c, w, found := ParseEndComment(r.CommentText); found {
+				return c, w, true
+			}
+			continue
+		}
+		if cpu == 0 && wall == 0 {
+			cpu, wall = r.ProcessTime, r.Start
+		}
+	}
+	return cpu, wall, false
+}
+
+// FileNames scans a trace for file-name mapping comments and returns the
+// fileId-to-name table.
+func FileNames(t []*Record) map[uint32]string {
+	m := make(map[uint32]string)
+	for _, r := range t {
+		if !r.IsComment() {
+			continue
+		}
+		if id, name, ok := ParseFileNameComment(r.CommentText); ok {
+			m[id] = name
+		}
+	}
+	return m
+}

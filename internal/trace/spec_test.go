@@ -1,0 +1,87 @@
+package trace
+
+import "testing"
+
+// TestAppendixConstantValues pins every constant to the exact value the
+// paper's iotrace.h defines. These are wire-format invariants: changing
+// any of them silently breaks compatibility with traces written by other
+// implementations of the format.
+func TestAppendixConstantValues(t *testing.T) {
+	recordType := map[string]struct {
+		got  RecordType
+		want uint16
+	}{
+		"TRACE_FILE_DATA":       {FileData, 0x0},
+		"TRACE_META_DATA":       {MetaData, 0x1},
+		"TRACE_READAHEAD":       {ReadAheadK, 0x2},
+		"TRACE_VIRTUAL_MEM":     {VirtualMem, 0x3},
+		"TRACE_LOGICAL_RECORD":  {LogicalRecord, 0x80},
+		"TRACE_PHYSICAL_RECORD": {PhysicalRecord, 0x00},
+		"TRACE_READ":            {ReadOp, 0x00},
+		"TRACE_WRITE":           {WriteOp, 0x40},
+		"TRACE_SYNC":            {SyncOp, 0x00},
+		"TRACE_ASYNC":           {AsyncOp, 0x08},
+		"TRACE_CACHE_HIT":       {CacheHit, 0x00},
+		"TRACE_CACHE_MISS":      {CacheMiss, 0x20},
+		"TRACE_RA_HIT":          {RAHit, 0x10},
+		"TRACE_RA_MISS":         {RAMiss, 0x00},
+		"TRACE_COMMENT":         {Comment, 0xff},
+	}
+	for name, c := range recordType {
+		if uint16(c.got) != c.want {
+			t.Errorf("%s = %#x, appendix says %#x", name, uint16(c.got), c.want)
+		}
+	}
+
+	compression := map[string]struct {
+		got  Compression
+		want uint16
+	}{
+		"TRACE_OFFSET_IN_BLOCKS": {OffsetInBlocks, 0x01},
+		"TRACE_LENGTH_IN_BLOCKS": {LengthInBlocks, 0x02},
+		"TRACE_NO_LENGTH":        {NoLength, 0x04},
+		"TRACE_NO_PROCESSID":     {NoProcessID, 0x08},
+		"TRACE_NO_OPERATIONID":   {NoOperationID, 0x20},
+		"TRACE_NO_BLOCK":         {NoOffset, 0x40},
+		"TRACE_NO_FILEID":        {NoFileID, 0x80},
+	}
+	for name, c := range compression {
+		if uint16(c.got) != c.want {
+			t.Errorf("%s = %#x, appendix says %#x", name, uint16(c.got), c.want)
+		}
+	}
+
+	if BlockSize != 512 {
+		t.Errorf("TRACE_BLOCK_SIZE = %d, appendix says 512", BlockSize)
+	}
+	if MaxOpenFiles != 32 {
+		t.Errorf("MaxOpenFiles = %d, appendix says 32", MaxOpenFiles)
+	}
+	// Time values are in 10 us units.
+	if TicksPerSecond != 100_000 {
+		t.Errorf("TicksPerSecond = %d, the paper's unit is 10 us", TicksPerSecond)
+	}
+}
+
+// TestFlagBitsDisjoint guards against overlapping bit assignments.
+func TestFlagBitsDisjoint(t *testing.T) {
+	rtBits := []RecordType{LogicalRecord, WriteOp, CacheMiss, RAHit, AsyncOp}
+	var acc RecordType
+	for _, b := range rtBits {
+		if acc&b != 0 {
+			t.Errorf("record-type bit %#x overlaps", uint16(b))
+		}
+		acc |= b
+	}
+	if acc&dataKindMask != 0 {
+		t.Error("flag bits overlap the data-kind field")
+	}
+	compBits := []Compression{OffsetInBlocks, LengthInBlocks, NoLength, NoProcessID, NoOperationID, NoOffset, NoFileID}
+	var cacc Compression
+	for _, b := range compBits {
+		if cacc&b != 0 {
+			t.Errorf("compression bit %#x overlaps", uint16(b))
+		}
+		cacc |= b
+	}
+}

@@ -1,0 +1,185 @@
+// Package workload generates synthetic application I/O traces in the
+// paper's trace format.
+//
+// The original study traced seven production codes on the NASA Ames Cray
+// Y-MP; those traces are long gone. This package is the substitution: a
+// phase-structured workload model whose parameters are calibrated (in
+// internal/apps) to every statistic the paper publishes and to the
+// qualitative structure it describes — iterative cycles, constant per-file
+// request sizes, high sequentiality, bursty demand, interleaved multi-file
+// staging, and the three-way required/checkpoint/swap classification of
+// §5.1.
+package workload
+
+import "fmt"
+
+// IOClass is the paper's three-way classification of application I/O
+// (§5.1): required ("compulsory") I/O reads initial state and writes final
+// results; checkpoint I/O saves restartable state every few iterations;
+// swap I/O shuttles the data set between memory and disk every iteration
+// because memory is too small.
+type IOClass int
+
+const (
+	Required IOClass = iota
+	Checkpoint
+	Swap
+)
+
+func (c IOClass) String() string {
+	switch c {
+	case Required:
+		return "required"
+	case Checkpoint:
+		return "checkpoint"
+	case Swap:
+		return "swap"
+	}
+	return fmt.Sprintf("IOClass(%d)", int(c))
+}
+
+// File describes one file in the model's file set.
+type File struct {
+	Name        string
+	Size        int64 // logical file size in bytes; op cursors wrap at Size
+	RequestSize int64 // the file's (constant) typical request size in bytes
+}
+
+// Op is one I/O stream within a phase cycle: Bytes bytes moved to or from
+// file FileIdx in RequestSize chunks.
+type Op struct {
+	FileIdx int
+	Write   bool
+	Bytes   int64
+	Class   IOClass
+	// Rewind restarts the stream at offset 0 each cycle (re-reading the
+	// same data every iteration, the dominant pattern of §5.3). When
+	// false the cursor continues from the previous cycle, wrapping at
+	// the file size.
+	Rewind bool
+	// Every runs the op only on cycles where cycle%Every == 0 (e.g.
+	// checkpoints every few iterations). Zero means every cycle.
+	Every int
+	// Stride skips Stride bytes after each request (forma's empty
+	// sparse-matrix blocks are skipped rather than read). Zero means
+	// densely sequential.
+	Stride int64
+}
+
+// Phase is a repeated cycle of I/O ops plus compute.
+type Phase struct {
+	Name   string
+	Repeat int  // number of cycles (>= 1)
+	Ops    []Op // the cycle's I/O program
+	// Interleave issues requests round-robin across the cycle's ops
+	// (venus's six interleaved staging files) instead of draining each
+	// op in turn.
+	Interleave bool
+	// CPUPerCycle is the process CPU time one cycle consumes, seconds.
+	CPUPerCycle float64
+	// BurstCPUFrac is the fraction of the cycle's CPU spent *between
+	// I/O requests inside the burst* (the rest is one solid compute
+	// region after the burst). Small values make the paper's sharply
+	// bursty demand; 1.0 spreads I/O evenly through the cycle.
+	BurstCPUFrac float64
+}
+
+// Model is a complete synthetic application.
+type Model struct {
+	Name   string
+	PID    uint32
+	Seed   uint64
+	Files  []File
+	Phases []Phase
+	// Async marks the application as using explicit asynchronous reads
+	// and writes (les was the only traced program that did).
+	Async bool
+	// CPUJitterFrac perturbs per-request compute deltas (deterministic
+	// from Seed) so co-scheduled copies of one model do not run in
+	// artificial lockstep.
+	CPUJitterFrac float64
+}
+
+// TotalCPUSeconds returns the process CPU time the model consumes.
+func (m *Model) TotalCPUSeconds() float64 {
+	var s float64
+	for _, p := range m.Phases {
+		s += float64(p.Repeat) * p.CPUPerCycle
+	}
+	return s
+}
+
+// TotalBytes returns the bytes the model moves, split by direction.
+func (m *Model) TotalBytes() (reads, writes int64) {
+	for _, p := range m.Phases {
+		for _, op := range p.Ops {
+			n := int64(p.Repeat)
+			if op.Every > 1 {
+				n = int64((p.Repeat + op.Every - 1) / op.Every)
+			}
+			if op.Write {
+				writes += n * op.Bytes
+			} else {
+				reads += n * op.Bytes
+			}
+		}
+	}
+	return
+}
+
+// DataSetBytes returns the total size of the model's file set (the
+// paper's "total data size" column).
+func (m *Model) DataSetBytes() int64 {
+	var s int64
+	for _, f := range m.Files {
+		s += f.Size
+	}
+	return s
+}
+
+// Validate checks the model for structural errors.
+func (m *Model) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("workload: model has no name")
+	}
+	if len(m.Files) == 0 {
+		return fmt.Errorf("workload: model %s has no files", m.Name)
+	}
+	for i, f := range m.Files {
+		if f.Size <= 0 {
+			return fmt.Errorf("workload: %s file %d (%s) has size %d", m.Name, i, f.Name, f.Size)
+		}
+		if f.RequestSize <= 0 {
+			return fmt.Errorf("workload: %s file %d (%s) has request size %d", m.Name, i, f.Name, f.RequestSize)
+		}
+		if f.RequestSize > f.Size {
+			return fmt.Errorf("workload: %s file %d (%s) request size %d exceeds file size %d", m.Name, i, f.Name, f.RequestSize, f.Size)
+		}
+	}
+	if len(m.Phases) == 0 {
+		return fmt.Errorf("workload: model %s has no phases", m.Name)
+	}
+	for pi, p := range m.Phases {
+		if p.Repeat < 1 {
+			return fmt.Errorf("workload: %s phase %d repeats %d times", m.Name, pi, p.Repeat)
+		}
+		if p.CPUPerCycle < 0 {
+			return fmt.Errorf("workload: %s phase %d has negative CPU", m.Name, pi)
+		}
+		if p.BurstCPUFrac < 0 || p.BurstCPUFrac > 1 {
+			return fmt.Errorf("workload: %s phase %d burst CPU fraction %v out of [0,1]", m.Name, pi, p.BurstCPUFrac)
+		}
+		for oi, op := range p.Ops {
+			if op.FileIdx < 0 || op.FileIdx >= len(m.Files) {
+				return fmt.Errorf("workload: %s phase %d op %d references file %d of %d", m.Name, pi, oi, op.FileIdx, len(m.Files))
+			}
+			if op.Bytes <= 0 {
+				return fmt.Errorf("workload: %s phase %d op %d moves %d bytes", m.Name, pi, oi, op.Bytes)
+			}
+			if op.Every < 0 || op.Stride < 0 {
+				return fmt.Errorf("workload: %s phase %d op %d has negative Every/Stride", m.Name, pi, oi)
+			}
+		}
+	}
+	return nil
+}

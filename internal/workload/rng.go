@@ -1,0 +1,39 @@
+package workload
+
+// Rand is a small deterministic PRNG (splitmix64). Trace generation must
+// be exactly reproducible from a model's seed so that every experiment,
+// test, and benchmark sees the same synthetic trace; math/rand's global
+// state and version-dependent streams are unsuitable.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next pseudo-random value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Jitter returns a multiplicative factor in [1-f, 1+f].
+func (r *Rand) Jitter(f float64) float64 {
+	return 1 + f*(2*r.Float64()-1)
+}

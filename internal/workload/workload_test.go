@@ -1,0 +1,440 @@
+package workload
+
+import (
+	"testing"
+
+	"iotrace/internal/trace"
+)
+
+// simpleModel returns a minimal two-phase model for generator tests.
+func simpleModel() *Model {
+	return &Model{
+		Name: "test", PID: 5, Seed: 99,
+		Files: []File{
+			{Name: "in", Size: 1 << 20, RequestSize: 64 << 10},
+			{Name: "data", Size: 4 << 20, RequestSize: 128 << 10},
+		},
+		Phases: []Phase{
+			{Name: "init", Repeat: 1, CPUPerCycle: 1,
+				Ops: []Op{{FileIdx: 0, Bytes: 1 << 20, Class: Required, Rewind: true}}},
+			{Name: "iter", Repeat: 3, CPUPerCycle: 2, BurstCPUFrac: 0.5,
+				Ops: []Op{
+					{FileIdx: 1, Bytes: 2 << 20, Class: Swap, Rewind: true},
+					{FileIdx: 1, Write: true, Bytes: 1 << 20, Class: Swap, Rewind: true},
+				}},
+		},
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(8)
+	if a.Uint64() == c.Uint64() {
+		t.Error("different seeds should (almost surely) differ")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %v", v)
+		}
+		if j := r.Jitter(0.25); j < 0.75 || j > 1.25 {
+			t.Fatalf("Jitter out of range: %v", j)
+		}
+	}
+	if r.Jitter(0) != 1 {
+		t.Error("zero jitter should be exactly 1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	recs, err := Generate(simpleModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		prevStart trace.Ticks
+		prevPTime trace.Ticks
+		data      int
+	)
+	for i, r := range recs {
+		if r.IsComment() {
+			continue
+		}
+		data++
+		if err := r.Validate(); err != nil {
+			t.Fatalf("record %d invalid: %v", i, err)
+		}
+		if r.Start < prevStart {
+			t.Fatalf("record %d: wall clock went backwards", i)
+		}
+		if r.ProcessTime < prevPTime {
+			t.Fatalf("record %d: CPU clock went backwards", i)
+		}
+		if r.ProcessTime > r.Start {
+			t.Fatalf("record %d: CPU time %v exceeds wall time %v", i, r.ProcessTime, r.Start)
+		}
+		if r.ProcessID != 5 {
+			t.Fatalf("record %d: pid %d", i, r.ProcessID)
+		}
+		if r.FileID < 1 || r.FileID > 2 {
+			t.Fatalf("record %d: file id %d", i, r.FileID)
+		}
+		prevStart, prevPTime = r.Start, r.ProcessTime
+	}
+	// init: 16 reads; each iter cycle: 16 reads + 8 writes.
+	want := 16 + 3*(16+8)
+	if data != want {
+		t.Errorf("data records = %d, want %d", data, want)
+	}
+}
+
+func TestGenerateCPUBudget(t *testing.T) {
+	m := simpleModel()
+	recs, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, wall, ok := trace.EndTimes(recs)
+	if !ok {
+		t.Fatal("trace missing end comment")
+	}
+	wantCPU := trace.TicksFromSeconds(m.TotalCPUSeconds())
+	// Jitter perturbs per-request deltas but averages out; allow 10%.
+	if diff := float64(cpu-wantCPU) / float64(wantCPU); diff > 0.1 || diff < -0.1 {
+		t.Errorf("trace CPU %v, model budget %v", cpu, wantCPU)
+	}
+	if wall < cpu {
+		t.Errorf("wall %v < cpu %v", wall, cpu)
+	}
+	// Synchronous I/O must add wall-clock time beyond CPU.
+	if wall == cpu {
+		t.Error("sync model should accumulate I/O wait in wall clock")
+	}
+}
+
+func TestGenerateAsyncWallEqualsCPU(t *testing.T) {
+	m := simpleModel()
+	m.Async = true
+	recs, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, wall, _ := trace.EndTimes(recs)
+	if cpu != wall {
+		t.Errorf("async model: wall %v should equal cpu %v (no sync waits)", wall, cpu)
+	}
+	for _, r := range recs {
+		if !r.IsComment() && !r.Type.IsAsync() {
+			t.Fatal("async model emitted a sync record")
+		}
+	}
+}
+
+func TestGenerateSequentialOffsets(t *testing.T) {
+	m := &Model{
+		Name: "seq", PID: 1, Seed: 1,
+		Files: []File{{Name: "f", Size: 1 << 20, RequestSize: 100_000}},
+		Phases: []Phase{{Name: "p", Repeat: 1, CPUPerCycle: 1,
+			Ops: []Op{{FileIdx: 0, Bytes: 950_000, Rewind: true}}}},
+	}
+	recs, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var datas []*trace.Record
+	for _, r := range recs {
+		if !r.IsComment() {
+			datas = append(datas, r)
+		}
+	}
+	// 950000 in 100000 chunks: 9 full + 1 of 50000.
+	if len(datas) != 10 {
+		t.Fatalf("got %d records", len(datas))
+	}
+	off := int64(0)
+	for i, r := range datas {
+		if r.Offset != off {
+			t.Fatalf("record %d: offset %d, want %d", i, r.Offset, off)
+		}
+		want := int64(100_000)
+		if i == 9 {
+			want = 50_000
+		}
+		if r.Length != want {
+			t.Fatalf("record %d: length %d, want %d", i, r.Length, want)
+		}
+		off += r.Length
+	}
+}
+
+func TestGenerateWrapsAtFileSize(t *testing.T) {
+	m := &Model{
+		Name: "wrap", PID: 1, Seed: 1,
+		Files: []File{{Name: "f", Size: 250_000, RequestSize: 100_000}},
+		Phases: []Phase{{Name: "p", Repeat: 1, CPUPerCycle: 1,
+			Ops: []Op{{FileIdx: 0, Bytes: 500_000, Rewind: true}}}},
+	}
+	recs, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.IsComment() {
+			continue
+		}
+		if r.End() > 250_000 {
+			t.Fatalf("record extends past file size: %v", r)
+		}
+	}
+}
+
+func TestGenerateEveryNCycles(t *testing.T) {
+	m := &Model{
+		Name: "every", PID: 1, Seed: 1,
+		Files: []File{
+			{Name: "d", Size: 1 << 20, RequestSize: 1 << 20},
+			{Name: "ck", Size: 1 << 20, RequestSize: 1 << 20},
+		},
+		Phases: []Phase{{Name: "p", Repeat: 10, CPUPerCycle: 1,
+			Ops: []Op{
+				{FileIdx: 0, Bytes: 1 << 20, Rewind: true},
+				{FileIdx: 1, Write: true, Bytes: 1 << 20, Class: Checkpoint, Rewind: true, Every: 3},
+			}}},
+	}
+	recs, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpts := 0
+	for _, r := range recs {
+		if !r.IsComment() && r.FileID == 2 {
+			ckpts++
+		}
+	}
+	// Cycles 0,3,6,9.
+	if ckpts != 4 {
+		t.Errorf("checkpoint writes = %d, want 4", ckpts)
+	}
+}
+
+func TestGenerateStrideSkipsBlocks(t *testing.T) {
+	m := &Model{
+		Name: "stride", PID: 1, Seed: 1,
+		Files: []File{{Name: "f", Size: 1 << 20, RequestSize: 1000}},
+		Phases: []Phase{{Name: "p", Repeat: 1, CPUPerCycle: 1,
+			Ops: []Op{{FileIdx: 0, Bytes: 3000, Rewind: true, Stride: 1000}}}},
+	}
+	recs, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	for _, r := range recs {
+		if !r.IsComment() {
+			offs = append(offs, r.Offset)
+		}
+	}
+	want := []int64{0, 2000, 4000}
+	if len(offs) != len(want) {
+		t.Fatalf("offsets = %v", offs)
+	}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Errorf("offset %d = %d, want %d", i, offs[i], want[i])
+		}
+	}
+}
+
+func TestGenerateInterleaveRoundRobin(t *testing.T) {
+	m := &Model{
+		Name: "il", PID: 1, Seed: 1,
+		Files: []File{
+			{Name: "a", Size: 1 << 20, RequestSize: 1000},
+			{Name: "b", Size: 1 << 20, RequestSize: 1000},
+		},
+		Phases: []Phase{{Name: "p", Repeat: 1, CPUPerCycle: 0, Interleave: true,
+			Ops: []Op{
+				{FileIdx: 0, Bytes: 3000, Rewind: true},
+				{FileIdx: 1, Bytes: 3000, Rewind: true},
+			}}},
+	}
+	recs, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fids []uint32
+	for _, r := range recs {
+		if !r.IsComment() {
+			fids = append(fids, r.FileID)
+		}
+	}
+	want := []uint32{1, 2, 1, 2, 1, 2}
+	if len(fids) != len(want) {
+		t.Fatalf("fids = %v", fids)
+	}
+	for i := range want {
+		if fids[i] != want[i] {
+			t.Fatalf("interleave order wrong: %v", fids)
+		}
+	}
+}
+
+func TestGenerateDrainsSequentiallyWithoutInterleave(t *testing.T) {
+	m := &Model{
+		Name: "noil", PID: 1, Seed: 1,
+		Files: []File{
+			{Name: "a", Size: 1 << 20, RequestSize: 1000},
+			{Name: "b", Size: 1 << 20, RequestSize: 1000},
+		},
+		Phases: []Phase{{Name: "p", Repeat: 1, CPUPerCycle: 0,
+			Ops: []Op{
+				{FileIdx: 0, Bytes: 2000, Rewind: true},
+				{FileIdx: 1, Bytes: 2000, Rewind: true},
+			}}},
+	}
+	recs, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fids []uint32
+	for _, r := range recs {
+		if !r.IsComment() {
+			fids = append(fids, r.FileID)
+		}
+	}
+	want := []uint32{1, 1, 2, 2}
+	for i := range want {
+		if fids[i] != want[i] {
+			t.Fatalf("drain order wrong: %v", fids)
+		}
+	}
+}
+
+func TestModelAccounting(t *testing.T) {
+	m := simpleModel()
+	if got := m.TotalCPUSeconds(); got != 7 {
+		t.Errorf("TotalCPUSeconds = %v, want 7", got)
+	}
+	reads, writes := m.TotalBytes()
+	if reads != (1<<20)+3*(2<<20) || writes != 3*(1<<20) {
+		t.Errorf("TotalBytes = %d, %d", reads, writes)
+	}
+	if m.DataSetBytes() != 5<<20 {
+		t.Errorf("DataSetBytes = %d", m.DataSetBytes())
+	}
+	// Every-N ops count ceil(Repeat/Every) times.
+	m2 := &Model{
+		Name: "e", Files: []File{{Name: "f", Size: 10, RequestSize: 10}},
+		Phases: []Phase{{Repeat: 10, Ops: []Op{{FileIdx: 0, Bytes: 10, Write: true, Every: 3}}}},
+	}
+	_, w := m2.TotalBytes()
+	if w != 40 {
+		t.Errorf("Every=3 over 10 cycles moved %d bytes, want 40", w)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	good := simpleModel()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	cases := map[string]func(*Model){
+		"no name":        func(m *Model) { m.Name = "" },
+		"no files":       func(m *Model) { m.Files = nil },
+		"zero file size": func(m *Model) { m.Files[0].Size = 0 },
+		"zero req size":  func(m *Model) { m.Files[0].RequestSize = 0 },
+		"req > size":     func(m *Model) { m.Files[0].RequestSize = m.Files[0].Size + 1 },
+		"no phases":      func(m *Model) { m.Phases = nil },
+		"zero repeat":    func(m *Model) { m.Phases[0].Repeat = 0 },
+		"neg cpu":        func(m *Model) { m.Phases[0].CPUPerCycle = -1 },
+		"bad burst frac": func(m *Model) { m.Phases[0].BurstCPUFrac = 1.5 },
+		"bad file idx":   func(m *Model) { m.Phases[0].Ops[0].FileIdx = 9 },
+		"zero op bytes":  func(m *Model) { m.Phases[0].Ops[0].Bytes = 0 },
+		"neg every":      func(m *Model) { m.Phases[0].Ops[0].Every = -1 },
+	}
+	for name, mutate := range cases {
+		m := simpleModel()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		if _, err := Generate(m); err == nil {
+			t.Errorf("%s: Generate accepted invalid model", name)
+		}
+	}
+}
+
+func TestPureComputePhase(t *testing.T) {
+	m := &Model{
+		Name: "pc", PID: 1, Seed: 1,
+		Files: []File{{Name: "f", Size: 1000, RequestSize: 1000}},
+		Phases: []Phase{
+			{Name: "io", Repeat: 1, CPUPerCycle: 1,
+				Ops: []Op{{FileIdx: 0, Bytes: 1000, Rewind: true}}},
+			{Name: "tail", Repeat: 1, CPUPerCycle: 5},
+		},
+	}
+	recs, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, _, ok := trace.EndTimes(recs)
+	if !ok {
+		t.Fatal("no end comment")
+	}
+	// The trailing compute must be reflected in the end comment even
+	// though no I/O follows it.
+	if cpu < trace.TicksFromSeconds(5.9) {
+		t.Errorf("end cpu %v does not include the pure-compute phase", cpu)
+	}
+}
+
+func TestIOClassString(t *testing.T) {
+	if Required.String() != "required" || Checkpoint.String() != "checkpoint" || Swap.String() != "swap" {
+		t.Error("IOClass names wrong")
+	}
+	if IOClass(9).String() == "" {
+		t.Error("unknown class should still render")
+	}
+}
+
+func TestGeneratedTraceCompresses(t *testing.T) {
+	// Generated traces must satisfy the codec's ordering invariants and
+	// survive a full compress/decompress roundtrip.
+	recs, err := Generate(simpleModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := trace.NewCompressor()
+	d := trace.NewDecompressor()
+	for i, r := range recs {
+		w, err := c.Compress(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		got, err := d.Decompress(w)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if *got != *r {
+			t.Fatalf("record %d roundtrip mismatch", i)
+		}
+	}
+}
