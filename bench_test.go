@@ -2,7 +2,10 @@
 // ablations DESIGN.md calls out. Each benchmark reports the experiment's
 // key quantities as custom metrics, so `go test -bench=. -benchmem`
 // doubles as the reproduction log (captured into bench_output.txt).
-package iotrace
+//
+// Simulation-backed benchmarks skip under -short so CI can compile and
+// smoke-run the suite without paying for full sweeps.
+package iotrace_test
 
 import (
 	"bytes"
@@ -76,6 +79,7 @@ func BenchmarkFigure4(b *testing.B) {
 // --- Figures 6, 7, 8 ----------------------------------------------------
 
 func BenchmarkFigure6(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		f, err := exp.Figure6Data()
 		if err != nil {
@@ -87,6 +91,7 @@ func BenchmarkFigure6(b *testing.B) {
 }
 
 func BenchmarkFigure7(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		f, err := exp.Figure7Data()
 		if err != nil {
@@ -99,6 +104,7 @@ func BenchmarkFigure7(b *testing.B) {
 }
 
 func BenchmarkFigure8(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		pts, err := exp.Figure8Data(exp.DefaultFigure8Sizes(), exp.DefaultFigure8Blocks())
 		if err != nil {
@@ -115,6 +121,7 @@ func BenchmarkFigure8(b *testing.B) {
 // --- Headlines and ablations --------------------------------------------
 
 func BenchmarkWriteBehindAblation(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		r, err := exp.WriteBehindData()
 		if err != nil {
@@ -127,6 +134,7 @@ func BenchmarkWriteBehindAblation(b *testing.B) {
 }
 
 func BenchmarkSSDUtilization(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.SSDUtilizationData(apps.Names())
 		if err != nil {
@@ -147,6 +155,7 @@ func BenchmarkSSDUtilization(b *testing.B) {
 }
 
 func BenchmarkCacheLocality(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := exp.CacheLocalityData()
 		if err != nil {
@@ -159,6 +168,7 @@ func BenchmarkCacheLocality(b *testing.B) {
 }
 
 func BenchmarkBufferLimitAblation(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		pts, err := exp.BufferLimitData([]int64{16, 64}, []int{0, 8})
 		if err != nil {
@@ -175,6 +185,7 @@ func BenchmarkBufferLimitAblation(b *testing.B) {
 }
 
 func BenchmarkNPlusOne(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		pts, err := exp.NPlusOneData(2)
 		if err != nil {
@@ -187,6 +198,7 @@ func BenchmarkNPlusOne(b *testing.B) {
 }
 
 func BenchmarkQueueingAblation(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		r, err := exp.QueueingAblationData()
 		if err != nil {
@@ -291,6 +303,7 @@ func BenchmarkTraceDecodeASCII(b *testing.B) {
 }
 
 func BenchmarkSimulateVenusPair(b *testing.B) {
+	skipIfShort(b)
 	spec, err := apps.Lookup("venus")
 	if err != nil {
 		b.Fatal(err)
@@ -352,4 +365,12 @@ func itoa(v int64) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// skipIfShort skips simulation-backed benchmarks in short mode.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("simulation benchmark: skipped in -short mode")
+	}
 }

@@ -1,22 +1,26 @@
 // Command iosim runs the paper's buffering simulation over one or more
-// traces (each trace is one process on a shared CPU).
+// traces (each trace is one process on a shared CPU), or sweeps a grid of
+// cache configurations concurrently.
 //
 // Usage:
 //
 //	iosim -cache 32 venus1.trace venus2.trace
 //	iosim -ssd -app venus -copies 2
 //	iosim -cache 128 -wb=false -app venus -copies 2   # the 211s headline
+//	iosim -app venus -copies 2 -sweep 4,8,16,32,64,128,256 -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 
-	"iotrace/internal/core"
-	"iotrace/internal/sim"
+	"iotrace"
 	"iotrace/internal/stats"
 	"iotrace/internal/trace"
 )
@@ -36,12 +40,15 @@ func main() {
 		app      = flag.String("app", "", "simulate copies of a built-in app instead of trace files")
 		copies   = flag.Int("copies", 1, "number of copies of -app")
 		series   = flag.Bool("series", false, "print disk-traffic chart")
+		sweep    = flag.String("sweep", "", "comma-separated cache sizes in MB: sweep instead of a single run")
+		blocks   = flag.String("sweepblocks", "", "comma-separated block sizes in KB for -sweep (default: -block)")
+		workers  = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	cfg := sim.DefaultConfig()
+	cfg := iotrace.DefaultConfig()
 	if *ssd {
-		cfg = sim.SSDConfig()
+		cfg = iotrace.SSDConfig()
 	}
 	cfg.CacheBytes = *cacheMB << 20
 	cfg.BlockBytes = *blockKB << 10
@@ -52,27 +59,49 @@ func main() {
 	cfg.QuantumTicks = trace.TicksFromSeconds(*quantum / 1000)
 	cfg.DiskQueueing = *queueing
 
-	w := &core.Workload{}
+	w := &iotrace.Workload{}
 	switch {
 	case *app != "":
 		if err := w.Add(*app, *copies); err != nil {
 			fatal(err)
 		}
 	case flag.NArg() > 0:
+		f, err := iotrace.ParseFormat(*format)
+		if err != nil {
+			fatal(err)
+		}
 		for _, path := range flag.Args() {
-			recs, err := core.LoadTraceFile(path, *format)
-			if err != nil {
-				fatal(err)
-			}
 			name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-			w.AddTrace(name, recs)
+			if *warm {
+				// Warming scans whole traces up front, so materialize.
+				recs, err := iotrace.LoadTraceFile(path, *format)
+				if err != nil {
+					fatal(err)
+				}
+				w.AddTrace(name, recs)
+				continue
+			}
+			// Streamed: records are pulled on demand, and re-read per
+			// sweep scenario, never materialized.
+			w.AddTraceStream(name, iotrace.ReadTraceFile(path, f))
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "usage: iosim [flags] trace...  or  iosim [flags] -app venus -copies 2")
 		os.Exit(2)
 	}
 
-	res, err := w.Simulate(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *sweep != "" {
+		if *series {
+			fmt.Fprintln(os.Stderr, "iosim: -series is ignored in -sweep mode (charts are per-run)")
+		}
+		runSweep(ctx, w, cfg, *sweep, *blocks, *blockKB, *workers)
+		return
+	}
+
+	res, err := w.SimulateContext(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -106,6 +135,50 @@ func main() {
 		fmt.Println("disk writes (MB/s over wall time):")
 		fmt.Print(stats.Sparkline(write, 80, 8))
 	}
+}
+
+// runSweep expands the -sweep/-sweepblocks axes over the base config and
+// executes them on the facade's worker pool.
+func runSweep(ctx context.Context, w *iotrace.Workload, base iotrace.Config, sweepMB, sweepKB string, blockKB int64, workers int) {
+	caches, err := parseInt64List(sweepMB)
+	if err != nil {
+		fatal(fmt.Errorf("-sweep: %w", err))
+	}
+	blocks := []int64{blockKB}
+	if sweepKB != "" {
+		if blocks, err = parseInt64List(sweepKB); err != nil {
+			fatal(fmt.Errorf("-sweepblocks: %w", err))
+		}
+	}
+	grid := iotrace.Grid{Base: &base, CacheMB: caches, BlockKB: blocks}
+	results, swErr := w.Sweep(ctx, grid.Scenarios(), workers)
+	// On cancellation Sweep still returns every finished scenario, so
+	// print the partial table before exiting non-zero.
+	fmt.Printf("%-24s %10s %10s %12s %10s\n", "scenario", "wall (s)", "idle (s)", "utilization", "hit ratio")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("%-24s error: %v\n", r.Scenario.Name, r.Err)
+			continue
+		}
+		fmt.Printf("%-24s %10.1f %10.1f %11.2f%% %10.3f\n",
+			r.Scenario.Name, r.Result.WallSeconds(), r.Result.IdleSeconds(),
+			100*r.Result.Utilization(), r.Result.Cache.ReadHitRatio())
+	}
+	if swErr != nil {
+		fatal(swErr)
+	}
+}
+
+func parseInt64List(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func mbps(bins []float64) []float64 {

@@ -2,6 +2,9 @@
 // merges multiple single-process traces into one time-ordered stream
 // (the form multi-process analyses consume).
 //
+// Plain conversion streams record by record — arbitrarily large traces
+// convert in constant memory. Merging must sort, so it materializes.
+//
 // Usage:
 //
 //	traceconv -in ascii -out binary venus.trace venus.bin
@@ -12,9 +15,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 
-	"iotrace/internal/core"
+	"iotrace"
 	"iotrace/internal/trace"
 )
 
@@ -26,6 +30,15 @@ func main() {
 	)
 	flag.Parse()
 
+	inF, err := iotrace.ParseFormat(*inFormat)
+	if err != nil {
+		fatal(err)
+	}
+	outF, err := iotrace.ParseFormat(*outFormat)
+	if err != nil {
+		fatal(err)
+	}
+
 	args := flag.Args()
 	if *merge {
 		if len(args) < 3 {
@@ -35,7 +48,7 @@ func main() {
 		outPath, inPaths := args[0], args[1:]
 		var all []*trace.Record
 		for _, path := range inPaths {
-			recs, err := core.LoadTraceFile(path, *inFormat)
+			recs, err := iotrace.LoadTraceFile(path, *inFormat)
 			if err != nil {
 				fatal(err)
 			}
@@ -57,7 +70,7 @@ func main() {
 		}
 		sort.SliceStable(data, func(a, b int) bool { return data[a].Start < data[b].Start })
 		merged := append(comments, data...)
-		if err := core.SaveTraceFile(outPath, *outFormat, merged); err != nil {
+		if err := iotrace.SaveTraceFile(outPath, *outFormat, merged); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("merged %d inputs: %d records (%d comments) -> %s\n",
@@ -69,12 +82,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: traceconv [-in f] [-out f] INPUT OUTPUT")
 		os.Exit(2)
 	}
-	recs, err := core.LoadTraceFile(args[0], *inFormat)
-	if err != nil {
-		fatal(err)
-	}
-	if err := core.SaveTraceFile(args[1], *outFormat, recs); err != nil {
-		fatal(err)
+	// Record-by-record streaming conversion: decode -> re-encode without
+	// ever holding the trace in memory. Converting a file onto itself
+	// would truncate the input before it is read, so that case buffers.
+	var n int64
+	if samePath(args[0], args[1]) {
+		recs, err := iotrace.Materialize(iotrace.ReadTraceFile(args[0], inF))
+		if err != nil {
+			fatal(err)
+		}
+		if n, err = iotrace.WriteTraceFile(args[1], outF, iotrace.RecordSeq(recs)); err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		n, err = iotrace.WriteTraceFile(args[1], outF, iotrace.ReadTraceFile(args[0], inF))
+		if err != nil {
+			fatal(err)
+		}
 	}
 	inInfo, err := os.Stat(args[0])
 	if err != nil {
@@ -84,8 +109,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s (%s, %d bytes) -> %s (%s, %d bytes)\n",
-		args[0], *inFormat, inInfo.Size(), args[1], *outFormat, outInfo.Size())
+	fmt.Printf("%s (%s, %d bytes) -> %s (%s, %d bytes), %d records streamed\n",
+		args[0], *inFormat, inInfo.Size(), args[1], *outFormat, outInfo.Size(), n)
+}
+
+// samePath reports whether two paths name the same file (by identity
+// when both exist, by cleaned path otherwise).
+func samePath(a, b string) bool {
+	if filepath.Clean(a) == filepath.Clean(b) {
+		return true
+	}
+	ai, err1 := os.Stat(a)
+	bi, err2 := os.Stat(b)
+	return err1 == nil && err2 == nil && os.SameFile(ai, bi)
 }
 
 func fatal(err error) {

@@ -14,9 +14,7 @@ import (
 	"os"
 	"strings"
 
-	"iotrace/internal/apps"
-	"iotrace/internal/core"
-	"iotrace/internal/workload"
+	"iotrace"
 )
 
 func main() {
@@ -31,32 +29,33 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, name := range apps.Names() {
-			spec, _ := apps.Lookup(name)
-			fmt.Printf("%-8s %s\n", name, spec.Paper.Description)
+		for _, name := range iotrace.Apps() {
+			desc, _ := iotrace.AppDescription(name)
+			fmt.Printf("%-8s %s\n", name, desc)
 		}
 		return
 	}
 
-	spec, err := apps.Lookup(*app)
+	f, err := iotrace.ParseFormat(*format)
 	if err != nil {
 		fatal(err)
 	}
-	s := *seed
-	if s == 0 {
-		s = apps.DefaultSeed(*app)
+	opts := []iotrace.Option{iotrace.App(*app, 1), iotrace.FirstPID(uint32(*pid))}
+	if *seed != 0 {
+		opts = append(opts, iotrace.Seed(*seed))
 	}
-	m := spec.Build(s, uint32(*pid))
-	recs, err := workload.Generate(m)
+	w, err := iotrace.New(opts...)
 	if err != nil {
 		fatal(err)
 	}
+	recs := w.Procs[0].Records
 
 	path := *out
 	if path == "" {
 		path = *app + ".trace"
 	}
-	if err := core.SaveTraceFile(path, *format, recs); err != nil {
+	n, err := iotrace.WriteTraceFile(path, f, iotrace.RecordSeq(recs))
+	if err != nil {
 		fatal(err)
 	}
 	data := 0
@@ -70,7 +69,7 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s: %d records (%d data) in %s format, %d bytes\n",
-		path, len(recs), data, strings.ToLower(*format), fi.Size())
+		path, n, data, strings.ToLower(*format), fi.Size())
 }
 
 func fatal(err error) {

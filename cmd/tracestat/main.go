@@ -2,6 +2,9 @@
 // does: Table 1/2 statistics, the per-file breakdown with I/O-class
 // attribution, sequentiality, and cycle detection.
 //
+// The base tables are computed in one streaming pass per file: traces are
+// never materialized unless -files or -series need record-level reruns.
+//
 // Usage:
 //
 //	tracestat venus.trace
@@ -15,8 +18,8 @@ import (
 	"path/filepath"
 	"strings"
 
+	"iotrace"
 	"iotrace/internal/analysis"
-	"iotrace/internal/core"
 	"iotrace/internal/stats"
 	"iotrace/internal/trace"
 )
@@ -32,16 +35,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: tracestat [-format f] [-files] [-series] trace...")
 		os.Exit(2)
 	}
+	f, err := iotrace.ParseFormat(*format)
+	if err != nil {
+		fatal(err)
+	}
 
 	fmt.Println(analysis.Table1Header())
-	var all []*analysis.Stats
+	var all []*iotrace.Stats
 	for _, path := range flag.Args() {
-		recs, err := core.LoadTraceFile(path, *format)
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		s, err := iotrace.CharacterizeSeq(name, iotrace.ReadTraceFile(path, f))
 		if err != nil {
 			fatal(err)
 		}
-		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		s := analysis.Compute(name, recs)
 		all = append(all, s)
 		fmt.Println(analysis.Table1Row(s))
 	}
@@ -55,7 +61,7 @@ func main() {
 		s := all[i]
 		fmt.Printf("\n-- %s: %.0f%% sequential, %.0f%% async --\n",
 			s.Name, 100*s.SeqFraction(), 100*s.AsyncFraction())
-		recs, err := core.LoadTraceFile(path, *format)
+		recs, err := iotrace.LoadTraceFile(path, *format)
 		if err != nil {
 			fatal(err)
 		}

@@ -7,9 +7,39 @@
 // write-behind, main-memory and SSD cache tiers, and the paper's
 // no-queueing disk model.
 //
-// The public surface lives in internal/core (library facade),
-// internal/exp (per-table/figure reproduction harness), the cmd/ tools,
-// and the examples/ programs. bench_test.go in this directory regenerates
-// every table and figure as a benchmark; see DESIGN.md for the system
-// inventory and EXPERIMENTS.md for measured-vs-paper results.
+// This package is the public facade — the single entry point for every
+// consumer. It offers three layers:
+//
+//   - Workloads. New builds a workload from functional options: built-in
+//     paper applications (App), externally supplied traces (Trace), and
+//     streamed traces (TraceStream), with deterministic seeding (Seed).
+//     Workloads characterize (§5 statistics) and simulate (§6 buffering).
+//
+//   - Streams. ReadRecords/WriteRecords and ReadTraceFile/WriteTraceFile
+//     move records through iter.Seq2 iterators, so traces flow from disk
+//     through characterization and into the simulator without ever being
+//     materialized as a whole slice; WithContext threads cancellation
+//     through long runs.
+//
+//   - Sweeps. A Scenario grid (Grid expands the paper's Figure 8 axes:
+//     cache size, block size, tier, read-ahead/write-behind) executes on
+//     a bounded worker pool via Workload.Sweep, with per-scenario
+//     deterministic seeds and results independent of worker count.
+//
+// A downstream user's typical session:
+//
+//	w, _ := iotrace.New(iotrace.App("venus", 2)) // two copies of venus
+//	stats, _ := w.Characterize()                 // Table 1/2 statistics
+//	res, _ := w.Simulate(iotrace.DefaultConfig())
+//	grid := iotrace.Grid{CacheMB: []int64{4, 8, 16, 32, 64, 128, 256}}
+//	sweep, _ := w.Sweep(ctx, grid.Scenarios(), 4) // Figure 8, 4 workers
+//
+// Everything is deterministic: the same options always produce the same
+// traces, simulations, and statistics, and a sweep's results do not
+// depend on the number of workers.
+//
+// The supporting layers live in internal/ (trace format, workload
+// generation, simulator, analyses, experiment harness); see DESIGN.md for
+// the package inventory. bench_test.go in this directory regenerates
+// every table and figure of the paper as a benchmark.
 package iotrace

@@ -11,9 +11,8 @@ import (
 	"fmt"
 	"log"
 
+	"iotrace"
 	"iotrace/internal/analysis"
-	"iotrace/internal/core"
-	"iotrace/internal/sim"
 	"iotrace/internal/workload"
 )
 
@@ -55,10 +54,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	w := &core.Workload{}
-	w.AddTrace("planned", recs)
-	cfg := sim.DefaultConfig()
+	cfg := iotrace.DefaultConfig()
 	cfg.CacheBytes = 256 << 20
+	w, err := iotrace.New(iotrace.Trace("planned", recs))
+	if err != nil {
+		log.Fatal(err)
+	}
 	res, err := w.Simulate(cfg)
 	if err != nil {
 		log.Fatal(err)

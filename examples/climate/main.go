@@ -9,10 +9,9 @@ import (
 	"fmt"
 	"log"
 
+	"iotrace"
 	"iotrace/internal/analysis"
-	"iotrace/internal/core"
 	"iotrace/internal/cray"
-	"iotrace/internal/sim"
 )
 
 func main() {
@@ -28,15 +27,18 @@ func main() {
 
 	fmt.Println("I/O intensity vs memory footprint (§3):")
 	fmt.Println(analysis.Table1Header())
-	stats := map[string]*analysis.Stats{}
+	stats := map[string]*iotrace.Stats{}
 	for _, m := range models {
-		w, err := core.NewWorkload(m.name, 1)
+		w, err := iotrace.New(iotrace.App(m.name, 1))
 		if err != nil {
 			log.Fatal(err)
 		}
-		s := w.Characterize()[0]
-		stats[m.name] = s
-		fmt.Println(analysis.Table1Row(s))
+		sts, err := w.Characterize()
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats[m.name] = sts[0]
+		fmt.Println(analysis.Table1Row(sts[0]))
 	}
 	fmt.Println()
 
@@ -76,8 +78,11 @@ func main() {
 	// cache; gcm does not.
 	fmt.Println("solo run in a 16 MB main-memory cache:")
 	for _, m := range models {
-		w, _ := core.NewWorkload(m.name, 1)
-		cfg := sim.DefaultConfig()
+		w, err := iotrace.New(iotrace.App(m.name, 1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := iotrace.DefaultConfig()
 		cfg.CacheBytes = 16 << 20
 		res, err := w.Simulate(cfg)
 		if err != nil {

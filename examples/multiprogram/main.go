@@ -8,12 +8,11 @@ import (
 	"fmt"
 	"log"
 
-	"iotrace/internal/core"
-	"iotrace/internal/sim"
+	"iotrace"
 )
 
-func run(copies int, cfg sim.Config) (*sim.Result, error) {
-	w, err := core.NewWorkload("venus", copies)
+func run(copies int, cfg iotrace.Config) (*iotrace.Result, error) {
+	w, err := iotrace.New(iotrace.App("venus", copies))
 	if err != nil {
 		return nil, err
 	}
@@ -24,13 +23,13 @@ func main() {
 	fmt.Println("CPU utilization vs resident venus copies:")
 	fmt.Printf("%8s %22s %22s\n", "copies", "8 MB disk cache", "32 MW SSD share")
 	for copies := 1; copies <= 3; copies++ {
-		disk := sim.DefaultConfig()
+		disk := iotrace.DefaultConfig()
 		disk.CacheBytes = 8 << 20
 		d, err := run(copies, disk)
 		if err != nil {
 			log.Fatal(err)
 		}
-		s, err := run(copies, sim.SSDConfig())
+		s, err := run(copies, iotrace.SSDConfig())
 		if err != nil {
 			log.Fatal(err)
 		}

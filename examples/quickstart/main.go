@@ -6,29 +6,32 @@ import (
 	"fmt"
 	"log"
 
+	"iotrace"
 	"iotrace/internal/analysis"
-	"iotrace/internal/core"
-	"iotrace/internal/sim"
 )
 
 func main() {
 	// 1. Generate two copies of the paper's venus workload: the Venus
 	// atmosphere model that stages 16.7 GB through six small files.
-	w, err := core.NewWorkload("venus", 2)
+	w, err := iotrace.New(iotrace.App("venus", 2))
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// 2. Characterize: the Table 1 statistics of §5.
+	stats, err := w.Characterize()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println(analysis.Table1Header())
-	for _, s := range w.Characterize() {
+	for _, s := range stats {
 		fmt.Println(analysis.Table1Row(s))
 	}
 	fmt.Println()
 
 	// 3. Simulate both copies on one CPU with a 128 MB cache, with and
 	// without write-behind (§6.2's headline: 211 s of idle become 1 s).
-	cfg := sim.DefaultConfig()
+	cfg := iotrace.DefaultConfig()
 	cfg.CacheBytes = 128 << 20
 
 	cfg.WriteBehind = false

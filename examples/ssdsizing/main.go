@@ -3,44 +3,55 @@
 // paper's answer: main-memory caches are too small to matter, a 32 MW
 // share gets nearly every application over 99% — "provide as much SSD
 // storage as possible, and maintain a smaller main memory cache".
+//
+// The share axis runs as one concurrent sweep on the facade's worker
+// pool; results are deterministic regardless of worker count.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"iotrace/internal/core"
+	"iotrace"
 	"iotrace/internal/cray"
-	"iotrace/internal/sim"
 )
 
 func main() {
 	// The job mix: one staging-heavy climate model plus one moderate one.
-	mix := func() *core.Workload {
-		w := &core.Workload{}
-		if err := w.Add("venus", 1); err != nil {
-			log.Fatal(err)
-		}
-		if err := w.Add("ccm", 1); err != nil {
-			log.Fatal(err)
-		}
-		return w
+	w, err := iotrace.New(iotrace.App("venus", 1), iotrace.App("ccm", 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One scenario per candidate share, swept concurrently.
+	shares := []int{1, 2, 4, 8, 16, 32, 64}
+	var scens []iotrace.Scenario
+	for _, mw := range shares {
+		cfg := iotrace.SSDConfig()
+		cfg.CacheBytes = cray.MWToBytes(mw)
+		scens = append(scens, iotrace.Scenario{
+			Name:   fmt.Sprintf("%d MW", mw),
+			Config: cfg,
+		})
+	}
+	results, err := w.Sweep(context.Background(), scens, 4)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Println("CPU utilization for {venus, ccm} vs per-processor SSD share:")
 	fmt.Printf("%12s %12s %10s %10s\n", "share", "utilization", "idle (s)", "hit ratio")
 	var chosenMW int
-	for _, mw := range []int{1, 2, 4, 8, 16, 32, 64} {
-		cfg := sim.SSDConfig()
-		cfg.CacheBytes = cray.MWToBytes(mw)
-		res, err := mix().Simulate(cfg)
-		if err != nil {
-			log.Fatal(err)
+	for i, r := range results {
+		if r.Err != nil {
+			log.Fatal(r.Err)
 		}
-		fmt.Printf("%9d MW %11.2f%% %10.1f %10.3f\n",
-			mw, 100*res.Utilization(), res.IdleSeconds(), res.Cache.ReadHitRatio())
+		res := r.Result
+		fmt.Printf("%12s %11.2f%% %10.1f %10.3f\n",
+			r.Scenario.Name, 100*res.Utilization(), res.IdleSeconds(), res.Cache.ReadHitRatio())
 		if chosenMW == 0 && res.Utilization() > 0.99 {
-			chosenMW = mw
+			chosenMW = shares[i]
 		}
 	}
 	if chosenMW > 0 {
@@ -49,9 +60,9 @@ func main() {
 
 	// The §6.4 contrast: the largest defensible main-memory cache (4 MW
 	// of a 16 MW allotment) still cannot do what the SSD does.
-	cfg := sim.DefaultConfig()
+	cfg := iotrace.DefaultConfig()
 	cfg.CacheBytes = cray.MWToBytes(4)
-	res, err := mix().Simulate(cfg)
+	res, err := w.Simulate(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,85 @@
+// Sweep: the Figure 8 methodology as a library call. A declarative grid
+// over the paper's buffering axes — cache size, block size, write-behind —
+// expands into scenarios that run concurrently on a bounded worker pool,
+// with results independent of worker count. The workload itself is
+// assembled from a generated application plus a trace streamed from disk
+// (written first, then re-read per scenario without ever being held in
+// memory), and the whole run is cancellable through a context.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"time"
+
+	"iotrace"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Stage a les trace on disk: the explicit-async large-eddy
+	// simulation, streamed out record by record.
+	dir, err := os.MkdirTemp("", "iotrace-sweep")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	lesPath := filepath.Join(dir, "les.trace")
+	les, err := iotrace.AppRecords("les", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := iotrace.WriteTraceFile(lesPath, iotrace.FormatASCII, iotrace.RecordSeq(les))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("staged %d les records to %s\n\n", n, lesPath)
+
+	// The workload: one generated venus copy co-scheduled with the
+	// staged les trace. ReadTraceFile re-opens the file every time a
+	// scenario replays it, so the stream is never materialized. The
+	// staged trace carries pid 1, so it comes first and venus (whose pid
+	// counts up from its position) gets pid 2.
+	w, err := iotrace.New(
+		iotrace.TraceStream("les", iotrace.ReadTraceFile(lesPath, iotrace.FormatASCII)),
+		iotrace.App("venus", 1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The grid: cache size x write-behind, 4 KB blocks. 8 scenarios.
+	grid := iotrace.Grid{
+		CacheMB:     []int64{8, 32, 128, 256},
+		WriteBehind: []bool{true, false},
+	}
+	scens := grid.Scenarios()
+	fmt.Printf("sweeping %d scenarios on 4 workers (ctrl-C cancels):\n", len(scens))
+
+	start := time.Now()
+	results, swErr := w.Sweep(ctx, scens, 4)
+	// A cancelled sweep still returns every finished scenario; print
+	// what completed before reporting the cancellation.
+	fmt.Printf("%-24s %10s %10s %12s\n", "scenario", "wall (s)", "idle (s)", "utilization")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("%-24s error: %v\n", r.Scenario.Name, r.Err)
+			continue
+		}
+		fmt.Printf("%-24s %10.1f %10.1f %11.2f%%\n",
+			r.Scenario.Name, r.Result.WallSeconds(), r.Result.IdleSeconds(),
+			100*r.Result.Utilization())
+	}
+	if swErr != nil {
+		log.Fatal(swErr)
+	}
+	fmt.Printf("\n%d scenarios in %.1f s wall\n", len(results), time.Since(start).Seconds())
+	fmt.Println("write-behind on keeps idle near zero once the cache covers the staging files;")
+	fmt.Println("write-through pays the full disk latency at every cache size (§6.2)")
+}

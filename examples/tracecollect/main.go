@@ -12,19 +12,18 @@ import (
 	"fmt"
 	"log"
 
+	"iotrace"
 	"iotrace/internal/analysis"
 	"iotrace/internal/collect"
-	"iotrace/internal/core"
-	"iotrace/internal/trace"
 )
 
 func main() {
 	// The "running application": a generated ccm instance.
-	w, err := core.NewWorkload("ccm", 1)
+	w, err := iotrace.New(iotrace.App("ccm", 1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	var calls []*trace.Record
+	var calls []*iotrace.Record
 	for _, r := range w.Procs[0].Records {
 		if !r.IsComment() {
 			calls = append(calls, r)
@@ -44,9 +43,16 @@ func main() {
 	fmt.Printf("reconstruction buffered at most %d records between flushes\n",
 		rebuild.MaxBuffered)
 
-	// The reconstructed stream analyzes identically to the original.
-	orig := analysis.Compute("original", calls)
-	rec := analysis.Compute("rebuilt", rebuilt)
+	// The reconstructed stream analyzes identically to the original —
+	// checked in one streaming pass each.
+	orig, err := iotrace.CharacterizeSeq("original", iotrace.RecordSeq(calls))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := iotrace.CharacterizeSeq("rebuilt", iotrace.RecordSeq(rebuilt))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
 	fmt.Println(analysis.Table1Header())
 	fmt.Println(analysis.Table1Row(orig))
@@ -54,11 +60,11 @@ func main() {
 
 	// And lands in the permanent format, compressed.
 	var ascii bytes.Buffer
-	if err := trace.WriteAll(&ascii, trace.FormatASCII, rebuilt); err != nil {
+	if _, err := iotrace.WriteRecords(&ascii, iotrace.FormatASCII, iotrace.RecordSeq(rebuilt)); err != nil {
 		log.Fatal(err)
 	}
 	var raw bytes.Buffer
-	if err := trace.WriteAll(&raw, trace.FormatASCIIRaw, rebuilt); err != nil {
+	if _, err := iotrace.WriteRecords(&raw, iotrace.FormatASCIIRaw, iotrace.RecordSeq(rebuilt)); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\npermanent ASCII trace: %d bytes (%.0f%% of uncompressed)\n",

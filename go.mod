@@ -1,0 +1,3 @@
+module iotrace
+
+go 1.23

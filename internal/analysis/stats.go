@@ -95,54 +95,108 @@ type Stats struct {
 
 // Compute characterizes a trace. The name labels report rows.
 func Compute(name string, recs []*trace.Record) *Stats {
-	s := &Stats{Name: name, Files: make(map[uint32]*FileStats)}
-	names := trace.FileNames(recs)
-	pids := map[uint32]bool{}
+	a := NewAccumulator(name)
 	for _, r := range recs {
-		if r.IsComment() {
-			continue
-		}
-		s.Records++
-		pids[r.ProcessID] = true
-		f := s.Files[r.FileID]
-		if f == nil {
-			f = &FileStats{FileID: r.FileID, Name: names[r.FileID], FirstIO: r.ProcessTime}
-			s.Files[r.FileID] = f
-		}
-		if r.Type.IsWrite() {
-			s.WriteCount++
-			s.WriteBytes += r.Length
-			f.WriteCount++
-			f.WriteBytes += r.Length
-		} else {
-			s.ReadCount++
-			s.ReadBytes += r.Length
-			f.ReadCount++
-			f.ReadBytes += r.Length
-		}
-		if r.Type.IsAsync() {
-			s.AsyncCount++
-		}
-		s.SizeHist.Add(r.Length)
-		f.sizeHist.Add(r.Length)
-		if f.touched && (r.Offset == f.lastEnd || (r.Offset == 0 && f.lastEnd >= f.MaxEnd)) {
-			// Sequential, or a wrap back to the start after reaching the
-			// file's high-water mark (the §5.3 re-read pattern).
-			s.SeqCount++
-			f.SeqCount++
-		}
-		f.lastEnd = r.End()
-		f.touched = true
-		if r.End() > f.MaxEnd {
-			f.MaxEnd = r.End()
-		}
-		f.LastIO = r.ProcessTime
+		a.Add(r)
 	}
-	s.CPUTicks, s.WallTicks, _ = trace.EndTimes(recs)
-	for pid := range pids {
+	return a.Finish()
+}
+
+// Accumulator characterizes a trace incrementally, one record at a time,
+// so streamed traces can be analyzed without materializing them. Feed
+// every record (comments included — they carry file names and end-of-run
+// clocks) to Add, then call Finish.
+type Accumulator struct {
+	s     *Stats
+	names map[uint32]string
+	pids  map[uint32]bool
+
+	// End-of-run clocks: the last end comment wins; the last data record
+	// is the fallback (the same convention trace.EndTimes applies).
+	endCPU, endWall   Ticks
+	endSeen           bool
+	lastCPU, lastWall Ticks
+}
+
+// Ticks aliases the trace package's time unit for the accumulator fields.
+type Ticks = trace.Ticks
+
+// NewAccumulator returns an empty accumulator. The name labels report
+// rows.
+func NewAccumulator(name string) *Accumulator {
+	return &Accumulator{
+		s:     &Stats{Name: name, Files: make(map[uint32]*FileStats)},
+		names: make(map[uint32]string),
+		pids:  make(map[uint32]bool),
+	}
+}
+
+// Add folds one record into the accumulated statistics.
+func (a *Accumulator) Add(r *trace.Record) {
+	s := a.s
+	if r.IsComment() {
+		if id, name, ok := trace.ParseFileNameComment(r.CommentText); ok {
+			a.names[id] = name
+		}
+		if cpu, wall, ok := trace.ParseEndComment(r.CommentText); ok {
+			a.endCPU, a.endWall, a.endSeen = cpu, wall, true
+		}
+		return
+	}
+	a.lastCPU, a.lastWall = r.ProcessTime, r.Start
+	s.Records++
+	a.pids[r.ProcessID] = true
+	f := s.Files[r.FileID]
+	if f == nil {
+		f = &FileStats{FileID: r.FileID, FirstIO: r.ProcessTime}
+		s.Files[r.FileID] = f
+	}
+	if r.Type.IsWrite() {
+		s.WriteCount++
+		s.WriteBytes += r.Length
+		f.WriteCount++
+		f.WriteBytes += r.Length
+	} else {
+		s.ReadCount++
+		s.ReadBytes += r.Length
+		f.ReadCount++
+		f.ReadBytes += r.Length
+	}
+	if r.Type.IsAsync() {
+		s.AsyncCount++
+	}
+	s.SizeHist.Add(r.Length)
+	f.sizeHist.Add(r.Length)
+	if f.touched && (r.Offset == f.lastEnd || (r.Offset == 0 && f.lastEnd >= f.MaxEnd)) {
+		// Sequential, or a wrap back to the start after reaching the
+		// file's high-water mark (the §5.3 re-read pattern).
+		s.SeqCount++
+		f.SeqCount++
+	}
+	f.lastEnd = r.End()
+	f.touched = true
+	if r.End() > f.MaxEnd {
+		f.MaxEnd = r.End()
+	}
+	f.LastIO = r.ProcessTime
+}
+
+// Finish resolves file names and end-of-run clocks and returns the
+// statistics. The accumulator must not be used afterwards.
+func (a *Accumulator) Finish() *Stats {
+	s := a.s
+	for id, f := range s.Files {
+		f.Name = a.names[id]
+	}
+	if a.endSeen {
+		s.CPUTicks, s.WallTicks = a.endCPU, a.endWall
+	} else {
+		s.CPUTicks, s.WallTicks = a.lastCPU, a.lastWall
+	}
+	for pid := range a.pids {
 		s.PIDs = append(s.PIDs, pid)
 	}
-	sort.Slice(s.PIDs, func(a, b int) bool { return s.PIDs[a] < s.PIDs[b] })
+	sort.Slice(s.PIDs, func(x, y int) bool { return s.PIDs[x] < s.PIDs[y] })
 	return s
 }
 

@@ -9,13 +9,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
+	"iotrace"
 	"iotrace/internal/apps"
 	"iotrace/internal/sim"
 	"iotrace/internal/stats"
 	"iotrace/internal/trace"
-	"iotrace/internal/workload"
 )
 
 // Report is a rendered experiment outcome.
@@ -29,51 +28,20 @@ func (r *Report) String() string {
 	return fmt.Sprintf("== %s: %s ==\n%s", r.ID, r.Title, r.Text)
 }
 
-// traceCache memoizes generated traces: experiments and benchmarks reuse
-// the same deterministic inputs.
-var traceCache = struct {
-	sync.Mutex
-	m map[string][]*trace.Record
-}{m: make(map[string][]*trace.Record)}
-
-// appTrace returns the trace of one instance of app (instance 0 is the
-// default seed; higher instances shift seed and pid for co-scheduling).
+// appTrace returns the trace of one instance of app via the public
+// facade, which memoizes generation (instance 0 is the default seed;
+// higher instances shift seed and pid for co-scheduling).
 func appTrace(app string, instance int) ([]*trace.Record, error) {
-	key := fmt.Sprintf("%s/%d", app, instance)
-	traceCache.Lock()
-	defer traceCache.Unlock()
-	if recs, ok := traceCache.m[key]; ok {
-		return recs, nil
-	}
-	spec, err := apps.Lookup(app)
-	if err != nil {
-		return nil, err
-	}
-	m := spec.Build(apps.DefaultSeed(app)+uint64(instance), uint32(instance+1))
-	recs, err := workload.Generate(m)
-	if err != nil {
-		return nil, err
-	}
-	traceCache.m[key] = recs
-	return recs, nil
+	return iotrace.AppRecords(app, instance)
 }
 
-// runPair simulates n copies of app under cfg.
+// runCopies simulates n copies of app under cfg via the public facade.
 func runCopies(app string, n int, cfg sim.Config) (*sim.Result, error) {
-	s, err := sim.New(cfg)
+	w, err := iotrace.New(iotrace.App(app, n))
 	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < n; i++ {
-		recs, err := appTrace(app, i)
-		if err != nil {
-			return nil, err
-		}
-		if err := s.AddProcess(fmt.Sprintf("%s(%d)", app, i+1), recs); err != nil {
-			return nil, err
-		}
-	}
-	return s.Run()
+	return w.Simulate(cfg)
 }
 
 // renderSeries renders an MB/s series as a labelled ASCII chart limited

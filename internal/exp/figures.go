@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"iotrace"
 	"iotrace/internal/analysis"
 	"iotrace/internal/sim"
 	"iotrace/internal/trace"
@@ -170,25 +172,33 @@ func DefaultFigure8Sizes() []int64 { return []int64{4, 8, 16, 32, 64, 128, 256} 
 // DefaultFigure8Blocks returns the paper's block sizes.
 func DefaultFigure8Blocks() []int64 { return []int64{4, 8} }
 
-// Figure8Data sweeps cache and block size for two venus copies.
+// Figure8Data sweeps cache and block size for two venus copies. The grid
+// runs concurrently on the facade's sweep worker pool; results are
+// deterministic regardless of worker count.
 func Figure8Data(sizesMB, blocksKB []int64) ([]Figure8Point, error) {
-	var out []Figure8Point
-	for _, bk := range blocksKB {
-		for _, mb := range sizesMB {
-			cfg := sim.DefaultConfig()
-			cfg.CacheBytes = mb << 20
-			cfg.BlockBytes = bk << 10
-			res, err := runCopies("venus", 2, cfg)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Figure8Point{
-				CacheMB: mb, BlockKB: bk,
-				IdleSec:  res.IdleSeconds(),
-				WallSec:  res.WallSeconds(),
-				HitRatio: res.Cache.ReadHitRatio(),
-			})
+	if len(sizesMB) == 0 || len(blocksKB) == 0 {
+		return nil, nil
+	}
+	w, err := iotrace.New(iotrace.App("venus", 2))
+	if err != nil {
+		return nil, err
+	}
+	grid := iotrace.Grid{CacheMB: sizesMB, BlockKB: blocksKB}
+	results, err := w.Sweep(context.Background(), grid.Scenarios(), 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Figure8Point, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("%s: %w", r.Scenario.Name, r.Err)
 		}
+		out = append(out, Figure8Point{
+			CacheMB: r.Scenario.Config.CacheBytes >> 20, BlockKB: r.Scenario.Config.BlockBytes >> 10,
+			IdleSec:  r.Result.IdleSeconds(),
+			WallSec:  r.Result.WallSeconds(),
+			HitRatio: r.Result.Cache.ReadHitRatio(),
+		})
 	}
 	return out, nil
 }

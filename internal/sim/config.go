@@ -192,7 +192,12 @@ func (c *Config) hitCost(size int64) trace.Ticks {
 		us := c.SSDDev.SetupMicros + float64(size)/c.SSDDev.BytesPerMicrosec
 		return trace.TicksFromMicroseconds(int64(us))
 	default:
-		// Main-memory copy at ~2 GB/s.
-		return trace.TicksFromMicroseconds(size / 2048)
+		// Main-memory copy at ~2 GB/s, rounded up: a hit always costs at
+		// least one tick, so sub-block copies are not free.
+		t := trace.TicksFromMicrosecondsCeil((size + 2047) / 2048)
+		if t < 1 {
+			t = 1
+		}
+		return t
 	}
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"iotrace/internal/trace"
@@ -87,7 +88,7 @@ func runDiskAccess(t *testing.T, cfg Config, n int, write bool) (*Simulator, []t
 		})
 	}
 	// Drain events manually (no processes registered).
-	s.runEvents()
+	s.runEvents(context.Background())
 	return s, completions
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 
 	"iotrace/internal/trace"
 )
@@ -43,14 +44,26 @@ func (s *Simulator) schedule(dt trace.Ticks, fn func()) {
 	heap.Push(&s.events, &event{at: s.now + dt, seq: s.seq, fn: fn})
 }
 
-// runEvents drains the event queue. It returns false if the queue empties
+// runEvents drains the event queue. It returns false if the run failed
+// (streaming-source error, context cancellation) or the queue empties
 // while processes are still unfinished (a stall, indicating a simulator
 // bug or an unsatisfiable configuration).
-func (s *Simulator) runEvents() bool {
-	for s.events.Len() > 0 {
+func (s *Simulator) runEvents(ctx context.Context) bool {
+	const ctxCheckInterval = 1 << 12
+	n := 0
+	for s.err == nil && s.events.Len() > 0 {
+		if n++; n%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				s.fail(err)
+				return false
+			}
+		}
 		e := heap.Pop(&s.events).(*event)
 		s.now = e.at
 		e.fn()
+	}
+	if s.err != nil {
+		return false
 	}
 	for _, p := range s.procs {
 		if !p.done {

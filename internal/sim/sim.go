@@ -1,22 +1,116 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"iter"
 	"sort"
 
 	"iotrace/internal/stats"
 	"iotrace/internal/trace"
 )
 
+// recordFeed supplies one process's data records in order with one-record
+// lookahead. The pull source may be a materialized slice or a streaming
+// reader; either way the feed filters comments, validates pid consistency
+// and process-time monotonicity, and learns the process's total CPU demand
+// (from the end-comment convention, or the last record) by the time the
+// source drains.
+type recordFeed struct {
+	name string
+	cur  *trace.Record // record awaiting issue (nil = process exhausted)
+	nxt  *trace.Record // one-record lookahead
+	pull func() (*trace.Record, error, bool)
+	stop func() // releases a pull-based source; nil for slices
+
+	pid     uint32
+	started bool
+	lastCPU trace.Ticks
+	endCmt  trace.Ticks // CPU clock from an end comment, when seen
+	endCPU  trace.Ticks // total CPU demand; valid once the source drains
+}
+
+// refill advances the source until nxt holds the next data record or the
+// source is exhausted (at which point endCPU becomes valid).
+func (f *recordFeed) refill() error {
+	f.nxt = nil
+	for f.pull != nil {
+		r, err, ok := f.pull()
+		if !ok {
+			f.close()
+			return nil
+		}
+		if err != nil {
+			f.close()
+			return fmt.Errorf("sim: trace %s: %w", f.name, err)
+		}
+		if r.IsComment() {
+			if cpu, _, ok := trace.ParseEndComment(r.CommentText); ok && cpu > f.endCmt {
+				f.endCmt = cpu
+			}
+			continue
+		}
+		if !f.started {
+			f.pid = r.ProcessID
+			f.started = true
+		} else {
+			if r.ProcessID != f.pid {
+				f.close()
+				return fmt.Errorf("sim: trace %s mixes pids %d and %d", f.name, f.pid, r.ProcessID)
+			}
+			if r.ProcessTime < f.lastCPU {
+				f.close()
+				return fmt.Errorf("sim: trace %s has non-monotone process time", f.name)
+			}
+		}
+		f.lastCPU = r.ProcessTime
+		f.nxt = r
+		return nil
+	}
+	return nil
+}
+
+// step consumes the current record and refills the lookahead.
+func (f *recordFeed) step() error {
+	f.cur = f.nxt
+	if f.cur == nil {
+		return nil
+	}
+	return f.refill()
+}
+
+// prime positions the feed on the first data record.
+func (f *recordFeed) prime() error {
+	if err := f.refill(); err != nil {
+		return err
+	}
+	if f.nxt == nil {
+		return fmt.Errorf("sim: trace %s has no data records", f.name)
+	}
+	return f.step()
+}
+
+// close releases the source and finalizes the process's CPU demand.
+func (f *recordFeed) close() {
+	if f.stop != nil {
+		f.stop()
+		f.stop = nil
+	}
+	f.pull = nil
+	f.endCPU = f.endCmt
+	if f.lastCPU > f.endCPU {
+		f.endCPU = f.lastCPU
+	}
+}
+
 // proc is one traced process being replayed.
 type proc struct {
 	pid  uint32
 	name string
-	recs []*trace.Record // data records in process-CPU order
+	feed *recordFeed
+	all  []*trace.Record // materialized data records (nil for streamed procs)
 
-	idx         int         // next record to issue
 	computeLeft trace.Ticks // CPU time to burn before the next action
-	endCPU      trace.Ticks // total CPU the process consumes
 
 	done         bool
 	cpu          int // CPU currently running this process (-1 when not running)
@@ -123,6 +217,7 @@ type Simulator struct {
 	busy      trace.Ticks
 	switches  int64
 	maxFinish trace.Ticks
+	err       error // first mid-run failure (streaming source error, cancellation)
 
 	cache        *cache
 	front        *frontCache
@@ -156,8 +251,9 @@ func New(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
-// AddProcess registers one trace as a process. Traces must carry distinct
-// process ids; records must be in nondecreasing process-CPU order.
+// AddProcess registers one materialized trace as a process. Traces must
+// carry distinct process ids; records must be in nondecreasing process-CPU
+// order. The whole trace is validated up front.
 func (s *Simulator) AddProcess(name string, recs []*trace.Record) error {
 	var data []*trace.Record
 	var pid uint32
@@ -182,36 +278,97 @@ func (s *Simulator) AddProcess(name string, recs []*trace.Record) error {
 	if len(data) == 0 {
 		return fmt.Errorf("sim: trace %s has no data records", name)
 	}
+	// The feed serves the already-validated data records; its end-of-run
+	// clock is seeded from the trace's end comment here, so the slice is
+	// not filtered a second time during the run.
+	endCPU, _, _ := trace.EndTimes(recs)
+	i := 0
+	feed := &recordFeed{name: name, endCmt: endCPU, pull: func() (*trace.Record, error, bool) {
+		if i >= len(data) {
+			return nil, nil, false
+		}
+		r := data[i]
+		i++
+		return r, nil, true
+	}}
+	return s.addFeed(name, feed, data)
+}
+
+// AddProcessSeq registers one streaming trace as a process. Records are
+// pulled on demand as the simulation replays them, so the trace is never
+// materialized; validation errors beyond the first record surface from
+// Run rather than here. Incompatible with Config.WarmCache (which must
+// scan the whole trace before the run starts).
+func (s *Simulator) AddProcessSeq(name string, seq iter.Seq2[*trace.Record, error]) error {
+	next, stop := iter.Pull2(seq)
+	feed := &recordFeed{name: name, stop: stop, pull: func() (*trace.Record, error, bool) {
+		return next()
+	}}
+	return s.addFeed(name, feed, nil)
+}
+
+// addFeed primes a feed and registers it as a process.
+func (s *Simulator) addFeed(name string, feed *recordFeed, all []*trace.Record) error {
+	if err := feed.prime(); err != nil {
+		feed.close()
+		return err
+	}
 	for _, p := range s.procs {
-		if p.pid == pid {
-			return fmt.Errorf("sim: duplicate pid %d (%s and %s)", pid, p.name, name)
+		if p.pid == feed.pid {
+			feed.close()
+			return fmt.Errorf("sim: duplicate pid %d (%s and %s)", feed.pid, p.name, name)
 		}
 	}
-	endCPU, _, _ := trace.EndTimes(recs)
-	if endCPU < last {
-		endCPU = last
-	}
 	s.procs = append(s.procs, &proc{
-		pid: pid, name: name, recs: data, endCPU: endCPU,
+		pid: feed.pid, name: name, feed: feed, all: all,
 		cpu: -1, lastEnd: make(map[uint32]int64),
 	})
 	return nil
 }
 
+// fail aborts the run with err (first failure wins).
+func (s *Simulator) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Close releases the streaming sources (pull iterators, underlying
+// files) of every registered process. It is idempotent; RunContext
+// closes automatically, so Close matters only when a simulator is
+// abandoned before running — e.g. when a later AddProcess fails.
+func (s *Simulator) Close() {
+	for _, p := range s.procs {
+		p.feed.close()
+	}
+}
+
 // Run executes the simulation to completion.
 func (s *Simulator) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the simulation to completion, aborting with the
+// context's error if it is cancelled mid-run.
+func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
+	defer s.Close()
 	if len(s.procs) == 0 {
 		return nil, fmt.Errorf("sim: no processes")
 	}
 	if s.cfg.WarmCache {
-		s.warmCache()
+		if err := s.warmCache(); err != nil {
+			return nil, err
+		}
 	}
 	for _, p := range s.procs {
-		p.computeLeft = p.recs[0].ProcessTime
+		p.computeLeft = p.feed.cur.ProcessTime
 		s.ready = append(s.ready, p)
 	}
 	s.dispatch()
-	if ok := s.runEvents(); !ok {
+	if ok := s.runEvents(ctx); !ok {
+		if s.err != nil {
+			return nil, s.err
+		}
 		return nil, fmt.Errorf("sim: stalled at %v with unfinished processes (configuration cannot make progress)", s.now)
 	}
 	return s.result(), nil
@@ -219,12 +376,16 @@ func (s *Simulator) Run() (*Result, error) {
 
 // warmCache preloads every block the traces will touch, oldest files
 // first, until the cache fills — the steady-state option for data sets
-// that live in the SSD.
-func (s *Simulator) warmCache() {
+// that live in the SSD. It must scan whole traces before the run, so it
+// requires materialized (AddProcess) processes.
+func (s *Simulator) warmCache() error {
 	seen := map[uint32]int64{}
 	var order []uint32
 	for _, p := range s.procs {
-		for _, r := range p.recs {
+		if p.all == nil {
+			return fmt.Errorf("sim: WarmCache requires materialized traces (process %s was added as a stream)", p.name)
+		}
+		for _, r := range p.all {
 			if _, ok := seen[r.FileID]; !ok {
 				order = append(order, r.FileID)
 			}
@@ -237,11 +398,12 @@ func (s *Simulator) warmCache() {
 		nBlocks := (seen[f] + s.cfg.BlockBytes - 1) / s.cfg.BlockBytes
 		for i := int64(0); i < nBlocks; i++ {
 			if !s.cache.acquire(0, 1) {
-				return // cache full
+				return nil // cache full
 			}
 			s.cache.insert(blockKey{f, i}, 0, false, false, int64(s.now))
 		}
 	}
+	return nil
 }
 
 // --- CPU scheduling -------------------------------------------------
@@ -299,7 +461,8 @@ func (s *Simulator) sliceEnd(p *proc, slice trace.Ticks) {
 
 // action issues the process's next I/O, or retires the process.
 func (s *Simulator) action(p *proc) {
-	if p.idx >= len(p.recs) {
+	r := p.feed.cur
+	if r == nil {
 		p.done = true
 		p.finishAt = s.now
 		if s.now > s.maxFinish {
@@ -309,22 +472,25 @@ func (s *Simulator) action(p *proc) {
 		s.dispatch()
 		return
 	}
-	r := p.recs[p.idx]
 	// File-system code runs on the CPU before the request reaches the
 	// cache — the overhead that § 3 says penalized bvi's small requests.
 	s.busy += s.cfg.FSCallTicks
 	s.schedule(s.cfg.FSCallTicks, func() { s.doIO(p, r) })
 }
 
-// advance sets up the compute burst that follows record idx.
+// advance consumes the current record and sets up the compute burst that
+// follows it. A streaming-source failure aborts the run.
 func (s *Simulator) advance(p *proc) {
-	r := p.recs[p.idx]
-	p.idx++
+	r := p.feed.cur
+	if err := p.feed.step(); err != nil {
+		s.fail(err)
+		return
+	}
 	var next trace.Ticks
-	if p.idx < len(p.recs) {
-		next = p.recs[p.idx].ProcessTime - r.ProcessTime
+	if n := p.feed.cur; n != nil {
+		next = n.ProcessTime - r.ProcessTime
 	} else {
-		next = p.endCPU - r.ProcessTime
+		next = p.feed.endCPU - r.ProcessTime
 	}
 	if next < 0 {
 		next = 0

@@ -46,6 +46,10 @@ func TicksFromSeconds(s float64) Ticks {
 // zero; the paper's resolution argument is that 10 us suffices for I/O).
 func TicksFromMicroseconds(us int64) Ticks { return Ticks(us / 10) }
 
+// TicksFromMicrosecondsCeil converts microseconds to Ticks, rounding up,
+// for costs that must never truncate to free.
+func TicksFromMicrosecondsCeil(us int64) Ticks { return Ticks((us + 9) / 10) }
+
 func (t Ticks) String() string {
 	return fmt.Sprintf("%.5fs", t.Seconds())
 }

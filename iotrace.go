@@ -1,0 +1,123 @@
+package iotrace
+
+import (
+	"sync"
+
+	"iotrace/internal/analysis"
+	"iotrace/internal/apps"
+	"iotrace/internal/sim"
+	"iotrace/internal/trace"
+	"iotrace/internal/workload"
+)
+
+// Core types of the library, re-exported so consumers only import this
+// package. The aliases are the same types the internal packages use, so
+// values flow freely across the facade boundary.
+type (
+	// Record is one trace record (a logical or physical I/O, or a
+	// comment). See internal/trace for field semantics.
+	Record = trace.Record
+	// Ticks is the paper's time unit: one tick is 10 microseconds.
+	Ticks = trace.Ticks
+	// Format selects a trace encoding: FormatASCII, FormatBinary, or
+	// FormatASCIIRaw.
+	Format = trace.Format
+	// Config parameterizes one simulation run; start from DefaultConfig
+	// or SSDConfig.
+	Config = sim.Config
+	// Result is the outcome of one simulation run.
+	Result = sim.Result
+	// Tier selects what the simulated cache models: MainMemory or SSD.
+	Tier = sim.Tier
+	// Stats is the §5 characterization of one trace.
+	Stats = analysis.Stats
+)
+
+// Cache tiers (Config.Tier).
+const (
+	MainMemory = sim.MainMemory
+	SSD        = sim.SSD
+)
+
+// Trace encodings.
+const (
+	FormatASCII    = trace.FormatASCII
+	FormatBinary   = trace.FormatBinary
+	FormatASCIIRaw = trace.FormatASCIIRaw
+)
+
+// DefaultConfig returns the baseline §6 configuration: 32 MB main-memory
+// cache, 4 KB blocks, read-ahead and write-behind on.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// SSDConfig returns the §6.3 configuration: the cache is one processor's
+// share of the solid-state disk.
+func SSDConfig() Config { return sim.SSDConfig() }
+
+// ParseFormat converts a format name ("ascii", "binary", "ascii-raw") to
+// a Format.
+func ParseFormat(s string) (Format, error) { return trace.ParseFormat(s) }
+
+// Apps lists the built-in paper applications (bvi, ccm, forma, gcm, les,
+// upw, venus).
+func Apps() []string { return apps.Names() }
+
+// AppDescription returns the one-line description of a built-in
+// application.
+func AppDescription(app string) (string, error) {
+	spec, err := apps.Lookup(app)
+	if err != nil {
+		return "", err
+	}
+	return spec.Paper.Description, nil
+}
+
+// DefaultSeed returns the stable per-application generator seed used when
+// no Seed option is given.
+func DefaultSeed(app string) uint64 { return apps.DefaultSeed(app) }
+
+// genKey identifies one deterministic generated trace.
+type genKey struct {
+	app  string
+	seed uint64
+	pid  uint32
+}
+
+// genCache memoizes generated traces: workloads, sweeps, and experiments
+// reuse the same deterministic inputs, and generation is pure, so cached
+// slices are shared (callers treat them as read-only).
+var genCache = struct {
+	sync.Mutex
+	m map[genKey][]*Record
+}{m: make(map[genKey][]*Record)}
+
+// generate returns the memoized trace of one application instance.
+func generate(app string, seed uint64, pid uint32) ([]*Record, error) {
+	key := genKey{app, seed, pid}
+	genCache.Lock()
+	defer genCache.Unlock()
+	if recs, ok := genCache.m[key]; ok {
+		return recs, nil
+	}
+	spec, err := apps.Lookup(app)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := workload.Generate(spec.Build(seed, pid))
+	if err != nil {
+		return nil, err
+	}
+	genCache.m[key] = recs
+	return recs, nil
+}
+
+// AppRecords returns the trace of one instance of a built-in application.
+// Instance 0 uses the application's default seed; higher instances shift
+// seed and pid so co-scheduled copies do not run in lockstep. The
+// returned slice is memoized and shared — treat it as read-only.
+func AppRecords(app string, instance int) ([]*Record, error) {
+	if instance < 0 {
+		return nil, errNegativeInstance(instance)
+	}
+	return generate(app, apps.DefaultSeed(app)+uint64(instance), uint32(instance+1))
+}

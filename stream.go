@@ -1,0 +1,187 @@
+package iotrace
+
+import (
+	"context"
+	"io"
+	"iter"
+	"os"
+
+	"iotrace/internal/analysis"
+	"iotrace/internal/trace"
+)
+
+// ReadRecords returns a streaming iterator over the records of an encoded
+// trace. Records are decoded one at a time as the caller ranges; an
+// encoding error is yielded once as the final pair and the stream stops.
+// The iterator is single-use: it consumes r.
+func ReadRecords(r io.Reader, format Format) iter.Seq2[*Record, error] {
+	return func(yield func(*Record, error) bool) {
+		tr := trace.NewReader(r, format)
+		for {
+			rec, err := tr.ReadRecord()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !yield(rec, nil) {
+				return
+			}
+		}
+	}
+}
+
+// ReadTraceFile returns a streaming iterator over the records of a trace
+// file. The file is opened when the caller starts ranging and closed when
+// ranging stops, so the iterator is re-iterable: every range replays the
+// file from the start. That makes it suitable for TraceStream processes
+// that are both characterized and simulated, and for sweeps that replay
+// one stream under many configurations.
+func ReadTraceFile(path string, format Format) iter.Seq2[*Record, error] {
+	return func(yield func(*Record, error) bool) {
+		f, err := os.Open(path)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		defer f.Close()
+		for rec, err := range ReadRecords(f, format) {
+			if !yield(rec, err) {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
+}
+
+// WriteRecords encodes a record stream to w in the given format and
+// flushes. It returns the number of records written. A yielded stream
+// error or an encoding error stops the write.
+func WriteRecords(w io.Writer, format Format, recs iter.Seq2[*Record, error]) (int64, error) {
+	tw := trace.NewWriter(w, format)
+	for rec, err := range recs {
+		if err != nil {
+			return tw.Records(), err
+		}
+		if err := tw.WriteRecord(rec); err != nil {
+			return tw.Records(), err
+		}
+	}
+	return tw.Records(), tw.Flush()
+}
+
+// WriteTraceFile streams records into a newly created trace file.
+func WriteTraceFile(path string, format Format, recs iter.Seq2[*Record, error]) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := WriteRecords(f, format, recs)
+	if err != nil {
+		f.Close()
+		return n, err
+	}
+	return n, f.Close()
+}
+
+// RecordSeq adapts a materialized record slice to the streaming iterator
+// form. The result is re-iterable.
+func RecordSeq(recs []*Record) iter.Seq2[*Record, error] {
+	return func(yield func(*Record, error) bool) {
+		for _, r := range recs {
+			if !yield(r, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Materialize collects a record stream into a slice, stopping at the
+// first yielded error.
+func Materialize(recs iter.Seq2[*Record, error]) ([]*Record, error) {
+	var out []*Record
+	for r, err := range recs {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// WithContext threads cancellation through a record stream: once ctx is
+// cancelled, the stream yields ctx's error and stops. Long loads,
+// characterizations, and simulations driven by the returned stream
+// therefore stop promptly when the caller gives up.
+func WithContext(ctx context.Context, recs iter.Seq2[*Record, error]) iter.Seq2[*Record, error] {
+	return func(yield func(*Record, error) bool) {
+		for rec, err := range recs {
+			if cerr := ctx.Err(); cerr != nil && err == nil {
+				yield(nil, cerr)
+				return
+			}
+			if !yield(rec, err) {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
+}
+
+// CharacterizeSeq computes §5 trace statistics from a record stream in
+// one pass, without materializing the trace.
+func CharacterizeSeq(name string, recs iter.Seq2[*Record, error]) (*Stats, error) {
+	a := analysis.NewAccumulator(name)
+	for rec, err := range recs {
+		if err != nil {
+			return nil, err
+		}
+		a.Add(rec)
+	}
+	return a.Finish(), nil
+}
+
+// SaveTrace writes a materialized trace to w in the named format
+// ("ascii", "binary", "ascii-raw").
+func SaveTrace(w io.Writer, format string, recs []*Record) error {
+	f, err := ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	_, err = WriteRecords(w, f, RecordSeq(recs))
+	return err
+}
+
+// LoadTrace reads a whole trace from r in the named format.
+func LoadTrace(r io.Reader, format string) ([]*Record, error) {
+	f, err := ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	return Materialize(ReadRecords(r, f))
+}
+
+// SaveTraceFile writes a materialized trace to path.
+func SaveTraceFile(path, format string, recs []*Record) error {
+	f, err := ParseFormat(format)
+	if err != nil {
+		return err
+	}
+	_, err = WriteTraceFile(path, f, RecordSeq(recs))
+	return err
+}
+
+// LoadTraceFile reads a whole trace from path.
+func LoadTraceFile(path, format string) ([]*Record, error) {
+	f, err := ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	return Materialize(ReadTraceFile(path, f))
+}

@@ -1,0 +1,216 @@
+package iotrace_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"iotrace"
+	"iotrace/internal/analysis"
+)
+
+// renderResult is a stable, comparison-friendly rendering of everything a
+// simulation result reports.
+func renderResult(res *iotrace.Result) string {
+	return fmt.Sprintf("%v|wall=%d busy=%d idle=%d sw=%d|cache=%+v|disk=%+v|procs=%+v|front=%v",
+		res, res.WallTicks, res.BusyTicks, res.IdleTicks, res.Switches,
+		res.Cache, res.Disk, res.Procs, res.FrontHitRatio)
+}
+
+func TestStreamRoundTripMatchesSliceLoading(t *testing.T) {
+	recs, err := iotrace.AppRecords("venus", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []iotrace.Format{iotrace.FormatASCII, iotrace.FormatBinary, iotrace.FormatASCIIRaw} {
+		var buf bytes.Buffer
+		n, err := iotrace.WriteRecords(&buf, format, iotrace.RecordSeq(recs))
+		if err != nil {
+			t.Fatalf("%v: %v", format, err)
+		}
+		if n != int64(len(recs)) {
+			t.Fatalf("%v: wrote %d of %d records", format, n, len(recs))
+		}
+		// Slice-based loading of the same bytes.
+		viaSlice, err := iotrace.LoadTrace(bytes.NewReader(buf.Bytes()), format.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Streaming loading.
+		viaStream, err := iotrace.Materialize(iotrace.ReadRecords(bytes.NewReader(buf.Bytes()), format))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(viaStream) != len(viaSlice) {
+			t.Fatalf("%v: stream %d records, slice %d", format, len(viaStream), len(viaSlice))
+		}
+		for i := range viaStream {
+			if *viaStream[i] != *viaSlice[i] {
+				t.Fatalf("%v: record %d differs: %+v vs %+v", format, i, viaStream[i], viaSlice[i])
+			}
+		}
+	}
+}
+
+func TestReadTraceFileIsReiterable(t *testing.T) {
+	recs, err := iotrace.AppRecords("upw", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "upw.trace")
+	if _, err := iotrace.WriteTraceFile(path, iotrace.FormatASCII, iotrace.RecordSeq(recs)); err != nil {
+		t.Fatal(err)
+	}
+	seq := iotrace.ReadTraceFile(path, iotrace.FormatASCII)
+	for pass := 0; pass < 2; pass++ {
+		got, err := iotrace.Materialize(seq)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("pass %d: %d records, want %d", pass, len(got), len(recs))
+		}
+	}
+	missing := iotrace.ReadTraceFile(filepath.Join(t.TempDir(), "nope"), iotrace.FormatASCII)
+	if _, err := iotrace.Materialize(missing); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCharacterizeSeqMatchesSliceCompute(t *testing.T) {
+	for _, app := range []string{"venus", "les", "bvi"} {
+		recs, err := iotrace.AppRecords(app, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slice := analysis.Compute(app, recs)
+		stream, err := iotrace.CharacterizeSeq(app, iotrace.RecordSeq(recs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(slice, stream) {
+			t.Errorf("%s: streaming characterization differs from slice-based:\n%v\nvs\n%v", app, stream, slice)
+		}
+	}
+}
+
+func TestStreamedWorkloadMatchesSliceWorkload(t *testing.T) {
+	recs, err := iotrace.AppRecords("upw", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "upw.trace")
+	if _, err := iotrace.WriteTraceFile(path, iotrace.FormatBinary, iotrace.RecordSeq(recs)); err != nil {
+		t.Fatal(err)
+	}
+
+	slice, err := iotrace.New(iotrace.Trace("upw", recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := iotrace.New(iotrace.TraceStream("upw", iotrace.ReadTraceFile(path, iotrace.FormatBinary)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Procs[0].Records != nil {
+		t.Error("streamed process materialized its records")
+	}
+
+	// Characterization must agree field for field.
+	ss, err := slice.Characterize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := streamed.Characterize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ss, st) {
+		t.Errorf("characterizations differ:\n%v\nvs\n%v", ss, st)
+	}
+
+	// Simulation must produce byte-identical results — the stream is
+	// re-read from disk (twice: characterize above, simulate here).
+	cfg := iotrace.DefaultConfig()
+	rs, err := slice.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := streamed.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := renderResult(rs), renderResult(rt); a != b {
+		t.Errorf("streamed simulation differs from slice simulation:\n%s\nvs\n%s", b, a)
+	}
+}
+
+func TestWithContextCancel(t *testing.T) {
+	recs, err := iotrace.AppRecords("upw", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seq := iotrace.WithContext(ctx, iotrace.RecordSeq(recs))
+	var n int
+	var got error
+	for _, err := range seq {
+		if err != nil {
+			got = err
+			break
+		}
+		if n++; n == 10 {
+			cancel()
+		}
+	}
+	if !errors.Is(got, context.Canceled) {
+		t.Fatalf("err = %v after %d records, want context.Canceled", got, n)
+	}
+	if n > 11 {
+		t.Errorf("stream continued %d records past cancellation", n-10)
+	}
+}
+
+func TestSimulateContextCancelled(t *testing.T) {
+	w, err := iotrace.New(iotrace.App("ccm", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.SimulateContext(ctx, iotrace.DefaultConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestStreamErrorAbortsSimulation(t *testing.T) {
+	recs, err := iotrace.AppRecords("upw", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	broken := func(yield func(*iotrace.Record, error) bool) {
+		for i, r := range recs {
+			if i == len(recs)/2 {
+				yield(nil, boom)
+				return
+			}
+			if !yield(r, nil) {
+				return
+			}
+		}
+	}
+	w, err := iotrace.New(iotrace.TraceStream("broken", iter.Seq2[*iotrace.Record, error](broken)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Simulate(iotrace.DefaultConfig()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the stream's error", err)
+	}
+}

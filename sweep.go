@@ -1,0 +1,222 @@
+package iotrace
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Scenario names one simulator configuration within a sweep.
+type Scenario struct {
+	Name   string
+	Config Config
+
+	// SeedOffset shifts the seeds of the workload's generated
+	// applications, giving the scenario its own deterministic trace
+	// realization. 0 (the default) replays the workload's own traces, so
+	// scenarios compare configurations on identical input — the paper's
+	// Figure 8 methodology. External and streamed traces are unaffected.
+	SeedOffset uint64
+}
+
+// SweepResult pairs a scenario with its simulation outcome.
+type SweepResult struct {
+	Scenario Scenario
+	Result   *Result
+	Err      error
+}
+
+// String renders the result compactly (scenario name plus the simulator's
+// one-line summary), in a form stable enough to diff across runs.
+func (r SweepResult) String() string {
+	switch {
+	case r.Err != nil:
+		return fmt.Sprintf("%s: error: %v", r.Scenario.Name, r.Err)
+	case r.Result == nil:
+		return fmt.Sprintf("%s: not run", r.Scenario.Name)
+	default:
+		return fmt.Sprintf("%s: %v", r.Scenario.Name, r.Result)
+	}
+}
+
+// Sweep executes every scenario against the workload on a bounded pool of
+// worker goroutines (workers <= 0 uses GOMAXPROCS). Results arrive in
+// scenario order, and every scenario's simulation is single-threaded and
+// deterministic, so the same workload and scenarios produce identical
+// results regardless of worker count.
+//
+// Per-scenario failures land in SweepResult.Err; the returned error is
+// non-nil only when ctx was cancelled, in which case unstarted scenarios
+// carry the context's error.
+//
+// Streamed processes are re-ranged by each scenario, concurrently, so
+// their sequences must tolerate concurrent ranging (see TraceStream).
+func (w *Workload) Sweep(ctx context.Context, scenarios []Scenario, workers int) ([]SweepResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	out := make([]SweepResult, len(scenarios))
+	for i, sc := range scenarios {
+		out[i] = SweepResult{Scenario: sc}
+	}
+
+	// Scenarios sharing a seed offset share one materialized process
+	// list; records are never mutated by the simulator, so concurrent
+	// scenarios replay the same slices.
+	var mu sync.Mutex
+	variants := map[uint64][]Process{0: w.Procs}
+	procsFor := func(offset uint64) ([]Process, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ps, ok := variants[offset]; ok {
+			return ps, nil
+		}
+		ps, err := w.materialize(offset)
+		if err == nil {
+			variants[offset] = ps
+		}
+		return ps, err
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sc := scenarios[i]
+				procs, err := procsFor(sc.SeedOffset)
+				if err != nil {
+					out[i].Err = err
+					continue
+				}
+				out[i].Result, out[i].Err = simulateProcs(ctx, sc.Config, procs)
+			}
+		}()
+	}
+	var cancelled error
+feed:
+	for i := range scenarios {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			cancelled = ctx.Err()
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if cancelled != nil {
+		for i := range out {
+			if out[i].Result == nil && out[i].Err == nil {
+				out[i].Err = cancelled
+			}
+		}
+	}
+	return out, cancelled
+}
+
+// Grid declares a cartesian sweep over the simulator's Figure 8 axes.
+// Empty axes keep the base configuration's value; set axes multiply.
+// Scenario names record the axes that vary (e.g. "cache=32MB block=4KB").
+type Grid struct {
+	// Base is the configuration the axes vary; nil means DefaultConfig.
+	Base *Config
+
+	CacheMB     []int64 // cache sizes in MB (the paper sweeps 4..256)
+	BlockKB     []int64 // cache block sizes in KB (the paper uses 4 and 8)
+	Tiers       []Tier  // MainMemory and/or SSD hit costs
+	ReadAhead   []bool  // prefetch policy on/off
+	WriteBehind []bool  // write buffering on/off
+
+	// SeedStep gives scenario i a seed offset of i*SeedStep. 0 (the
+	// default) replays identical traces in every scenario.
+	SeedStep uint64
+}
+
+// axisMod is one value of one grid axis.
+type axisMod struct {
+	label string
+	apply func(*Config)
+}
+
+// Scenarios expands the grid in a deterministic order: cache size varies
+// fastest, then block size, tier, read-ahead, and write-behind.
+func (g Grid) Scenarios() []Scenario {
+	base := DefaultConfig()
+	if g.Base != nil {
+		base = *g.Base
+	}
+
+	onOff := func(v bool) string {
+		if v {
+			return "on"
+		}
+		return "off"
+	}
+	// Each axis contributes its values, or a single no-op when unset.
+	pad := func(mods []axisMod) []axisMod {
+		if len(mods) == 0 {
+			return []axisMod{{}}
+		}
+		return mods
+	}
+	var caches, blocks, tiers, ras, wbs []axisMod
+	for _, mb := range g.CacheMB {
+		mb := mb
+		caches = append(caches, axisMod{fmt.Sprintf("cache=%dMB", mb), func(c *Config) { c.CacheBytes = mb << 20 }})
+	}
+	for _, kb := range g.BlockKB {
+		kb := kb
+		blocks = append(blocks, axisMod{fmt.Sprintf("block=%dKB", kb), func(c *Config) { c.BlockBytes = kb << 10 }})
+	}
+	for _, t := range g.Tiers {
+		t := t
+		tiers = append(tiers, axisMod{fmt.Sprintf("tier=%v", t), func(c *Config) { c.Tier = t }})
+	}
+	for _, v := range g.ReadAhead {
+		v := v
+		ras = append(ras, axisMod{"ra=" + onOff(v), func(c *Config) { c.ReadAhead = v }})
+	}
+	for _, v := range g.WriteBehind {
+		v := v
+		wbs = append(wbs, axisMod{"wb=" + onOff(v), func(c *Config) { c.WriteBehind = v }})
+	}
+
+	var out []Scenario
+	for _, mwb := range pad(wbs) {
+		for _, mra := range pad(ras) {
+			for _, mt := range pad(tiers) {
+				for _, mb := range pad(blocks) {
+					for _, mc := range pad(caches) {
+						cfg := base
+						var parts []string
+						for _, m := range []axisMod{mc, mb, mt, mra, mwb} {
+							if m.apply == nil {
+								continue
+							}
+							m.apply(&cfg)
+							parts = append(parts, m.label)
+						}
+						name := strings.Join(parts, " ")
+						if name == "" {
+							name = "base"
+						}
+						out = append(out, Scenario{
+							Name:       name,
+							Config:     cfg,
+							SeedOffset: uint64(len(out)) * g.SeedStep,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

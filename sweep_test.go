@@ -1,0 +1,210 @@
+package iotrace_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"iotrace"
+)
+
+func TestGridScenarios(t *testing.T) {
+	g := iotrace.Grid{CacheMB: []int64{4, 8}, BlockKB: []int64{4, 8}}
+	scens := g.Scenarios()
+	if len(scens) != 4 {
+		t.Fatalf("%d scenarios, want 4", len(scens))
+	}
+	// Cache varies fastest within each block size.
+	wantNames := []string{
+		"cache=4MB block=4KB", "cache=8MB block=4KB",
+		"cache=4MB block=8KB", "cache=8MB block=8KB",
+	}
+	for i, sc := range scens {
+		if sc.Name != wantNames[i] {
+			t.Errorf("scenario %d named %q, want %q", i, sc.Name, wantNames[i])
+		}
+		if sc.SeedOffset != 0 {
+			t.Errorf("scenario %d seed offset %d without SeedStep", i, sc.SeedOffset)
+		}
+	}
+	if scens[0].Config.CacheBytes != 4<<20 || scens[1].Config.CacheBytes != 8<<20 {
+		t.Error("cache axis not applied")
+	}
+	if scens[2].Config.BlockBytes != 8<<10 {
+		t.Error("block axis not applied")
+	}
+
+	// Unset axes keep the base configuration; empty grid is the base.
+	base := iotrace.SSDConfig()
+	only := iotrace.Grid{Base: &base}.Scenarios()
+	if len(only) != 1 || only[0].Name != "base" || only[0].Config.Tier != iotrace.SSD {
+		t.Errorf("empty grid = %+v", only)
+	}
+
+	// All five axes multiply, and SeedStep numbers scenarios.
+	full := iotrace.Grid{
+		CacheMB:     []int64{4, 8},
+		BlockKB:     []int64{4},
+		Tiers:       []iotrace.Tier{iotrace.MainMemory, iotrace.SSD},
+		ReadAhead:   []bool{true, false},
+		WriteBehind: []bool{true},
+		SeedStep:    3,
+	}.Scenarios()
+	if len(full) != 8 {
+		t.Fatalf("%d scenarios, want 8", len(full))
+	}
+	if full[7].SeedOffset != 21 {
+		t.Errorf("last seed offset %d, want 21", full[7].SeedOffset)
+	}
+	if !strings.Contains(full[0].Name, "tier=main-memory") || !strings.Contains(full[0].Name, "wb=on") {
+		t.Errorf("name %q missing axes", full[0].Name)
+	}
+}
+
+// sweepRender flattens a whole sweep into one byte string for identity
+// comparisons.
+func sweepRender(t *testing.T, results []iotrace.SweepResult) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Scenario.Name, r.Err)
+		}
+		b.WriteString(r.Scenario.Name)
+		b.WriteString(" -> ")
+		b.WriteString(renderResult(r.Result))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	w, err := iotrace.New(iotrace.App("ccm", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance grid: >= 8 configurations.
+	grid := iotrace.Grid{
+		CacheMB:     []int64{4, 8, 16, 32},
+		WriteBehind: []bool{true, false},
+	}
+	scens := grid.Scenarios()
+	if len(scens) < 8 {
+		t.Fatalf("grid expanded to %d scenarios, want >= 8", len(scens))
+	}
+	ctx := context.Background()
+	serial, err := w.Sweep(ctx, scens, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := w.Sweep(ctx, scens, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sweepRender(t, serial), sweepRender(t, parallel)
+	if a != b {
+		t.Errorf("workers=4 diverged from workers=1:\n--- serial ---\n%s--- parallel ---\n%s", a, b)
+	}
+	// And the sweep is wired through: more cache can't make idle worse
+	// for the write-behind half of the grid.
+	if serial[0].Result.IdleSeconds() < serial[3].Result.IdleSeconds() {
+		t.Errorf("idle grew with cache size: %v vs %v", serial[0], serial[3])
+	}
+}
+
+func TestSweepSeedOffsetsVaryTraces(t *testing.T) {
+	w, err := iotrace.New(iotrace.App("upw", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := iotrace.DefaultConfig()
+	scens := []iotrace.Scenario{
+		{Name: "replica-a", Config: cfg},
+		{Name: "replica-b", Config: cfg},
+		{Name: "reseeded", Config: cfg, SeedOffset: 1},
+	}
+	results, err := w.Sweep(context.Background(), scens, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := results[0], results[1], results[2]
+	if renderResult(a.Result) != renderResult(b.Result) {
+		t.Error("identical scenarios produced different results")
+	}
+	if renderResult(a.Result) == renderResult(c.Result) {
+		t.Error("seed offset did not change the generated trace")
+	}
+	// Reseeding is itself deterministic.
+	again, err := w.Sweep(context.Background(), scens, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderResult(c.Result) != renderResult(again[2].Result) {
+		t.Error("seed-offset scenario not reproducible")
+	}
+}
+
+func TestSweepScenarioErrorIsPerScenario(t *testing.T) {
+	w, err := iotrace.New(iotrace.App("upw", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := iotrace.DefaultConfig()
+	bad.BlockBytes = 0 // fails validation
+	scens := []iotrace.Scenario{
+		{Name: "bad", Config: bad},
+		{Name: "good", Config: iotrace.DefaultConfig()},
+	}
+	results, err := w.Sweep(context.Background(), scens, 2)
+	if err != nil {
+		t.Fatalf("sweep-level error %v for a scenario-level failure", err)
+	}
+	if results[0].Err == nil {
+		t.Error("invalid config did not fail its scenario")
+	}
+	if results[1].Err != nil || results[1].Result == nil {
+		t.Errorf("healthy scenario dragged down: %+v", results[1])
+	}
+	if !strings.Contains(results[0].String(), "error") || !strings.Contains(results[1].String(), "good") {
+		t.Errorf("renderings: %q / %q", results[0].String(), results[1].String())
+	}
+}
+
+func TestSweepCancelled(t *testing.T) {
+	w, err := iotrace.New(iotrace.App("ccm", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	scens := iotrace.Grid{CacheMB: []int64{4, 8, 16, 32}}.Scenarios()
+	results, err := w.Sweep(ctx, scens, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) != len(scens) {
+		t.Fatalf("%d results for %d scenarios", len(results), len(scens))
+	}
+	for i, r := range results {
+		if r.Err == nil && r.Result == nil {
+			t.Errorf("scenario %d has neither result nor error", i)
+		}
+	}
+}
+
+func TestSweepEmptyAndOverprovisioned(t *testing.T) {
+	w, err := iotrace.New(iotrace.App("upw", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := w.Sweep(context.Background(), nil, 4)
+	if err != nil || len(none) != 0 {
+		t.Fatalf("empty sweep: %v, %d results", err, len(none))
+	}
+	// More workers than scenarios must not deadlock or misorder.
+	one, err := w.Sweep(context.Background(), []iotrace.Scenario{{Name: "solo", Config: iotrace.DefaultConfig()}}, 16)
+	if err != nil || len(one) != 1 || one[0].Err != nil {
+		t.Fatalf("overprovisioned sweep: %v, %+v", err, one)
+	}
+}

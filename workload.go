@@ -1,0 +1,274 @@
+package iotrace
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"iotrace/internal/analysis"
+	"iotrace/internal/apps"
+	"iotrace/internal/sim"
+)
+
+// Process is one traced process of a Workload: a name plus either its
+// materialized records or a record stream.
+type Process struct {
+	Name string
+	// Records holds the process's trace. It is nil for streamed
+	// processes, whose records are pulled on demand.
+	Records []*Record
+
+	seq iter.Seq2[*Record, error]
+}
+
+// procSpec remembers how one process was declared, so sweeps can
+// re-materialize generated applications under shifted seeds.
+type procSpec struct {
+	app  string // generated application; "" for external traces
+	name string
+	recs []*Record
+	seq  iter.Seq2[*Record, error]
+}
+
+// builder accumulates the effect of New's options.
+type builder struct {
+	specs    []procSpec
+	seed     *uint64
+	firstPID uint32
+}
+
+// Option configures a Workload under construction.
+type Option func(*builder) error
+
+// App adds copies distinct instances of the named paper application.
+// Instances get distinct seeds and pids, so co-scheduled copies do not
+// run in lockstep.
+func App(name string, copies int) Option {
+	return func(b *builder) error {
+		if _, err := apps.Lookup(name); err != nil {
+			return err
+		}
+		if copies < 1 {
+			return fmt.Errorf("iotrace: %d copies of %s", copies, name)
+		}
+		for i := 0; i < copies; i++ {
+			label := name
+			if copies > 1 {
+				label = fmt.Sprintf("%s(%d)", name, i+1)
+			}
+			b.specs = append(b.specs, procSpec{app: name, name: label})
+		}
+		return nil
+	}
+}
+
+// Seed overrides the base generator seed for every App in the workload.
+// The i-th instance of an application uses seed+i. Without this option
+// each application uses its stable default seed (DefaultSeed).
+func Seed(seed uint64) Option {
+	return func(b *builder) error {
+		b.seed = &seed
+		return nil
+	}
+}
+
+// Trace adds an externally supplied, materialized trace as one process.
+func Trace(name string, recs []*Record) Option {
+	return func(b *builder) error {
+		b.specs = append(b.specs, procSpec{name: name, recs: recs})
+		return nil
+	}
+}
+
+// TraceStream adds a streamed trace as one process. The stream is ranged
+// once per Characterize or Simulate call, so pass a re-iterable sequence
+// (ReadTraceFile reopens its file on every range) when the workload will
+// be consumed more than once. Under Sweep the sequence is additionally
+// ranged from several worker goroutines at once, so it must be safe for
+// concurrent ranging: ReadTraceFile and RecordSeq qualify (each range
+// holds independent state); a sequence draining one shared io.Reader
+// does not.
+func TraceStream(name string, seq iter.Seq2[*Record, error]) Option {
+	return func(b *builder) error {
+		b.specs = append(b.specs, procSpec{name: name, seq: seq})
+		return nil
+	}
+}
+
+// FirstPID sets the process id of the workload's first generated process
+// (default 1); later processes count up from it.
+func FirstPID(pid uint32) Option {
+	return func(b *builder) error {
+		if pid == 0 {
+			return fmt.Errorf("iotrace: pid 0 is reserved")
+		}
+		b.firstPID = pid
+		return nil
+	}
+}
+
+// Workload is a set of processes to be characterized, simulated, or
+// swept. Build one with New; the zero value is an empty workload that
+// Add and AddTrace can extend.
+type Workload struct {
+	// Procs lists the workload's processes in declaration order.
+	Procs []Process
+
+	specs    []procSpec
+	seed     *uint64
+	firstPID uint32
+}
+
+// New builds a workload from functional options:
+//
+//	w, err := iotrace.New(
+//	    iotrace.App("venus", 2),          // two staggered venus copies
+//	    iotrace.Seed(7),                  // deterministic reseeding
+//	    iotrace.Trace("mine", records),   // plus an external trace
+//	)
+func New(opts ...Option) (*Workload, error) {
+	b := &builder{firstPID: 1}
+	for _, opt := range opts {
+		if err := opt(b); err != nil {
+			return nil, err
+		}
+	}
+	w := &Workload{specs: b.specs, seed: b.seed, firstPID: b.firstPID}
+	procs, err := w.materialize(0)
+	if err != nil {
+		return nil, err
+	}
+	w.Procs = procs
+	return w, nil
+}
+
+// seedOffsetStride spreads scenario seed offsets far apart (a golden-
+// ratio multiplier), so that offset k can never collide with another
+// offset's per-instance increments (seed+0, seed+1, ...) for realistic
+// instance counts.
+const seedOffsetStride = 0x9E3779B97F4A7C15
+
+// materialize builds the process list, shifting the seeds of generated
+// applications by offset (sweep scenarios use nonzero offsets to obtain
+// their own deterministic trace realizations).
+func (w *Workload) materialize(offset uint64) ([]Process, error) {
+	firstPID := w.firstPID
+	if firstPID == 0 {
+		firstPID = 1
+	}
+	perApp := map[string]uint64{}
+	procs := make([]Process, 0, len(w.specs))
+	for i, sp := range w.specs {
+		switch {
+		case sp.app != "":
+			idx := perApp[sp.app]
+			perApp[sp.app]++
+			seed := apps.DefaultSeed(sp.app)
+			if w.seed != nil {
+				seed = *w.seed
+			}
+			recs, err := generate(sp.app, seed+idx+offset*seedOffsetStride, firstPID+uint32(i))
+			if err != nil {
+				return nil, err
+			}
+			procs = append(procs, Process{Name: sp.name, Records: recs})
+		case sp.seq != nil:
+			procs = append(procs, Process{Name: sp.name, seq: sp.seq})
+		default:
+			procs = append(procs, Process{Name: sp.name, Records: sp.recs})
+		}
+	}
+	return procs, nil
+}
+
+// Add appends copies more instances of the named application.
+func (w *Workload) Add(app string, copies int) error {
+	return w.extend(App(app, copies))
+}
+
+// AddTrace appends an externally supplied trace as one process.
+func (w *Workload) AddTrace(name string, recs []*Record) {
+	_ = w.extend(Trace(name, recs)) // Trace options cannot fail
+}
+
+// AddTraceStream appends a streamed trace as one process.
+func (w *Workload) AddTraceStream(name string, seq iter.Seq2[*Record, error]) {
+	_ = w.extend(TraceStream(name, seq)) // TraceStream options cannot fail
+}
+
+// extend applies more options to an existing workload and rebuilds its
+// process list (memoization makes rebuilding generated traces cheap).
+func (w *Workload) extend(opts ...Option) error {
+	b := &builder{specs: w.specs, seed: w.seed, firstPID: w.firstPID}
+	for _, opt := range opts {
+		if err := opt(b); err != nil {
+			return err
+		}
+	}
+	saved := w.specs
+	w.specs = b.specs
+	w.seed = b.seed
+	procs, err := w.materialize(0)
+	if err != nil {
+		w.specs = saved
+		return err
+	}
+	w.Procs = procs
+	return nil
+}
+
+// Characterize computes per-process §5 trace statistics. Streamed
+// processes are analyzed in one pass without materializing their records.
+func (w *Workload) Characterize() ([]*Stats, error) {
+	out := make([]*Stats, 0, len(w.Procs))
+	for _, p := range w.Procs {
+		if p.seq != nil {
+			s, err := CharacterizeSeq(p.Name, p.seq)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+			continue
+		}
+		out = append(out, analysis.Compute(p.Name, p.Records))
+	}
+	return out, nil
+}
+
+// Simulate runs all processes on the simulated machine under cfg.
+func (w *Workload) Simulate(cfg Config) (*Result, error) {
+	return w.SimulateContext(context.Background(), cfg)
+}
+
+// SimulateContext runs all processes under cfg, aborting with the
+// context's error if it is cancelled mid-run. Streamed processes are
+// replayed record by record without materializing their traces.
+func (w *Workload) SimulateContext(ctx context.Context, cfg Config) (*Result, error) {
+	return simulateProcs(ctx, cfg, w.Procs)
+}
+
+// simulateProcs runs one set of processes under cfg.
+func simulateProcs(ctx context.Context, cfg Config, procs []Process) (*Result, error) {
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Releases already-registered streams if a later registration fails;
+	// a completed run has closed them already (Close is idempotent).
+	defer s.Close()
+	for _, p := range procs {
+		if p.seq != nil {
+			err = s.AddProcessSeq(p.Name, WithContext(ctx, p.seq))
+		} else {
+			err = s.AddProcess(p.Name, p.Records)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s.RunContext(ctx)
+}
+
+func errNegativeInstance(i int) error {
+	return fmt.Errorf("iotrace: negative app instance %d", i)
+}

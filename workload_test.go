@@ -1,0 +1,272 @@
+package iotrace_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"iotrace"
+)
+
+func TestNewWorkloadAndCharacterize(t *testing.T) {
+	w, err := iotrace.New(iotrace.App("ccm", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Procs) != 2 {
+		t.Fatalf("%d procs", len(w.Procs))
+	}
+	if w.Procs[0].Name == w.Procs[1].Name {
+		t.Error("copies share a name")
+	}
+	sts, err := w.Characterize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 2 {
+		t.Fatalf("%d stats", len(sts))
+	}
+	for _, s := range sts {
+		if s.Records == 0 || s.MBps() <= 0 {
+			t.Errorf("degenerate stats: %v", s)
+		}
+	}
+	// Distinct seeds: statistics close but traces not identical.
+	if len(w.Procs[0].Records) == len(w.Procs[1].Records) {
+		same := true
+		for i := range w.Procs[0].Records {
+			a, b := w.Procs[0].Records[i], w.Procs[1].Records[i]
+			if a.Start != b.Start {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("copies are identical traces")
+		}
+	}
+}
+
+func TestWorkloadErrors(t *testing.T) {
+	if _, err := iotrace.New(iotrace.App("nosuch", 1)); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := iotrace.New(iotrace.App("ccm", 0)); err == nil {
+		t.Error("zero copies accepted")
+	}
+	if _, err := iotrace.New(iotrace.FirstPID(0)); err == nil {
+		t.Error("pid 0 accepted")
+	}
+	if _, err := iotrace.AppRecords("ccm", -1); err == nil {
+		t.Error("negative instance accepted")
+	}
+	w := &iotrace.Workload{}
+	if err := w.Add("ccm", 0); err == nil {
+		t.Error("zero copies accepted by Add")
+	}
+	if len(w.Procs) != 0 {
+		t.Error("failed Add mutated the workload")
+	}
+}
+
+func TestWorkloadSimulate(t *testing.T) {
+	w, err := iotrace.New(iotrace.App("ccm", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Simulate(iotrace.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallSeconds() <= 0 || res.Utilization() <= 0 {
+		t.Errorf("degenerate result: %v", res)
+	}
+	// ccm's CPU time is ~205 s; wall cannot be below that.
+	if res.WallSeconds() < 200 {
+		t.Errorf("wall %.1f s below ccm's CPU time", res.WallSeconds())
+	}
+}
+
+func TestAppsList(t *testing.T) {
+	names := iotrace.Apps()
+	if len(names) != 7 {
+		t.Fatalf("Apps() = %v", names)
+	}
+	for _, name := range names {
+		desc, err := iotrace.AppDescription(name)
+		if err != nil || desc == "" {
+			t.Errorf("%s: no description (%v)", name, err)
+		}
+	}
+	if _, err := iotrace.AppDescription("nosuch"); err == nil {
+		t.Error("unknown app described")
+	}
+}
+
+func TestSeedOptionDeterministicAndDistinct(t *testing.T) {
+	base, err := iotrace.New(iotrace.App("upw", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded1, err := iotrace.New(iotrace.App("upw", 1), iotrace.Seed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Option order must not matter.
+	seeded2, err := iotrace.New(iotrace.Seed(7), iotrace.App("upw", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := base.Procs[0].Records, seeded1.Procs[0].Records, seeded2.Procs[0].Records
+	if &b[0] != &c[0] {
+		t.Error("same options produced different (uncached) traces")
+	}
+	sameAsBase := len(a) == len(b)
+	if sameAsBase {
+		for i := range a {
+			if a[i].Start != b[i].Start {
+				sameAsBase = false
+				break
+			}
+		}
+	}
+	if sameAsBase {
+		t.Error("Seed(7) did not change the generated trace")
+	}
+}
+
+func TestFirstPIDOption(t *testing.T) {
+	w, err := iotrace.New(iotrace.App("upw", 1), iotrace.FirstPID(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range w.Procs[0].Records {
+		if r.IsComment() {
+			continue
+		}
+		if r.ProcessID != 9 {
+			t.Fatalf("pid %d, want 9", r.ProcessID)
+		}
+		break
+	}
+}
+
+func TestTraceOptionAndMixedWorkload(t *testing.T) {
+	ext, err := iotrace.AppRecords("upw", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The external trace carries pid 1, so the generated gcm (whose pid
+	// counts up from its position) must come after it.
+	w, err := iotrace.New(
+		iotrace.Trace("external", ext),
+		iotrace.App("gcm", 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Procs) != 2 || w.Procs[0].Name != "external" {
+		t.Fatalf("procs %+v", w.Procs)
+	}
+	res, err := w.Simulate(iotrace.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gcm (1897 s CPU) dominates; both share one CPU.
+	if res.WallSeconds() < 1897 {
+		t.Errorf("wall %.1f s below gcm's CPU demand", res.WallSeconds())
+	}
+}
+
+func TestZeroValueWorkloadExtends(t *testing.T) {
+	w := &iotrace.Workload{}
+	w.AddTrace("external", nil)
+	if len(w.Procs) != 1 || w.Procs[0].Name != "external" {
+		t.Error("AddTrace failed")
+	}
+	if err := w.Add("upw", 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Procs) != 2 || w.Procs[1].Name != "upw" {
+		t.Fatalf("procs %+v", w.Procs)
+	}
+}
+
+func TestAppRecordsMemoized(t *testing.T) {
+	a, err := iotrace.AppRecords("ccm", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := iotrace.AppRecords("ccm", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("generation cache did not memoize")
+	}
+	c, err := iotrace.AppRecords("ccm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] == &c[0] {
+		t.Error("instances share one trace")
+	}
+	// The workload builder shares the same cache.
+	w, err := iotrace.New(iotrace.App("ccm", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &w.Procs[0].Records[0] != &a[0] {
+		t.Error("New regenerated a cached trace")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	recs, err := iotrace.AppRecords("upw", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"ascii", "binary", "ascii-raw"} {
+		var buf bytes.Buffer
+		if err := iotrace.SaveTrace(&buf, format, recs); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		got, err := iotrace.LoadTrace(&buf, format)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("%s: %d != %d records", format, len(got), len(recs))
+		}
+	}
+	if err := iotrace.SaveTrace(&bytes.Buffer{}, "xml", recs); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := iotrace.LoadTrace(&bytes.Buffer{}, "xml"); err == nil {
+		t.Error("unknown format accepted on load")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	recs, err := iotrace.AppRecords("upw", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "upw.trace")
+	if err := iotrace.SaveTraceFile(path, "ascii", recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := iotrace.LoadTraceFile(path, "ascii")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("%d != %d records", len(got), len(recs))
+	}
+	if err := iotrace.SaveTraceFile("/nonexistent-dir/x", "ascii", nil); err == nil {
+		t.Error("bad path accepted")
+	}
+	if _, err := iotrace.LoadTraceFile("/nonexistent-file", "ascii"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
