@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"testing"
+
+	"iotrace/internal/trace"
+)
+
+// stepN pops and dispatches up to n events, the steady-state inner loop
+// of runEvents without the context plumbing.
+func (s *Simulator) stepN(n int) {
+	for i := 0; i < n && s.events.len() > 0; i++ {
+		e := s.events.pop()
+		s.now = e.at
+		s.dispatch1(&e)
+	}
+}
+
+// startAllocHarness primes a one-process simulator to the point where
+// RunContext would enter the event loop, without running to completion.
+func startAllocHarness(t *testing.T, cfg Config, recs []*trace.Record) *Simulator {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddProcess("p", recs); err != nil {
+		t.Fatal(err)
+	}
+	p := s.procs[0]
+	p.computeLeft = p.feed.cur.ProcessTime
+	s.ready = append(s.ready, p)
+	s.dispatch()
+	return s
+}
+
+// allocConfig pins the rate-series bin width so the whole run lands in
+// one bin: the alloc assertions then measure the simulator itself, not
+// the amortized growth of the reporting series.
+func allocConfig() Config {
+	cfg := DefaultConfig()
+	cfg.RateBinTicks = 1 << 40
+	return cfg
+}
+
+// TestReadHitPathZeroAllocs drives the full steady-state loop (doIO →
+// hit classification → read-ahead check → advance → next slice) over a
+// warm cache and asserts it allocates nothing: no event boxing, no
+// per-request key slices, no join maps.
+func TestReadHitPathZeroAllocs(t *testing.T) {
+	cfg := allocConfig()
+	cfg.ReadAhead = false
+	const region = 1 << 20
+	items := make([]ioItem, 4000)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i%8) * (region / 8), ln: region / 8}
+	}
+	s := startAllocHarness(t, cfg, mkTrace(1, items, 0.01))
+
+	// Warm the cache with the working set so every read hits.
+	nBlocks := int64(region) / cfg.BlockBytes
+	for i := int64(0); i < nBlocks; i++ {
+		if !s.cache.acquire(0, 1) {
+			t.Fatal("warm acquire failed")
+		}
+		s.cache.insert(blockKey{1, i}, 0, false, false, 0)
+	}
+
+	s.stepN(500) // reach steady state: heap, scratch, bins at high-water
+	hitsBefore := s.cache.stats.ReadHitReqs
+	allocs := testing.AllocsPerRun(100, func() { s.stepN(30) })
+	if hits := s.cache.stats.ReadHitReqs - hitsBefore; hits == 0 {
+		t.Fatal("harness drove no cache-hit reads")
+	}
+	if s.cache.stats.ReadMissReqs != 0 {
+		t.Fatalf("harness missed %d times; hit path not isolated", s.cache.stats.ReadMissReqs)
+	}
+	if allocs != 0 {
+		t.Errorf("cache-hit read path allocates %.1f allocs per 30 events, want 0", allocs)
+	}
+}
+
+// TestAbsorbedWritePathZeroAllocs asserts the write-behind absorb path —
+// classification, dirty marking, flusher write-back, completion — runs
+// allocation-free once the working set is resident.
+func TestAbsorbedWritePathZeroAllocs(t *testing.T) {
+	cfg := allocConfig()
+	cfg.ReadAhead = false
+	const region = 1 << 20
+	items := make([]ioItem, 4000)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i%8) * (region / 8), ln: region / 8, write: true}
+	}
+	s := startAllocHarness(t, cfg, mkTrace(1, items, 0.01))
+
+	s.stepN(2000) // first pass inserts the working set; flusher reaches steady state
+	absorbedBefore := s.cache.stats.WriteAbsorbed
+	allocs := testing.AllocsPerRun(100, func() { s.stepN(30) })
+	if absorbed := s.cache.stats.WriteAbsorbed - absorbedBefore; absorbed == 0 {
+		t.Fatal("harness drove no absorbed writes")
+	}
+	if s.cache.stats.SpaceStalls != 0 {
+		t.Fatalf("harness stalled for space; absorb path not isolated")
+	}
+	if allocs != 0 {
+		t.Errorf("absorbed-write path allocates %.1f allocs per 30 events, want 0", allocs)
+	}
+}
+
+// TestSteadyStateMissPathRecyclesFetches runs a miss-heavy loop long
+// enough to cycle the block, fetch, and wait pools and asserts the
+// per-miss allocation rate collapses to (amortized) zero — every miss
+// reuses recycled structs rather than allocating fresh ones.
+func TestSteadyStateMissPathRecyclesFetches(t *testing.T) {
+	cfg := allocConfig()
+	cfg.ReadAhead = false
+	cfg.CacheBytes = 1 << 20 // tiny: every wide-stride read misses
+	items := make([]ioItem, 4000)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i) << 21, ln: 1 << 18}
+	}
+	s := startAllocHarness(t, cfg, mkTrace(1, items, 0.01))
+
+	s.stepN(3000) // pools reach their high-water marks
+	missBefore := s.cache.stats.ReadMissReqs
+	allocs := testing.AllocsPerRun(50, func() { s.stepN(40) })
+	if misses := s.cache.stats.ReadMissReqs - missBefore; misses == 0 {
+		t.Fatal("harness drove no misses")
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state miss path allocates %.1f allocs per 40 events, want 0", allocs)
+	}
+}

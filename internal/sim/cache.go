@@ -1,13 +1,22 @@
 package sim
 
-import (
-	"container/list"
-)
-
 // blockKey identifies one cache block: a block-aligned slice of one file.
 type blockKey struct {
 	file uint32
 	idx  int64
+}
+
+// Intrusive list plumbing: each block is simultaneously on the LRU list
+// and (when dirty) the dirty FIFO, so it carries one set of links per
+// list. Intrusive links replace container/list, which boxes every element
+// in an interface{}-valued list.Element allocation.
+const (
+	lruList   = 0
+	dirtyList = 1
+)
+
+type blockLink struct {
+	prev, next *block
 }
 
 // block is one resident cache block.
@@ -19,31 +28,74 @@ type block struct {
 	prefetched bool  // brought in by read-ahead, not yet referenced
 	dirtyAt    int64 // tick the block became dirty (delayed-write aging)
 
-	elem      *list.Element // position in LRU list
-	dirtyElem *list.Element // position in dirty FIFO (nil when clean)
+	links    [2]blockLink // lruList and dirtyList membership
+	freeNext *block       // free-list chain for recycled blocks
+}
+
+// blockList is an intrusive doubly-linked list over one of a block's link
+// sets. front is the least recently used (or oldest dirty) block.
+type blockList struct {
+	front, back *block
+	which       int
+	n           int
+}
+
+func (l *blockList) pushBack(b *block) {
+	ln := &b.links[l.which]
+	ln.prev = l.back
+	ln.next = nil
+	if l.back != nil {
+		l.back.links[l.which].next = b
+	} else {
+		l.front = b
+	}
+	l.back = b
+	l.n++
+}
+
+func (l *blockList) remove(b *block) {
+	ln := &b.links[l.which]
+	if ln.prev != nil {
+		ln.prev.links[l.which].next = ln.next
+	} else {
+		l.front = ln.next
+	}
+	if ln.next != nil {
+		ln.next.links[l.which].prev = ln.prev
+	} else {
+		l.back = ln.prev
+	}
+	ln.prev, ln.next = nil, nil
+	l.n--
+}
+
+func (l *blockList) moveToBack(b *block) {
+	if l.back == b {
+		return
+	}
+	l.remove(b)
+	l.pushBack(b)
 }
 
 // fetch is an in-flight disk read filling cache blocks. Requests needing
 // a block that is already being fetched join the fetch's waiters instead
-// of fetching again.
+// of fetching again. Fetches are recycled through the simulator's
+// free-list once complete.
 type fetch struct {
 	keys       []blockKey
 	owner      uint32
 	prefetched bool
 	waiters    []*ioWait
+	freeNext   *fetch
 }
 
-// ioWait tracks a synchronous request waiting on one or more fetches.
+// ioWait tracks a synchronous request waiting on one or more fetches; the
+// blocked process wakes when the last one lands. Waits are recycled
+// through the simulator's free-list.
 type ioWait struct {
 	remaining int
-	resume    func()
-}
-
-func (w *ioWait) fetchDone() {
-	w.remaining--
-	if w.remaining == 0 {
-		w.resume()
-	}
+	p         *proc
+	freeNext  *ioWait
 }
 
 // cacheStats counts request- and block-level cache activity.
@@ -69,18 +121,86 @@ func (c cacheStats) ReadHitRatio() float64 {
 	return float64(c.ReadHitReqs) / float64(t)
 }
 
+// The resident/pending indexes are paged per-file direct tables instead
+// of hash maps: a request's keys are contiguous block indices of one
+// file, so a lookup is (cached file pointer) + two array indexings — no
+// hashing, no probing. Profiles of the map-based engine spent over half
+// the simulation hashing and probing blockKey maps.
+//
+// Pages hold 64 slots; a page is allocated when a block or fetch first
+// lands in its index range and recycled when its last entry clears, so
+// live pages are bounded by cache capacity plus in-flight fetches. The
+// page *spine* (the per-file page-pointer array) is dense in the highest
+// touched page number, so it is capped at maxSpinePages (16 GB of file
+// at 4 KB blocks, ≤512 KB of pointers); pages past the cap live in a
+// small overflow map, keeping pathological offsets at hash-map cost
+// instead of unbounded spine growth.
+const (
+	slotPageShift = 6
+	slotPageSize  = 1 << slotPageShift
+	slotPageMask  = slotPageSize - 1
+	maxSpinePages = 1 << 16
+)
+
+// cacheSlot indexes one block position: the resident block (if any) and
+// the in-flight fetch covering it (if any).
+type cacheSlot struct {
+	b *block
+	f *fetch
+}
+
+type slotPage struct {
+	used     int // slots with a block or fetch set
+	freeNext *slotPage
+	slots    [slotPageSize]cacheSlot
+}
+
+// fileSlots is one file's page table, indexed by block index.
+type fileSlots struct {
+	pages    []*slotPage
+	overflow map[int64]*slotPage // pages past the spine cap
+}
+
+// page returns the page numbered p, or nil. Negative page numbers (a
+// record's offset+length overflowing int64) resolve through the
+// overflow map like over-cap ones, so pathological traces stay
+// survivable as they were with the old hash-map index.
+func (fs *fileSlots) page(p int64) *slotPage {
+	if p >= 0 && p < int64(len(fs.pages)) {
+		return fs.pages[p]
+	}
+	if fs.overflow != nil {
+		return fs.overflow[p]
+	}
+	return nil
+}
+
+// ownerCount is one entry of the compact per-process ownership table
+// (a handful of pids; linear scan, no hashing).
+type ownerCount struct {
+	pid uint32
+	n   int
+}
+
 // cache is the block cache (or the system-managed SSD, in SSD tier).
 type cache struct {
 	blockSize int64
 	capacity  int
 	limit     int // per-process block cap (0 = none)
 
-	blocks   map[blockKey]*block
-	lru      *list.List // front = least recently used
-	dirty    *list.List // front = oldest dirty block
-	pending  map[blockKey]*fetch
-	owned    map[uint32]int
-	reserved int // slots promised to in-flight fetches
+	files     map[uint32]*fileSlots
+	lastFile  uint32     // one-entry accelerator for slot lookups:
+	lastSlots *fileSlots // requests index one file many blocks at a time
+	pageFree  *slotPage  // recycled (zeroed) pages
+
+	nResident int
+	lru       blockList // front = least recently used
+	dirty     blockList // front = oldest dirty block
+	owned     []ownerCount
+	reserved  int // slots promised to in-flight fetches
+
+	free   *block   // recycled block structs
+	runBuf []*block // reusable oldestDirtyRun result
 
 	stats cacheStats
 }
@@ -90,44 +210,209 @@ func newCache(cfg *Config) *cache {
 		blockSize: cfg.BlockBytes,
 		capacity:  cfg.CacheBlocks(),
 		limit:     cfg.PerProcessBlockLimit,
-		blocks:    make(map[blockKey]*block),
-		lru:       list.New(),
-		dirty:     list.New(),
-		pending:   make(map[blockKey]*fetch),
-		owned:     make(map[uint32]int),
+		files:     make(map[uint32]*fileSlots),
+		lru:       blockList{which: lruList},
+		dirty:     blockList{which: dirtyList},
 	}
 }
 
-// blockRange returns the keys covering [off, off+length) of file.
-func (c *cache) blockRange(file uint32, off, length int64) []blockKey {
+// slotsFor returns (creating if needed) the page table for file.
+func (c *cache) slotsFor(file uint32) *fileSlots {
+	if c.lastSlots != nil && c.lastFile == file {
+		return c.lastSlots
+	}
+	fs := c.files[file]
+	if fs == nil {
+		fs = &fileSlots{}
+		c.files[file] = fs
+	}
+	c.lastFile, c.lastSlots = file, fs
+	return fs
+}
+
+// peek returns the slot for key, or nil when nothing is indexed there.
+func (c *cache) peek(key blockKey) *cacheSlot {
+	var fs *fileSlots
+	if c.lastSlots != nil && c.lastFile == key.file {
+		fs = c.lastSlots
+	} else {
+		fs = c.files[key.file]
+		if fs == nil {
+			return nil
+		}
+		c.lastFile, c.lastSlots = key.file, fs
+	}
+	pg := fs.page(key.idx >> slotPageShift)
+	if pg == nil {
+		return nil
+	}
+	return &pg.slots[key.idx&slotPageMask]
+}
+
+// ensure returns the slot for key, allocating its page as needed.
+func (c *cache) ensure(key blockKey) (*slotPage, *cacheSlot) {
+	fs := c.slotsFor(key.file)
+	p := key.idx >> slotPageShift
+	var pg *slotPage
+	if p >= 0 && p < maxSpinePages {
+		for int64(len(fs.pages)) <= p {
+			fs.pages = append(fs.pages, nil)
+		}
+		pg = fs.pages[p]
+		if pg == nil {
+			pg = c.newPage()
+			fs.pages[p] = pg
+		}
+	} else {
+		if fs.overflow == nil {
+			fs.overflow = make(map[int64]*slotPage)
+		}
+		pg = fs.overflow[p]
+		if pg == nil {
+			pg = c.newPage()
+			fs.overflow[p] = pg
+		}
+	}
+	return pg, &pg.slots[key.idx&slotPageMask]
+}
+
+// newPage takes a zeroed page from the free-list or allocates one.
+func (c *cache) newPage() *slotPage {
+	pg := c.pageFree
+	if pg != nil {
+		c.pageFree = pg.freeNext
+		pg.freeNext = nil
+		return pg
+	}
+	return &slotPage{}
+}
+
+// slotAt returns the page and slot for key, which must be indexed (its
+// page exists): the fast accessor for paths operating on known-present
+// entries (eviction, pending-clear after insert).
+func (c *cache) slotAt(key blockKey) (*slotPage, *cacheSlot) {
+	fs := c.slotsFor(key.file)
+	pg := fs.page(key.idx >> slotPageShift)
+	return pg, &pg.slots[key.idx&slotPageMask]
+}
+
+// clearSlot empties one side of a slot and recycles the page when its
+// last entry clears. Pages on the free-list are always fully zeroed.
+func (c *cache) clearSlot(key blockKey, pg *slotPage, sl *cacheSlot) {
+	if sl.b != nil || sl.f != nil {
+		return
+	}
+	pg.used--
+	if pg.used == 0 {
+		fs := c.slotsFor(key.file)
+		p := key.idx >> slotPageShift
+		if p >= 0 && p < int64(len(fs.pages)) {
+			fs.pages[p] = nil
+		} else {
+			delete(fs.overflow, p)
+		}
+		pg.freeNext = c.pageFree
+		c.pageFree = pg
+	}
+}
+
+// lookup returns the resident block and in-flight fetch indexed at key
+// (either or both may be nil) in one table walk.
+func (c *cache) lookup(key blockKey) (*block, *fetch) {
+	if sl := c.peek(key); sl != nil {
+		return sl.b, sl.f
+	}
+	return nil, nil
+}
+
+// resident returns the block for key, or nil.
+func (c *cache) resident(key blockKey) *block {
+	if sl := c.peek(key); sl != nil {
+		return sl.b
+	}
+	return nil
+}
+
+// pendingAt returns the in-flight fetch covering key, or nil.
+func (c *cache) pendingAt(key blockKey) *fetch {
+	if sl := c.peek(key); sl != nil {
+		return sl.f
+	}
+	return nil
+}
+
+// setPending registers f as the in-flight fetch for key.
+func (c *cache) setPending(key blockKey, f *fetch) {
+	pg, sl := c.ensure(key)
+	if sl.b == nil && sl.f == nil {
+		pg.used++
+	}
+	sl.f = f
+}
+
+// clearPending removes key's in-flight fetch registration.
+func (c *cache) clearPending(key blockKey) {
+	pg, sl := c.slotAt(key)
+	sl.f = nil
+	c.clearSlot(key, pg, sl)
+}
+
+// ownedBy returns the number of blocks pid brought in.
+func (c *cache) ownedBy(pid uint32) int {
+	for i := range c.owned {
+		if c.owned[i].pid == pid {
+			return c.owned[i].n
+		}
+	}
+	return 0
+}
+
+func (c *cache) addOwned(pid uint32, d int) {
+	for i := range c.owned {
+		if c.owned[i].pid == pid {
+			c.owned[i].n += d
+			return
+		}
+	}
+	c.owned = append(c.owned, ownerCount{pid, d})
+}
+
+// blockRangeInto appends the keys covering [off, off+length) of file to
+// buf[:0] and returns the extended slice; callers keep the returned slice
+// as their scratch buffer so steady-state requests allocate nothing.
+func (c *cache) blockRangeInto(buf []blockKey, file uint32, off, length int64) []blockKey {
+	buf = buf[:0]
 	if length <= 0 {
-		return []blockKey{{file, off / c.blockSize}}
+		return append(buf, blockKey{file, off / c.blockSize})
 	}
 	first := off / c.blockSize
 	last := (off + length - 1) / c.blockSize
-	keys := make([]blockKey, 0, last-first+1)
 	for i := first; i <= last; i++ {
-		keys = append(keys, blockKey{file, i})
+		buf = append(buf, blockKey{file, i})
 	}
-	return keys
+	return buf
+}
+
+// blockRange returns the keys covering [off, off+length) of file in a
+// fresh slice (test and tooling convenience; hot paths use
+// blockRangeInto).
+func (c *cache) blockRange(file uint32, off, length int64) []blockKey {
+	return c.blockRangeInto(nil, file, off, length)
 }
 
 // touch moves a resident block to the MRU end and reports whether it was
 // an unreferenced prefetch.
 func (c *cache) touch(b *block) (wasPrefetch bool) {
-	c.lru.MoveToBack(b.elem)
+	c.lru.moveToBack(b)
 	wasPrefetch = b.prefetched
 	b.prefetched = false
 	return wasPrefetch
 }
 
-// resident returns the block for key, or nil.
-func (c *cache) resident(key blockKey) *block { return c.blocks[key] }
-
 // used returns occupied plus reserved slots.
-func (c *cache) used() int { return len(c.blocks) + c.reserved }
+func (c *cache) used() int { return c.nResident + c.reserved }
 
-// evict removes a clean, unpinned block.
+// evict removes a clean, unpinned block and recycles its struct.
 func (c *cache) evict(b *block) {
 	if b.dirty || b.pinned {
 		panic("sim: evicting dirty or pinned block")
@@ -135,16 +420,20 @@ func (c *cache) evict(b *block) {
 	if b.prefetched {
 		c.stats.WastedPrefetch++
 	}
-	c.lru.Remove(b.elem)
-	delete(c.blocks, b.key)
-	c.owned[b.owner]--
+	c.lru.remove(b)
+	pg, sl := c.slotAt(b.key)
+	sl.b = nil
+	c.clearSlot(b.key, pg, sl)
+	c.nResident--
+	c.addOwned(b.owner, -1)
+	b.freeNext = c.free
+	c.free = b
 }
 
 // evictLRUClean evicts the least recently used clean unpinned block,
 // optionally restricted to one owner. It reports success.
 func (c *cache) evictLRUClean(owner uint32, restrict bool) bool {
-	for e := c.lru.Front(); e != nil; e = e.Next() {
-		b := e.Value.(*block)
+	for b := c.lru.front; b != nil; b = b.links[lruList].next {
 		if b.dirty || b.pinned {
 			continue
 		}
@@ -180,7 +469,7 @@ func (c *cache) acquire(pid uint32, n int) bool {
 	// Per-process ownership cap (§6.2's counterproductive limit): evict
 	// the process's own clean blocks first.
 	if c.limit > 0 && pid != 0 {
-		for c.owned[pid]+n > c.limit {
+		for c.ownedBy(pid)+n > c.limit {
 			if !c.evictLRUClean(pid, true) {
 				return false
 			}
@@ -197,9 +486,12 @@ func (c *cache) acquire(pid uint32, n int) bool {
 
 // insert makes key resident (filling a reserved slot) or, if already
 // resident, just touches it. Newly inserted blocks land at the MRU end.
-// now stamps dirty blocks for delayed-write aging.
+// now stamps dirty blocks for delayed-write aging. Block structs come
+// from the free-list when available, so steady-state insert allocates
+// nothing.
 func (c *cache) insert(key blockKey, owner uint32, dirty, prefetched bool, now int64) *block {
-	if b := c.blocks[key]; b != nil {
+	pg, sl := c.ensure(key)
+	if b := sl.b; b != nil {
 		// Already resident (e.g. a write raced an in-flight fetch); the
 		// reservation is released, existing state wins, dirtiness merges.
 		c.reserved--
@@ -209,10 +501,20 @@ func (c *cache) insert(key blockKey, owner uint32, dirty, prefetched bool, now i
 		}
 		return b
 	}
-	b := &block{key: key, owner: owner, prefetched: prefetched}
-	b.elem = c.lru.PushBack(b)
-	c.blocks[key] = b
-	c.owned[owner]++
+	b := c.free
+	if b != nil {
+		c.free = b.freeNext
+		*b = block{key: key, owner: owner, prefetched: prefetched}
+	} else {
+		b = &block{key: key, owner: owner, prefetched: prefetched}
+	}
+	c.lru.pushBack(b)
+	if sl.f == nil {
+		pg.used++
+	}
+	sl.b = b
+	c.nResident++
+	c.addOwned(owner, 1)
 	c.reserved--
 	if dirty {
 		c.markDirty(b, now)
@@ -227,17 +529,11 @@ func (c *cache) markDirty(b *block, now int64) {
 	}
 	b.dirty = true
 	b.dirtyAt = now
-	b.dirtyElem = c.dirty.PushBack(b)
+	c.dirty.pushBack(b)
 }
 
 // oldestDirty returns the longest-dirty block, or nil.
-func (c *cache) oldestDirty() *block {
-	front := c.dirty.Front()
-	if front == nil {
-		return nil
-	}
-	return front.Value.(*block)
-}
+func (c *cache) oldestDirty() *block { return c.dirty.front }
 
 // markClean is called by the flusher when a block reaches disk.
 func (c *cache) markClean(b *block) {
@@ -245,31 +541,30 @@ func (c *cache) markClean(b *block) {
 		return
 	}
 	b.dirty = false
-	c.dirty.Remove(b.dirtyElem)
-	b.dirtyElem = nil
+	c.dirty.remove(b)
 }
 
 // dirtyCount returns the number of dirty blocks.
-func (c *cache) dirtyCount() int { return c.dirty.Len() }
+func (c *cache) dirtyCount() int { return c.dirty.n }
 
 // oldestDirtyRun returns the oldest dirty block and its contiguous dirty,
 // unpinned successors in the same file, up to maxRun blocks, pinning them
-// for flushing.
+// for flushing. The returned slice is reused by the next call.
 func (c *cache) oldestDirtyRun(maxRun int) []*block {
-	front := c.dirty.Front()
-	if front == nil {
+	first := c.dirty.front
+	if first == nil {
 		return nil
 	}
-	first := front.Value.(*block)
-	run := []*block{first}
+	run := append(c.runBuf[:0], first)
 	first.pinned = true
 	for len(run) < maxRun {
-		next := c.blocks[blockKey{first.key.file, first.key.idx + int64(len(run))}]
+		next := c.resident(blockKey{first.key.file, first.key.idx + int64(len(run))})
 		if next == nil || !next.dirty || next.pinned {
 			break
 		}
 		next.pinned = true
 		run = append(run, next)
 	}
+	c.runBuf = run
 	return run
 }

@@ -47,8 +47,8 @@ func TestAcquireInsertEvict(t *testing.T) {
 		}
 		c.insert(blockKey{1, i}, 1, false, false, 0)
 	}
-	if c.used() != 4 || c.owned[1] != 4 {
-		t.Fatalf("used %d owned %d", c.used(), c.owned[1])
+	if c.used() != 4 || c.ownedBy(1) != 4 {
+		t.Fatalf("used %d owned %d", c.used(), c.ownedBy(1))
 	}
 	// A fifth block evicts the LRU (block 0).
 	if !c.acquire(1, 1) {
@@ -233,6 +233,75 @@ func TestWastedPrefetchCounted(t *testing.T) {
 	}
 	// A touched prefetch does not count.
 	c.touch(c.resident(blockKey{1, 1}))
+}
+
+func TestSlotOverflowBeyondSpineCap(t *testing.T) {
+	c := testCache(8, 0)
+	hi := blockKey{1, int64(maxSpinePages)*slotPageSize + 5}
+	if !c.acquire(1, 1) {
+		t.Fatal("acquire failed")
+	}
+	c.insert(hi, 1, false, false, 0)
+	if c.resident(hi) == nil {
+		t.Fatal("high-index block not resident")
+	}
+	fs := c.files[1]
+	if len(fs.pages) != 0 {
+		t.Errorf("spine grew to %d pages for an over-cap index", len(fs.pages))
+	}
+	if fs.overflow[hi.idx>>slotPageShift] == nil {
+		t.Fatal("over-cap page not in the overflow map")
+	}
+	// Pending marks work through the overflow map too.
+	hi2 := blockKey{1, hi.idx + slotPageSize}
+	f := &fetch{keys: []blockKey{hi2}}
+	c.setPending(hi2, f)
+	if c.pendingAt(hi2) != f {
+		t.Error("over-cap pending mark lost")
+	}
+	c.clearPending(hi2)
+	if len(fs.overflow) != 1 {
+		t.Errorf("%d overflow pages after clear, want 1", len(fs.overflow))
+	}
+	// Eviction recycles the overflow page.
+	c.evict(c.resident(hi))
+	if c.resident(hi) != nil {
+		t.Error("block survived eviction")
+	}
+	if len(fs.overflow) != 0 {
+		t.Errorf("%d overflow pages after eviction, want 0", len(fs.overflow))
+	}
+	// Low indexes keep using the spine.
+	c.acquire(1, 1)
+	c.insert(blockKey{1, 3}, 1, false, false, 0)
+	if len(fs.pages) == 0 || fs.pages[0] == nil {
+		t.Error("low-index block not on the spine")
+	}
+}
+
+func TestSlotNegativeIndexSurvives(t *testing.T) {
+	// A record whose offset+length overflows int64 can produce negative
+	// block indexes; the old map index tolerated them, and the paged
+	// tables route them through the overflow map rather than panicking.
+	c := testCache(8, 0)
+	neg := blockKey{1, -(int64(maxSpinePages)*slotPageSize + 7)}
+	if c.resident(neg) != nil || c.pendingAt(neg) != nil {
+		t.Fatal("phantom entry at negative index")
+	}
+	if !c.acquire(1, 1) {
+		t.Fatal("acquire failed")
+	}
+	c.insert(neg, 1, false, false, 0)
+	if c.resident(neg) == nil {
+		t.Fatal("negative-index block not resident")
+	}
+	c.evict(c.resident(neg))
+	if c.resident(neg) != nil {
+		t.Error("block survived eviction")
+	}
+	if n := len(c.files[1].overflow); n != 0 {
+		t.Errorf("%d overflow pages after eviction, want 0", n)
+	}
 }
 
 func TestHitRatio(t *testing.T) {

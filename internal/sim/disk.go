@@ -104,13 +104,13 @@ type physOp struct {
 // logical volume appears as one device.
 const volumeDeviceID = 1
 
-// access performs one disk request, calling done when the data has
-// transferred and the completion interrupt has been serviced.
-func (s *Simulator) diskAccess(fileID uint32, off, size int64, write bool, done func()) {
+// access performs one disk request, posting the done event when the data
+// has transferred and the completion interrupt has been serviced.
+func (s *Simulator) diskAccess(fileID uint32, off, size int64, write bool, done event) {
 	s.diskAccessTagged(fileID, off, size, write, physOp{kind: trace.FileData}, done)
 }
 
-func (s *Simulator) diskAccessTagged(fileID uint32, off, size int64, write bool, tag physOp, done func()) {
+func (s *Simulator) diskAccessTagged(fileID uint32, off, size int64, write bool, tag physOp, done event) {
 	d := s.disk
 	p := d.pos(fileID, off)
 	dur := d.accessTime(p, size)
@@ -160,5 +160,5 @@ func (s *Simulator) diskAccessTagged(fileID uint32, off, size int64, write bool,
 			ProcessID:   tag.pid,
 		})
 	}
-	s.schedule(wait+d.interrupt, done)
+	s.post(wait+d.interrupt, done)
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"context"
 	"testing"
 
 	"iotrace/internal/trace"
@@ -74,21 +73,27 @@ func TestDiskFileBasesAreDistinct(t *testing.T) {
 	}
 }
 
-// runDiskAccess drives Simulator.diskAccess through the event loop.
+// runDiskAccess drives Simulator.diskAccess through the event loop. Each
+// access completes as an evNop event, so popping the queue in order
+// yields the completion times.
 func runDiskAccess(t *testing.T, cfg Config, n int, write bool) (*Simulator, []trace.Ticks) {
 	t.Helper()
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var completions []trace.Ticks
 	for i := 0; i < n; i++ {
-		s.diskAccess(1, int64(i)*1<<20, 1<<20, write, func() {
-			completions = append(completions, s.now)
-		})
+		s.diskAccess(1, int64(i)*1<<20, 1<<20, write, event{kind: evNop})
 	}
-	// Drain events manually (no processes registered).
-	s.runEvents(context.Background())
+	// Drain events manually (no processes registered): every queued event
+	// is one access's completion interrupt.
+	var completions []trace.Ticks
+	for s.events.len() > 0 {
+		e := s.events.pop()
+		s.now = e.at
+		completions = append(completions, s.now)
+		s.dispatch1(&e)
+	}
 	return s, completions
 }
 

@@ -1,47 +1,139 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 
 	"iotrace/internal/trace"
 )
 
+// evKind discriminates the simulator's event variants. Events are plain
+// values dispatched by kind; their operands travel in fixed fields, so the
+// hot loop never boxes and never allocates closures.
+type evKind uint8
+
+const (
+	evNop       evKind = iota // completion nobody waits on (async bypass)
+	evRunSlice                // a dispatched process starts its quantum
+	evSliceEnd                // quantum expiry or arrival at the next action
+	evDoIO                    // file-system code done; request hits the cache
+	evAdvanceRun              // hit/absorb cost paid; consume record, keep CPU
+	evFlushTimer              // delayed-write aging timer fired
+	evFetchDone               // disk read done; fill blocks, resume waiters
+	evWaitDone                // bypass read done; notify one ioWait
+	evWake                    // synchronous bypass write done; wake the writer
+	evFlushDone               // flusher write-back done; clean the run
+)
+
 // event is one scheduled simulator action. Ties on time break by sequence
 // number, making runs fully deterministic.
 type event struct {
-	at  trace.Ticks
-	seq uint64
-	fn  func()
+	at   trace.Ticks
+	seq  uint64
+	kind evKind
+	p    *proc
+	r    *trace.Record
+	f    *fetch
+	w    *ioWait
+	tick trace.Ticks // evSliceEnd: the slice length being retired
 }
 
-type eventHeap []*event
+// eventHeap is a 4-ary min-heap of value events keyed on (at, seq). The
+// wider node cuts tree depth (and swap traffic) versus a binary heap, and
+// the flat []event backing stores means zero allocation per push/pop once
+// the run's high-water mark is reached.
+type eventHeap struct {
+	ev []event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) len() int { return len(h.ev) }
+
+func evBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
-// schedule queues fn to run dt ticks from now.
-func (s *Simulator) schedule(dt trace.Ticks, fn func()) {
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !evBefore(&h.ev[i], &h.ev[parent]) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	n := len(h.ev) - 1
+	h.ev[0] = h.ev[n]
+	h.ev[n] = event{} // drop stale pointers so recycled objects can free
+	h.ev = h.ev[:n]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if evBefore(&h.ev[c], &h.ev[min]) {
+				min = c
+			}
+		}
+		if !evBefore(&h.ev[min], &h.ev[i]) {
+			break
+		}
+		h.ev[i], h.ev[min] = h.ev[min], h.ev[i]
+		i = min
+	}
+	return top
+}
+
+// post queues ev to fire dt ticks from now.
+func (s *Simulator) post(dt trace.Ticks, ev event) {
 	if dt < 0 {
 		dt = 0
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: s.now + dt, seq: s.seq, fn: fn})
+	ev.at = s.now + dt
+	ev.seq = s.seq
+	s.events.push(ev)
+}
+
+// dispatch1 executes one event.
+func (s *Simulator) dispatch1(e *event) {
+	switch e.kind {
+	case evRunSlice:
+		s.runSlice(e.p)
+	case evSliceEnd:
+		s.sliceEnd(e.p, e.tick)
+	case evDoIO:
+		s.doIO(e.p, e.r)
+	case evAdvanceRun:
+		s.advance(e.p)
+		s.runSlice(e.p)
+	case evFlushTimer:
+		s.flushTimer = false
+		s.kickFlusher()
+	case evFetchDone:
+		s.completeFetch(e.f)
+	case evWaitDone:
+		s.waitDone(e.w)
+	case evWake:
+		s.wake(e.p)
+	case evFlushDone:
+		s.completeFlush()
+	case evNop:
+	}
 }
 
 // runEvents drains the event queue. It returns false if the run failed
@@ -51,16 +143,16 @@ func (s *Simulator) schedule(dt trace.Ticks, fn func()) {
 func (s *Simulator) runEvents(ctx context.Context) bool {
 	const ctxCheckInterval = 1 << 12
 	n := 0
-	for s.err == nil && s.events.Len() > 0 {
+	for s.err == nil && s.events.len() > 0 {
 		if n++; n%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				s.fail(err)
 				return false
 			}
 		}
-		e := heap.Pop(&s.events).(*event)
+		e := s.events.pop()
 		s.now = e.at
-		e.fn()
+		s.dispatch1(&e)
 	}
 	if s.err != nil {
 		return false

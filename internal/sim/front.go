@@ -1,10 +1,14 @@
 package sim
 
 import (
-	"container/list"
-
 	"iotrace/internal/trace"
 )
+
+// frontNode is one front-tier residency entry on the intrusive LRU list.
+type frontNode struct {
+	key        blockKey
+	prev, next *frontNode
+}
 
 // frontCache models §6.4's recommended configuration: a smaller
 // main-memory cache *in front of* the SSD. The SSD (the main cache) holds
@@ -13,9 +17,10 @@ import (
 // channel transfer. It is maintained write-through — the SSD always has
 // the data — so it carries no dirty state and never stalls anyone.
 type frontCache struct {
-	capacity int
-	blocks   map[blockKey]*list.Element
-	lru      *list.List // of blockKey; front = LRU
+	capacity    int
+	blocks      map[blockKey]*frontNode
+	front, back *frontNode // front = LRU
+	free        *frontNode // recycled nodes (chained via next)
 
 	hits   int64
 	misses int64
@@ -27,9 +32,33 @@ func newFrontCache(capBlocks int) *frontCache {
 	}
 	return &frontCache{
 		capacity: capBlocks,
-		blocks:   make(map[blockKey]*list.Element),
-		lru:      list.New(),
+		blocks:   make(map[blockKey]*frontNode),
 	}
+}
+
+func (f *frontCache) pushBack(n *frontNode) {
+	n.prev = f.back
+	n.next = nil
+	if f.back != nil {
+		f.back.next = n
+	} else {
+		f.front = n
+	}
+	f.back = n
+}
+
+func (f *frontCache) unlink(n *frontNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		f.front = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		f.back = n.prev
+	}
+	n.prev, n.next = nil, nil
 }
 
 // touch promotes keys into the front tier and reports whether all of them
@@ -37,17 +66,29 @@ func newFrontCache(capBlocks int) *frontCache {
 func (f *frontCache) touch(keys []blockKey) bool {
 	all := true
 	for _, k := range keys {
-		if e, ok := f.blocks[k]; ok {
-			f.lru.MoveToBack(e)
+		if n, ok := f.blocks[k]; ok {
+			f.unlink(n)
+			f.pushBack(n)
 			continue
 		}
 		all = false
 		for len(f.blocks) >= f.capacity {
-			oldest := f.lru.Front()
-			delete(f.blocks, oldest.Value.(blockKey))
-			f.lru.Remove(oldest)
+			oldest := f.front
+			delete(f.blocks, oldest.key)
+			f.unlink(oldest)
+			oldest.next = f.free
+			f.free = oldest
 		}
-		f.blocks[k] = f.lru.PushBack(k)
+		n := f.free
+		if n != nil {
+			f.free = n.next
+			n.key = k
+			n.prev, n.next = nil, nil
+		} else {
+			n = &frontNode{key: k}
+		}
+		f.pushBack(n)
+		f.blocks[k] = n
 	}
 	if all {
 		f.hits++

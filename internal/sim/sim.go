@@ -11,17 +11,20 @@ import (
 )
 
 // recordFeed supplies one process's data records in order with one-record
-// lookahead. The pull source may be a materialized slice or a streaming
-// reader; either way the feed filters comments, validates pid consistency
-// and process-time monotonicity, and learns the process's total CPU demand
-// (from the end-comment convention, or the last record) by the time the
-// source drains.
+// lookahead. Materialized (AddProcess) traces are validated up front and
+// served straight from the slice — no per-record indirection; streaming
+// (AddProcessSeq) traces go through the pull source, which filters
+// comments, validates pid consistency and process-time monotonicity, and
+// learns the process's total CPU demand (from the end-comment convention,
+// or the last record) by the time the source drains.
 type recordFeed struct {
 	name string
-	cur  *trace.Record // record awaiting issue (nil = process exhausted)
-	nxt  *trace.Record // one-record lookahead
-	pull func() (*trace.Record, error, bool)
-	stop func() // releases a pull-based source; nil for slices
+	cur  *trace.Record   // record awaiting issue (nil = process exhausted)
+	nxt  *trace.Record   // one-record lookahead
+	recs []*trace.Record // pre-validated data records (slice feeds)
+	ri   int             // next index into recs
+	pull func() (*trace.Record, error, bool) // streamed feeds
+	stop func()                              // releases a pull-based source; nil for slices
 
 	pid     uint32
 	started bool
@@ -30,10 +33,37 @@ type recordFeed struct {
 	endCPU  trace.Ticks // total CPU demand; valid once the source drains
 }
 
+// validateRecordBounds rejects records the block index cannot address:
+// negative offsets and extents whose end overflows int64. Both the
+// materialized (AddProcess) and streamed (refill) paths apply it, so
+// every feed admits the same traces.
+func validateRecordBounds(name string, r *trace.Record) error {
+	if r.Offset < 0 {
+		return fmt.Errorf("sim: trace %s has negative offset %d", name, r.Offset)
+	}
+	if r.Length > 0 && r.Offset+r.Length < r.Offset {
+		return fmt.Errorf("sim: trace %s record overflows at offset %d length %d", name, r.Offset, r.Length)
+	}
+	return nil
+}
+
 // refill advances the source until nxt holds the next data record or the
 // source is exhausted (at which point endCPU becomes valid).
 func (f *recordFeed) refill() error {
 	f.nxt = nil
+	if f.recs != nil {
+		// Slice fast path: records were filtered and validated by
+		// AddProcess, so serving one is a bounds check and an index.
+		if f.ri < len(f.recs) {
+			r := f.recs[f.ri]
+			f.ri++
+			f.lastCPU = r.ProcessTime
+			f.nxt = r
+		} else {
+			f.close()
+		}
+		return nil
+	}
 	for f.pull != nil {
 		r, err, ok := f.pull()
 		if !ok {
@@ -49,6 +79,10 @@ func (f *recordFeed) refill() error {
 				f.endCmt = cpu
 			}
 			continue
+		}
+		if err := validateRecordBounds(f.name, r); err != nil {
+			f.close()
+			return err
 		}
 		if !f.started {
 			f.pid = r.ProcessID
@@ -97,10 +131,18 @@ func (f *recordFeed) close() {
 		f.stop = nil
 	}
 	f.pull = nil
+	f.recs = nil
 	f.endCPU = f.endCmt
 	if f.lastCPU > f.endCPU {
 		f.endCPU = f.lastCPU
 	}
+}
+
+// fileEnd records where a process's last access to one file ended, the
+// state behind the read-ahead sequentiality test.
+type fileEnd struct {
+	file uint32
+	end  int64
 }
 
 // proc is one traced process being replayed.
@@ -120,7 +162,26 @@ type proc struct {
 	blockedTotal trace.Ticks
 	blocked      bool
 
-	lastEnd map[uint32]int64 // per-file sequentiality for read-ahead
+	// fileEnds is the per-file sequentiality table (replaces a per-proc
+	// map): these workloads touch tens of files per process, so a linear
+	// scan over a compact slice beats a hash per request and never
+	// allocates in steady state.
+	fileEnds []fileEnd
+}
+
+// swapLastEnd records that the process's access to file now ends at end
+// and returns the previous end (0 on first touch).
+func (p *proc) swapLastEnd(file uint32, end int64) int64 {
+	fe := p.fileEnds
+	for i := range fe {
+		if fe[i].file == file {
+			old := fe[i].end
+			fe[i].end = end
+			return old
+		}
+	}
+	p.fileEnds = append(p.fileEnds, fileEnd{file, end})
+	return 0
 }
 
 // ProcResult reports one process's outcome.
@@ -195,12 +256,14 @@ func (r *Result) String() string {
 		float64(r.Disk.ReadBytes)/1e6, float64(r.Disk.WriteBytes)/1e6, r.Cache.ReadHitRatio())
 }
 
-// spaceWaiter is a request stalled for buffer space. retry re-evaluates
-// the request against current cache state; it returns false to keep
-// waiting.
+// spaceWaiter is a request stalled for buffer space. The retry
+// re-classifies the request's blocks against current cache state, so the
+// waiter carries only the request's identity, not a closure.
 type spaceWaiter struct {
-	pid   uint32
-	retry func() bool
+	p     *proc
+	r     *trace.Record
+	seq   bool // reads: request was sequential when first classified
+	write bool
 }
 
 // Simulator runs one configuration over a set of process traces.
@@ -224,7 +287,20 @@ type Simulator struct {
 	disk         *disk
 	flushing     bool
 	flushTimer   bool
-	spaceWaiters []*spaceWaiter
+	flushRun     []*block // blocks of the in-flight flusher write-back
+	spaceWaiters []spaceWaiter
+
+	// Reusable request-classification scratch. Each buffer serves one
+	// role so the I/O paths can overlap (a read classifies into keysBuf/
+	// missBuf/joinsBuf while its read-ahead classifies into raBuf)
+	// without stepping on each other; all are dead between events.
+	keysBuf  []blockKey // block range of the request being classified
+	missBuf  []blockKey // blocks needing fresh slots
+	joinsBuf []*fetch   // in-flight fetches the request joins
+	raBuf    []blockKey // read-ahead block range and its missing filter
+
+	fetchFree *fetch  // recycled fetch structs
+	waitFree  *ioWait // recycled ioWait structs
 
 	diskReadRate  *stats.TimeSeries
 	diskWriteRate *stats.TimeSeries
@@ -253,7 +329,8 @@ func New(cfg Config) (*Simulator, error) {
 
 // AddProcess registers one materialized trace as a process. Traces must
 // carry distinct process ids; records must be in nondecreasing process-CPU
-// order. The whole trace is validated up front.
+// order. The whole trace is validated up front, and the run then serves
+// records directly from the validated slice.
 func (s *Simulator) AddProcess(name string, recs []*trace.Record) error {
 	var data []*trace.Record
 	var pid uint32
@@ -261,6 +338,9 @@ func (s *Simulator) AddProcess(name string, recs []*trace.Record) error {
 	for _, r := range recs {
 		if r.IsComment() {
 			continue
+		}
+		if err := validateRecordBounds(name, r); err != nil {
+			return err
 		}
 		if len(data) == 0 {
 			pid = r.ProcessID
@@ -282,15 +362,7 @@ func (s *Simulator) AddProcess(name string, recs []*trace.Record) error {
 	// clock is seeded from the trace's end comment here, so the slice is
 	// not filtered a second time during the run.
 	endCPU, _, _ := trace.EndTimes(recs)
-	i := 0
-	feed := &recordFeed{name: name, endCmt: endCPU, pull: func() (*trace.Record, error, bool) {
-		if i >= len(data) {
-			return nil, nil, false
-		}
-		r := data[i]
-		i++
-		return r, nil, true
-	}}
+	feed := &recordFeed{name: name, recs: data, pid: pid, started: true, endCmt: endCPU}
 	return s.addFeed(name, feed, data)
 }
 
@@ -320,8 +392,7 @@ func (s *Simulator) addFeed(name string, feed *recordFeed, all []*trace.Record) 
 		}
 	}
 	s.procs = append(s.procs, &proc{
-		pid: feed.pid, name: name, feed: feed, all: all,
-		cpu: -1, lastEnd: make(map[uint32]int64),
+		pid: feed.pid, name: name, feed: feed, all: all, cpu: -1,
 	})
 	return nil
 }
@@ -420,12 +491,13 @@ func (s *Simulator) dispatch() {
 			continue
 		}
 		p := s.ready[0]
-		s.ready = s.ready[1:]
+		n := copy(s.ready, s.ready[1:])
+		s.ready = s.ready[:n]
 		s.cpus[cpu] = p
 		p.cpu = cpu
 		s.switches++
 		s.busy += s.cfg.SwitchTicks
-		s.schedule(s.cfg.SwitchTicks, func() { s.runSlice(p) })
+		s.post(s.cfg.SwitchTicks, event{kind: evRunSlice, p: p})
 	}
 }
 
@@ -442,7 +514,7 @@ func (s *Simulator) runSlice(p *proc) {
 		slice = s.cfg.QuantumTicks
 	}
 	s.busy += slice
-	s.schedule(slice, func() { s.sliceEnd(p, slice) })
+	s.post(slice, event{kind: evSliceEnd, p: p, tick: slice})
 }
 
 // sliceEnd handles quantum expiry or arrival at the process's next action.
@@ -475,7 +547,7 @@ func (s *Simulator) action(p *proc) {
 	// File-system code runs on the CPU before the request reaches the
 	// cache — the overhead that § 3 says penalized bvi's small requests.
 	s.busy += s.cfg.FSCallTicks
-	s.schedule(s.cfg.FSCallTicks, func() { s.doIO(p, r) })
+	s.post(s.cfg.FSCallTicks, event{kind: evDoIO, p: p, r: r})
 }
 
 // advance consumes the current record and sets up the compute burst that
@@ -502,10 +574,7 @@ func (s *Simulator) advance(p *proc) {
 // the CPU (cache hit, absorbed write, async request).
 func (s *Simulator) continueRunning(p *proc, cost trace.Ticks) {
 	s.busy += cost
-	s.schedule(cost, func() {
-		s.advance(p)
-		s.runSlice(p)
-	})
+	s.post(cost, event{kind: evAdvanceRun, p: p})
 }
 
 // block suspends the running process until wake.
@@ -536,28 +605,74 @@ func (s *Simulator) doIO(p *proc, r *trace.Record) {
 	}
 }
 
+// appendFetch adds f to joins unless already present. A request spans at
+// most a handful of in-flight fetches, so a linear scan replaces the old
+// map-based dedup without ever allocating.
+func appendFetch(joins []*fetch, f *fetch) []*fetch {
+	for _, g := range joins {
+		if g == f {
+			return joins
+		}
+	}
+	return append(joins, f)
+}
+
+// newWait takes an ioWait from the free-list (or allocates the pool's
+// next entry) for a synchronous read by p.
+func (s *Simulator) newWait(p *proc) *ioWait {
+	w := s.waitFree
+	if w != nil {
+		s.waitFree = w.freeNext
+		w.remaining, w.p, w.freeNext = 0, p, nil
+	} else {
+		w = &ioWait{p: p}
+	}
+	return w
+}
+
+// freeWait recycles a fired wait.
+func (s *Simulator) freeWait(w *ioWait) {
+	w.p = nil
+	w.freeNext = s.waitFree
+	s.waitFree = w
+}
+
+// waitDone retires one of the fetches a wait was counting; the last one
+// wakes the blocked process and recycles the wait.
+func (s *Simulator) waitDone(w *ioWait) {
+	w.remaining--
+	if w.remaining == 0 {
+		p := w.p
+		s.freeWait(w)
+		s.wake(p)
+	}
+}
+
 func (s *Simulator) doRead(p *proc, r *trace.Record) {
-	seq := r.Offset == p.lastEnd[r.FileID] && r.Offset > 0
-	p.lastEnd[r.FileID] = r.End()
+	last := p.swapLastEnd(r.FileID, r.End())
+	seq := r.Offset == last && r.Offset > 0
 	async := r.Type.IsAsync()
 
-	keys := s.cache.blockRange(r.FileID, r.Offset, r.Length)
-	var missing []blockKey
-	joins := map[*fetch]bool{}
+	s.keysBuf = s.cache.blockRangeInto(s.keysBuf, r.FileID, r.Offset, r.Length)
+	keys := s.keysBuf
+	missing := s.missBuf[:0]
+	joins := s.joinsBuf[:0]
 	raTouched := false
 	for _, k := range keys {
-		if b := s.cache.resident(k); b != nil {
+		b, f := s.cache.lookup(k)
+		if b != nil {
 			if s.cache.touch(b) {
 				raTouched = true
 			}
 			continue
 		}
-		if f := s.cache.pending[k]; f != nil {
-			joins[f] = true
+		if f != nil {
+			joins = appendFetch(joins, f)
 			continue
 		}
 		missing = append(missing, k)
 	}
+	s.missBuf, s.joinsBuf = missing, joins
 
 	if len(missing) == 0 && len(joins) == 0 {
 		// Full cache hit: the process keeps the CPU for the copy (or SSD
@@ -582,7 +697,7 @@ func (s *Simulator) doRead(p *proc, r *trace.Record) {
 				s.startFetch(p.pid, missing, false, tag)
 			} else {
 				s.cache.stats.Bypasses++
-				s.diskAccessTagged(r.FileID, r.Offset, r.Length, false, tag, func() {})
+				s.diskAccessTagged(r.FileID, r.Offset, r.Length, false, tag, event{kind: evNop})
 			}
 		}
 		s.maybeReadAhead(p, r, seq)
@@ -594,93 +709,112 @@ func (s *Simulator) doRead(p *proc, r *trace.Record) {
 	// in (its own fetch plus any fetches already in flight).
 	s.advance(p)
 	s.block(p)
-
-	// tryIssue classifies the needed blocks against *current* cache
-	// state (the world changes while a request waits for buffer space:
-	// fetches complete, blocks arrive or get evicted) and issues the
-	// miss if space permits. It reports false when the request must keep
-	// waiting for the flusher.
-	tryIssue := func() bool {
-		var missing []blockKey
-		joins := map[*fetch]bool{}
-		for _, k := range keys {
-			if b := s.cache.resident(k); b != nil {
-				s.cache.touch(b)
-				continue
-			}
-			if f := s.cache.pending[k]; f != nil {
-				joins[f] = true
-				continue
-			}
-			missing = append(missing, k)
-		}
-		haveSpace := true
-		if len(missing) > 0 {
-			if !s.cache.canEverFit(p.pid, len(missing)) {
-				haveSpace = false // permanent: bypass below
-			} else if !s.cache.acquire(p.pid, len(missing)) {
-				return false // transient: wait for the flusher
-			}
-		}
-		wait := &ioWait{resume: func() { s.wake(p) }}
-		if len(missing) > 0 {
-			wait.remaining++
-			tag := physOp{kind: trace.FileData, op: r.OperationID, pid: p.pid}
-			if haveSpace {
-				f := s.startFetch(p.pid, missing, false, tag)
-				f.waiters = append(f.waiters, wait)
-			} else {
-				s.cache.stats.Bypasses++
-				first, last := missing[0].idx, missing[len(missing)-1].idx
-				off := first * s.cfg.BlockBytes
-				size := (last - first + 1) * s.cfg.BlockBytes
-				s.diskAccessTagged(r.FileID, off, size, false, tag, func() { wait.fetchDone() })
-			}
-		}
-		for f := range joins {
-			wait.remaining++
-			f.waiters = append(f.waiters, wait)
-		}
-		s.maybeReadAhead(p, r, seq)
-		if wait.remaining == 0 {
-			// Everything arrived while this request waited for space.
-			s.wake(p)
-		}
-		return true
-	}
-
-	if !tryIssue() {
+	if !s.tryIssueRead(p, r, seq) {
 		s.cache.stats.SpaceStalls++
-		s.spaceWaiters = append(s.spaceWaiters, &spaceWaiter{pid: p.pid, retry: tryIssue})
+		s.spaceWaiters = append(s.spaceWaiters, spaceWaiter{p: p, r: r, seq: seq})
 	}
+}
+
+// tryIssueRead classifies a blocked synchronous read's blocks against
+// *current* cache state (the world changes while a request waits for
+// buffer space: fetches complete, blocks arrive or get evicted) and
+// issues the miss if space permits. It reports false when the request
+// must keep waiting for the flusher.
+func (s *Simulator) tryIssueRead(p *proc, r *trace.Record, seq bool) bool {
+	s.keysBuf = s.cache.blockRangeInto(s.keysBuf, r.FileID, r.Offset, r.Length)
+	missing := s.missBuf[:0]
+	joins := s.joinsBuf[:0]
+	for _, k := range s.keysBuf {
+		b, f := s.cache.lookup(k)
+		if b != nil {
+			s.cache.touch(b)
+			continue
+		}
+		if f != nil {
+			joins = appendFetch(joins, f)
+			continue
+		}
+		missing = append(missing, k)
+	}
+	s.missBuf, s.joinsBuf = missing, joins
+	haveSpace := true
+	if len(missing) > 0 {
+		if !s.cache.canEverFit(p.pid, len(missing)) {
+			haveSpace = false // permanent: bypass below
+		} else if !s.cache.acquire(p.pid, len(missing)) {
+			return false // transient: wait for the flusher
+		}
+	}
+	wait := s.newWait(p)
+	if len(missing) > 0 {
+		wait.remaining++
+		tag := physOp{kind: trace.FileData, op: r.OperationID, pid: p.pid}
+		if haveSpace {
+			f := s.startFetch(p.pid, missing, false, tag)
+			f.waiters = append(f.waiters, wait)
+		} else {
+			s.cache.stats.Bypasses++
+			first, last := missing[0].idx, missing[len(missing)-1].idx
+			off := first * s.cfg.BlockBytes
+			size := (last - first + 1) * s.cfg.BlockBytes
+			s.diskAccessTagged(r.FileID, off, size, false, tag, event{kind: evWaitDone, w: wait})
+		}
+	}
+	for _, f := range joins {
+		wait.remaining++
+		f.waiters = append(f.waiters, wait)
+	}
+	s.maybeReadAhead(p, r, seq)
+	if wait.remaining == 0 {
+		// Everything arrived while this request waited for space.
+		s.freeWait(wait)
+		s.wake(p)
+	}
+	return true
 }
 
 // startFetch issues a disk read covering keys (one contiguous span) and
-// registers it as pending. tag carries provenance for physical-level
-// trace emission.
+// registers it as pending. The keys are copied into the fetch's own
+// buffer (callers pass scratch); fetch structs come from the free-list.
+// tag carries provenance for physical-level trace emission.
 func (s *Simulator) startFetch(owner uint32, keys []blockKey, prefetched bool, tag physOp) *fetch {
-	f := &fetch{keys: keys, owner: owner, prefetched: prefetched}
-	for _, k := range keys {
-		s.cache.pending[k] = f
+	f := s.fetchFree
+	if f != nil {
+		s.fetchFree = f.freeNext
+		f.freeNext = nil
+		f.owner, f.prefetched = owner, prefetched
+		f.keys = append(f.keys[:0], keys...)
+		f.waiters = f.waiters[:0]
+	} else {
+		f = &fetch{owner: owner, prefetched: prefetched, keys: append([]blockKey(nil), keys...)}
 	}
-	first, last := keys[0].idx, keys[len(keys)-1].idx
-	file := keys[0].file
+	for _, k := range f.keys {
+		s.cache.setPending(k, f)
+	}
+	first, last := f.keys[0].idx, f.keys[len(f.keys)-1].idx
+	file := f.keys[0].file
 	off := first * s.cfg.BlockBytes
 	size := (last - first + 1) * s.cfg.BlockBytes
-	s.diskAccessTagged(file, off, size, false, tag, func() { s.completeFetch(f) })
+	s.diskAccessTagged(file, off, size, false, tag, event{kind: evFetchDone, f: f})
 	return f
 }
 
-// completeFetch inserts fetched blocks and resumes waiters.
+// completeFetch inserts fetched blocks, resumes waiters, and recycles the
+// fetch.
 func (s *Simulator) completeFetch(f *fetch) {
 	for _, k := range f.keys {
-		delete(s.cache.pending, k)
+		// Insert before clearing the pending mark so the slot's page is
+		// reused in place rather than freed and reallocated.
 		s.cache.insert(k, f.owner, false, f.prefetched, int64(s.now))
+		s.cache.clearPending(k)
 	}
 	for _, w := range f.waiters {
-		w.fetchDone()
+		s.waitDone(w)
 	}
 	s.trySpaceWaiters()
+	f.keys, f.waiters = f.keys[:0], f.waiters[:0]
+	f.freeNext = s.fetchFree
+	s.fetchFree = f
 }
 
 // maybeReadAhead prefetches, after a sequential read, the amount of data
@@ -690,10 +824,11 @@ func (s *Simulator) maybeReadAhead(p *proc, r *trace.Record, seq bool) {
 	if !s.cfg.ReadAhead || !seq || r.Length <= 0 {
 		return
 	}
-	keys := s.cache.blockRange(r.FileID, r.End(), r.Length)
-	var missing []blockKey
+	s.raBuf = s.cache.blockRangeInto(s.raBuf, r.FileID, r.End(), r.Length)
+	keys := s.raBuf
+	missing := keys[:0] // filter in place; reads stay ahead of writes
 	for _, k := range keys {
-		if s.cache.resident(k) == nil && s.cache.pending[k] == nil {
+		if b, f := s.cache.lookup(k); b == nil && f == nil {
 			missing = append(missing, k)
 		}
 	}
@@ -717,64 +852,68 @@ func leadingRun(keys []blockKey) []blockKey {
 	return keys
 }
 
-func (s *Simulator) doWrite(p *proc, r *trace.Record) {
-	p.lastEnd[r.FileID] = r.End()
-	async := r.Type.IsAsync()
-	keys := s.cache.blockRange(r.FileID, r.Offset, r.Length)
+// classifyWrite returns the blocks of keys that need fresh slots right
+// now (neither resident nor being fetched); resident blocks are touched.
+// The result lives in the simulator's scratch buffer.
+func (s *Simulator) classifyWrite(keys []blockKey) []blockKey {
+	toInsert := s.missBuf[:0]
+	for _, k := range keys {
+		b, f := s.cache.lookup(k)
+		if b != nil {
+			s.cache.touch(b)
+			continue
+		}
+		if f != nil {
+			// A fetch is in flight; that fetch's insert will land the
+			// block and the markDirty pass below dirties whatever is
+			// resident by then.
+			continue
+		}
+		toInsert = append(toInsert, k)
+	}
+	s.missBuf = toInsert
+	return toInsert
+}
 
-	// classify returns the blocks that need fresh slots right now
-	// (neither resident nor being fetched).
-	classify := func() []blockKey {
-		var toInsert []blockKey
+// fillWrite inserts the write's blocks (dirty when absorbing) and marks
+// resident blocks dirty.
+func (s *Simulator) fillWrite(keys, toInsert []blockKey, dirty bool, pid uint32) {
+	for _, k := range toInsert {
+		s.cache.insert(k, pid, dirty, false, int64(s.now))
+	}
+	if dirty {
 		for _, k := range keys {
 			if b := s.cache.resident(k); b != nil {
-				s.cache.touch(b)
-				continue
+				s.cache.markDirty(b, int64(s.now))
 			}
-			if s.cache.pending[k] != nil {
-				// A fetch is in flight; that fetch's insert will land the
-				// block and the markDirty pass below dirties whatever is
-				// resident by then.
-				continue
-			}
-			toInsert = append(toInsert, k)
 		}
-		return toInsert
+		s.kickFlusher()
 	}
+}
 
-	// fill inserts the write's blocks (dirty when absorbing) and marks
-	// resident blocks dirty.
-	fill := func(toInsert []blockKey, dirty bool) {
-		for _, k := range toInsert {
-			s.cache.insert(k, p.pid, dirty, false, int64(s.now))
-		}
-		if dirty {
-			for _, k := range keys {
-				if b := s.cache.resident(k); b != nil {
-					s.cache.markDirty(b, int64(s.now))
-				}
-			}
-			s.kickFlusher()
-		}
-	}
+func (s *Simulator) doWrite(p *proc, r *trace.Record) {
+	p.swapLastEnd(r.FileID, r.End())
+	async := r.Type.IsAsync()
+	s.keysBuf = s.cache.blockRangeInto(s.keysBuf, r.FileID, r.Offset, r.Length)
+	keys := s.keysBuf
 
 	if !s.cfg.WriteBehind {
 		// Write-through: data goes synchronously to disk (asynchronous
 		// application requests continue; the app manages the overlap).
 		// The cache still keeps a clean copy so re-reads hit.
-		toInsert := classify()
+		toInsert := s.classifyWrite(keys)
 		if len(toInsert) > 0 && s.cache.canEverFit(p.pid, len(toInsert)) && s.cache.acquire(p.pid, len(toInsert)) {
-			fill(toInsert, false)
+			s.fillWrite(keys, toInsert, false, p.pid)
 		}
 		s.cache.stats.WriteThrough++
 		tag := physOp{kind: trace.FileData, op: r.OperationID, pid: p.pid}
 		if async {
-			s.diskAccessTagged(r.FileID, r.Offset, r.Length, true, tag, func() {})
+			s.diskAccessTagged(r.FileID, r.Offset, r.Length, true, tag, event{kind: evNop})
 			s.continueRunning(p, 0)
 			return
 		}
 		s.advance(p)
-		s.diskAccessTagged(r.FileID, r.Offset, r.Length, true, tag, func() { s.wake(p) })
+		s.diskAccessTagged(r.FileID, r.Offset, r.Length, true, tag, event{kind: evWake, p: p})
 		s.block(p)
 		return
 	}
@@ -783,9 +922,9 @@ func (s *Simulator) doWrite(p *proc, r *trace.Record) {
 	// requests never stall for space (they bypass); synchronous ones wait
 	// for the flusher — the §6.2 stall that makes small caches unable to
 	// sustain write-behind.
-	toInsert := classify()
+	toInsert := s.classifyWrite(keys)
 	if len(toInsert) == 0 || (s.cache.canEverFit(p.pid, len(toInsert)) && s.cache.acquire(p.pid, len(toInsert))) {
-		fill(toInsert, true)
+		s.fillWrite(keys, toInsert, true, p.pid)
 		s.cache.stats.WriteAbsorbed++
 		s.continueRunning(p, s.tieredHitCost(keys, r.Length))
 		return
@@ -794,29 +933,46 @@ func (s *Simulator) doWrite(p *proc, r *trace.Record) {
 		s.cache.stats.Bypasses++
 		tag := physOp{kind: trace.FileData, op: r.OperationID, pid: p.pid}
 		if async {
-			s.diskAccessTagged(r.FileID, r.Offset, r.Length, true, tag, func() {})
+			s.diskAccessTagged(r.FileID, r.Offset, r.Length, true, tag, event{kind: evNop})
 			s.continueRunning(p, 0)
 			return
 		}
 		s.advance(p)
-		s.diskAccessTagged(r.FileID, r.Offset, r.Length, true, tag, func() { s.wake(p) })
+		s.diskAccessTagged(r.FileID, r.Offset, r.Length, true, tag, event{kind: evWake, p: p})
 		s.block(p)
 		return
 	}
 	s.cache.stats.SpaceStalls++
 	s.advance(p)
 	s.block(p)
-	s.spaceWaiters = append(s.spaceWaiters, &spaceWaiter{pid: p.pid, retry: func() bool {
-		// Re-classify: the world may have changed while waiting.
-		toInsert := classify()
-		if len(toInsert) > 0 && !s.cache.acquire(p.pid, len(toInsert)) {
+	s.spaceWaiters = append(s.spaceWaiters, spaceWaiter{p: p, r: r, write: true})
+}
+
+// retryWrite re-attempts a space-stalled write-behind absorption. The
+// world may have changed while waiting, so the write is re-classified.
+func (s *Simulator) retryWrite(p *proc, r *trace.Record) bool {
+	s.keysBuf = s.cache.blockRangeInto(s.keysBuf, r.FileID, r.Offset, r.Length)
+	keys := s.keysBuf
+	toInsert := s.classifyWrite(keys)
+	if len(toInsert) > 0 {
+		if !s.cache.canEverFit(p.pid, len(toInsert)) {
+			// The request grew past what the cache can ever admit (its
+			// resident blocks were evicted while it waited): write
+			// through, as doWrite does for permanently unservable
+			// writes, instead of stalling the FIFO head forever.
+			s.cache.stats.Bypasses++
+			tag := physOp{kind: trace.FileData, op: r.OperationID, pid: p.pid}
+			s.diskAccessTagged(r.FileID, r.Offset, r.Length, true, tag, event{kind: evWake, p: p})
+			return true
+		}
+		if !s.cache.acquire(p.pid, len(toInsert)) {
 			return false
 		}
-		fill(toInsert, true)
-		s.cache.stats.WriteAbsorbed++
-		s.wake(p)
-		return true
-	}})
+	}
+	s.fillWrite(keys, toInsert, true, p.pid)
+	s.cache.stats.WriteAbsorbed++
+	s.wake(p)
+	return true
 }
 
 // --- flusher and space management ------------------------------------
@@ -834,10 +990,7 @@ func (s *Simulator) kickFlusher() {
 		if age := s.now - trace.Ticks(oldest.dirtyAt); age < d {
 			if !s.flushTimer {
 				s.flushTimer = true
-				s.schedule(d-age, func() {
-					s.flushTimer = false
-					s.kickFlusher()
-				})
+				s.post(d-age, event{kind: evFlushTimer})
 			}
 			return
 		}
@@ -847,25 +1000,38 @@ func (s *Simulator) kickFlusher() {
 		return
 	}
 	s.flushing = true
+	s.flushRun = run
 	first := run[0].key
 	off := first.idx * s.cfg.BlockBytes
 	size := int64(len(run)) * s.cfg.BlockBytes
-	s.diskAccess(first.file, off, size, true, func() {
-		for _, b := range run {
-			b.pinned = false
-			s.cache.markClean(b)
-		}
-		s.flushing = false
-		s.trySpaceWaiters()
-		s.kickFlusher()
-	})
+	s.diskAccess(first.file, off, size, true, event{kind: evFlushDone})
+}
+
+// completeFlush lands the in-flight write-back: the run's blocks become
+// clean and evictable, stalled requests get another chance, and the
+// flusher looks for more work.
+func (s *Simulator) completeFlush() {
+	for _, b := range s.flushRun {
+		b.pinned = false
+		s.cache.markClean(b)
+	}
+	s.flushRun = s.flushRun[:0]
+	s.flushing = false
+	s.trySpaceWaiters()
+	s.kickFlusher()
 }
 
 // trySpaceWaiters admits stalled requests in FIFO order as space allows.
 func (s *Simulator) trySpaceWaiters() {
 	for len(s.spaceWaiters) > 0 {
 		w := s.spaceWaiters[0]
-		if !w.retry() {
+		var ok bool
+		if w.write {
+			ok = s.retryWrite(w.p, w.r)
+		} else {
+			ok = s.tryIssueRead(w.p, w.r, w.seq)
+		}
+		if !ok {
 			// Head-of-line blocking is deliberate: FIFO fairness. Make
 			// sure the flusher is working on the head's behalf.
 			if s.cache.dirtyCount() > 0 {
@@ -873,7 +1039,8 @@ func (s *Simulator) trySpaceWaiters() {
 			}
 			return
 		}
-		s.spaceWaiters = s.spaceWaiters[1:]
+		n := copy(s.spaceWaiters, s.spaceWaiters[1:])
+		s.spaceWaiters = s.spaceWaiters[:n]
 	}
 }
 

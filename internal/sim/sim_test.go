@@ -351,6 +351,48 @@ func TestAddProcessErrors(t *testing.T) {
 	if err := s.AddProcess("bad", bad); err == nil {
 		t.Error("non-monotone trace accepted")
 	}
+	neg := mkTrace(6, []ioItem{{file: 1, off: -4096, ln: 4096}}, 1)
+	if err := s.AddProcess("neg", neg); err == nil {
+		t.Error("negative-offset trace accepted")
+	}
+	huge := mkTrace(7, []ioItem{{file: 1, off: 1 << 62, ln: 1 << 62}}, 1)
+	if err := s.AddProcess("huge", huge); err == nil {
+		t.Error("offset+length overflow accepted")
+	}
+}
+
+func TestRetryWriteBypassesWhenItCanNoLongerFit(t *testing.T) {
+	// A space-stalled write whose re-classified block count has grown
+	// past cache capacity must write through (like doWrite's permanently
+	// unservable branch), not stall the waiter FIFO forever.
+	cfg := DefaultConfig()
+	cfg.CacheBytes = 4 * cfg.BlockBytes
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 6-block write against a 4-block cache: nothing resident, so the
+	// retry re-classifies all 6 blocks as needing slots.
+	tr := mkTrace(1, []ioItem{{file: 1, off: 0, ln: 6 * cfg.BlockBytes, write: true}}, 1)
+	if err := s.AddProcess("w", tr); err != nil {
+		t.Fatal(err)
+	}
+	p := s.procs[0]
+	r := p.feed.cur
+	p.blocked = true
+	if ok := s.retryWrite(p, r); !ok {
+		t.Fatal("unservable retry reported transient failure (permanent stall)")
+	}
+	if s.cache.stats.Bypasses != 1 {
+		t.Errorf("Bypasses = %d, want 1", s.cache.stats.Bypasses)
+	}
+	// The next event is the bypass write's completion, which wakes the
+	// writer (the harness leaves the feed on the same record, so further
+	// events would legitimately re-block it).
+	s.stepN(1)
+	if p.blocked {
+		t.Error("writer still blocked after bypass completion")
+	}
 }
 
 func TestRunWithoutProcesses(t *testing.T) {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Hot-path benchmark harness: simulator replay (SimulateVenusPair) and
+# trace decode (TraceDecodeASCII), with allocation reporting. CI invokes
+# it with the defaults below (3 one-shot samples — quick enough for every
+# push, enough to spot a regression) and uploads the output; for real
+# measurements run e.g.
+#
+#   BENCH_TIME=2s scripts/bench.sh bench_local.txt
+#
+# Output goes to the file named by $1 (default bench.txt) and to stdout.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-bench.txt}"
+count="${BENCH_COUNT:-3}"
+benchtime="${BENCH_TIME:-1x}"
+
+go test -run '^$' -bench 'SimulateVenusPair|TraceDecodeASCII' \
+	-benchmem -count "$count" -benchtime "$benchtime" . | tee "$out"

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -42,10 +43,12 @@ func (r SweepResult) String() string {
 }
 
 // Sweep executes every scenario against the workload on a bounded pool of
-// worker goroutines (workers <= 0 uses GOMAXPROCS). Results arrive in
-// scenario order, and every scenario's simulation is single-threaded and
-// deterministic, so the same workload and scenarios produce identical
-// results regardless of worker count.
+// worker goroutines (workers <= 0 uses GOMAXPROCS). Scenarios start in
+// cost-aware order — highest estimated cache pressure first, so skewed
+// grids don't strand the pool behind a late-starting slow scenario — but
+// results land in scenario order, and every scenario's simulation is
+// single-threaded and deterministic, so the same workload and scenarios
+// produce identical results regardless of worker count or start order.
 //
 // Per-scenario failures land in SweepResult.Err; the returned error is
 // non-nil only when ctx was cancelled, in which case unstarted scenarios
@@ -102,9 +105,10 @@ func (w *Workload) Sweep(ctx context.Context, scenarios []Scenario, workers int)
 	}
 	var cancelled error
 feed:
-	for i := range scenarios {
+	for _, i := range scheduleOrder(scenarios, w.traceBytes()) {
 		select {
 		case idx <- i:
+			// Execution order is cost-aware; out[i] keeps output order.
 		case <-ctx.Done():
 			cancelled = ctx.Err()
 			break feed
@@ -120,6 +124,53 @@ feed:
 		}
 	}
 	return out, cancelled
+}
+
+// traceBytes sums the request bytes of the workload's materialized
+// processes — the numerator of the sweep scheduler's cache-pressure
+// proxy. Streamed processes contribute nothing (scanning them would cost
+// a decode pass, which the estimate must stay far cheaper than).
+func (w *Workload) traceBytes() int64 {
+	var total int64
+	for _, p := range w.Procs {
+		for _, r := range p.Records {
+			if !r.IsComment() && r.Length > 0 {
+				total += r.Length
+			}
+		}
+	}
+	return total
+}
+
+// scheduleOrder returns the order in which scenario indices start
+// executing: most expensive first, so a skewed grid's long-running
+// scenarios (tiny caches, synchronous writes) don't start last and leave
+// the worker pool idling through a one-scenario tail. The estimate is
+// deliberately cheap — write-behind-off scenarios lead (every write pays
+// a disk round trip regardless of cache size), then descending
+// cache pressure (trace bytes per cache byte). Ties keep grid order, so
+// the schedule is deterministic; per-scenario results and output order
+// are unaffected either way.
+func scheduleOrder(scenarios []Scenario, traceBytes int64) []int {
+	order := make([]int, len(scenarios))
+	pressure := make([]float64, len(scenarios))
+	for i := range scenarios {
+		order[i] = i
+		cache := scenarios[i].Config.CacheBytes
+		if cache <= 0 {
+			cache = 1
+		}
+		pressure[i] = float64(traceBytes) / float64(cache)
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		a, b := order[x], order[y]
+		wbA, wbB := scenarios[a].Config.WriteBehind, scenarios[b].Config.WriteBehind
+		if wbA != wbB {
+			return !wbA
+		}
+		return pressure[a] > pressure[b]
+	})
+	return order
 }
 
 // Grid declares a cartesian sweep over the simulator's Figure 8 axes.

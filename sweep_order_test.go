@@ -1,0 +1,76 @@
+package iotrace
+
+import "testing"
+
+// These tests live inside the package: scheduleOrder is an internal
+// policy whose contract (execution order only, never results) is pinned
+// from the outside by TestSweepDeterministicAcrossWorkerCounts.
+
+func TestScheduleOrderCostAware(t *testing.T) {
+	grid := Grid{
+		CacheMB:     []int64{4, 256, 16},
+		WriteBehind: []bool{true, false},
+	}
+	scens := grid.Scenarios()
+	if len(scens) != 6 {
+		t.Fatalf("%d scenarios, want 6", len(scens))
+	}
+	// Grid order: wb=on {4,256,16} then wb=off {4,256,16}.
+	order := scheduleOrder(scens, 1<<30)
+	// Write-behind-off scenarios start first (synchronous writes dominate
+	// their runtime), each half in descending cache pressure — smallest
+	// cache first.
+	want := []int{3, 5, 4, 0, 2, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestScheduleOrderIsAPermutation(t *testing.T) {
+	scens := Grid{CacheMB: []int64{4, 8, 16, 32, 64}, BlockKB: []int64{4, 8}}.Scenarios()
+	order := scheduleOrder(scens, 123<<20)
+	seen := make([]bool, len(scens))
+	for _, i := range order {
+		if i < 0 || i >= len(scens) || seen[i] {
+			t.Fatalf("order %v is not a permutation of 0..%d", order, len(scens)-1)
+		}
+		seen[i] = true
+	}
+}
+
+func TestScheduleOrderNoEstimateKeepsGridOrder(t *testing.T) {
+	// A fully streamed workload has no materialized bytes: pressure ties
+	// at zero and the stable sort must preserve grid order within each
+	// write-behind class.
+	scens := Grid{CacheMB: []int64{4, 8, 16}}.Scenarios()
+	order := scheduleOrder(scens, 0)
+	for i := range scens {
+		if order[i] != i {
+			t.Fatalf("order = %v, want identity for a zero estimate", order)
+		}
+	}
+}
+
+func TestWorkloadTraceBytes(t *testing.T) {
+	w, err := New(App("upw", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := w.traceBytes()
+	if total <= 0 {
+		t.Fatal("materialized workload reported no trace bytes")
+	}
+	var manual int64
+	for _, p := range w.Procs {
+		for _, r := range p.Records {
+			if !r.IsComment() && r.Length > 0 {
+				manual += r.Length
+			}
+		}
+	}
+	if total != manual {
+		t.Fatalf("traceBytes = %d, want %d", total, manual)
+	}
+}
