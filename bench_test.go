@@ -9,8 +9,12 @@ package iotrace_test
 
 import (
 	"bytes"
+	"context"
+	"io"
+	"os"
 	"testing"
 
+	"iotrace"
 	"iotrace/internal/apps"
 	"iotrace/internal/collect"
 	"iotrace/internal/exp"
@@ -285,7 +289,44 @@ func BenchmarkTraceEncodeASCII(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceDecodeASCII measures the sustained decode path — the
+// scanner plus codec that every consumer (streamed simulation replay,
+// TraceSource loads, characterization) sits on. Reader.Next reuses one
+// record; the constant allocs/op are per-iteration Reader setup (bufio
+// window, decompressor history), not per record.
 func BenchmarkTraceDecodeASCII(b *testing.B) {
+	recs := venusTrace(b)
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, trace.FormatASCII, recs); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := trace.NewReader(bytes.NewReader(data), trace.FormatASCII)
+		n := 0
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != len(recs) {
+			b.Fatalf("decoded %d of %d records", n, len(recs))
+		}
+	}
+}
+
+// BenchmarkTraceDecodeASCIIMaterialize additionally retains every record
+// (ReadAll's chunk-arena clones), the cost a sweep pays once per
+// TraceSource rather than once per scenario.
+func BenchmarkTraceDecodeASCIIMaterialize(b *testing.B) {
 	recs := venusTrace(b)
 	var buf bytes.Buffer
 	if err := trace.WriteAll(&buf, trace.FormatASCII, recs); err != nil {
@@ -300,6 +341,55 @@ func BenchmarkTraceDecodeASCII(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// fileSweep stages a venus trace on disk once and sweeps a Figure 8-
+// style cache grid over it, with the trace either re-decoded per
+// scenario (TraceStream) or decoded once and fanned out (TraceFile).
+// The pair quantifies what the decode-once source amortizes.
+func fileSweep(b *testing.B, shared bool) {
+	b.Helper()
+	recs := venusTrace(b)
+	path := b.TempDir() + "/venus.trace"
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := trace.WriteAll(f, trace.FormatASCII, recs); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	grid := iotrace.Grid{CacheMB: []int64{4, 16, 64, 256}, WriteBehind: []bool{true, false}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := &iotrace.Workload{}
+		if shared {
+			w.AddTraceFile("venus", path, iotrace.FormatASCII)
+		} else {
+			w.AddTraceStream("venus", iotrace.ReadTraceFile(path, iotrace.FormatASCII))
+		}
+		results, err := w.Sweep(context.Background(), grid.Scenarios(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkFileSweepShared(b *testing.B) {
+	skipIfShort(b)
+	fileSweep(b, true)
+}
+
+func BenchmarkFileSweepStreamed(b *testing.B) {
+	skipIfShort(b)
+	fileSweep(b, false)
 }
 
 func BenchmarkSimulateVenusPair(b *testing.B) {

@@ -72,18 +72,11 @@ func main() {
 		}
 		for _, path := range flag.Args() {
 			name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-			if *warm {
-				// Warming scans whole traces up front, so materialize.
-				recs, err := iotrace.LoadTraceFile(path, *format)
-				if err != nil {
-					fatal(err)
-				}
-				w.AddTrace(name, recs)
-				continue
-			}
-			// Streamed: records are pulled on demand, and re-read per
-			// sweep scenario, never materialized.
-			w.AddTraceStream(name, iotrace.ReadTraceFile(path, f))
+			// Decode-once source: the file is decoded and validated a
+			// single time, shared by the run — or by every scenario of a
+			// -sweep — and materialized feeds also satisfy -warm's
+			// whole-trace scan.
+			w.AddTraceFile(name, path, f)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "usage: iosim [flags] trace...  or  iosim [flags] -app venus -copies 2")

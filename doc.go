@@ -11,9 +11,11 @@
 // consumer. It offers three layers:
 //
 //   - Workloads. New builds a workload from functional options: built-in
-//     paper applications (App), externally supplied traces (Trace), and
-//     streamed traces (TraceStream), with deterministic seeding (Seed).
-//     Workloads characterize (§5 statistics) and simulate (§6 buffering).
+//     paper applications (App), externally supplied traces (Trace),
+//     streamed traces (TraceStream), and decode-once on-disk traces
+//     (TraceFile/Source, backed by a shared TraceSource), with
+//     deterministic seeding (Seed). Workloads characterize (§5
+//     statistics) and simulate (§6 buffering).
 //
 //   - Streams. ReadRecords/WriteRecords and ReadTraceFile/WriteTraceFile
 //     move records through iter.Seq2 iterators, so traces flow from disk
@@ -25,6 +27,8 @@
 //     cache size, block size, tier, read-ahead/write-behind) executes on
 //     a bounded worker pool via Workload.Sweep, with per-scenario
 //     deterministic seeds and results independent of worker count.
+//     File-backed workloads should use TraceFile so the whole grid pays
+//     one trace decode instead of one per scenario.
 //
 // A downstream user's typical session:
 //

@@ -2,9 +2,9 @@
 // over the paper's buffering axes — cache size, block size, write-behind —
 // expands into scenarios that run concurrently on a bounded worker pool,
 // with results independent of worker count. The workload itself is
-// assembled from a generated application plus a trace streamed from disk
-// (written first, then re-read per scenario without ever being held in
-// memory), and the whole run is cancellable through a context.
+// assembled from a generated application plus an on-disk trace behind a
+// decode-once TraceFile source (written first, then decoded exactly once
+// for the whole grid), and the run is cancellable through a context.
 package main
 
 import (
@@ -42,12 +42,13 @@ func main() {
 	fmt.Printf("staged %d les records to %s\n\n", n, lesPath)
 
 	// The workload: one generated venus copy co-scheduled with the
-	// staged les trace. ReadTraceFile re-opens the file every time a
-	// scenario replays it, so the stream is never materialized. The
-	// staged trace carries pid 1, so it comes first and venus (whose pid
-	// counts up from its position) gets pid 2.
+	// staged les trace. TraceFile decodes and validates the file exactly
+	// once — all 8 scenarios below replay the same in-memory records
+	// instead of re-reading the file per scenario. The staged trace
+	// carries pid 1, so it comes first and venus (whose pid counts up
+	// from its position) gets pid 2.
 	w, err := iotrace.New(
-		iotrace.TraceStream("les", iotrace.ReadTraceFile(lesPath, iotrace.FormatASCII)),
+		iotrace.TraceFile("les", lesPath, iotrace.FormatASCII),
 		iotrace.App("venus", 1),
 	)
 	if err != nil {

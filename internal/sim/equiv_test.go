@@ -161,22 +161,22 @@ func equivCases() []equivCase {
 
 // equivGolden maps case name to the pre-rewrite engine's fingerprint.
 var equivGolden = map[string]string{
-	"venus-pair-default":        "wall=90296692 busy=77670012 idle=12626680 sw=62103 cpus=1|cache={ReadHitReqs:19457 ReadMissReqs:23805 RAHitReqs:12989 WriteAbsorbed:24424 WriteThrough:0 Bypasses:0 PrefetchOps:24194 WastedPrefetch:215259 SpaceStalls:0}|disk={Reads:37124 Writes:13781 ReadBytes:18640822272 WriteBytes:6771826688 BusySec:875.66978}|procs=[{PID:1 Name:a FinishSec:902.95689 CPUSec:378.57203 BlockedSec:201.16087} {PID:2 Name:b FinishSec:902.96692 CPUSec:378.97835 BlockedSec:186.9382}]|front=0.000000|bins=894/899/899|tot=18640822272.000/6771826688.000/33433800000.000|phys=0",
-	"venus-f8-cache4-block4":    "wall=104771045 busy=77263278 idle=27507767 sw=80916 cpus=1|cache={ReadHitReqs:644 ReadMissReqs:42618 RAHitReqs:329 WriteAbsorbed:24424 WriteThrough:0 Bypasses:0 PrefetchOps:19980 WastedPrefetch:1220158 SpaceStalls:0}|disk={Reads:41282 Writes:12657 ReadBytes:20829179904 WriteBytes:6203973632 BusySec:789.6201}|procs=[{PID:1 Name:a FinishSec:1047.70042 CPUSec:378.57203 BlockedSec:467.8367} {PID:2 Name:b FinishSec:1047.71045 CPUSec:378.97835 BlockedSec:275.07942}]|front=0.000000|bins=1039/1044/1044|tot=20829179904.000/6203973632.000/33433800000.000|phys=0",
-	"venus-f8-cache128-block4":  "wall=78247937 busy=78190902 idle=57035 sw=38424 cpus=1|cache={ReadHitReqs:43136 ReadMissReqs:126 RAHitReqs:35 WriteAbsorbed:24424 WriteThrough:0 Bypasses:0 PrefetchOps:84 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:140 Writes:17325 ReadBytes:53194752 WriteBytes:11917062144 BusySec:413.64089}|procs=[{PID:1 Name:a FinishSec:782.46934 CPUSec:378.57203 BlockedSec:1.19486} {PID:2 Name:b FinishSec:782.47937 CPUSec:378.97835 BlockedSec:0.5721}]|front=0.000000|bins=8/779/779|tot=53194752.000/11917062144.000/33433800000.000|phys=0",
-	"venus-f8-cache4-block8":    "wall=104797529 busy=77263278 idle=27534251 sw=80916 cpus=1|cache={ReadHitReqs:644 ReadMissReqs:42618 RAHitReqs:329 WriteAbsorbed:24424 WriteThrough:0 Bypasses:0 PrefetchOps:19980 WastedPrefetch:609928 SpaceStalls:0}|disk={Reads:41282 Writes:12653 ReadBytes:20857446400 WriteBytes:6205841408 BusySec:789.84685}|procs=[{PID:1 Name:a FinishSec:1047.96526 CPUSec:378.57203 BlockedSec:468.10154} {PID:2 Name:b FinishSec:1047.97529 CPUSec:378.97835 BlockedSec:275.34426}]|front=0.000000|bins=1039/1044/1044|tot=20857446400.000/6205841408.000/33433800000.000|phys=0",
-	"venus-f8-cache32-block8":   "wall=90297792 busy=77669792 idle=12628000 sw=62113 cpus=1|cache={ReadHitReqs:19447 ReadMissReqs:23815 RAHitReqs:13057 WriteAbsorbed:24424 WriteThrough:0 Bypasses:0 PrefetchOps:24271 WastedPrefetch:108363 SpaceStalls:0}|disk={Reads:37228 Writes:13790 ReadBytes:18694529024 WriteBytes:6779789312 BusySec:878.15372}|procs=[{PID:1 Name:a FinishSec:902.96789 CPUSec:378.57203 BlockedSec:201.49135} {PID:2 Name:b FinishSec:902.97792 CPUSec:378.97835 BlockedSec:187.19947}]|front=0.000000|bins=894/899/899|tot=18694529024.000/6779789312.000/33433800000.000|phys=0",
-	"ccm-default":               "wall=42338356 busy=42337017 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:21117 ReadBytes:7012352 WriteBytes:1656860672 BusySec:89.64191}|procs=[{PID:1 Name:a FinishSec:423.38356 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.37853 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.000000|bins=1/419/419|tot=7012352.000/1656860672.000/3377000000.000|phys=0",
-	"ccm-wb-off":                "wall=70900655 busy=42390337 idle=28510318 sw=75715 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:0 WriteThrough:53210 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:53210 ReadBytes:7012352 WriteBytes:1634000000 BusySec:667.71821}|procs=[{PID:1 Name:a FinishSec:709.00655 CPUSec:204.9 BlockedSec:334.65429} {PID:2 Name:b FinishSec:708.97143 CPUSec:205.02698 BlockedSec:334.60159}]|front=0.000000|bins=1/705/705|tot=7012352.000/1634000000.000/3377000000.000|phys=0",
-	"ccm-ra-off":                "wall=42338567 busy=42337228 idle=1339 sw=22716 cpus=1|cache={ReadHitReqs:52986 ReadMissReqs:214 RAHitReqs:0 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:0 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:213 Writes:21115 ReadBytes:6979584 WriteBytes:1656856576 BusySec:89.62923}|procs=[{PID:1 Name:a FinishSec:423.38064 CPUSec:204.9 BlockedSec:0.05452} {PID:2 Name:b FinishSec:423.38567 CPUSec:205.02698 BlockedSec:0.05261}]|front=0.000000|bins=1/419/419|tot=6979584.000/1656856576.000/3377000000.000|phys=0",
-	"ccm-tiny-cache":            "wall=42353103 busy=42337631 idle=15472 sw=23119 cpus=1|cache={ReadHitReqs:52583 ReadMissReqs:617 RAHitReqs:52563 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:52867 WastedPrefetch:2332 SpaceStalls:0}|disk={Reads:53470 Writes:17486 ReadBytes:1751695360 WriteBytes:1646665728 BusySec:116.76594}|procs=[{PID:1 Name:a FinishSec:423.53103 CPUSec:204.9 BlockedSec:2.28725} {PID:2 Name:b FinishSec:423.4257 CPUSec:205.02698 BlockedSec:2.23512}]|front=0.000000|bins=419/420/420|tot=1751695360.000/1646665728.000/3377000000.000|phys=0",
-	"ccm-ssd-warm":              "wall=42656034 busy=42656034 idle=0 sw=22502 cpus=1|cache={ReadHitReqs:53200 ReadMissReqs:0 RAHitReqs:0 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:1 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:1 Writes:21262 ReadBytes:32768 WriteBytes:1657393152 BusySec:91.09995}|procs=[{PID:1 Name:a FinishSec:426.55531 CPUSec:204.9 BlockedSec:0} {PID:2 Name:b FinishSec:426.56034 CPUSec:205.02698 BlockedSec:0}]|front=0.000000|bins=1/423/423|tot=32768.000/1657393152.000/3377000000.000|phys=0",
-	"ccm-front-tier":            "wall=42323211 busy=42321872 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:21087 ReadBytes:7012352 WriteBytes:1656872960 BusySec:89.69123}|procs=[{PID:1 Name:a FinishSec:423.23211 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.22708 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.785559|bins=1/419/419|tot=7012352.000/1656872960.000/3377000000.000|phys=0",
-	"ccm-per-proc-limit":        "wall=42731171 busy=42338215 idle=392956 sw=23703 cpus=1|cache={ReadHitReqs:51999 ReadMissReqs:1201 RAHitReqs:48150 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:48800 WastedPrefetch:5100 SpaceStalls:0}|disk={Reads:49100 Writes:17709 ReadBytes:1608499200 WriteBytes:1647689728 BusySec:124.65321}|procs=[{PID:1 Name:a FinishSec:427.28662 CPUSec:204.9 BlockedSec:6.39624} {PID:2 Name:b FinishSec:427.31171 CPUSec:205.02698 BlockedSec:6.64508}]|front=0.000000|bins=422/423/423|tot=1608499200.000/1647689728.000/3377000000.000|phys=0",
-	"ccm-flush-delay":           "wall=42338356 busy=42337017 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:3394 ReadBytes:7012352 WriteBytes:1634918400 BusySec:23.46297}|procs=[{PID:1 Name:a FinishSec:423.38356 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.37853 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.000000|bins=1/419/419|tot=7012352.000/1634918400.000/3377000000.000|phys=0",
-	"ccm-queueing":              "wall=42338356 busy=42337017 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:21117 ReadBytes:7012352 WriteBytes:1656860672 BusySec:89.64191}|procs=[{PID:1 Name:a FinishSec:423.38356 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.37853 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.000000|bins=1/419/419|tot=7012352.000/1656860672.000/3377000000.000|phys=0",
-	"ccm-4cpu":                  "wall=21176422 busy=42337018 idle=42368670 sw=22506 cpus=4|cache={ReadHitReqs:53196 ReadMissReqs:4 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:4426 ReadBytes:7012352 WriteBytes:1586524160 BusySec:54.10818}|procs=[{PID:1 Name:a FinishSec:211.63727 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:211.76422 CPUSec:205.02698 BlockedSec:0.01564}]|front=0.000000|bins=1/210/210|tot=7012352.000/1586524160.000/3377000000.000|phys=0",
-	"ccm-physical":              "wall=42338356 busy=42337017 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:21117 ReadBytes:7012352 WriteBytes:1656860672 BusySec:89.64191}|procs=[{PID:1 Name:a FinishSec:423.38356 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.37853 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.000000|bins=1/419/419|tot=7012352.000/1656860672.000/3377000000.000|phys=21331",
+	"venus-pair-default":       "wall=90296692 busy=77670012 idle=12626680 sw=62103 cpus=1|cache={ReadHitReqs:19457 ReadMissReqs:23805 RAHitReqs:12989 WriteAbsorbed:24424 WriteThrough:0 Bypasses:0 PrefetchOps:24194 WastedPrefetch:215259 SpaceStalls:0}|disk={Reads:37124 Writes:13781 ReadBytes:18640822272 WriteBytes:6771826688 BusySec:875.66978}|procs=[{PID:1 Name:a FinishSec:902.95689 CPUSec:378.57203 BlockedSec:201.16087} {PID:2 Name:b FinishSec:902.96692 CPUSec:378.97835 BlockedSec:186.9382}]|front=0.000000|bins=894/899/899|tot=18640822272.000/6771826688.000/33433800000.000|phys=0",
+	"venus-f8-cache4-block4":   "wall=104771045 busy=77263278 idle=27507767 sw=80916 cpus=1|cache={ReadHitReqs:644 ReadMissReqs:42618 RAHitReqs:329 WriteAbsorbed:24424 WriteThrough:0 Bypasses:0 PrefetchOps:19980 WastedPrefetch:1220158 SpaceStalls:0}|disk={Reads:41282 Writes:12657 ReadBytes:20829179904 WriteBytes:6203973632 BusySec:789.6201}|procs=[{PID:1 Name:a FinishSec:1047.70042 CPUSec:378.57203 BlockedSec:467.8367} {PID:2 Name:b FinishSec:1047.71045 CPUSec:378.97835 BlockedSec:275.07942}]|front=0.000000|bins=1039/1044/1044|tot=20829179904.000/6203973632.000/33433800000.000|phys=0",
+	"venus-f8-cache128-block4": "wall=78247937 busy=78190902 idle=57035 sw=38424 cpus=1|cache={ReadHitReqs:43136 ReadMissReqs:126 RAHitReqs:35 WriteAbsorbed:24424 WriteThrough:0 Bypasses:0 PrefetchOps:84 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:140 Writes:17325 ReadBytes:53194752 WriteBytes:11917062144 BusySec:413.64089}|procs=[{PID:1 Name:a FinishSec:782.46934 CPUSec:378.57203 BlockedSec:1.19486} {PID:2 Name:b FinishSec:782.47937 CPUSec:378.97835 BlockedSec:0.5721}]|front=0.000000|bins=8/779/779|tot=53194752.000/11917062144.000/33433800000.000|phys=0",
+	"venus-f8-cache4-block8":   "wall=104797529 busy=77263278 idle=27534251 sw=80916 cpus=1|cache={ReadHitReqs:644 ReadMissReqs:42618 RAHitReqs:329 WriteAbsorbed:24424 WriteThrough:0 Bypasses:0 PrefetchOps:19980 WastedPrefetch:609928 SpaceStalls:0}|disk={Reads:41282 Writes:12653 ReadBytes:20857446400 WriteBytes:6205841408 BusySec:789.84685}|procs=[{PID:1 Name:a FinishSec:1047.96526 CPUSec:378.57203 BlockedSec:468.10154} {PID:2 Name:b FinishSec:1047.97529 CPUSec:378.97835 BlockedSec:275.34426}]|front=0.000000|bins=1039/1044/1044|tot=20857446400.000/6205841408.000/33433800000.000|phys=0",
+	"venus-f8-cache32-block8":  "wall=90297792 busy=77669792 idle=12628000 sw=62113 cpus=1|cache={ReadHitReqs:19447 ReadMissReqs:23815 RAHitReqs:13057 WriteAbsorbed:24424 WriteThrough:0 Bypasses:0 PrefetchOps:24271 WastedPrefetch:108363 SpaceStalls:0}|disk={Reads:37228 Writes:13790 ReadBytes:18694529024 WriteBytes:6779789312 BusySec:878.15372}|procs=[{PID:1 Name:a FinishSec:902.96789 CPUSec:378.57203 BlockedSec:201.49135} {PID:2 Name:b FinishSec:902.97792 CPUSec:378.97835 BlockedSec:187.19947}]|front=0.000000|bins=894/899/899|tot=18694529024.000/6779789312.000/33433800000.000|phys=0",
+	"ccm-default":              "wall=42338356 busy=42337017 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:21117 ReadBytes:7012352 WriteBytes:1656860672 BusySec:89.64191}|procs=[{PID:1 Name:a FinishSec:423.38356 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.37853 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.000000|bins=1/419/419|tot=7012352.000/1656860672.000/3377000000.000|phys=0",
+	"ccm-wb-off":               "wall=70900655 busy=42390337 idle=28510318 sw=75715 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:0 WriteThrough:53210 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:53210 ReadBytes:7012352 WriteBytes:1634000000 BusySec:667.71821}|procs=[{PID:1 Name:a FinishSec:709.00655 CPUSec:204.9 BlockedSec:334.65429} {PID:2 Name:b FinishSec:708.97143 CPUSec:205.02698 BlockedSec:334.60159}]|front=0.000000|bins=1/705/705|tot=7012352.000/1634000000.000/3377000000.000|phys=0",
+	"ccm-ra-off":               "wall=42338567 busy=42337228 idle=1339 sw=22716 cpus=1|cache={ReadHitReqs:52986 ReadMissReqs:214 RAHitReqs:0 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:0 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:213 Writes:21115 ReadBytes:6979584 WriteBytes:1656856576 BusySec:89.62923}|procs=[{PID:1 Name:a FinishSec:423.38064 CPUSec:204.9 BlockedSec:0.05452} {PID:2 Name:b FinishSec:423.38567 CPUSec:205.02698 BlockedSec:0.05261}]|front=0.000000|bins=1/419/419|tot=6979584.000/1656856576.000/3377000000.000|phys=0",
+	"ccm-tiny-cache":           "wall=42353103 busy=42337631 idle=15472 sw=23119 cpus=1|cache={ReadHitReqs:52583 ReadMissReqs:617 RAHitReqs:52563 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:52867 WastedPrefetch:2332 SpaceStalls:0}|disk={Reads:53470 Writes:17486 ReadBytes:1751695360 WriteBytes:1646665728 BusySec:116.76594}|procs=[{PID:1 Name:a FinishSec:423.53103 CPUSec:204.9 BlockedSec:2.28725} {PID:2 Name:b FinishSec:423.4257 CPUSec:205.02698 BlockedSec:2.23512}]|front=0.000000|bins=419/420/420|tot=1751695360.000/1646665728.000/3377000000.000|phys=0",
+	"ccm-ssd-warm":             "wall=42656034 busy=42656034 idle=0 sw=22502 cpus=1|cache={ReadHitReqs:53200 ReadMissReqs:0 RAHitReqs:0 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:1 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:1 Writes:21262 ReadBytes:32768 WriteBytes:1657393152 BusySec:91.09995}|procs=[{PID:1 Name:a FinishSec:426.55531 CPUSec:204.9 BlockedSec:0} {PID:2 Name:b FinishSec:426.56034 CPUSec:205.02698 BlockedSec:0}]|front=0.000000|bins=1/423/423|tot=32768.000/1657393152.000/3377000000.000|phys=0",
+	"ccm-front-tier":           "wall=42323211 busy=42321872 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:21087 ReadBytes:7012352 WriteBytes:1656872960 BusySec:89.69123}|procs=[{PID:1 Name:a FinishSec:423.23211 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.22708 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.785559|bins=1/419/419|tot=7012352.000/1656872960.000/3377000000.000|phys=0",
+	"ccm-per-proc-limit":       "wall=42731171 busy=42338215 idle=392956 sw=23703 cpus=1|cache={ReadHitReqs:51999 ReadMissReqs:1201 RAHitReqs:48150 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:48800 WastedPrefetch:5100 SpaceStalls:0}|disk={Reads:49100 Writes:17709 ReadBytes:1608499200 WriteBytes:1647689728 BusySec:124.65321}|procs=[{PID:1 Name:a FinishSec:427.28662 CPUSec:204.9 BlockedSec:6.39624} {PID:2 Name:b FinishSec:427.31171 CPUSec:205.02698 BlockedSec:6.64508}]|front=0.000000|bins=422/423/423|tot=1608499200.000/1647689728.000/3377000000.000|phys=0",
+	"ccm-flush-delay":          "wall=42338356 busy=42337017 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:3394 ReadBytes:7012352 WriteBytes:1634918400 BusySec:23.46297}|procs=[{PID:1 Name:a FinishSec:423.38356 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.37853 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.000000|bins=1/419/419|tot=7012352.000/1634918400.000/3377000000.000|phys=0",
+	"ccm-queueing":             "wall=42338356 busy=42337017 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:21117 ReadBytes:7012352 WriteBytes:1656860672 BusySec:89.64191}|procs=[{PID:1 Name:a FinishSec:423.38356 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.37853 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.000000|bins=1/419/419|tot=7012352.000/1656860672.000/3377000000.000|phys=0",
+	"ccm-4cpu":                 "wall=21176422 busy=42337018 idle=42368670 sw=22506 cpus=4|cache={ReadHitReqs:53196 ReadMissReqs:4 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:4426 ReadBytes:7012352 WriteBytes:1586524160 BusySec:54.10818}|procs=[{PID:1 Name:a FinishSec:211.63727 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:211.76422 CPUSec:205.02698 BlockedSec:0.01564}]|front=0.000000|bins=1/210/210|tot=7012352.000/1586524160.000/3377000000.000|phys=0",
+	"ccm-physical":             "wall=42338356 busy=42337017 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:21117 ReadBytes:7012352 WriteBytes:1656860672 BusySec:89.64191}|procs=[{PID:1 Name:a FinishSec:423.38356 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.37853 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.000000|bins=1/419/419|tot=7012352.000/1656860672.000/3377000000.000|phys=21331",
 }
 
 func TestEventEngineEquivalence(t *testing.T) {

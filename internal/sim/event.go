@@ -12,16 +12,16 @@ import (
 type evKind uint8
 
 const (
-	evNop       evKind = iota // completion nobody waits on (async bypass)
-	evRunSlice                // a dispatched process starts its quantum
-	evSliceEnd                // quantum expiry or arrival at the next action
-	evDoIO                    // file-system code done; request hits the cache
-	evAdvanceRun              // hit/absorb cost paid; consume record, keep CPU
-	evFlushTimer              // delayed-write aging timer fired
-	evFetchDone               // disk read done; fill blocks, resume waiters
-	evWaitDone                // bypass read done; notify one ioWait
-	evWake                    // synchronous bypass write done; wake the writer
-	evFlushDone               // flusher write-back done; clean the run
+	evNop        evKind = iota // completion nobody waits on (async bypass)
+	evRunSlice                 // a dispatched process starts its quantum
+	evSliceEnd                 // quantum expiry or arrival at the next action
+	evDoIO                     // file-system code done; request hits the cache
+	evAdvanceRun               // hit/absorb cost paid; consume record, keep CPU
+	evFlushTimer               // delayed-write aging timer fired
+	evFetchDone                // disk read done; fill blocks, resume waiters
+	evWaitDone                 // bypass read done; notify one ioWait
+	evWake                     // synchronous bypass write done; wake the writer
+	evFlushDone                // flusher write-back done; clean the run
 )
 
 // event is one scheduled simulator action. Ties on time break by sequence

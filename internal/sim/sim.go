@@ -19,10 +19,10 @@ import (
 // or the last record) by the time the source drains.
 type recordFeed struct {
 	name string
-	cur  *trace.Record   // record awaiting issue (nil = process exhausted)
-	nxt  *trace.Record   // one-record lookahead
-	recs []*trace.Record // pre-validated data records (slice feeds)
-	ri   int             // next index into recs
+	cur  *trace.Record                       // record awaiting issue (nil = process exhausted)
+	nxt  *trace.Record                       // one-record lookahead
+	recs []*trace.Record                     // pre-validated data records (slice feeds)
+	ri   int                                 // next index into recs
 	pull func() (*trace.Record, error, bool) // streamed feeds
 	stop func()                              // releases a pull-based source; nil for slices
 
@@ -327,41 +327,67 @@ func New(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
-// AddProcess registers one materialized trace as a process. Traces must
-// carry distinct process ids; records must be in nondecreasing process-CPU
-// order. The whole trace is validated up front, and the run then serves
-// records directly from the validated slice.
-func (s *Simulator) AddProcess(name string, recs []*trace.Record) error {
-	var data []*trace.Record
-	var pid uint32
+// ValidateTrace applies every check a materialized process feed needs,
+// once: it filters comment records out of recs, rejects records the
+// block index cannot address, requires a single process id and
+// nondecreasing process-CPU order, and extracts the process's total CPU
+// demand from the trace's end comment (falling back to the last record's
+// clock at feed drain). The returned data slice aliases recs' records.
+//
+// Callers that fan one validated trace out to many simulators (see the
+// facade's TraceSource) validate here once and register per run with
+// AddProcessChecked, so per-scenario setup stays O(1).
+func ValidateTrace(name string, recs []*trace.Record) (data []*trace.Record, pid uint32, endCPU trace.Ticks, err error) {
 	var last trace.Ticks
 	for _, r := range recs {
 		if r.IsComment() {
 			continue
 		}
 		if err := validateRecordBounds(name, r); err != nil {
-			return err
+			return nil, 0, 0, err
 		}
 		if len(data) == 0 {
 			pid = r.ProcessID
 		} else {
 			if r.ProcessID != pid {
-				return fmt.Errorf("sim: trace %s mixes pids %d and %d", name, pid, r.ProcessID)
+				return nil, 0, 0, fmt.Errorf("sim: trace %s mixes pids %d and %d", name, pid, r.ProcessID)
 			}
 			if r.ProcessTime < last {
-				return fmt.Errorf("sim: trace %s has non-monotone process time", name)
+				return nil, 0, 0, fmt.Errorf("sim: trace %s has non-monotone process time", name)
 			}
 		}
 		last = r.ProcessTime
 		data = append(data, r)
 	}
 	if len(data) == 0 {
+		return nil, 0, 0, fmt.Errorf("sim: trace %s has no data records", name)
+	}
+	endCPU, _, _ = trace.EndTimes(recs)
+	return data, pid, endCPU, nil
+}
+
+// AddProcess registers one materialized trace as a process. Traces must
+// carry distinct process ids; records must be in nondecreasing process-CPU
+// order. The whole trace is validated up front, and the run then serves
+// records directly from the validated slice.
+func (s *Simulator) AddProcess(name string, recs []*trace.Record) error {
+	data, pid, endCPU, err := ValidateTrace(name, recs)
+	if err != nil {
+		return err
+	}
+	return s.AddProcessChecked(name, data, pid, endCPU)
+}
+
+// AddProcessChecked registers a trace that ValidateTrace has already
+// filtered and checked: data must be comment-free, single-pid, and in
+// nondecreasing process-CPU order. The feed serves the slice directly
+// and its end-of-run clock is seeded from endCPU, so registration does
+// no per-record work — the path a decode-once trace source uses to feed
+// every scenario of a sweep from one validation pass.
+func (s *Simulator) AddProcessChecked(name string, data []*trace.Record, pid uint32, endCPU trace.Ticks) error {
+	if len(data) == 0 {
 		return fmt.Errorf("sim: trace %s has no data records", name)
 	}
-	// The feed serves the already-validated data records; its end-of-run
-	// clock is seeded from the trace's end comment here, so the slice is
-	// not filtered a second time during the run.
-	endCPU, _, _ := trace.EndTimes(recs)
 	feed := &recordFeed{name: name, recs: data, pid: pid, started: true, endCmt: endCPU}
 	return s.addFeed(name, feed, data)
 }

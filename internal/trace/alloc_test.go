@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// decodeAllocHarness encodes a comment-free trace and returns a Reader
+// positioned past its warm-up region: every per-process and per-file
+// history entry the decoder will ever need has been created, so what
+// remains measures the steady-state decode loop alone.
+func decodeAllocHarness(t *testing.T, format Format, n, warm int) *Reader {
+	t.Helper()
+	recs := genTrace(99, n)
+	data := recs[:0]
+	for _, r := range recs {
+		if !r.IsComment() {
+			data = append(data, r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, format, data); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()), format)
+	for i := 0; i < warm; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("warm-up record %d: %v", i, err)
+		}
+	}
+	return r
+}
+
+// TestReaderNextZeroAllocsASCII drives the full steady-state ASCII decode
+// loop — line scan, in-place field parse, history reconstruction — and
+// asserts it allocates nothing per record: no line strings, no field
+// slices, no per-record Record or file-table entries. This is the
+// decode-side counterpart of the simulator's alloc tests
+// (internal/sim/alloc_test.go).
+func TestReaderNextZeroAllocsASCII(t *testing.T) {
+	// genTrace uses 3 pids and 40 files (> MaxOpenFiles), so the warmed
+	// steady state still exercises LRU eviction in the file tables.
+	r := decodeAllocHarness(t, FormatASCII, 12000, 2000)
+	decoded := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 80; i++ {
+			if _, err := r.Next(); err != nil {
+				t.Fatalf("record %d: %v", decoded, err)
+			}
+			decoded++
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ASCII decode allocates %.1f allocs per 80 records, want 0", allocs)
+	}
+}
+
+// TestReaderNextZeroAllocsBinary asserts the same for the fixed-width
+// binary comparator format.
+func TestReaderNextZeroAllocsBinary(t *testing.T) {
+	r := decodeAllocHarness(t, FormatBinary, 12000, 2000)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 80; i++ {
+			if _, err := r.Next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("binary decode allocates %.1f allocs per 80 records, want 0", allocs)
+	}
+}
+
+// TestCompressorSteadyStateZeroAllocs asserts the encode-side history
+// machinery (shared with the decoder) also runs allocation-free once its
+// tables are warm: Compress of a pre-built record performs no per-record
+// allocation even while evicting file-table entries.
+func TestCompressorSteadyStateZeroAllocs(t *testing.T) {
+	recs := genTrace(7, 12000)
+	data := recs[:0]
+	for _, r := range recs {
+		if !r.IsComment() {
+			data = append(data, r)
+		}
+	}
+	c := NewCompressor()
+	for _, r := range data[:2000] {
+		if _, err := c.Compress(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 2000
+	allocs := testing.AllocsPerRun(100, func() {
+		for j := 0; j < 80; j++ {
+			if _, err := c.Compress(data[i]); err != nil {
+				t.Fatal(err)
+			}
+			i++
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Compress allocates %.1f allocs per 80 records, want 0", allocs)
+	}
+}
+
+// TestNextReusesRecord pins the Next contract: the returned pointer is
+// stable and its contents are overwritten by the following call, while
+// ReadRecord returns independent clones.
+func TestNextReusesRecord(t *testing.T) {
+	recs := genTrace(5, 50)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, FormatASCII, recs); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()), FormatASCII)
+	first, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := *first
+	second, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("Next returned distinct pointers; want one reusable record")
+	}
+	if saved == *first {
+		t.Error("second Next did not overwrite the reused record")
+	}
+
+	r2 := NewReader(bytes.NewReader(buf.Bytes()), FormatASCII)
+	a, err := r2.ReadRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r2.ReadRecord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("ReadRecord returned aliased records")
+	}
+	if *a != saved {
+		t.Errorf("ReadRecord clone differs from Next contents: %+v vs %+v", *a, saved)
+	}
+	for {
+		if _, err := r2.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := int64(len(recs)); r2.Records() != want {
+		t.Errorf("Records() = %d, want %d", r2.Records(), want)
+	}
+}

@@ -64,83 +64,168 @@ func appendASCII(dst []byte, w wireRecord) ([]byte, error) {
 	return dst, nil
 }
 
-// parseASCII decodes one line (without its trailing newline) into a wire
-// record.
-func parseASCII(line string) (wireRecord, error) {
-	line = strings.TrimRight(line, "\r")
-	if line == "" {
-		return wireRecord{}, fmt.Errorf("trace: empty record line")
+// asciiMaxFields is the most decimal fields a data-record line can carry
+// (recordType, compression, and the eight conditionally present payload
+// fields with nothing elided).
+const asciiMaxFields = 10
+
+// parseASCII decodes one line (without its trailing newline) into *w.
+// Field separators are runs of spaces and tabs — deliberately narrower
+// than the unicode.IsSpace set the old strings.Fields-based parser
+// accepted by accident; the writer only ever emits single spaces, and
+// exotic whitespace in a field is rejected like any other non-digit.
+//
+// It is the decode hot path and allocates nothing for data records: the
+// line is scanned once, in place, into a fixed field array that is then
+// mapped onto the wire struct by the compression flags. Fields whose
+// flag marks them elided are left untouched in *w — the decompressor
+// never reads them — so callers may pass a reused wire record. The digit
+// loop carries no overflow check: wraparound needs at least 20 digits,
+// so fields that long (leading zeros included) take a rare exact
+// re-parse instead, keeping the per-digit cost to one compare and one
+// multiply-add. Comment text is the only copy made.
+func parseASCII(line []byte, w *wireRecord) error {
+	for len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
 	}
-	// recordType is the first field; comments keep the rest verbatim.
-	head, rest, _ := strings.Cut(line, " ")
-	t, err := strconv.ParseUint(head, 10, 16)
-	if err != nil {
-		return wireRecord{}, fmt.Errorf("trace: bad record type %q: %v", head, err)
-	}
-	if RecordType(t).IsComment() {
-		return wireRecord{Type: Comment, CommentText: rest}, nil
+	if len(line) == 0 {
+		return fmt.Errorf("trace: empty record line")
 	}
 
-	fields := strings.Fields(rest)
-	w := wireRecord{Type: RecordType(t)}
+	var f [asciiMaxFields]uint64
+	n := 0
 	i := 0
-	next := func(bits int) (uint64, error) {
-		if i >= len(fields) {
-			return 0, fmt.Errorf("trace: truncated record line %q", line)
+	for i < len(line) {
+		c := line[i]
+		if c == ' ' || c == '\t' {
+			i++
+			continue
 		}
-		v, err := strconv.ParseUint(fields[i], 10, bits)
-		if err != nil {
-			return 0, fmt.Errorf("trace: bad field %q in %q: %v", fields[i], line, err)
+		start := i
+		var v uint64
+		for i < len(line) {
+			c = line[i]
+			if c-'0' <= 9 { // byte underflow makes any non-digit > 9
+				v = v*10 + uint64(c-'0')
+				i++
+				continue
+			}
+			if c == ' ' || c == '\t' {
+				break
+			}
+			return fmt.Errorf("trace: bad field %q in %q: not a decimal number", fieldAt(line, start), line)
 		}
-		i++
-		return v, nil
+		if i-start > 19 {
+			exact, err := strconv.ParseUint(string(line[start:i]), 10, 64)
+			if err != nil {
+				return fmt.Errorf("trace: bad field %q in %q: %v", line[start:i], line, err)
+			}
+			v = exact
+		}
+		if n == 0 {
+			if v >= 1<<16 {
+				return fmt.Errorf("trace: bad record type %q in %q: overflows 16 bits", line[start:i], line)
+			}
+			if RecordType(v).IsComment() {
+				// Comments keep everything after the single separator
+				// space verbatim (including leading and embedded
+				// whitespace).
+				rest := line[i:]
+				if len(rest) > 0 {
+					if rest[0] != ' ' {
+						return fmt.Errorf("trace: malformed comment line %q", line)
+					}
+					rest = rest[1:]
+				}
+				w.Type = Comment
+				w.CommentText = string(rest)
+				return nil
+			}
+		}
+		if n == asciiMaxFields {
+			return fmt.Errorf("trace: trailing fields %q in %q", line[start:], line)
+		}
+		f[n] = v
+		n++
+	}
+	if n < 2 {
+		return fmt.Errorf("trace: truncated record line %q", line)
+	}
+	if f[1] >= 1<<16 {
+		return fmt.Errorf("trace: bad compression field %d in %q: overflows 16 bits", f[1], line)
+	}
+	w.Type = RecordType(f[0])
+	comp := Compression(f[1])
+	w.Comp = comp
+
+	// The compression flags fix the exact field count; check it once,
+	// then map positionally.
+	want := 5 // type, compression, startTime, completionTime, processTime
+	if !comp.Has(NoOffset) {
+		want++
+	}
+	if !comp.Has(NoLength) {
+		want++
+	}
+	if !comp.Has(NoOperationID) {
+		want++
+	}
+	if !comp.Has(NoFileID) {
+		want++
+	}
+	if !comp.Has(NoProcessID) {
+		want++
+	}
+	if n < want {
+		return fmt.Errorf("trace: truncated record line %q", line)
+	}
+	if n > want {
+		return fmt.Errorf("trace: %d trailing fields in %q", n-want, line)
 	}
 
-	v, err := next(16)
-	if err != nil {
-		return wireRecord{}, err
+	k := 2
+	if !comp.Has(NoOffset) {
+		w.Offset = f[k]
+		k++
 	}
-	w.Comp = Compression(v)
+	if !comp.Has(NoLength) {
+		w.Length = f[k]
+		k++
+	}
+	w.StartDelta = f[k]
+	w.Completion = f[k+1]
+	k += 2
+	if !comp.Has(NoOperationID) {
+		if f[k] >= 1<<32 {
+			return fmt.Errorf("trace: operation id %d in %q overflows 32 bits", f[k], line)
+		}
+		w.OperationID = uint32(f[k])
+		k++
+	}
+	if !comp.Has(NoFileID) {
+		if f[k] >= 1<<32 {
+			return fmt.Errorf("trace: file id %d in %q overflows 32 bits", f[k], line)
+		}
+		w.FileID = uint32(f[k])
+		k++
+	}
+	if !comp.Has(NoProcessID) {
+		if f[k] >= 1<<32 {
+			return fmt.Errorf("trace: process id %d in %q overflows 32 bits", f[k], line)
+		}
+		w.ProcessID = uint32(f[k])
+		k++
+	}
+	w.ProcTimeDlt = f[k]
+	return nil
+}
 
-	if !w.Comp.Has(NoOffset) {
-		if w.Offset, err = next(64); err != nil {
-			return wireRecord{}, err
-		}
+// fieldAt returns the whitespace-delimited field starting at line[start],
+// for error messages.
+func fieldAt(line []byte, start int) []byte {
+	end := start
+	for end < len(line) && line[end] != ' ' && line[end] != '\t' {
+		end++
 	}
-	if !w.Comp.Has(NoLength) {
-		if w.Length, err = next(64); err != nil {
-			return wireRecord{}, err
-		}
-	}
-	if w.StartDelta, err = next(64); err != nil {
-		return wireRecord{}, err
-	}
-	if w.Completion, err = next(64); err != nil {
-		return wireRecord{}, err
-	}
-	if !w.Comp.Has(NoOperationID) {
-		if v, err = next(32); err != nil {
-			return wireRecord{}, err
-		}
-		w.OperationID = uint32(v)
-	}
-	if !w.Comp.Has(NoFileID) {
-		if v, err = next(32); err != nil {
-			return wireRecord{}, err
-		}
-		w.FileID = uint32(v)
-	}
-	if !w.Comp.Has(NoProcessID) {
-		if v, err = next(32); err != nil {
-			return wireRecord{}, err
-		}
-		w.ProcessID = uint32(v)
-	}
-	if w.ProcTimeDlt, err = next(64); err != nil {
-		return wireRecord{}, err
-	}
-	if i != len(fields) {
-		return wireRecord{}, fmt.Errorf("trace: %d trailing fields in %q", len(fields)-i, line)
-	}
-	return w, nil
+	return line[start:end]
 }

@@ -31,19 +31,30 @@ type fileState struct {
 
 // fileTable is a tiny LRU of per-file states, bounded at MaxOpenFiles per
 // the paper ("keep track of 32 open files for each process"). Recency
-// order is maintained in the slice: least recently used first. Linear
-// search is deliberate; the table never exceeds 32 entries.
+// order is maintained in the array: least recently used first. Linear
+// search over a fixed value array is deliberate: the table never exceeds
+// 32 entries, and storing values (not pointers) keeps insertion and
+// eviction allocation-free — the codec hot path churns through evictions
+// on wide-file traces.
 type fileTable struct {
-	entries []*fileState
+	entries [MaxOpenFiles]fileState
+	n       int
 }
 
-// get returns the state for id and marks it most recently used.
+// get returns the state for id and marks it most recently used. The
+// returned pointer is into the table and is invalidated by the next get
+// or put. Repeated accesses to the same file — the overwhelmingly common
+// pattern — hit the most-recently-used entry without any reordering.
 func (t *fileTable) get(id uint32) (*fileState, bool) {
-	for i, e := range t.entries {
-		if e.fileID == id {
-			copy(t.entries[i:], t.entries[i+1:])
-			t.entries[len(t.entries)-1] = e
-			return e, true
+	if t.n > 0 && t.entries[t.n-1].fileID == id {
+		return &t.entries[t.n-1], true
+	}
+	for i := 0; i < t.n-1; i++ {
+		if t.entries[i].fileID == id {
+			e := t.entries[i]
+			copy(t.entries[i:t.n-1], t.entries[i+1:t.n])
+			t.entries[t.n-1] = e
+			return &t.entries[t.n-1], true
 		}
 	}
 	return nil, false
@@ -52,13 +63,14 @@ func (t *fileTable) get(id uint32) (*fileState, bool) {
 // put inserts a fresh state as most recently used, evicting the least
 // recently used entry if the table is full. The caller must have checked
 // the id is absent.
-func (t *fileTable) put(s *fileState) {
-	if len(t.entries) >= MaxOpenFiles {
-		copy(t.entries, t.entries[1:])
-		t.entries[len(t.entries)-1] = s
+func (t *fileTable) put(s fileState) {
+	if t.n >= MaxOpenFiles {
+		copy(t.entries[:], t.entries[1:])
+		t.entries[MaxOpenFiles-1] = s
 		return
 	}
-	t.entries = append(t.entries, s)
+	t.entries[t.n] = s
+	t.n++
 }
 
 // procState is the per-process history.
@@ -78,6 +90,11 @@ type codecState struct {
 	lastPID   uint32
 	any       bool // at least one data record seen
 	procs     map[uint32]*procState
+
+	// One-entry lookup cache: consecutive records usually share a pid,
+	// so the common case skips the map entirely.
+	cachedPID  uint32
+	cachedProc *procState
 }
 
 func newCodecState() codecState {
@@ -85,32 +102,39 @@ func newCodecState() codecState {
 }
 
 func (s *codecState) proc(pid uint32) *procState {
+	if s.cachedProc != nil && s.cachedPID == pid {
+		return s.cachedProc
+	}
 	p := s.procs[pid]
 	if p == nil {
 		p = &procState{}
 		s.procs[pid] = p
 	}
+	s.cachedPID, s.cachedProc = pid, p
 	return p
 }
 
-// update advances the history past a fully reconstructed record. Comment
+// advance moves the history past a fully reconstructed record when the
+// caller already holds the record's per-process state and per-file entry
+// (fs is nil when the file was absent from the table). Both codec
+// directions look those up to make or undo elision decisions, so passing
+// them in avoids a second map access and LRU scan per record. Comment
 // records never reach here: they do not disturb compression state.
-func (s *codecState) update(r *Record) {
+func (s *codecState) advance(r *Record, p *procState, fs *fileState) {
 	s.lastStart = r.Start
 	s.lastPID = r.ProcessID
 	s.any = true
-	p := s.proc(r.ProcessID)
 	p.lastFileID = r.FileID
 	p.hasFile = true
 	p.lastPTime = r.ProcessTime
 	p.hasPTime = true
-	if fs, ok := p.files.get(r.FileID); ok {
+	if fs != nil {
 		fs.nextOffset = r.Offset + r.Length
 		fs.lastLength = r.Length
 		fs.lastOpID = r.OperationID
 		return
 	}
-	p.files.put(&fileState{
+	p.files.put(fileState{
 		fileID:     r.FileID,
 		nextOffset: r.Offset + r.Length,
 		lastLength: r.Length,
@@ -205,7 +229,7 @@ func (c *Compressor) Compress(r *Record) (wireRecord, error) {
 		w.OperationID = r.OperationID
 	}
 
-	c.st.update(r)
+	c.st.advance(r, p, fs)
 	return w, nil
 }
 
@@ -219,12 +243,31 @@ type Decompressor struct {
 // NewDecompressor returns a Decompressor with empty history.
 func NewDecompressor() *Decompressor { return &Decompressor{st: newCodecState()} }
 
-// Decompress reconstructs the full record for w.
+// Decompress reconstructs the full record for w as a freshly allocated
+// Record.
 func (d *Decompressor) Decompress(w wireRecord) (*Record, error) {
-	if w.Type.IsComment() {
-		return &Record{Type: Comment, CommentText: w.CommentText}, nil
+	r := new(Record)
+	if err := d.DecompressInto(&w, r); err != nil {
+		return nil, err
 	}
-	r := &Record{Type: w.Type, Completion: Ticks(w.Completion)}
+	return r, nil
+}
+
+// DecompressInto reconstructs the full record for *w into *r, overwriting
+// every field. It is the allocation-free core of Decompress: Reader.Next
+// feeds it a reusable record so steady-state decode never touches the
+// heap. On error *r is left in an unspecified state and the history is
+// not advanced.
+func (d *Decompressor) DecompressInto(w *wireRecord, r *Record) error {
+	if w.Type.IsComment() {
+		*r = Record{Type: Comment, CommentText: w.CommentText}
+		return nil
+	}
+	// Every remaining field is assigned on every path below; clearing
+	// just the comment text avoids a full-struct zero per record.
+	r.Type = w.Type
+	r.Completion = Ticks(w.Completion)
+	r.CommentText = ""
 
 	if d.st.any {
 		r.Start = d.st.lastStart + Ticks(w.StartDelta)
@@ -234,7 +277,7 @@ func (d *Decompressor) Decompress(w wireRecord) (*Record, error) {
 
 	if w.Comp.Has(NoProcessID) {
 		if !d.st.any {
-			return nil, fmt.Errorf("trace: first record elides process id")
+			return fmt.Errorf("trace: first record elides process id")
 		}
 		r.ProcessID = d.st.lastPID
 	} else {
@@ -251,7 +294,7 @@ func (d *Decompressor) Decompress(w wireRecord) (*Record, error) {
 
 	if w.Comp.Has(NoFileID) {
 		if !p.hasFile {
-			return nil, fmt.Errorf("trace: process %d elides file id with no history", r.ProcessID)
+			return fmt.Errorf("trace: process %d elides file id with no history", r.ProcessID)
 		}
 		r.FileID = p.lastFileID
 	} else {
@@ -261,7 +304,7 @@ func (d *Decompressor) Decompress(w wireRecord) (*Record, error) {
 	fs, known := p.files.get(r.FileID)
 	if w.Comp.Has(NoOffset) {
 		if !known {
-			return nil, fmt.Errorf("trace: file %d elides offset with no history", r.FileID)
+			return fmt.Errorf("trace: file %d elides offset with no history", r.FileID)
 		}
 		r.Offset = fs.nextOffset
 	} else {
@@ -272,7 +315,7 @@ func (d *Decompressor) Decompress(w wireRecord) (*Record, error) {
 	}
 	if w.Comp.Has(NoLength) {
 		if !known {
-			return nil, fmt.Errorf("trace: file %d elides length with no history", r.FileID)
+			return fmt.Errorf("trace: file %d elides length with no history", r.FileID)
 		}
 		r.Length = fs.lastLength
 	} else {
@@ -283,13 +326,13 @@ func (d *Decompressor) Decompress(w wireRecord) (*Record, error) {
 	}
 	if w.Comp.Has(NoOperationID) {
 		if !known {
-			return nil, fmt.Errorf("trace: file %d elides operation id with no history", r.FileID)
+			return fmt.Errorf("trace: file %d elides operation id with no history", r.FileID)
 		}
 		r.OperationID = fs.lastOpID
 	} else {
 		r.OperationID = w.OperationID
 	}
 
-	d.st.update(r)
-	return r, nil
+	d.st.advance(r, p, fs)
+	return nil
 }

@@ -137,6 +137,9 @@ type Reader struct {
 	br     *bufio.Reader
 	bin    *binaryDecoder
 	dec    *Decompressor
+	lbuf   []byte     // spill buffer for lines longer than the bufio window
+	wire   wireRecord // reusable parse target
+	rec    Record     // reusable decode target served by Next
 	n      int64
 }
 
@@ -152,39 +155,96 @@ func NewReader(r io.Reader, format Format) *Reader {
 	return rd
 }
 
-// ReadRecord returns the next fully reconstructed record, or io.EOF at a
-// clean end of stream.
-func (r *Reader) ReadRecord() (*Record, error) {
-	var wire wireRecord
-	switch r.format {
-	case FormatASCII, FormatASCIIRaw:
-		line, err := r.br.ReadString('\n')
-		if err == io.EOF && line != "" {
-			// Final line without trailing newline is still a record.
-			err = nil
-		} else if err != nil {
+// readLine returns the next line without its terminating newline,
+// serving it straight out of the bufio window when it fits (the common
+// case: wire records are tens of bytes) and spilling into a reusable
+// buffer when it does not. The returned slice is only valid until the
+// next readLine call. io.EOF is returned only at a clean end of stream;
+// a final line without a trailing newline is still a line.
+func (r *Reader) readLine() ([]byte, error) {
+	line, err := r.br.ReadSlice('\n')
+	switch err {
+	case nil:
+		return line[:len(line)-1], nil
+	case io.EOF:
+		if len(line) == 0 {
+			return nil, io.EOF
+		}
+		return line, nil
+	case bufio.ErrBufferFull:
+		r.lbuf = append(r.lbuf[:0], line...)
+	default:
+		return nil, err
+	}
+	for {
+		line, err = r.br.ReadSlice('\n')
+		r.lbuf = append(r.lbuf, line...)
+		switch err {
+		case nil:
+			return r.lbuf[:len(r.lbuf)-1], nil
+		case io.EOF:
+			return r.lbuf, nil
+		case bufio.ErrBufferFull:
+			continue
+		default:
 			return nil, err
 		}
-		line = strings.TrimSuffix(line, "\n")
-		wire, err = parseASCII(line)
+	}
+}
+
+// NextInto decodes the next record directly into *dst, sharing one
+// reusable wire record across calls. It is the common core of Next,
+// ReadRecord, and ReadAll — and of the facade's chunk-arena streaming
+// reader — letting callers that batch-allocate destinations skip a
+// per-record copy.
+func (r *Reader) NextInto(dst *Record) error {
+	switch r.format {
+	case FormatASCII, FormatASCIIRaw:
+		line, err := r.readLine()
 		if err != nil {
-			return nil, err
+			return err
+		}
+		if err := parseASCII(line, &r.wire); err != nil {
+			return err
 		}
 	case FormatBinary:
 		var err error
-		wire, err = r.bin.next()
-		if err != nil {
-			return nil, err
+		if r.wire, err = r.bin.next(); err != nil {
+			return err
 		}
 	default:
-		return nil, fmt.Errorf("trace: unknown format %v", r.format)
+		return fmt.Errorf("trace: unknown format %v", r.format)
 	}
-	rec, err := r.dec.Decompress(wire)
+	if err := r.dec.DecompressInto(&r.wire, dst); err != nil {
+		return err
+	}
+	r.n++
+	return nil
+}
+
+// Next returns the next fully reconstructed record, or io.EOF at a clean
+// end of stream. The returned record points at a buffer owned by the
+// Reader and is overwritten by the following Next or ReadRecord call:
+// the steady-state decode path allocates nothing (comment records are
+// the exception — their text is freshly copied). Callers that retain
+// records across calls should copy them, or use ReadRecord.
+func (r *Reader) Next() (*Record, error) {
+	if err := r.NextInto(&r.rec); err != nil {
+		return nil, err
+	}
+	return &r.rec, nil
+}
+
+// ReadRecord returns the next fully reconstructed record as a freshly
+// allocated value that remains valid indefinitely, or io.EOF at a clean
+// end of stream.
+func (r *Reader) ReadRecord() (*Record, error) {
+	rec, err := r.Next()
 	if err != nil {
 		return nil, err
 	}
-	r.n++
-	return rec, nil
+	clone := *rec
+	return &clone, nil
 }
 
 // Records returns the number of records read so far.
@@ -201,13 +261,27 @@ func WriteAll(w io.Writer, format Format, t []*Record) error {
 	return tw.Flush()
 }
 
+// readChunkRecords is the arena granularity of ReadAll (and the facade's
+// streaming reader): records are cloned out of the Reader's reusable
+// buffer in chunks of this many, cutting a per-record allocation to one
+// per chunk.
+const readChunkRecords = 1024
+
 // ReadAll reads records until EOF. Comment records are included; callers
 // that only want data records should filter with Record.IsComment.
+// Records are batch-allocated in chunks, so a decoded trace costs two
+// allocations per thousand records rather than one per record.
 func ReadAll(r io.Reader, format Format) ([]*Record, error) {
 	tr := NewReader(r, format)
 	var out []*Record
+	var chunk []Record
 	for {
-		rec, err := tr.ReadRecord()
+		if len(chunk) == cap(chunk) {
+			chunk = make([]Record, 0, readChunkRecords)
+		}
+		chunk = chunk[:len(chunk)+1]
+		rec := &chunk[len(chunk)-1]
+		err := tr.NextInto(rec)
 		if err == io.EOF {
 			return out, nil
 		}

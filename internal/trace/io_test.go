@@ -142,7 +142,8 @@ func TestASCIIParseErrors(t *testing.T) {
 		"128 9999999",                // compression overflow is a bad field later
 	}
 	for _, line := range bad {
-		if _, err := parseASCII(line); err == nil {
+		var w wireRecord
+		if err := parseASCII([]byte(line), &w); err == nil {
 			t.Errorf("parseASCII(%q) accepted", line)
 		}
 	}

@@ -1,6 +1,7 @@
 package iotrace
 
 import (
+	"io"
 	"sync"
 
 	"iotrace/internal/analysis"
@@ -31,7 +32,27 @@ type (
 	Tier = sim.Tier
 	// Stats is the §5 characterization of one trace.
 	Stats = analysis.Stats
+	// TraceReader is the pull-based record decoder. Next serves a
+	// reusable record with zero steady-state allocations, NextInto
+	// decodes into caller-owned storage, and ReadRecord returns fresh
+	// clones; prefer the ReadRecords/ReadTraceFile streams unless you
+	// need this level of control.
+	TraceReader = trace.Reader
+	// TraceWriter is the record-at-a-time encoder behind WriteRecords.
+	TraceWriter = trace.Writer
 )
+
+// NewTraceReader returns a pull-based decoder for the records of r in
+// the given format.
+func NewTraceReader(r io.Reader, format Format) *TraceReader {
+	return trace.NewReader(r, format)
+}
+
+// NewTraceWriter returns a record-at-a-time encoder emitting the given
+// format to w. Call Flush when done.
+func NewTraceWriter(w io.Writer, format Format) *TraceWriter {
+	return trace.NewWriter(w, format)
+}
 
 // Cache tiers (Config.Tier).
 const (

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Hot-path benchmark harness: simulator replay (SimulateVenusPair) and
-# trace decode (TraceDecodeASCII), with allocation reporting. CI invokes
-# it with the defaults below (3 one-shot samples — quick enough for every
-# push, enough to spot a regression) and uploads the output; for real
-# measurements run e.g.
+# trace decode (TraceDecodeASCII, plus its materializing variant), with
+# allocation reporting. CI invokes it with the defaults below (3 one-shot
+# samples — quick enough for every push, enough to spot a regression),
+# gates the output against the BENCH_PR3.json waterline via
+# scripts/bench_check.sh, and uploads it; for real measurements run e.g.
 #
 #   BENCH_TIME=2s scripts/bench.sh bench_local.txt
 #

@@ -10,15 +10,31 @@ import (
 	"iotrace/internal/trace"
 )
 
+// streamChunkRecords is the arena granularity of ReadRecords: yielded
+// records are decoded straight into chunk-allocated slots, so consumers
+// may retain them while the stream costs one allocation per chunk rather
+// than one per record.
+const streamChunkRecords = 512
+
 // ReadRecords returns a streaming iterator over the records of an encoded
 // trace. Records are decoded one at a time as the caller ranges; an
 // encoding error is yielded once as the final pair and the stream stops.
 // The iterator is single-use: it consumes r.
+//
+// Yielded records are independently retainable (each occupies its own
+// slot in a chunk arena), so callers may hold on to any subset without
+// copying; chunks are reclaimed once no record in them is referenced.
 func ReadRecords(r io.Reader, format Format) iter.Seq2[*Record, error] {
 	return func(yield func(*Record, error) bool) {
 		tr := trace.NewReader(r, format)
+		var chunk []Record
 		for {
-			rec, err := tr.ReadRecord()
+			if len(chunk) == cap(chunk) {
+				chunk = make([]Record, 0, streamChunkRecords)
+			}
+			chunk = chunk[:len(chunk)+1]
+			rec := &chunk[len(chunk)-1]
+			err := tr.NextInto(rec)
 			if err == io.EOF {
 				return
 			}

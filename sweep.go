@@ -56,6 +56,9 @@ func (r SweepResult) String() string {
 //
 // Streamed processes are re-ranged by each scenario, concurrently, so
 // their sequences must tolerate concurrent ranging (see TraceStream).
+// Source-backed processes (Source, TraceFile) are decoded exactly once —
+// before the first scenario starts — and every scenario replays the same
+// in-memory records.
 func (w *Workload) Sweep(ctx context.Context, scenarios []Scenario, workers int) ([]SweepResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -126,13 +129,23 @@ feed:
 	return out, cancelled
 }
 
-// traceBytes sums the request bytes of the workload's materialized
-// processes — the numerator of the sweep scheduler's cache-pressure
-// proxy. Streamed processes contribute nothing (scanning them would cost
-// a decode pass, which the estimate must stay far cheaper than).
+// traceBytes sums the request bytes of the workload's materialized and
+// source-backed processes — the numerator of the sweep scheduler's
+// cache-pressure proxy. Source-backed processes are counted from the
+// source's one decode (Sweep triggers it before any scenario starts, so
+// the pass is spent on work every scenario reuses, not on estimation);
+// a failing source contributes nothing here and surfaces its error from
+// the scenarios themselves. Purely streamed processes contribute nothing
+// (scanning them would cost a decode pass per estimate).
 func (w *Workload) traceBytes() int64 {
 	var total int64
 	for _, p := range w.Procs {
+		if p.src != nil {
+			if b, err := p.src.dataBytes(); err == nil {
+				total += b
+			}
+			continue
+		}
 		for _, r := range p.Records {
 			if !r.IsComment() && r.Length > 0 {
 				total += r.Length

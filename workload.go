@@ -10,15 +10,16 @@ import (
 	"iotrace/internal/sim"
 )
 
-// Process is one traced process of a Workload: a name plus either its
-// materialized records or a record stream.
+// Process is one traced process of a Workload: a name plus its
+// materialized records, a record stream, or a shared decode-once source.
 type Process struct {
 	Name string
-	// Records holds the process's trace. It is nil for streamed
-	// processes, whose records are pulled on demand.
+	// Records holds the process's trace. It is nil for streamed and
+	// source-backed processes, whose records are pulled on demand.
 	Records []*Record
 
 	seq iter.Seq2[*Record, error]
+	src *TraceSource
 }
 
 // procSpec remembers how one process was declared, so sweeps can
@@ -28,6 +29,7 @@ type procSpec struct {
 	name string
 	recs []*Record
 	seq  iter.Seq2[*Record, error]
+	src  *TraceSource
 }
 
 // builder accumulates the effect of New's options.
@@ -93,6 +95,30 @@ func TraceStream(name string, seq iter.Seq2[*Record, error]) Option {
 		b.specs = append(b.specs, procSpec{name: name, seq: seq})
 		return nil
 	}
+}
+
+// Source adds a shared decode-once trace source as one process. The
+// underlying file is decoded and validated exactly once, on first use;
+// every consumer of the workload — Characterize, Simulate, and all
+// scenarios of a Sweep, across any number of workers — replays the same
+// in-memory records. Pass the same *TraceSource to several workloads to
+// share one decode among them too.
+func Source(name string, src *TraceSource) Option {
+	return func(b *builder) error {
+		if src == nil {
+			return fmt.Errorf("iotrace: nil trace source for %s", name)
+		}
+		b.specs = append(b.specs, procSpec{name: name, src: src})
+		return nil
+	}
+}
+
+// TraceFile adds the on-disk trace at path as one process, backed by a
+// private decode-once TraceSource: unlike TraceStream with
+// ReadTraceFile, which re-opens and re-decodes the file on every replay,
+// the file is read once and sweeps of any width pay one decode.
+func TraceFile(name, path string, format Format) Option {
+	return Source(name, NewTraceSource(path, format))
 }
 
 // FirstPID sets the process id of the workload's first generated process
@@ -174,6 +200,8 @@ func (w *Workload) materialize(offset uint64) ([]Process, error) {
 			procs = append(procs, Process{Name: sp.name, Records: recs})
 		case sp.seq != nil:
 			procs = append(procs, Process{Name: sp.name, seq: sp.seq})
+		case sp.src != nil:
+			procs = append(procs, Process{Name: sp.name, src: sp.src})
 		default:
 			procs = append(procs, Process{Name: sp.name, Records: sp.recs})
 		}
@@ -194,6 +222,17 @@ func (w *Workload) AddTrace(name string, recs []*Record) {
 // AddTraceStream appends a streamed trace as one process.
 func (w *Workload) AddTraceStream(name string, seq iter.Seq2[*Record, error]) {
 	_ = w.extend(TraceStream(name, seq)) // TraceStream options cannot fail
+}
+
+// AddTraceFile appends the on-disk trace at path as one process, backed
+// by a private decode-once TraceSource (see TraceFile).
+func (w *Workload) AddTraceFile(name, path string, format Format) {
+	_ = w.extend(TraceFile(name, path, format)) // lazy: cannot fail here
+}
+
+// AddSource appends a shared decode-once trace source as one process.
+func (w *Workload) AddSource(name string, src *TraceSource) error {
+	return w.extend(Source(name, src))
 }
 
 // extend applies more options to an existing workload and rebuilds its
@@ -218,12 +257,18 @@ func (w *Workload) extend(opts ...Option) error {
 }
 
 // Characterize computes per-process §5 trace statistics. Streamed
-// processes are analyzed in one pass without materializing their records.
+// processes are analyzed in one pass without materializing their
+// records; source-backed processes are analyzed from the source's single
+// decode.
 func (w *Workload) Characterize() ([]*Stats, error) {
 	out := make([]*Stats, 0, len(w.Procs))
 	for _, p := range w.Procs {
-		if p.seq != nil {
-			s, err := CharacterizeSeq(p.Name, p.seq)
+		if p.seq != nil || p.src != nil {
+			seq := p.seq
+			if p.src != nil {
+				seq = p.src.Records()
+			}
+			s, err := CharacterizeSeq(p.Name, seq)
 			if err != nil {
 				return nil, err
 			}
@@ -257,9 +302,19 @@ func simulateProcs(ctx context.Context, cfg Config, procs []Process) (*Result, e
 	// a completed run has closed them already (Close is idempotent).
 	defer s.Close()
 	for _, p := range procs {
-		if p.seq != nil {
+		switch {
+		case p.seq != nil:
 			err = s.AddProcessSeq(p.Name, WithContext(ctx, p.seq))
-		} else {
+		case p.src != nil:
+			// One shared decode feeds every scenario: registration is
+			// O(1), no re-validation, no re-read of the file.
+			var data []*Record
+			var pid uint32
+			var endCPU Ticks
+			if data, pid, endCPU, err = p.src.checked(); err == nil {
+				err = s.AddProcessChecked(p.Name, data, pid, endCPU)
+			}
+		default:
 			err = s.AddProcess(p.Name, p.Records)
 		}
 		if err != nil {
