@@ -8,6 +8,8 @@
 //	iosim -ssd -app venus -copies 2
 //	iosim -cache 128 -wb=false -app venus -copies 2   # the 211s headline
 //	iosim -app venus -copies 2 -sweep 4,8,16,32,64,128,256 -workers 4
+//	iosim -app ccm -copies 2 -volumes 4 -placement filehash   # sharded array
+//	iosim -app ccm -copies 2 -sweep 4,32 -sweepvols 1,2,4,8
 package main
 
 import (
@@ -36,12 +38,17 @@ func main() {
 		limit    = flag.Int("limit", 0, "per-process block ownership cap (0 = none)")
 		quantum  = flag.Float64("quantum", 10, "scheduler quantum in ms")
 		queueing = flag.Bool("queueing", false, "FCFS disk queueing (ablation; the paper used none)")
+		volumes  = flag.Int("volumes", 1, "shard the storage tier into this many volumes")
+		place    = flag.String("placement", "stripe", "multi-volume placement: stripe or filehash")
+		unitKB   = flag.Int64("stripeunit", 1024, "stripe unit in KB for -placement stripe")
+		splitVol = flag.Bool("split", false, "divide the volume's spindles across the shards (conserved hardware)")
 		format   = flag.String("format", "ascii", "trace file format")
 		app      = flag.String("app", "", "simulate copies of a built-in app instead of trace files")
 		copies   = flag.Int("copies", 1, "number of copies of -app")
 		series   = flag.Bool("series", false, "print disk-traffic chart")
 		sweep    = flag.String("sweep", "", "comma-separated cache sizes in MB: sweep instead of a single run")
 		blocks   = flag.String("sweepblocks", "", "comma-separated block sizes in KB for -sweep (default: -block)")
+		svols    = flag.String("sweepvols", "", "comma-separated volume counts for -sweep (default: -volumes)")
 		workers  = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -58,6 +65,21 @@ func main() {
 	cfg.PerProcessBlockLimit = *limit
 	cfg.QuantumTicks = trace.TicksFromSeconds(*quantum / 1000)
 	cfg.DiskQueueing = *queueing
+	policy, err := iotrace.ParsePlacement(*place)
+	if err != nil {
+		fatal(err)
+	}
+	cfg = iotrace.Configure(cfg,
+		iotrace.Volumes(*volumes),
+		iotrace.Placement(policy),
+	)
+	cfg.StripeUnitBytes = *unitKB << 10
+	// -split is applied per scenario in -sweep mode: the Volumes axis
+	// overrides NumVolumes after the base config is built, so splitting
+	// here would divide by the wrong (flag-level) volume count.
+	if *splitVol && *sweep == "" {
+		cfg = iotrace.Configure(cfg, iotrace.SplitSpindles())
+	}
 
 	w := &iotrace.Workload{}
 	switch {
@@ -90,7 +112,7 @@ func main() {
 		if *series {
 			fmt.Fprintln(os.Stderr, "iosim: -series is ignored in -sweep mode (charts are per-run)")
 		}
-		runSweep(ctx, w, cfg, *sweep, *blocks, *blockKB, *workers)
+		runSweep(ctx, w, cfg, *sweep, *blocks, *svols, *blockKB, *workers, *splitVol)
 		return
 	}
 
@@ -116,6 +138,15 @@ func main() {
 	fmt.Printf("disk: %d reads (%.1f MB), %d writes (%.1f MB)\n",
 		res.Disk.Reads, float64(res.Disk.ReadBytes)/1e6,
 		res.Disk.Writes, float64(res.Disk.WriteBytes)/1e6)
+	if len(res.Volumes) > 1 {
+		fmt.Printf("volumes (%s placement, imbalance %.2f):\n", cfg.Placement, res.VolumeImbalance())
+		for i, v := range res.Volumes {
+			fmt.Printf("  vol %-2d %8d reads %8d writes %8.1f MB  busy %7.1f s (%4.1f%% seek %4.1f%% xfer) util %5.1f%%\n",
+				i, v.Reads, v.Writes, float64(v.ReadBytes+v.WriteBytes)/1e6, v.BusySec,
+				pct(v.SeekSec, v.BusySec), pct(v.TransferSec, v.BusySec),
+				100*v.Utilization(res.WallSeconds()))
+		}
+	}
 	for _, p := range res.Procs {
 		fmt.Printf("  %-12s finished %8.1f s  cpu %8.1f s  blocked %8.1f s\n",
 			p.Name, p.FinishSec, p.CPUSec, p.BlockedSec)
@@ -130,9 +161,9 @@ func main() {
 	}
 }
 
-// runSweep expands the -sweep/-sweepblocks axes over the base config and
-// executes them on the facade's worker pool.
-func runSweep(ctx context.Context, w *iotrace.Workload, base iotrace.Config, sweepMB, sweepKB string, blockKB int64, workers int) {
+// runSweep expands the -sweep/-sweepblocks/-sweepvols axes over the base
+// config and executes them on the facade's worker pool.
+func runSweep(ctx context.Context, w *iotrace.Workload, base iotrace.Config, sweepMB, sweepKB, sweepVols string, blockKB int64, workers int, splitVol bool) {
 	caches, err := parseInt64List(sweepMB)
 	if err != nil {
 		fatal(fmt.Errorf("-sweep: %w", err))
@@ -143,19 +174,34 @@ func runSweep(ctx context.Context, w *iotrace.Workload, base iotrace.Config, swe
 			fatal(fmt.Errorf("-sweepblocks: %w", err))
 		}
 	}
-	grid := iotrace.Grid{Base: &base, CacheMB: caches, BlockKB: blocks}
+	var vols []int
+	if sweepVols != "" {
+		vols64, err := parseInt64List(sweepVols)
+		if err != nil {
+			fatal(fmt.Errorf("-sweepvols: %w", err))
+		}
+		for _, v := range vols64 {
+			vols = append(vols, int(v))
+		}
+	}
+	grid := iotrace.Grid{
+		Base: &base, CacheMB: caches, BlockKB: blocks, Volumes: vols,
+		// Per-scenario spindle conservation: each cell splits the base
+		// volume by its own NumVolumes (set by the Volumes axis).
+		SplitSpindles: splitVol,
+	}
 	results, swErr := w.Sweep(ctx, grid.Scenarios(), workers)
 	// On cancellation Sweep still returns every finished scenario, so
 	// print the partial table before exiting non-zero.
-	fmt.Printf("%-24s %10s %10s %12s %10s\n", "scenario", "wall (s)", "idle (s)", "utilization", "hit ratio")
+	fmt.Printf("%-24s %10s %10s %12s %10s %10s\n", "scenario", "wall (s)", "idle (s)", "utilization", "hit ratio", "imbalance")
 	for _, r := range results {
 		if r.Err != nil {
 			fmt.Printf("%-24s error: %v\n", r.Scenario.Name, r.Err)
 			continue
 		}
-		fmt.Printf("%-24s %10.1f %10.1f %11.2f%% %10.3f\n",
+		fmt.Printf("%-24s %10.1f %10.1f %11.2f%% %10.3f %10.2f\n",
 			r.Scenario.Name, r.Result.WallSeconds(), r.Result.IdleSeconds(),
-			100*r.Result.Utilization(), r.Result.Cache.ReadHitRatio())
+			100*r.Result.Utilization(), r.Result.Cache.ReadHitRatio(), r.Result.VolumeImbalance())
 	}
 	if swErr != nil {
 		fatal(swErr)
@@ -172,6 +218,13 @@ func parseInt64List(s string) ([]int64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+func pct(part, whole float64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * part / whole
 }
 
 func mbps(bins []float64) []float64 {

@@ -1,0 +1,100 @@
+package iotrace
+
+import (
+	"fmt"
+
+	"iotrace/internal/sim"
+)
+
+// PlacementPolicy selects how file data maps onto a sharded volume
+// array: PlaceStriped or PlaceFileHash. With one volume every policy is
+// the paper's single striped logical volume, byte for byte.
+type PlacementPolicy = sim.Placement
+
+// Placement policies (Config.Placement).
+const (
+	// PlaceStriped distributes file blocks round-robin across the
+	// volumes in Config.StripeUnitBytes units, RAID-0 style.
+	PlaceStriped = sim.PlaceStripe
+	// PlaceFileHash assigns each file wholly to one volume chosen by
+	// hashing its file id — the layout that turns one hot file into one
+	// hot volume (see examples/sharding).
+	PlaceFileHash = sim.PlaceFileHash
+)
+
+// VolumeStats is one volume's share of a run's storage activity; see
+// Result.Volumes and Result.VolumeImbalance.
+type VolumeStats = sim.VolumeStats
+
+// ParsePlacement converts a policy name ("stripe", "filehash") to a
+// PlacementPolicy.
+func ParsePlacement(s string) (PlacementPolicy, error) {
+	switch s {
+	case "stripe", "striped":
+		return PlaceStriped, nil
+	case "filehash", "file-hash", "hash":
+		return PlaceFileHash, nil
+	}
+	return 0, fmt.Errorf("iotrace: unknown placement policy %q (want stripe or filehash)", s)
+}
+
+// A ConfigOption adjusts one aspect of a simulator Config. Configure
+// applies a set of them to a base configuration:
+//
+//	cfg := iotrace.Configure(iotrace.DefaultConfig(),
+//	    iotrace.Volumes(8),
+//	    iotrace.Striping(256<<10),
+//	)
+//
+// Config is a plain struct, so setting fields directly is equivalent;
+// the options exist to make the common sharding knobs discoverable and
+// composable.
+type ConfigOption func(*Config)
+
+// Configure returns base with the options applied, leaving base itself
+// untouched.
+func Configure(base Config, opts ...ConfigOption) Config {
+	for _, opt := range opts {
+		opt(&base)
+	}
+	return base
+}
+
+// Volumes shards the storage tier into n independent volumes, each with
+// its own head position, busy window, and per-volume stats in
+// Result.Volumes. Volumes(1) is the paper's single striped volume and
+// simulates byte-identically to it.
+func Volumes(n int) ConfigOption {
+	return func(c *Config) { c.NumVolumes = n }
+}
+
+// Striping selects block-level round-robin placement with the given
+// stripe unit in bytes: stripe unit k of a file lives on volume
+// (k + hash(file)) mod NumVolumes — the per-file hash rotates each
+// file's starting volume so small files spread across the array. The
+// unit is independent of the cache block size.
+func Striping(unit int64) ConfigOption {
+	return func(c *Config) {
+		c.Placement = PlaceStriped
+		c.StripeUnitBytes = unit
+	}
+}
+
+// Placement selects the placement policy routing files onto a
+// multi-volume array. For PlaceStriped the stripe unit can be set with
+// Striping; DefaultConfig's unit is 1 MB.
+func Placement(p PlacementPolicy) ConfigOption {
+	return func(c *Config) { c.Placement = p }
+}
+
+// SplitSpindles divides the configured volume's spindles across the
+// array's NumVolumes shards (conserved hardware: n shards of stripe/n
+// spindles each) instead of the default of one full volume per shard
+// (hardware multiplies). Apply it after Volumes — it reads the volume
+// count already configured. In a Grid whose Volumes axis varies the
+// count per scenario, set Grid.SplitSpindles instead: a split baked
+// into the Base config would divide by the base count, not each
+// cell's.
+func SplitSpindles() ConfigOption {
+	return func(c *Config) { c.Volume = c.Volume.Split(c.NumVolumes) }
+}

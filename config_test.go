@@ -1,0 +1,112 @@
+package iotrace_test
+
+import (
+	"testing"
+
+	"iotrace"
+)
+
+func TestConfigureShardingOptions(t *testing.T) {
+	base := iotrace.DefaultConfig()
+	cfg := iotrace.Configure(base,
+		iotrace.Volumes(8),
+		iotrace.Striping(256<<10),
+	)
+	if cfg.NumVolumes != 8 || cfg.Placement != iotrace.PlaceStriped || cfg.StripeUnitBytes != 256<<10 {
+		t.Errorf("configured %+v", cfg)
+	}
+	if base.NumVolumes != 1 {
+		t.Error("Configure mutated its base")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("configured sharding invalid: %v", err)
+	}
+
+	hashed := iotrace.Configure(base, iotrace.Volumes(4), iotrace.Placement(iotrace.PlaceFileHash))
+	if hashed.Placement != iotrace.PlaceFileHash || hashed.NumVolumes != 4 {
+		t.Errorf("configured %+v", hashed)
+	}
+
+	// SplitSpindles conserves hardware: 4 shards of the default 10-way
+	// stripe get 2 spindles each.
+	split := iotrace.Configure(base, iotrace.Volumes(4), iotrace.SplitSpindles())
+	if split.Volume.Stripe != 2 {
+		t.Errorf("split stripe %d, want 2", split.Volume.Stripe)
+	}
+	if base.Volume.Stripe != 10 {
+		t.Error("SplitSpindles mutated the base volume")
+	}
+}
+
+func TestConfigValidateSharding(t *testing.T) {
+	bad := iotrace.Configure(iotrace.DefaultConfig(), iotrace.Volumes(0))
+	if err := bad.Validate(); err == nil {
+		t.Error("0 volumes validated")
+	}
+	bad = iotrace.Configure(iotrace.DefaultConfig(), iotrace.Volumes(2), iotrace.Striping(0))
+	if err := bad.Validate(); err == nil {
+		t.Error("0-byte stripe unit validated")
+	}
+	// A zero stripe unit is fine while the array has one volume (the
+	// single-volume path never consults it)…
+	ok := iotrace.Configure(iotrace.DefaultConfig(), iotrace.Striping(0))
+	if err := ok.Validate(); err != nil {
+		t.Errorf("single-volume zero stripe unit rejected: %v", err)
+	}
+	// …and file-hash placement never consults it either.
+	ok = iotrace.Configure(iotrace.DefaultConfig(), iotrace.Volumes(4), iotrace.Placement(iotrace.PlaceFileHash))
+	ok.StripeUnitBytes = 0
+	if err := ok.Validate(); err != nil {
+		t.Errorf("file-hash with unset stripe unit rejected: %v", err)
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	for s, want := range map[string]iotrace.PlacementPolicy{
+		"stripe":   iotrace.PlaceStriped,
+		"striped":  iotrace.PlaceStriped,
+		"filehash": iotrace.PlaceFileHash,
+		"hash":     iotrace.PlaceFileHash,
+	} {
+		got, err := iotrace.ParsePlacement(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePlacement(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := iotrace.ParsePlacement("raid6"); err == nil {
+		t.Error("unknown policy parsed")
+	}
+	if iotrace.PlaceStriped.String() != "stripe" || iotrace.PlaceFileHash.String() != "filehash" {
+		t.Error("placement String() drifted from ParsePlacement names")
+	}
+}
+
+// TestVolumesOneMatchesUnsharded pins the facade-level N=1 guarantee:
+// an explicit Volumes(1) with any policy simulates byte-identically to
+// the untouched default configuration.
+func TestVolumesOneMatchesUnsharded(t *testing.T) {
+	w, err := iotrace.New(iotrace.App("ccm", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := w.Simulate(iotrace.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]iotrace.ConfigOption{
+		{iotrace.Volumes(1)},
+		{iotrace.Volumes(1), iotrace.Placement(iotrace.PlaceFileHash)},
+		{iotrace.Volumes(1), iotrace.Striping(7777)},
+	} {
+		res, err := w.Simulate(iotrace.Configure(iotrace.DefaultConfig(), opts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderResult(res) != renderResult(base) {
+			t.Errorf("Volumes(1) diverged from the unsharded default")
+		}
+	}
+	if len(base.Volumes) != 1 || base.Volumes[0].Reads != base.Disk.Reads {
+		t.Errorf("single-volume breakdown %+v inconsistent with %+v", base.Volumes, base.Disk)
+	}
+}

@@ -5,10 +5,11 @@
 // applications calibrated to Tables 1-2, the characterization analyses of
 // §5, and the trace-driven buffering simulator of §6 with read-ahead,
 // write-behind, main-memory and SSD cache tiers, and the paper's
-// no-queueing disk model.
+// no-queueing disk model — generalized to a sharded multi-volume array
+// for modern parallel-storage experiments.
 //
 // This package is the public facade — the single entry point for every
-// consumer. It offers three layers:
+// consumer. It offers four layers:
 //
 //   - Workloads. New builds a workload from functional options: built-in
 //     paper applications (App), externally supplied traces (Trace),
@@ -23,12 +24,21 @@
 //     materialized as a whole slice; WithContext threads cancellation
 //     through long runs.
 //
-//   - Sweeps. A Scenario grid (Grid expands the paper's Figure 8 axes:
-//     cache size, block size, tier, read-ahead/write-behind) executes on
-//     a bounded worker pool via Workload.Sweep, with per-scenario
-//     deterministic seeds and results independent of worker count.
-//     File-backed workloads should use TraceFile so the whole grid pays
-//     one trace decode instead of one per scenario.
+//   - Sweeps. A Scenario grid (Grid expands the paper's Figure 8 axes —
+//     cache size, block size, tier, read-ahead/write-behind — plus the
+//     volume-count axis) executes on a bounded worker pool via
+//     Workload.Sweep, with per-scenario deterministic seeds and results
+//     independent of worker count. File-backed workloads should use
+//     TraceFile so the whole grid pays one trace decode instead of one
+//     per scenario.
+//
+//   - Sharded volumes. Configure with Volumes, Striping, Placement, and
+//     SplitSpindles shards the simulated storage tier into N independent
+//     volumes behind a placement policy (block-level striping or
+//     file-affine hashing). Result.Volumes breaks disk activity down per
+//     volume and Result.VolumeImbalance summarizes hot-shard skew;
+//     Volumes(1) — the default — is the paper's single striped volume,
+//     byte-identical to the pre-sharding engine.
 //
 // A downstream user's typical session:
 //
@@ -43,7 +53,10 @@
 // depend on the number of workers.
 //
 // The supporting layers live in internal/ (trace format, workload
-// generation, simulator, analyses, experiment harness); see DESIGN.md for
-// the package inventory. bench_test.go in this directory regenerates
-// every table and figure of the paper as a benchmark.
+// generation, simulator, analyses, experiment harness); see README.md
+// for a guided tour, DESIGN.md for the package inventory, and
+// docs/paper-map.md for the paper-section-to-code correspondence.
+// example_test.go holds runnable, output-pinned examples of each layer;
+// bench_test.go regenerates every table and figure of the paper as a
+// benchmark.
 package iotrace

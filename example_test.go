@@ -1,0 +1,138 @@
+package iotrace_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"iotrace"
+)
+
+// The quickstart from README.md, verbatim: build a workload from
+// built-in paper applications, characterize it (§5), and simulate it
+// against the §6 cache model. Everything is deterministic, so the
+// output is pinned.
+func Example_quickstart() {
+	// Two copies of the paper's ccm climate model on one shared CPU.
+	w, err := iotrace.New(iotrace.App("ccm", 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Characterize: the Table 1 statistics of §5.
+	stats, err := w.Characterize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range stats {
+		fmt.Printf("%s: %d requests, %.0f MB read, %.0f MB written\n",
+			s.Name, s.Records, float64(s.ReadBytes)/1e6, float64(s.WriteBytes)/1e6)
+	}
+
+	// Simulate: replay both processes against a 32 MB block cache with
+	// read-ahead and write-behind (the paper's default configuration).
+	res, err := w.Simulate(iotrace.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wall %.1f s, CPU utilization %.1f%%, read hit ratio %.3f\n",
+		res.WallSeconds(), 100*res.Utilization(), res.Cache.ReadHitRatio())
+	// Output:
+	// ccm(1): 53205 requests, 872 MB read, 817 MB written
+	// ccm(2): 53205 requests, 872 MB read, 817 MB written
+	// wall 423.6 s, CPU utilization 100.0%, read hit ratio 1.000
+}
+
+// Sweep a Figure 8-style grid — cache size crossed with volume count —
+// on a pool of 4 workers. Results are independent of the worker count.
+func ExampleWorkload_Sweep() {
+	w, err := iotrace.New(iotrace.App("ccm", 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid := iotrace.Grid{
+		CacheMB: []int64{4, 32},
+		Volumes: []int{1, 4},
+	}
+	results, err := w.Sweep(context.Background(), grid.Scenarios(), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%-20s wall %.1f s, volume imbalance %.2f\n",
+			r.Scenario.Name, r.Result.WallSeconds(), r.Result.VolumeImbalance())
+	}
+	// Output:
+	// cache=4MB vols=1     wall 213.9 s, volume imbalance 1.00
+	// cache=32MB vols=1    wall 211.8 s, volume imbalance 1.00
+	// cache=4MB vols=4     wall 219.2 s, volume imbalance 1.24
+	// cache=32MB vols=4    wall 211.9 s, volume imbalance 1.29
+}
+
+// A TraceSource decodes an on-disk trace exactly once, however many
+// consumers replay it: here one characterization plus two simulations
+// share a single decode-and-validate pass.
+func ExampleSource() {
+	dir, err := os.MkdirTemp("", "iotrace-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "ccm.trace")
+	recs, err := iotrace.AppRecords("ccm", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := iotrace.SaveTraceFile(path, "ascii", recs); err != nil {
+		log.Fatal(err)
+	}
+
+	src := iotrace.NewTraceSource(path, iotrace.FormatASCII)
+	w, err := iotrace.New(iotrace.Source("ccm", src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := w.Characterize(); err != nil {
+		log.Fatal(err)
+	}
+	for _, cacheMB := range []int64{4, 32} {
+		cfg := iotrace.DefaultConfig()
+		cfg.CacheBytes = cacheMB << 20
+		if _, err := w.Simulate(cfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("3 consumers, %d decode\n", src.Decodes())
+	// Output:
+	// 3 consumers, 1 decode
+}
+
+// Shard the storage tier: 4 volumes, 64 KB striping. Result.Volumes
+// breaks disk activity down per volume and VolumeImbalance summarizes
+// how evenly the array carried it.
+func ExampleConfigure() {
+	w, err := iotrace.New(iotrace.App("ccm", 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := iotrace.Configure(iotrace.DefaultConfig(),
+		iotrace.Volumes(4),
+		iotrace.Striping(64<<10),
+	)
+	res, err := w.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d volumes, imbalance %.2f\n", len(res.Volumes), res.VolumeImbalance())
+	for i, v := range res.Volumes {
+		fmt.Printf("vol %d: %d writes, %.0f MB\n", i, v.Writes, float64(v.WriteBytes)/1e6)
+	}
+	// Output:
+	// 4 volumes, imbalance 1.07
+	// vol 0: 10476 writes, 419 MB
+	// vol 1: 9766 writes, 395 MB
+	// vol 2: 10165 writes, 423 MB
+	// vol 3: 10071 writes, 421 MB
+}

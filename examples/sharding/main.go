@@ -1,0 +1,114 @@
+// Sharding: the "one hot file" problem of parallel storage, measured.
+//
+// The paper models a single striped logical volume (§6.1). Modern HPC
+// I/O systems instead put many storage targets behind the compute tier,
+// and their classic failure mode is placement: if files map wholly onto
+// single targets (file-affine layouts), one hot file turns into one hot
+// volume while the rest of the array idles. Block-level striping spreads
+// the same traffic across every target.
+//
+// This example builds a workload dominated by one hot file, shards the
+// paper's 10-spindle volume into a 4-volume array of 2 spindles each
+// (SplitSpindles conserves hardware up to rounding: 8 of the 10
+// spindles, nowhere near 4x the disks), and compares the two placement
+// policies against the single-volume baseline. File-affine hashing
+// concentrates all traffic on one shard (imbalance -> 4, long stalls);
+// striping keeps the array balanced (imbalance -> 1) at roughly the
+// baseline's performance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iotrace"
+)
+
+// hotFileTrace builds one process that streams sequentially through a
+// single large file: 1500 reads of 256 KB (384 MB) with 1 ms of compute
+// between requests — I/O-bound, one dominant file.
+func hotFileTrace(pid uint32) []*iotrace.Record {
+	const (
+		requests = 1500
+		reqBytes = 256 << 10
+	)
+	recs := make([]*iotrace.Record, 0, requests)
+	for i := 0; i < requests; i++ {
+		recs = append(recs, &iotrace.Record{
+			Type:        iotrace.LogicalRecord | iotrace.ReadOp | iotrace.FileData,
+			FileID:      1,
+			OperationID: uint32(i + 1),
+			Offset:      int64(i) * reqBytes,
+			Length:      reqBytes,
+			ProcessID:   pid,
+			ProcessTime: iotrace.Ticks(i) * iotrace.TicksPerMillisecond,
+		})
+	}
+	return recs
+}
+
+func run(w *iotrace.Workload, label string, cfg iotrace.Config) *iotrace.Result {
+	res, err := w.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var blocked float64
+	for _, p := range res.Procs {
+		blocked += p.BlockedSec
+	}
+	fmt.Printf("%-22s wall %6.1f s  blocked %6.1f s  imbalance %4.2f\n",
+		label, res.WallSeconds(), blocked, res.VolumeImbalance())
+	if len(res.Volumes) > 1 { // the baseline's breakdown is its aggregate
+		for i, v := range res.Volumes {
+			fmt.Printf("    vol %d: %5.1f%% busy, %7.1f MB moved\n",
+				i, 100*v.Utilization(res.WallSeconds()), float64(v.ReadBytes+v.WriteBytes)/1e6)
+		}
+	}
+	return res
+}
+
+func main() {
+	// Two processes hammer the same hot file.
+	w := &iotrace.Workload{}
+	w.AddTrace("hot-a", hotFileTrace(1))
+	w.AddTrace("hot-b", hotFileTrace(2))
+
+	// A small cache keeps the runs disk-bound, and FCFS queueing at each
+	// volume (the paper's ablation knob) makes contention visible: two
+	// processes behind one hot shard wait on each other.
+	base := iotrace.DefaultConfig()
+	base.CacheBytes = 4 << 20
+	base.DiskQueueing = true
+
+	fmt.Println("one hot file, 384 MB streamed twice, 4 MB cache:")
+	fmt.Println()
+	single := run(w, "1 volume (the paper)", base)
+
+	// The sharded array conserves hardware: the paper's 10 spindles are
+	// divided across 4 volumes (2 each; the floor division costs two),
+	// so any win comes from layout, not from buying disks.
+	hashed := iotrace.Configure(base,
+		iotrace.Volumes(4),
+		iotrace.Placement(iotrace.PlaceFileHash),
+		iotrace.SplitSpindles(),
+	)
+	hot := run(w, "4 volumes, file-hash", hashed)
+
+	// The stripe unit (64 KB) is smaller than the 256 KB requests, so
+	// every request engages all four volumes at once and transfers at
+	// the array's aggregate bandwidth.
+	striped := iotrace.Configure(base,
+		iotrace.Volumes(4),
+		iotrace.Striping(64<<10),
+		iotrace.SplitSpindles(),
+	)
+	spread := run(w, "4 volumes, striped", striped)
+
+	fmt.Println()
+	fmt.Printf("file-affine placement is %.1fx slower than striping the array:\n",
+		hot.WallSeconds()/spread.WallSeconds())
+	fmt.Println("one hot file saturates one shard while three idle; striping")
+	fmt.Printf("engages every shard per request and stays within %.0f%% of the\n",
+		100*(spread.WallSeconds()/single.WallSeconds()-1))
+	fmt.Println("single-volume baseline on 8 of its 10 spindles.")
+}

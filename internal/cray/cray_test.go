@@ -151,3 +151,27 @@ func TestScheduleErrors(t *testing.T) {
 		t.Error("job larger than its queue's partition scheduled")
 	}
 }
+
+func TestVolumeSplitConservesSpindles(t *testing.T) {
+	v := DefaultVolume() // 10 spindles
+	for _, n := range []int{2, 5} {
+		s := v.Split(n)
+		if s.Stripe*n != v.Stripe {
+			t.Errorf("Split(%d) stripe %d: %d shards lose spindles vs %d", n, s.Stripe, s.Stripe*n, v.Stripe)
+		}
+		if s.Disk != v.Disk {
+			t.Errorf("Split(%d) changed the disk model", n)
+		}
+		// Aggregate bandwidth of the shards equals the original volume's.
+		if agg := s.BandwidthBytesPerSec() * float64(n); agg != v.BandwidthBytesPerSec() {
+			t.Errorf("Split(%d) aggregate bandwidth %.1f, want %.1f", n, agg, v.BandwidthBytesPerSec())
+		}
+	}
+	// A shard never drops below one spindle, and n < 2 is the identity.
+	if s := v.Split(100); s.Stripe != 1 {
+		t.Errorf("Split(100) stripe %d, want floor of 1", s.Stripe)
+	}
+	if v.Split(1) != v || v.Split(0) != v {
+		t.Error("Split(<2) must be the identity")
+	}
+}

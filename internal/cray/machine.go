@@ -82,6 +82,24 @@ func (v Volume) BandwidthBytesPerSec() float64 {
 	return v.Disk.TransferBytesPerSec * float64(v.Stripe)
 }
 
+// Split divides the volume's spindles across n shards, returning the
+// per-shard volume: the same disks, a stripe of Stripe/n (at least 1).
+// Sharding experiments use it to compare layouts on *conserved* hardware
+// — n volumes of v.Split(n) hold the same spindle count (up to rounding)
+// as one volume of v — rather than multiplying disks n-fold. n < 2
+// returns v unchanged.
+func (v Volume) Split(n int) Volume {
+	if n < 2 {
+		return v
+	}
+	s := v
+	s.Stripe = v.Stripe / n
+	if s.Stripe < 1 {
+		s.Stripe = 1
+	}
+	return s
+}
+
 // SSD models the solid-state disk: DRAM behind a disk-like channel
 // interface. §6.3 charges roughly 1 us per KB transferred (about 1 GB/s)
 // plus a per-request setup overhead that is small next to a system call.

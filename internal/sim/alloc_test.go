@@ -131,3 +131,30 @@ func TestSteadyStateMissPathRecyclesFetches(t *testing.T) {
 		t.Errorf("steady-state miss path allocates %.1f allocs per 40 events, want 0", allocs)
 	}
 }
+
+// TestShardedMissPathZeroAllocs repeats the miss-heavy loop on a striped
+// 4-volume array: the placement split must serve every request from the
+// disk's segment scratch, so sharding adds no steady-state allocations.
+func TestShardedMissPathZeroAllocs(t *testing.T) {
+	cfg := allocConfig()
+	cfg.ReadAhead = false
+	cfg.CacheBytes = 1 << 20 // tiny: every wide-stride read misses
+	cfg.NumVolumes = 4
+	cfg.Placement = PlaceStripe
+	cfg.StripeUnitBytes = 64 << 10 // each 256 KB read spans all 4 volumes
+	items := make([]ioItem, 4000)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i) << 21, ln: 1 << 18}
+	}
+	s := startAllocHarness(t, cfg, mkTrace(1, items, 0.01))
+
+	s.stepN(3000) // pools and the segment scratch reach high water
+	missBefore := s.cache.stats.ReadMissReqs
+	allocs := testing.AllocsPerRun(50, func() { s.stepN(40) })
+	if misses := s.cache.stats.ReadMissReqs - missBefore; misses == 0 {
+		t.Fatal("harness drove no misses")
+	}
+	if allocs != 0 {
+		t.Errorf("sharded miss path allocates %.1f allocs per 40 events, want 0", allocs)
+	}
+}

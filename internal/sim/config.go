@@ -75,9 +75,29 @@ type Config struct {
 	FSCallTicks    trace.Ticks // file-system code per request
 	InterruptTicks trace.Ticks // I/O completion service time
 
-	// Storage models.
+	// Storage models. Volume describes one volume of the array; with
+	// NumVolumes > 1 each volume is an independent copy (hardware
+	// multiplies). Use cray.Volume.Split to conserve spindles instead.
 	Volume cray.Volume
 	SSDDev cray.SSD
+
+	// NumVolumes shards the storage tier into this many independent
+	// volumes, each with its own head position, busy window, and stats.
+	// 1 (the default) is the paper's single striped logical volume and
+	// is byte-identical to the pre-sharding engine regardless of
+	// Placement.
+	NumVolumes int
+
+	// Placement selects how file data maps onto a multi-volume array:
+	// PlaceStripe (round-robin in StripeUnitBytes units) or
+	// PlaceFileHash (each file wholly on one hashed volume). Ignored
+	// when NumVolumes == 1.
+	Placement Placement
+
+	// StripeUnitBytes is the granularity of PlaceStripe distribution.
+	// It is independent of BlockBytes: the cache blocks at BlockBytes
+	// while the array shards at StripeUnitBytes.
+	StripeUnitBytes int64
 
 	// DiskQueueing enables FCFS queueing at the volume. The paper's
 	// simulator deliberately omitted queueing ("no queueing at the
@@ -130,6 +150,9 @@ func DefaultConfig() Config {
 		InterruptTicks:    3,    // 30 us
 		Volume:            cray.DefaultVolume(),
 		SSDDev:            cray.DefaultSSD(),
+		NumVolumes:        1,
+		Placement:         PlaceStripe,
+		StripeUnitBytes:   1 << 20,
 		MaxFlushRunBlocks: 256,
 		RateBinTicks:      trace.TicksPerSecond,
 	}
@@ -163,6 +186,15 @@ func (c *Config) Validate() error {
 	}
 	if c.Volume.Stripe <= 0 {
 		return fmt.Errorf("sim: volume stripe %d", c.Volume.Stripe)
+	}
+	if c.NumVolumes < 1 {
+		return fmt.Errorf("sim: %d volumes", c.NumVolumes)
+	}
+	if c.Placement != PlaceStripe && c.Placement != PlaceFileHash {
+		return fmt.Errorf("sim: unknown placement policy %d", c.Placement)
+	}
+	if c.NumVolumes > 1 && c.Placement == PlaceStripe && c.StripeUnitBytes <= 0 {
+		return fmt.Errorf("sim: stripe unit %d bytes", c.StripeUnitBytes)
 	}
 	if c.MaxFlushRunBlocks <= 0 {
 		return fmt.Errorf("sim: flush run %d", c.MaxFlushRunBlocks)

@@ -179,6 +179,170 @@ var equivGolden = map[string]string{
 	"ccm-physical":             "wall=42338356 busy=42337017 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:21117 ReadBytes:7012352 WriteBytes:1656860672 BusySec:89.64191}|procs=[{PID:1 Name:a FinishSec:423.38356 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.37853 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.000000|bins=1/419/419|tot=7012352.000/1656860672.000/3377000000.000|phys=21331",
 }
 
+// TestShardedPlacementSingleVolumeEquivalence extends the equivalence
+// net to the sharded disk model: with NumVolumes == 1, every placement
+// policy and any stripe unit must reproduce the pre-sharding engine's
+// goldens byte for byte — the N=1 degenerate-case guarantee.
+func TestShardedPlacementSingleVolumeEquivalence(t *testing.T) {
+	appNames := []string{"ccm"}
+	if !testing.Short() {
+		appNames = append(appNames, "venus")
+	}
+	traces := map[string][2][]*trace.Record{}
+	for _, name := range appNames {
+		a, b := appPair(t, name)
+		traces[name] = [2][]*trace.Record{a, b}
+	}
+	variants := []struct {
+		name  string
+		tweak func(*Config)
+	}{
+		{"stripe", func(c *Config) { c.Placement = PlaceStripe; c.StripeUnitBytes = 12345 }},
+		{"filehash", func(c *Config) { c.Placement = PlaceFileHash }},
+	}
+	for _, tc := range equivCases() {
+		for _, v := range variants {
+			t.Run(tc.name+"/"+v.name, func(t *testing.T) {
+				tr, ok := traces[tc.app]
+				if !ok {
+					t.Skipf("%s workload: skipped in -short mode", tc.app)
+				}
+				cfg := tc.cfg()
+				cfg.NumVolumes = 1
+				v.tweak(&cfg)
+				got := fingerprint(simulatePair(t, cfg, tr[0], tr[1]))
+				if got != equivGolden[tc.name] {
+					t.Errorf("N=1 %s placement diverged from the single-volume golden:\n got %s\nwant %s",
+						v.name, got, equivGolden[tc.name])
+				}
+			})
+		}
+	}
+}
+
+// volumeFingerprint extends the Result fingerprint with the per-volume
+// breakdown the sharded model adds.
+func volumeFingerprint(res *Result) string {
+	s := fingerprint(res) + "|vols="
+	for i, v := range res.Volumes {
+		if i > 0 {
+			s += ";"
+		}
+		s += fmt.Sprintf("%+v", v)
+	}
+	return s + fmt.Sprintf("|imb=%.6f", res.VolumeImbalance())
+}
+
+// shardedGolden pins the sharded engine's multi-volume results at its
+// introduction, per-volume stats included. Regenerate with
+//
+//	SIM_EQUIV_GOLDEN=print go test ./internal/sim -run TestShardedVolumeGoldens -v
+//
+// but only to capture a deliberate, reviewed behavior change.
+var shardedGolden = map[string]string{
+	"ccm-4vol-stripe":          "wall=42341179 busy=42337023 idle=4156 sw=22511 cpus=1|cache={ReadHitReqs:53191 ReadMissReqs:9 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:40501 ReadBytes:7012352 WriteBytes:1658167296 BusySec:112.57887}|procs=[{PID:1 Name:a FinishSec:423.41179 CPUSec:204.9 BlockedSec:0.04384} {PID:2 Name:b FinishSec:423.40676 CPUSec:205.02698 BlockedSec:0.05165}]|front=0.000000|bins=1/419/419|tot=7012352.000/1658167296.000/3377000000.000|phys=0|vols={Reads:52 Writes:10442 ReadBytes:1703936 WriteBytes:418615296 BusySec:29.92467 SeekSec:25.55964 TransferSec:4.36476 MaxSeekDistance:268697600};{Reads:54 Writes:9797 ReadBytes:1769472 WriteBytes:395190272 BusySec:28.22199 SeekSec:24.09594 TransferSec:4.12516 MaxSeekDistance:268697600};{Reads:54 Writes:10208 ReadBytes:1769472 WriteBytes:423370752 BusySec:27.17494 SeekSec:22.75524 TransferSec:4.41881 MaxSeekDistance:268652544};{Reads:54 Writes:10054 ReadBytes:1769472 WriteBytes:420990976 BusySec:27.25727 SeekSec:22.86594 TransferSec:4.39044 MaxSeekDistance:268697600}|imb=1.063243",
+	"ccm-4vol-filehash":        "wall=42338356 busy=42337017 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:21142 ReadBytes:7012352 WriteBytes:1656864768 BusySec:89.60477}|procs=[{PID:1 Name:a FinishSec:423.38356 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.37853 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.000000|bins=1/419/419|tot=7012352.000/1656864768.000/3377000000.000|phys=0|vols={Reads:0 Writes:0 ReadBytes:0 WriteBytes:0 BusySec:0 SeekSec:0 TransferSec:0 MaxSeekDistance:0};{Reads:214 Writes:0 ReadBytes:7012352 WriteBytes:0 BusySec:0.08769 SeekSec:0.01493 TransferSec:0.07276 MaxSeekDistance:268435456};{Reads:0 Writes:20911 ReadBytes:0 WriteBytes:1646829568 BusySec:89.28713 SeekSec:72.14781 TransferSec:17.13932 MaxSeekDistance:268435456};{Reads:0 Writes:231 ReadBytes:0 WriteBytes:10035200 BusySec:0.22995 SeekSec:0.12572 TransferSec:0.10423 MaxSeekDistance:268435456}|imb=3.985820",
+	"ccm-2vol-stripe-queueing": "wall=42338383 busy=42337019 idle=1364 sw=22507 cpus=1|cache={ReadHitReqs:53195 ReadMissReqs:5 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:25109 ReadBytes:7012352 WriteBytes:1656193024 BusySec:93.97899}|procs=[{PID:1 Name:a FinishSec:423.38383 CPUSec:204.9 BlockedSec:0.01592} {PID:2 Name:b FinishSec:423.3788 CPUSec:205.02698 BlockedSec:0.02714}]|front=0.000000|bins=1/419/419|tot=7012352.000/1656193024.000/3377000000.000|phys=0|vols={Reads:104 Writes:12379 ReadBytes:3407872 WriteBytes:854011904 BusySec:46.45728 SeekSec:37.53231 TransferSec:8.92487 MaxSeekDistance:268914688};{Reads:110 Writes:12730 ReadBytes:3604480 WriteBytes:802181120 BusySec:47.52171 SeekSec:39.13141 TransferSec:8.3903 MaxSeekDistance:268959744}|imb=1.011326",
+	"ccm-8vol-tiny-cache":      "wall=44310780 busy=42344460 idle=1966320 sw=29948 cpus=1|cache={ReadHitReqs:45754 ReadMissReqs:7446 RAHitReqs:45069 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:51400 WastedPrefetch:50548 SpaceStalls:0}|disk={Reads:52050 Writes:40844 ReadBytes:1705164800 WriteBytes:1647542272 BusySec:257.21978}|procs=[{PID:1 Name:a FinishSec:443.1078 CPUSec:204.9 BlockedSec:38.28346} {PID:2 Name:b FinishSec:442.96235 CPUSec:205.02698 BlockedSec:38.20114}]|front=0.000000|bins=438/439/439|tot=1705164800.000/1647542272.000/3377000000.000|phys=0|vols={Reads:6300 Writes:5050 ReadBytes:206438400 WriteBytes:202788864 BusySec:31.11658 SeekSec:26.86405 TransferSec:4.24879 MaxSeekDistance:537001984};{Reads:6800 Writes:4445 ReadBytes:222822400 WriteBytes:179605504 BusySec:31.29336 SeekSec:27.11005 TransferSec:4.17896 MaxSeekDistance:537001984};{Reads:6800 Writes:5324 ReadBytes:222822400 WriteBytes:212103168 BusySec:32.65221 SeekSec:28.13095 TransferSec:4.51719 MaxSeekDistance:536956928};{Reads:6800 Writes:5033 ReadBytes:222822400 WriteBytes:212439040 BusySec:31.80418 SeekSec:27.28225 TransferSec:4.51843 MaxSeekDistance:537001984};{Reads:6425 Writes:5087 ReadBytes:210534400 WriteBytes:212561920 BusySec:32.53762 SeekSec:28.14325 TransferSec:4.3906 MaxSeekDistance:537001984};{Reads:6400 Writes:5354 ReadBytes:209715200 WriteBytes:212611072 BusySec:32.39737 SeekSec:28.00795 TransferSec:4.38508 MaxSeekDistance:537001984};{Reads:6300 Writes:5388 ReadBytes:206028800 WriteBytes:209158144 BusySec:33.52829 SeekSec:29.21335 TransferSec:4.31096 MaxSeekDistance:537001984};{Reads:6225 Writes:5163 ReadBytes:203980800 WriteBytes:206274560 BusySec:31.89017 SeekSec:27.62665 TransferSec:4.26016 MaxSeekDistance:537001984}|imb=1.042790",
+	"ccm-4vol-physical":        "wall=42341179 busy=42337023 idle=4156 sw=22511 cpus=1|cache={ReadHitReqs:53191 ReadMissReqs:9 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:40501 ReadBytes:7012352 WriteBytes:1658167296 BusySec:112.57887}|procs=[{PID:1 Name:a FinishSec:423.41179 CPUSec:204.9 BlockedSec:0.04384} {PID:2 Name:b FinishSec:423.40676 CPUSec:205.02698 BlockedSec:0.05165}]|front=0.000000|bins=1/419/419|tot=7012352.000/1658167296.000/3377000000.000|phys=40715|vols={Reads:52 Writes:10442 ReadBytes:1703936 WriteBytes:418615296 BusySec:29.92467 SeekSec:25.55964 TransferSec:4.36476 MaxSeekDistance:268697600};{Reads:54 Writes:9797 ReadBytes:1769472 WriteBytes:395190272 BusySec:28.22199 SeekSec:24.09594 TransferSec:4.12516 MaxSeekDistance:268697600};{Reads:54 Writes:10208 ReadBytes:1769472 WriteBytes:423370752 BusySec:27.17494 SeekSec:22.75524 TransferSec:4.41881 MaxSeekDistance:268652544};{Reads:54 Writes:10054 ReadBytes:1769472 WriteBytes:420990976 BusySec:27.25727 SeekSec:22.86594 TransferSec:4.39044 MaxSeekDistance:268697600}|imb=1.063243",
+}
+
+func shardedCases() []equivCase {
+	return []equivCase{
+		{"ccm-4vol-stripe", "ccm", func() Config {
+			c := DefaultConfig()
+			c.NumVolumes = 4
+			c.Placement = PlaceStripe
+			c.StripeUnitBytes = 64 << 10
+			return c
+		}},
+		{"ccm-4vol-filehash", "ccm", func() Config {
+			c := DefaultConfig()
+			c.NumVolumes = 4
+			c.Placement = PlaceFileHash
+			return c
+		}},
+		{"ccm-2vol-stripe-queueing", "ccm", func() Config {
+			c := DefaultConfig()
+			c.NumVolumes = 2
+			c.Placement = PlaceStripe
+			c.StripeUnitBytes = 256 << 10
+			c.DiskQueueing = true
+			return c
+		}},
+		{"ccm-8vol-tiny-cache", "ccm", func() Config {
+			c := DefaultConfig()
+			c.NumVolumes = 8
+			c.Placement = PlaceStripe
+			c.StripeUnitBytes = 64 << 10
+			c.CacheBytes = 1 << 20
+			return c
+		}},
+		{"ccm-4vol-physical", "ccm", func() Config {
+			c := DefaultConfig()
+			c.NumVolumes = 4
+			c.Placement = PlaceStripe
+			c.StripeUnitBytes = 64 << 10
+			c.RecordPhysical = true
+			return c
+		}},
+	}
+}
+
+func TestShardedVolumeGoldens(t *testing.T) {
+	printMode := os.Getenv("SIM_EQUIV_GOLDEN") == "print"
+	a, b := appPair(t, "ccm")
+	for _, tc := range shardedCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			got := volumeFingerprint(simulatePair(t, tc.cfg(), a, b))
+			if printMode {
+				fmt.Printf("GOLDEN\t%q: %q,\n", tc.name, got)
+				return
+			}
+			want, ok := shardedGolden[tc.name]
+			if !ok {
+				t.Fatalf("no golden recorded for %s", tc.name)
+			}
+			if got != want {
+				t.Errorf("sharded result diverged:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+}
+
+// TestVolumeStatsSumToAggregate pins the per-volume/aggregate invariant:
+// whatever the placement, the volume breakdown sums to DiskStats.
+func TestVolumeStatsSumToAggregate(t *testing.T) {
+	a, b := appPair(t, "ccm")
+	for _, tc := range shardedCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			res := simulatePair(t, tc.cfg(), a, b)
+			cfg := tc.cfg()
+			if len(res.Volumes) != cfg.NumVolumes {
+				t.Fatalf("%d volume entries for %d volumes", len(res.Volumes), cfg.NumVolumes)
+			}
+			var sum VolumeStats
+			for _, v := range res.Volumes {
+				sum.Reads += v.Reads
+				sum.Writes += v.Writes
+				sum.ReadBytes += v.ReadBytes
+				sum.WriteBytes += v.WriteBytes
+				sum.BusySec += v.BusySec
+			}
+			if sum.Reads != res.Disk.Reads || sum.Writes != res.Disk.Writes ||
+				sum.ReadBytes != res.Disk.ReadBytes || sum.WriteBytes != res.Disk.WriteBytes {
+				t.Errorf("volume sums %+v != aggregate %+v", sum, res.Disk)
+			}
+			if diff := sum.BusySec - res.Disk.BusySec; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("volume busy sum %.9f != aggregate %.9f", sum.BusySec, res.Disk.BusySec)
+			}
+			if imb := res.VolumeImbalance(); imb < 1 || imb > float64(cfg.NumVolumes) {
+				t.Errorf("imbalance %.3f outside [1, %d]", imb, cfg.NumVolumes)
+			}
+		})
+	}
+}
+
 func TestEventEngineEquivalence(t *testing.T) {
 	printMode := os.Getenv("SIM_EQUIV_GOLDEN") == "print"
 	// The ccm cases cost ~0.1s each and always run, so CI's -short pass

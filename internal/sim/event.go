@@ -25,7 +25,10 @@ const (
 )
 
 // event is one scheduled simulator action. Ties on time break by sequence
-// number, making runs fully deterministic.
+// number, making runs fully deterministic — including multi-volume runs,
+// where a request's completion is posted once at the slowest segment's
+// finish time (disk.go), so sharding adds volumes without adding event
+// kinds or altering tie-break order.
 type event struct {
 	at   trace.Ticks
 	seq  uint64

@@ -193,13 +193,44 @@ type ProcResult struct {
 	BlockedSec float64
 }
 
-// DiskStats reports volume-level activity.
+// DiskStats reports storage-tier activity aggregated over the whole
+// volume array (with NumVolumes == 1, the one volume).
 type DiskStats struct {
 	Reads      int64
 	Writes     int64
 	ReadBytes  int64
 	WriteBytes int64
 	BusySec    float64
+}
+
+// VolumeStats reports one volume's share of the array's activity. The
+// per-volume counters sum to the aggregate DiskStats (pinned by
+// TestVolumeStatsSumToAggregate).
+type VolumeStats struct {
+	Reads      int64
+	Writes     int64
+	ReadBytes  int64
+	WriteBytes int64
+	BusySec    float64
+
+	// SeekSec and TransferSec split BusySec into positioning time
+	// (distance-scaled seek plus half a rotation) and data movement.
+	// Each is rounded to the tick independently, so the two may differ
+	// from BusySec by up to one tick per access.
+	SeekSec     float64
+	TransferSec float64
+
+	// MaxSeekDistance is the longest head movement observed, in
+	// synthetic volume bytes.
+	MaxSeekDistance int64
+}
+
+// Utilization returns the fraction of the run this volume spent busy.
+func (v VolumeStats) Utilization(wallSec float64) float64 {
+	if wallSec <= 0 {
+		return 0
+	}
+	return v.BusySec / wallSec
 }
 
 // Result is the outcome of one simulation run.
@@ -213,6 +244,10 @@ type Result struct {
 	Procs []ProcResult
 	Cache cacheStats
 	Disk  DiskStats
+
+	// Volumes breaks Disk down per volume of the array, in volume
+	// order; it always has Config.NumVolumes entries.
+	Volumes []VolumeStats
 
 	// FrontHitRatio is the fraction of cache hits served from the
 	// optional main-memory front tier (0 when the tier is disabled).
@@ -249,6 +284,25 @@ func (r *Result) WallSeconds() float64 { return r.WallTicks.Seconds() }
 
 // IdleSeconds returns the CPU idle time, the paper's Figure 8 metric.
 func (r *Result) IdleSeconds() float64 { return r.IdleTicks.Seconds() }
+
+// VolumeImbalance measures how unevenly the array carried the run's
+// traffic: the busiest volume's busy time over the mean volume busy
+// time. 1 is a perfectly balanced array, N means one volume of N did all
+// the work (a hot shard), and 0 means the disks were never touched.
+// With one volume the metric is 1 whenever the disk moved at all.
+func (r *Result) VolumeImbalance() float64 {
+	var sum, max float64
+	for _, v := range r.Volumes {
+		sum += v.BusySec
+		if v.BusySec > max {
+			max = v.BusySec
+		}
+	}
+	if sum == 0 || len(r.Volumes) == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(r.Volumes)))
+}
 
 func (r *Result) String() string {
 	return fmt.Sprintf("wall %.1fs busy %.1fs idle %.1fs (util %.2f%%), disk r/w %.1f/%.1f MB, hit ratio %.3f",
@@ -1084,11 +1138,23 @@ func (s *Simulator) result() *Result {
 		DemandRate:    s.demandRate,
 		Physical:      s.physical,
 		cfgRateBin:    s.cfg.RateBinTicks,
-		Disk: DiskStats{
-			Reads: s.disk.reads, Writes: s.disk.writes,
-			ReadBytes: s.disk.readBytes, WriteBytes: s.disk.writeBytes,
-			BusySec: s.disk.busyTicks.Seconds(),
-		},
+	}
+	res.Volumes = make([]VolumeStats, len(s.disk.vols))
+	for i := range s.disk.vols {
+		v := &s.disk.vols[i]
+		res.Volumes[i] = VolumeStats{
+			Reads: v.reads, Writes: v.writes,
+			ReadBytes: v.readBytes, WriteBytes: v.writeBytes,
+			BusySec:         v.busyTicks.Seconds(),
+			SeekSec:         v.seekTicks.Seconds(),
+			TransferSec:     v.transferTicks.Seconds(),
+			MaxSeekDistance: v.maxObservedSeekDistance,
+		}
+		res.Disk.Reads += v.reads
+		res.Disk.Writes += v.writes
+		res.Disk.ReadBytes += v.readBytes
+		res.Disk.WriteBytes += v.writeBytes
+		res.Disk.BusySec += v.busyTicks.Seconds()
 	}
 	if s.front != nil {
 		res.FrontHitRatio = s.front.HitRatio()
@@ -1100,6 +1166,7 @@ func (s *Simulator) result() *Result {
 		res.BusyTicks = capacity
 	}
 	res.IdleTicks = capacity - res.BusyTicks
+	res.Procs = make([]ProcResult, 0, len(s.procs))
 	for _, p := range s.procs {
 		res.Procs = append(res.Procs, ProcResult{
 			PID: p.pid, Name: p.name,

@@ -23,6 +23,10 @@ type (
 	// Format selects a trace encoding: FormatASCII, FormatBinary, or
 	// FormatASCIIRaw.
 	Format = trace.Format
+	// RecordType is the bit-set classifying a Record: logical/physical,
+	// read/write, sync/async, data kind. Compose it from the re-exported
+	// bits below when building traces by hand.
+	RecordType = trace.RecordType
 	// Config parameterizes one simulation run; start from DefaultConfig
 	// or SSDConfig.
 	Config = sim.Config
@@ -65,6 +69,30 @@ const (
 	FormatASCII    = trace.FormatASCII
 	FormatBinary   = trace.FormatBinary
 	FormatASCIIRaw = trace.FormatASCIIRaw
+)
+
+// Record-type bits (Record.Type), re-exported so traces can be built
+// without importing internal packages: a synchronous logical data read
+// is LogicalRecord | ReadOp | FileData.
+const (
+	LogicalRecord  = trace.LogicalRecord
+	PhysicalRecord = trace.PhysicalRecord
+	ReadOp         = trace.ReadOp
+	WriteOp        = trace.WriteOp
+	SyncOp         = trace.SyncOp
+	AsyncOp        = trace.AsyncOp
+	FileData       = trace.FileData
+	MetaData       = trace.MetaData
+	ReadAheadKind  = trace.ReadAheadK
+	VirtualMem     = trace.VirtualMem
+	CommentRecord  = trace.Comment
+)
+
+// Tick conversions (one Tick is 10 microseconds).
+const (
+	TicksPerMillisecond = trace.TicksPerMillisecond
+	TicksPerSecond      = trace.TicksPerSecond
+	TicksPerMinute      = trace.TicksPerMinute
 )
 
 // DefaultConfig returns the baseline §6 configuration: 32 MB main-memory

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# check_links.sh — documentation integrity gate (the CI docs job).
+#
+# 1. Every intra-repo markdown link must resolve to an existing file or
+#    directory (external http(s)/mailto links and pure #fragments are
+#    skipped).
+# 2. The README quickstart code block must appear verbatim (modulo
+#    indentation) in example_test.go, so the snippet users copy is the
+#    one `go test` executes as Example_quickstart.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. intra-repo link resolution -----------------------------------
+while IFS= read -r file; do
+    # One inline link target per line; multi-line links don't occur here.
+    while IFS= read -r target; do
+        case "$target" in
+            http://* | https://* | mailto:* | "#"*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        if [ ! -e "$(dirname "$file")/$path" ]; then
+            echo "broken link in $file: ($target)" >&2
+            fail=1
+        fi
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$file" 2>/dev/null | sed 's/^.*](\([^)]*\))$/\1/' || true)
+done < <(git ls-files -c -o --exclude-standard '*.md')
+
+# --- 2. README quickstart mirrors Example_quickstart ------------------
+# Extract the README's quickstart fence (the ```go block that builds a
+# workload) and require it, line for line in order, inside
+# example_test.go. Leading/trailing whitespace is ignored so the test's
+# indentation doesn't matter; blank lines are skipped.
+norm() { sed -e 's/^[[:space:]]*//' -e 's/[[:space:]]*$//' | grep -v '^$'; }
+
+quickstart=$(awk '
+    /^```go$/ { buf = ""; infence = 1; next }
+    /^```$/   { if (infence && buf ~ /iotrace\.New\(/) { print buf; exit } infence = 0; next }
+    infence   { buf = buf $0 "\n" }
+' README.md)
+if [ -z "$quickstart" ]; then
+    echo "README.md: no quickstart go fence found (expected a \`\`\`go block calling iotrace.New)" >&2
+    exit 1
+fi
+
+# Contiguity matters: the README block must appear as one unbroken run
+# of lines in the example (a subsequence match would let insertions in
+# example_test.go drift past the gate). Lines are joined on a \001
+# separator so the comparison is whole-line substring matching.
+needle=$(printf '%s\n' "$quickstart" | norm | tr '\n' '\001')
+hay=$(norm <example_test.go | tr '\n' '\001')
+case "$hay" in
+*"$needle"*) ;;
+*)
+    echo "README quickstart is not mirrored verbatim (as one contiguous block) in example_test.go (Example_quickstart)" >&2
+    fail=1
+    ;;
+esac
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "docs check: all markdown links resolve; README quickstart matches example_test.go"

@@ -198,6 +198,15 @@ type Grid struct {
 	Tiers       []Tier  // MainMemory and/or SSD hit costs
 	ReadAhead   []bool  // prefetch policy on/off
 	WriteBehind []bool  // write buffering on/off
+	Volumes     []int   // volume-array widths (1 = the paper's single volume)
+
+	// SplitSpindles divides the base volume's spindles across each
+	// scenario's volume array (conserved hardware; see the
+	// SplitSpindles ConfigOption). It is applied after the Volumes
+	// axis, so every cell splits by its own volume count — the
+	// composition a Base config cannot express, since its NumVolumes
+	// would be overridden by the axis.
+	SplitSpindles bool
 
 	// SeedStep gives scenario i a seed offset of i*SeedStep. 0 (the
 	// default) replays identical traces in every scenario.
@@ -211,7 +220,8 @@ type axisMod struct {
 }
 
 // Scenarios expands the grid in a deterministic order: cache size varies
-// fastest, then block size, tier, read-ahead, and write-behind.
+// fastest, then block size, tier, read-ahead, write-behind, and volume
+// count.
 func (g Grid) Scenarios() []Scenario {
 	base := DefaultConfig()
 	if g.Base != nil {
@@ -231,7 +241,7 @@ func (g Grid) Scenarios() []Scenario {
 		}
 		return mods
 	}
-	var caches, blocks, tiers, ras, wbs []axisMod
+	var caches, blocks, tiers, ras, wbs, vols []axisMod
 	for _, mb := range g.CacheMB {
 		mb := mb
 		caches = append(caches, axisMod{fmt.Sprintf("cache=%dMB", mb), func(c *Config) { c.CacheBytes = mb << 20 }})
@@ -252,31 +262,40 @@ func (g Grid) Scenarios() []Scenario {
 		v := v
 		wbs = append(wbs, axisMod{"wb=" + onOff(v), func(c *Config) { c.WriteBehind = v }})
 	}
+	for _, n := range g.Volumes {
+		n := n
+		vols = append(vols, axisMod{fmt.Sprintf("vols=%d", n), func(c *Config) { c.NumVolumes = n }})
+	}
 
 	var out []Scenario
-	for _, mwb := range pad(wbs) {
-		for _, mra := range pad(ras) {
-			for _, mt := range pad(tiers) {
-				for _, mb := range pad(blocks) {
-					for _, mc := range pad(caches) {
-						cfg := base
-						var parts []string
-						for _, m := range []axisMod{mc, mb, mt, mra, mwb} {
-							if m.apply == nil {
-								continue
+	for _, mv := range pad(vols) {
+		for _, mwb := range pad(wbs) {
+			for _, mra := range pad(ras) {
+				for _, mt := range pad(tiers) {
+					for _, mb := range pad(blocks) {
+						for _, mc := range pad(caches) {
+							cfg := base
+							var parts []string
+							for _, m := range []axisMod{mc, mb, mt, mra, mwb, mv} {
+								if m.apply == nil {
+									continue
+								}
+								m.apply(&cfg)
+								parts = append(parts, m.label)
 							}
-							m.apply(&cfg)
-							parts = append(parts, m.label)
+							if g.SplitSpindles {
+								cfg.Volume = cfg.Volume.Split(cfg.NumVolumes)
+							}
+							name := strings.Join(parts, " ")
+							if name == "" {
+								name = "base"
+							}
+							out = append(out, Scenario{
+								Name:       name,
+								Config:     cfg,
+								SeedOffset: uint64(len(out)) * g.SeedStep,
+							})
 						}
-						name := strings.Join(parts, " ")
-						if name == "" {
-							name = "base"
-						}
-						out = append(out, Scenario{
-							Name:       name,
-							Config:     cfg,
-							SeedOffset: uint64(len(out)) * g.SeedStep,
-						})
 					}
 				}
 			}

@@ -3,6 +3,7 @@ package iotrace_test
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestGridScenarios(t *testing.T) {
 }
 
 // sweepRender flattens a whole sweep into one byte string for identity
-// comparisons.
+// comparisons, per-volume breakdowns included.
 func sweepRender(t *testing.T, results []iotrace.SweepResult) string {
 	t.Helper()
 	var b strings.Builder
@@ -74,9 +75,87 @@ func sweepRender(t *testing.T, results []iotrace.SweepResult) string {
 		b.WriteString(r.Scenario.Name)
 		b.WriteString(" -> ")
 		b.WriteString(renderResult(r.Result))
+		fmt.Fprintf(&b, "|vols=%+v|imb=%.9f", r.Result.Volumes, r.Result.VolumeImbalance())
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+func TestGridVolumesAxis(t *testing.T) {
+	g := iotrace.Grid{CacheMB: []int64{4, 8}, Volumes: []int{1, 4}}
+	scens := g.Scenarios()
+	if len(scens) != 4 {
+		t.Fatalf("%d scenarios, want 4", len(scens))
+	}
+	// The volume axis varies slowest and labels its scenarios.
+	wantNames := []string{
+		"cache=4MB vols=1", "cache=8MB vols=1",
+		"cache=4MB vols=4", "cache=8MB vols=4",
+	}
+	for i, sc := range scens {
+		if sc.Name != wantNames[i] {
+			t.Errorf("scenario %d named %q, want %q", i, sc.Name, wantNames[i])
+		}
+	}
+	if scens[1].Config.NumVolumes != 1 || scens[2].Config.NumVolumes != 4 {
+		t.Error("volume axis not applied")
+	}
+}
+
+func TestGridSplitSpindlesPerScenario(t *testing.T) {
+	// Grid.SplitSpindles divides the base volume by each cell's OWN
+	// volume count, after the Volumes axis — the composition a Base
+	// config can't express (its split would use the base count).
+	g := iotrace.Grid{Volumes: []int{1, 2, 5}, SplitSpindles: true}
+	scens := g.Scenarios()
+	wantStripe := []int{10, 5, 2} // DefaultVolume has 10 spindles
+	for i, sc := range scens {
+		if sc.Config.Volume.Stripe != wantStripe[i] {
+			t.Errorf("%s: stripe %d, want %d", sc.Name, sc.Config.Volume.Stripe, wantStripe[i])
+		}
+	}
+	// Without the knob, every cell keeps the full base volume.
+	for _, sc := range (iotrace.Grid{Volumes: []int{1, 2, 5}}).Scenarios() {
+		if sc.Config.Volume.Stripe != 10 {
+			t.Errorf("%s: stripe %d without SplitSpindles", sc.Name, sc.Config.Volume.Stripe)
+		}
+	}
+}
+
+// TestShardedSweepDeterministicAcrossWorkerCounts extends the worker-
+// count identity to multi-volume scenarios: a sweep over the volume-count
+// axis renders byte-identically whatever the pool width.
+func TestShardedSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	w, err := iotrace.New(iotrace.App("ccm", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := iotrace.Configure(iotrace.DefaultConfig(), iotrace.Striping(64<<10))
+	grid := iotrace.Grid{
+		Base:    &base,
+		CacheMB: []int64{4, 32},
+		Volumes: []int{1, 2, 4, 8},
+	}
+	scens := grid.Scenarios()
+	ctx := context.Background()
+	serial, err := w.Sweep(ctx, scens, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := w.Sweep(ctx, scens, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sweepRender(t, serial), sweepRender(t, parallel)
+	if a != b {
+		t.Errorf("workers=4 diverged from workers=1:\n--- serial ---\n%s--- parallel ---\n%s", a, b)
+	}
+	// Each scenario carries the volume breakdown it was configured for.
+	for i, r := range serial {
+		if len(r.Result.Volumes) != scens[i].Config.NumVolumes {
+			t.Errorf("%s: %d volume entries", r.Scenario.Name, len(r.Result.Volumes))
+		}
+	}
 }
 
 func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
