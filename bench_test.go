@@ -426,6 +426,50 @@ func BenchmarkSimulateVenusPair(b *testing.B) {
 	}
 }
 
+// BenchmarkScheduledVolume drives the scheduler dispatch path end to
+// end: the ccm pair on a striped 4-volume array with SSTF queueing, so
+// every disk request goes through placement split, per-volume enqueue,
+// policy pick, and the diskReq join. Gated against the BENCH_PR5.json
+// waterline by scripts/bench_check.sh.
+func BenchmarkScheduledVolume(b *testing.B) {
+	skipIfShort(b)
+	spec, err := apps.Lookup("ccm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	t1, err := workload.Generate(spec.Build(1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	t2, err := workload.Generate(spec.Build(2, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.NumVolumes = 4
+	cfg.StripeUnitBytes = 64 << 10
+	cfg.DiskQueueing = true
+	cfg.Scheduler = sim.SchedSSTF
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AddProcess("a", t1); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AddProcess("b", t2); err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WallSeconds(), "simulated-s")
+	}
+}
+
 func BenchmarkCollectPipeline(b *testing.B) {
 	recs := venusTrace(b)
 	var data []*trace.Record

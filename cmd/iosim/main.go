@@ -10,6 +10,8 @@
 //	iosim -app venus -copies 2 -sweep 4,8,16,32,64,128,256 -workers 4
 //	iosim -app ccm -copies 2 -volumes 4 -placement filehash   # sharded array
 //	iosim -app ccm -copies 2 -sweep 4,32 -sweepvols 1,2,4,8
+//	iosim -app ccm -copies 4 -wb=false -sched scan            # elevator scheduling
+//	iosim -app ccm -copies 4 -sweep 32 -sweepsched fcfs,sstf,scan
 package main
 
 import (
@@ -38,6 +40,8 @@ func main() {
 		limit    = flag.Int("limit", 0, "per-process block ownership cap (0 = none)")
 		quantum  = flag.Float64("quantum", 10, "scheduler quantum in ms")
 		queueing = flag.Bool("queueing", false, "FCFS disk queueing (ablation; the paper used none)")
+		sched    = flag.String("sched", "", "per-volume disk scheduling: fcfs, sstf, or scan (implies queueing)")
+		ssched   = flag.String("sweepsched", "", "comma-separated scheduling policies for -sweep (each implies queueing)")
 		volumes  = flag.Int("volumes", 1, "shard the storage tier into this many volumes")
 		place    = flag.String("placement", "stripe", "multi-volume placement: stripe or filehash")
 		unitKB   = flag.Int64("stripeunit", 1024, "stripe unit in KB for -placement stripe")
@@ -65,6 +69,13 @@ func main() {
 	cfg.PerProcessBlockLimit = *limit
 	cfg.QuantumTicks = trace.TicksFromSeconds(*quantum / 1000)
 	cfg.DiskQueueing = *queueing
+	if *sched != "" {
+		pol, err := iotrace.ParseScheduler(*sched)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = iotrace.Configure(cfg, iotrace.Scheduling(pol))
+	}
 	policy, err := iotrace.ParsePlacement(*place)
 	if err != nil {
 		fatal(err)
@@ -112,7 +123,7 @@ func main() {
 		if *series {
 			fmt.Fprintln(os.Stderr, "iosim: -series is ignored in -sweep mode (charts are per-run)")
 		}
-		runSweep(ctx, w, cfg, *sweep, *blocks, *svols, *blockKB, *workers, *splitVol)
+		runSweep(ctx, w, cfg, *sweep, *blocks, *svols, *ssched, *blockKB, *workers, *splitVol)
 		return
 	}
 
@@ -126,8 +137,8 @@ func main() {
 	if *limit > 0 {
 		fmt.Printf(", per-process cap %d blocks", *limit)
 	}
-	if *queueing {
-		fmt.Print(", FCFS disk queueing")
+	if cfg.DiskQueueing {
+		fmt.Printf(", %v disk queueing", cfg.Scheduler)
 	}
 	fmt.Println()
 	fmt.Printf("wall %.1f s, busy %.1f s, idle %.1f s -> CPU utilization %.2f%%\n",
@@ -138,6 +149,16 @@ func main() {
 	fmt.Printf("disk: %d reads (%.1f MB), %d writes (%.1f MB)\n",
 		res.Disk.Reads, float64(res.Disk.ReadBytes)/1e6,
 		res.Disk.Writes, float64(res.Disk.WriteBytes)/1e6)
+	if res.Flush.Runs > 0 {
+		fmt.Printf("flusher: %d runs, max %d concurrent, %.1f s overlapped\n",
+			res.Flush.Runs, res.Flush.MaxConcurrent, res.Flush.OverlapSec)
+	}
+	if cfg.DiskQueueing {
+		for i, q := range res.VolumeQueues {
+			fmt.Printf("  queue vol %-2d max depth %d, %d waits, %.1f s waiting\n",
+				i, q.MaxDepth, q.Waits, q.WaitSec)
+		}
+	}
 	if len(res.Volumes) > 1 {
 		fmt.Printf("volumes (%s placement, imbalance %.2f):\n", cfg.Placement, res.VolumeImbalance())
 		for i, v := range res.Volumes {
@@ -161,9 +182,9 @@ func main() {
 	}
 }
 
-// runSweep expands the -sweep/-sweepblocks/-sweepvols axes over the base
-// config and executes them on the facade's worker pool.
-func runSweep(ctx context.Context, w *iotrace.Workload, base iotrace.Config, sweepMB, sweepKB, sweepVols string, blockKB int64, workers int, splitVol bool) {
+// runSweep expands the -sweep/-sweepblocks/-sweepvols/-sweepsched axes
+// over the base config and executes them on the facade's worker pool.
+func runSweep(ctx context.Context, w *iotrace.Workload, base iotrace.Config, sweepMB, sweepKB, sweepVols, sweepSched string, blockKB int64, workers int, splitVol bool) {
 	caches, err := parseInt64List(sweepMB)
 	if err != nil {
 		fatal(fmt.Errorf("-sweep: %w", err))
@@ -184,8 +205,18 @@ func runSweep(ctx context.Context, w *iotrace.Workload, base iotrace.Config, swe
 			vols = append(vols, int(v))
 		}
 	}
+	var scheds []iotrace.SchedulerPolicy
+	if sweepSched != "" {
+		for _, part := range strings.Split(sweepSched, ",") {
+			pol, err := iotrace.ParseScheduler(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("-sweepsched: %w", err))
+			}
+			scheds = append(scheds, pol)
+		}
+	}
 	grid := iotrace.Grid{
-		Base: &base, CacheMB: caches, BlockKB: blocks, Volumes: vols,
+		Base: &base, CacheMB: caches, BlockKB: blocks, Volumes: vols, Schedulers: scheds,
 		// Per-scenario spindle conservation: each cell splits the base
 		// volume by its own NumVolumes (set by the Volumes axis).
 		SplitSpindles: splitVol,

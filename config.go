@@ -26,6 +26,38 @@ const (
 // Result.Volumes and Result.VolumeImbalance.
 type VolumeStats = sim.VolumeStats
 
+// SchedulerPolicy selects how each volume orders its queued requests
+// when disk queueing is on: SchedFCFS, SchedSSTF, or SchedSCAN. The
+// paper's simulator has no queueing at all; enable it (and pick the
+// policy) with the Scheduling option.
+type SchedulerPolicy = sim.Scheduler
+
+// Scheduler policies (Config.Scheduler).
+const (
+	// SchedFCFS services each volume's requests in arrival order —
+	// byte-identical to the original queueing ablation.
+	SchedFCFS = sim.SchedFCFS
+	// SchedSSTF services the pending request with the shortest seek
+	// from the current head position.
+	SchedSSTF = sim.SchedSSTF
+	// SchedSCAN runs the elevator: ascending sweep, then descending.
+	SchedSCAN = sim.SchedSCAN
+)
+
+// VolumeQueueStats is one volume's request-queue activity under disk
+// queueing; see Result.VolumeQueues.
+type VolumeQueueStats = sim.VolumeQueueStats
+
+// FlushStats summarizes the background flusher's write-back runs,
+// including cross-volume overlap; see Result.Flush.
+type FlushStats = sim.FlushStats
+
+// ParseScheduler converts a policy name ("fcfs", "sstf", "scan") to a
+// SchedulerPolicy.
+func ParseScheduler(s string) (SchedulerPolicy, error) {
+	return sim.ParseScheduler(s)
+}
+
 // ParsePlacement converts a policy name ("stripe", "filehash") to a
 // PlacementPolicy.
 func ParsePlacement(s string) (PlacementPolicy, error) {
@@ -85,6 +117,20 @@ func Striping(unit int64) ConfigOption {
 // Striping; DefaultConfig's unit is 1 MB.
 func Placement(p PlacementPolicy) ConfigOption {
 	return func(c *Config) { c.Placement = p }
+}
+
+// Scheduling enables per-volume disk queueing under the given policy:
+// requests to a busy volume wait in its queue and are dispatched in
+// FCFS, shortest-seek (SchedSSTF), or elevator (SchedSCAN) order.
+// Result.VolumeQueues reports the per-volume depths and waits. The
+// paper's configuration has no queueing; Scheduling(SchedFCFS) is the
+// classic queueing ablation, byte-identical to setting
+// Config.DiskQueueing directly.
+func Scheduling(p SchedulerPolicy) ConfigOption {
+	return func(c *Config) {
+		c.DiskQueueing = true
+		c.Scheduler = p
+	}
 }
 
 // SplitSpindles divides the configured volume's spindles across the

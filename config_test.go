@@ -38,6 +38,40 @@ func TestConfigureShardingOptions(t *testing.T) {
 	}
 }
 
+func TestSchedulingOption(t *testing.T) {
+	base := iotrace.DefaultConfig()
+	cfg := iotrace.Configure(base, iotrace.Scheduling(iotrace.SchedSSTF))
+	if !cfg.DiskQueueing || cfg.Scheduler != iotrace.SchedSSTF {
+		t.Errorf("Scheduling(SchedSSTF) configured %+v", cfg)
+	}
+	if base.DiskQueueing {
+		t.Error("Scheduling mutated its base")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("scheduling config invalid: %v", err)
+	}
+}
+
+func TestParseScheduler(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want iotrace.SchedulerPolicy
+	}{
+		{"fcfs", iotrace.SchedFCFS},
+		{"sstf", iotrace.SchedSSTF},
+		{"scan", iotrace.SchedSCAN},
+		{"elevator", iotrace.SchedSCAN},
+	} {
+		got, err := iotrace.ParseScheduler(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseScheduler(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := iotrace.ParseScheduler("noop"); err == nil {
+		t.Error("unknown scheduler parsed")
+	}
+}
+
 func TestConfigValidateSharding(t *testing.T) {
 	bad := iotrace.Configure(iotrace.DefaultConfig(), iotrace.Volumes(0))
 	if err := bad.Validate(); err == nil {

@@ -6,10 +6,11 @@
 // §5, and the trace-driven buffering simulator of §6 with read-ahead,
 // write-behind, main-memory and SSD cache tiers, and the paper's
 // no-queueing disk model — generalized to a sharded multi-volume array
-// for modern parallel-storage experiments.
+// with per-volume request scheduling for modern parallel-storage
+// experiments.
 //
 // This package is the public facade — the single entry point for every
-// consumer. It offers four layers:
+// consumer. It offers five layers:
 //
 //   - Workloads. New builds a workload from functional options: built-in
 //     paper applications (App), externally supplied traces (Trace),
@@ -26,7 +27,8 @@
 //
 //   - Sweeps. A Scenario grid (Grid expands the paper's Figure 8 axes —
 //     cache size, block size, tier, read-ahead/write-behind — plus the
-//     volume-count axis) executes on a bounded worker pool via
+//     volume-count and scheduling-policy axes) executes on a bounded
+//     worker pool via
 //     Workload.Sweep, with per-scenario deterministic seeds and results
 //     independent of worker count. File-backed workloads should use
 //     TraceFile so the whole grid pays one trace decode instead of one
@@ -39,6 +41,14 @@
 //     volume and Result.VolumeImbalance summarizes hot-shard skew;
 //     Volumes(1) — the default — is the paper's single striped volume,
 //     byte-identical to the pre-sharding engine.
+//
+//   - Disk scheduling. Scheduling(policy) queues requests at each
+//     volume and dispatches them in FCFS, shortest-seek (SchedSSTF), or
+//     elevator (SchedSCAN) order — the paper's "no queueing at the
+//     disks" simplification turned into a measurable ablation.
+//     Result.VolumeQueues reports per-volume queue depths and waits;
+//     Result.Flush reports how much background write-back overlapped
+//     across volumes.
 //
 // A downstream user's typical session:
 //

@@ -1,0 +1,77 @@
+// Scheduling: what request ordering is worth once requests queue.
+//
+// The paper's simulator deliberately models no queueing at the disk
+// (§6.1): a request's completion depends only on where it lands and how
+// far the head travels, never on other requests in flight. That holds
+// when the disk is lightly loaded — and breaks exactly when several
+// processes contend for one spindle, the regime later work (periodic
+// I/O scheduling, the LASSi/ARCHER contention analyses) showed
+// dominates shared-storage performance.
+//
+// This example turns the queueing ablation into a measurement. Four
+// paper processes run write-through (every write is a synchronous disk
+// round trip), first against a single spindle-conserving volume, then
+// against a 2-way split array, under the three per-volume dispatch
+// policies:
+//
+//   - fcfs: arrival order — the classic queueing ablation.
+//   - sstf: greedy shortest seek first. On this interleaved mix it
+//     thrashes: always chasing the nearest block of whichever file the
+//     head last touched, it pays more total seek than arrival order.
+//   - scan: the elevator. One ascending sweep services every file's
+//     pending run in position order, then reverses — roughly halving
+//     seek time and wall time alike.
+//
+// Sharding the array composes with scheduling: two volumes halve each
+// queue, and the elevator still wins on whatever queue remains.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iotrace"
+)
+
+func main() {
+	w, err := iotrace.New(iotrace.App("ccm", 4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("four ccm processes, write-through (every write queues at the disk)")
+	fmt.Printf("%-6s %-5s %10s %10s %12s %12s %10s\n",
+		"vols", "sched", "wall (s)", "seek (s)", "queued (s)", "max depth", "waits")
+	for _, vols := range []int{1, 2} {
+		for _, name := range []string{"fcfs", "sstf", "scan"} {
+			policy, err := iotrace.ParseScheduler(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := iotrace.Configure(iotrace.DefaultConfig(),
+				iotrace.Volumes(vols),
+				iotrace.Striping(256<<10),
+				iotrace.SplitSpindles(), // conserved hardware across the split
+				iotrace.Scheduling(policy),
+			)
+			cfg.WriteBehind = false
+			res, err := w.Simulate(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var seek, queued float64
+			depth, waits := 0, int64(0)
+			for i, v := range res.Volumes {
+				seek += v.SeekSec
+				q := res.VolumeQueues[i]
+				queued += q.WaitSec
+				waits += q.Waits
+				if q.MaxDepth > depth {
+					depth = q.MaxDepth
+				}
+			}
+			fmt.Printf("%-6d %-5s %10.1f %10.1f %12.1f %12d %10d\n",
+				vols, name, res.WallSeconds(), seek, queued, depth, waits)
+		}
+	}
+}

@@ -200,7 +200,15 @@ type cache struct {
 	reserved  int // slots promised to in-flight fetches
 
 	free   *block   // recycled block structs
-	runBuf []*block // reusable oldestDirtyRun result
+	runBuf []*block // reusable dirtyRunFrom result
+
+	// Per-volume dirty accounting, wired after the disk exists
+	// (wireVolumes): dirtyByVol[v] counts dirty blocks whose first byte
+	// lives on volume v, so the flusher can tell in O(volumes) whether
+	// any idle volume has flushable work instead of scanning the FIFO.
+	d                *disk
+	dirtyByVol       []int
+	dirtyByVolInline [8]int
 
 	stats cacheStats
 }
@@ -522,6 +530,23 @@ func (c *cache) insert(key blockKey, owner uint32, dirty, prefetched bool, now i
 	return b
 }
 
+// wireVolumes connects the cache's per-volume dirty accounting to the
+// disk's placement. Called once at simulator construction, before any
+// block can be dirtied.
+func (c *cache) wireVolumes(d *disk) {
+	c.d = d
+	if n := len(d.vols); n <= len(c.dirtyByVolInline) {
+		c.dirtyByVol = c.dirtyByVolInline[:n]
+	} else {
+		c.dirtyByVol = make([]int, n)
+	}
+}
+
+// homeVol returns the volume owning b's first byte.
+func (c *cache) homeVol(b *block) int {
+	return c.d.homeVolume(b.key.file, b.key.idx*c.blockSize)
+}
+
 // markDirty queues a block for the flusher.
 func (c *cache) markDirty(b *block, now int64) {
 	if b.dirty {
@@ -530,6 +555,9 @@ func (c *cache) markDirty(b *block, now int64) {
 	b.dirty = true
 	b.dirtyAt = now
 	c.dirty.pushBack(b)
+	if c.d != nil {
+		c.dirtyByVol[c.homeVol(b)]++
+	}
 }
 
 // oldestDirty returns the longest-dirty block, or nil.
@@ -542,27 +570,25 @@ func (c *cache) markClean(b *block) {
 	}
 	b.dirty = false
 	c.dirty.remove(b)
+	if c.d != nil {
+		c.dirtyByVol[c.homeVol(b)]--
+	}
 }
 
 // dirtyCount returns the number of dirty blocks.
 func (c *cache) dirtyCount() int { return c.dirty.n }
 
-// oldestDirtyRun returns the oldest dirty block and its contiguous dirty,
-// unpinned successors in the same file, up to maxRun blocks, pinning them
-// for flushing. The returned slice is reused by the next call.
-func (c *cache) oldestDirtyRun(maxRun int) []*block {
-	first := c.dirty.front
-	if first == nil {
-		return nil
-	}
+// dirtyRunFrom returns first and its contiguous dirty, unpinned
+// successors in the same file, up to maxRun blocks — one flushable
+// write-back run. The caller pins the run if it issues it; the returned
+// slice is reused by the next call.
+func (c *cache) dirtyRunFrom(first *block, maxRun int) []*block {
 	run := append(c.runBuf[:0], first)
-	first.pinned = true
 	for len(run) < maxRun {
 		next := c.resident(blockKey{first.key.file, first.key.idx + int64(len(run))})
 		if next == nil || !next.dirty || next.pinned {
 			break
 		}
-		next.pinned = true
 		run = append(run, next)
 	}
 	c.runBuf = run

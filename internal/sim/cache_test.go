@@ -182,7 +182,7 @@ func TestInsertAlreadyResidentMergesDirty(t *testing.T) {
 	}
 }
 
-func TestOldestDirtyRun(t *testing.T) {
+func TestDirtyRunFromFIFOFront(t *testing.T) {
 	c := testCache(16, 0)
 	// Dirty blocks 3,4,5 of file 1 (3 oldest) and block 9 of file 2.
 	for _, idx := range []int64{3, 4, 5} {
@@ -191,7 +191,7 @@ func TestOldestDirtyRun(t *testing.T) {
 	}
 	c.acquire(1, 1)
 	c.insert(blockKey{2, 9}, 1, true, false, 0)
-	run := c.oldestDirtyRun(8)
+	run := c.dirtyRunFrom(c.dirty.front, 8)
 	if len(run) != 3 {
 		t.Fatalf("run length = %d, want 3", len(run))
 	}
@@ -199,23 +199,21 @@ func TestOldestDirtyRun(t *testing.T) {
 		if b.key.file != 1 || b.key.idx != int64(3+i) {
 			t.Errorf("run[%d] = %+v", i, b.key)
 		}
-		if !b.pinned {
-			t.Error("run block not pinned")
-		}
 	}
-	// Bounded by maxRun.
+	// Bounded by maxRun; pinning is the issuer's job, so the run must
+	// stop extending at a pinned successor.
 	for _, b := range run {
-		b.pinned = false
 		c.markClean(b)
 	}
-	run = c.oldestDirtyRun(1)
+	run = c.dirtyRunFrom(c.dirty.front, 1)
 	if len(run) != 1 || run[0].key != (blockKey{2, 9}) {
 		t.Errorf("bounded run = %+v", run)
 	}
-	c.markClean(run[0])
-	run[0].pinned = false
-	if got := c.oldestDirtyRun(4); got != nil {
-		t.Errorf("run on clean cache = %v", got)
+	c.acquire(1, 1)
+	c.insert(blockKey{2, 10}, 1, true, false, 0)
+	c.resident(blockKey{2, 10}).pinned = true
+	if run = c.dirtyRunFrom(c.dirty.front, 4); len(run) != 1 {
+		t.Errorf("run extended into a pinned block: %+v", run)
 	}
 }
 

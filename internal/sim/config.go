@@ -99,10 +99,17 @@ type Config struct {
 	// while the array shards at StripeUnitBytes.
 	StripeUnitBytes int64
 
-	// DiskQueueing enables FCFS queueing at the volume. The paper's
+	// DiskQueueing enables request queueing at each volume. The paper's
 	// simulator deliberately omitted queueing ("no queueing at the
 	// disks"); this is the ablation knob for that simplification.
 	DiskQueueing bool
+
+	// Scheduler orders each volume's queued requests when DiskQueueing
+	// is on: SchedFCFS (arrival order, byte-identical to the original
+	// queueing ablation), SchedSSTF (shortest seek first), or SchedSCAN
+	// (the elevator). Ignored without queueing — there is no queue to
+	// reorder.
+	Scheduler Scheduler
 
 	// MaxFlushRunBlocks bounds how many contiguous dirty blocks the
 	// flusher groups into one disk write.
@@ -198,6 +205,9 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxFlushRunBlocks <= 0 {
 		return fmt.Errorf("sim: flush run %d", c.MaxFlushRunBlocks)
+	}
+	if c.Scheduler != SchedFCFS && c.Scheduler != SchedSSTF && c.Scheduler != SchedSCAN {
+		return fmt.Errorf("sim: unknown scheduler %d", c.Scheduler)
 	}
 	if c.RateBinTicks <= 0 {
 		return fmt.Errorf("sim: rate bin %d", c.RateBinTicks)

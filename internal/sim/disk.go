@@ -57,7 +57,23 @@ type volume struct {
 	nextBase int64
 	lastPos  int64
 
-	busyUntil trace.Ticks // queueing mode only
+	busyUntil trace.Ticks // FCFS queueing: closed-form departure clock
+
+	// Deferred-scheduler (SSTF/SCAN) queue state: pending segments in
+	// arrival order, the segment in service, and the elevator
+	// direction. FCFS never materializes the queue — its dispatch order
+	// is arrival order, so departures are computed at arrival.
+	queue     []volPending
+	cur       volPending
+	inService bool
+	scanUp    bool
+
+	// pend is the FCFS path's in-flight completion-time ring, kept only
+	// for queue-depth accounting (noteFCFSQueue).
+	pend     []trace.Ticks
+	pendHead int
+
+	flushBusy bool // an in-flight flusher run covers this volume
 
 	// Stats.
 	reads, writes           int64
@@ -66,6 +82,9 @@ type volume struct {
 	seekTicks               trace.Ticks // attribution only; never scheduled
 	transferTicks           trace.Ticks // attribution only; never scheduled
 	maxObservedSeekDistance int64
+	maxQueueDepth           int
+	queueWaits              int64
+	queueWaitTicks          trace.Ticks
 }
 
 // fileSpacing separates synthetic file bases; crossing files costs a
@@ -101,6 +120,7 @@ type diskSegment struct {
 type disk struct {
 	model      cray.Volume
 	queueing   bool
+	sched      Scheduler
 	interrupt  trace.Ticks
 	placement  Placement
 	stripeUnit int64
@@ -126,6 +146,7 @@ func newDisk(cfg *Config) *disk {
 	d := &disk{
 		model:      cfg.Volume,
 		queueing:   cfg.DiskQueueing,
+		sched:      cfg.Scheduler,
 		interrupt:  cfg.InterruptTicks,
 		placement:  cfg.Placement,
 		stripeUnit: cfg.StripeUnitBytes,
@@ -142,6 +163,8 @@ func newDisk(cfg *Config) *disk {
 			// The head starts parked away from any file base, so the
 			// first access to each file pays a real seek.
 			nextBase: fileSpacing,
+			// The elevator's first sweep is ascending.
+			scanUp: true,
 		}
 	}
 	return d
@@ -151,6 +174,20 @@ func newDisk(cfg *Config) *disk {
 // hash, so consecutive file ids spread rather than cluster).
 func (d *disk) hashVolume(fileID uint32) int {
 	return int((uint64(fileID) * 2654435761) % uint64(len(d.vols)))
+}
+
+// homeVolume returns the volume owning the byte at off of file — the
+// volume any request *starting* there must touch. Agrees with split's
+// first segment by construction.
+func (d *disk) homeVolume(fileID uint32, off int64) int {
+	n := int64(len(d.vols))
+	if n == 1 {
+		return 0
+	}
+	if d.placement == PlaceFileHash {
+		return d.hashVolume(fileID)
+	}
+	return int((off/d.stripeUnit + int64(d.hashVolume(fileID))) % n)
 }
 
 // split decomposes one request into per-volume segments, reusing the
@@ -274,8 +311,18 @@ func (s *Simulator) diskAccess(fileID uint32, off, size int64, write bool, done 
 // the slowest segment has transferred and the completion interrupt has
 // been serviced — volumes transfer in parallel, which is the entire
 // bandwidth case for sharding.
+//
+// Deferred schedulers (SSTF, SCAN) go through the per-volume request
+// queues instead: dispatch order — and therefore seek attribution — is
+// decided when the head frees up, not at arrival (sched.go). FCFS stays
+// on the closed-form path below, which is byte-identical to the
+// pre-scheduler queueing engine.
 func (s *Simulator) diskAccessTagged(fileID uint32, off, size int64, write bool, tag physOp, done event) {
 	d := s.disk
+	if d.queueing && d.sched != SchedFCFS {
+		s.scheduleAccess(fileID, off, size, write, tag, done)
+		return
+	}
 	var maxWait trace.Ticks
 	for _, seg := range d.split(fileID, off, size) {
 		v := &d.vols[seg.vol]
@@ -292,6 +339,7 @@ func (s *Simulator) diskAccessTagged(fileID uint32, off, size int64, write bool,
 			}
 			v.busyUntil = start + dur
 			wait = (start - s.now) + dur
+			v.noteFCFSQueue(s.now, start, dur)
 		} else {
 			wait = dur
 		}

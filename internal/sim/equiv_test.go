@@ -3,6 +3,9 @@ package sim
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 
 	"iotrace/internal/apps"
@@ -10,15 +13,96 @@ import (
 	"iotrace/internal/workload"
 )
 
-// The golden fingerprints below were produced by the pre-rewrite event
-// engine (container/heap over *event closures, map-based join tracking,
-// per-request key allocation). The typed-event engine must reproduce the
-// old engine's Result byte-for-byte: same ticks, same counters, same
-// per-process seconds, same rate-series shape. Regenerate with
+// The golden fingerprints in testdata/equiv.golden were produced by the
+// pre-rewrite event engine (container/heap over *event closures,
+// map-based join tracking, per-request key allocation). The typed-event
+// engine must reproduce the old engine's Result byte-for-byte: same
+// ticks, same counters, same per-process seconds, same rate-series
+// shape. testdata/sharded.golden and testdata/sched.golden pin the
+// sharded-array and scheduler results the same way.
 //
-//	SIM_EQUIV_GOLDEN=print go test ./internal/sim -run TestEventEngineEquivalence -v
-//
-// but only to capture a deliberate, reviewed behavior change.
+// To capture a deliberate, reviewed behavior change, regenerate the
+// files with scripts/regen_goldens.sh (which runs these tests with
+// SIM_EQUIV_GOLDEN=write) and commit the diff.
+
+// goldenDir is where golden files are read from and (in write mode)
+// written to. SIM_GOLDEN_DIR redirects writes so regen_goldens.sh
+// --check can diff fresh goldens against the committed ones.
+func goldenDir() string {
+	if d := os.Getenv("SIM_GOLDEN_DIR"); d != "" {
+		return d
+	}
+	return "testdata"
+}
+
+func goldenWriteMode(t *testing.T) bool {
+	t.Helper()
+	if os.Getenv("SIM_EQUIV_GOLDEN") != "write" {
+		return false
+	}
+	if testing.Short() {
+		t.Fatal("golden write mode needs the full suite: run without -short (scripts/regen_goldens.sh does)")
+	}
+	return true
+}
+
+// loadGoldens reads one tab-separated name/fingerprint file.
+func loadGoldens(t *testing.T, file string) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", file))
+	if err != nil {
+		t.Fatalf("no goldens at testdata/%s (regenerate with scripts/regen_goldens.sh): %v", file, err)
+	}
+	out := map[string]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		name, fp, ok := strings.Cut(line, "\t")
+		if !ok {
+			t.Fatalf("testdata/%s: malformed line %q", file, line)
+		}
+		out[name] = fp
+	}
+	return out
+}
+
+// writeGoldens rewrites one golden file, sorted by case name so diffs
+// are stable.
+func writeGoldens(t *testing.T, file string, got map[string]string) {
+	t.Helper()
+	names := make([]string, 0, len(got))
+	for name := range got {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s\t%s\n", name, got[name])
+	}
+	if err := os.MkdirAll(goldenDir(), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(goldenDir(), file), []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d goldens to %s/%s", len(names), goldenDir(), file)
+}
+
+// checkGolden compares one fingerprint against the loaded goldens, with
+// the failure mode pointing at the regeneration procedure instead of a
+// silent mismatch.
+func checkGolden(t *testing.T, goldens map[string]string, file, name, got string) {
+	t.Helper()
+	want, ok := goldens[name]
+	if !ok {
+		t.Fatalf("no golden for %s in testdata/%s — if this case is new, run scripts/regen_goldens.sh and commit the result", name, file)
+	}
+	if got != want {
+		t.Errorf("result diverged from testdata/%s:\n got %s\nwant %s\nIf this change is deliberate, run scripts/regen_goldens.sh and commit the updated goldens.",
+			file, got, want)
+	}
+}
 
 // fingerprint renders every observable field of a Result in a stable form.
 func fingerprint(res *Result) string {
@@ -159,31 +243,12 @@ func equivCases() []equivCase {
 	}
 }
 
-// equivGolden maps case name to the pre-rewrite engine's fingerprint.
-var equivGolden = map[string]string{
-	"venus-pair-default":       "wall=90296692 busy=77670012 idle=12626680 sw=62103 cpus=1|cache={ReadHitReqs:19457 ReadMissReqs:23805 RAHitReqs:12989 WriteAbsorbed:24424 WriteThrough:0 Bypasses:0 PrefetchOps:24194 WastedPrefetch:215259 SpaceStalls:0}|disk={Reads:37124 Writes:13781 ReadBytes:18640822272 WriteBytes:6771826688 BusySec:875.66978}|procs=[{PID:1 Name:a FinishSec:902.95689 CPUSec:378.57203 BlockedSec:201.16087} {PID:2 Name:b FinishSec:902.96692 CPUSec:378.97835 BlockedSec:186.9382}]|front=0.000000|bins=894/899/899|tot=18640822272.000/6771826688.000/33433800000.000|phys=0",
-	"venus-f8-cache4-block4":   "wall=104771045 busy=77263278 idle=27507767 sw=80916 cpus=1|cache={ReadHitReqs:644 ReadMissReqs:42618 RAHitReqs:329 WriteAbsorbed:24424 WriteThrough:0 Bypasses:0 PrefetchOps:19980 WastedPrefetch:1220158 SpaceStalls:0}|disk={Reads:41282 Writes:12657 ReadBytes:20829179904 WriteBytes:6203973632 BusySec:789.6201}|procs=[{PID:1 Name:a FinishSec:1047.70042 CPUSec:378.57203 BlockedSec:467.8367} {PID:2 Name:b FinishSec:1047.71045 CPUSec:378.97835 BlockedSec:275.07942}]|front=0.000000|bins=1039/1044/1044|tot=20829179904.000/6203973632.000/33433800000.000|phys=0",
-	"venus-f8-cache128-block4": "wall=78247937 busy=78190902 idle=57035 sw=38424 cpus=1|cache={ReadHitReqs:43136 ReadMissReqs:126 RAHitReqs:35 WriteAbsorbed:24424 WriteThrough:0 Bypasses:0 PrefetchOps:84 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:140 Writes:17325 ReadBytes:53194752 WriteBytes:11917062144 BusySec:413.64089}|procs=[{PID:1 Name:a FinishSec:782.46934 CPUSec:378.57203 BlockedSec:1.19486} {PID:2 Name:b FinishSec:782.47937 CPUSec:378.97835 BlockedSec:0.5721}]|front=0.000000|bins=8/779/779|tot=53194752.000/11917062144.000/33433800000.000|phys=0",
-	"venus-f8-cache4-block8":   "wall=104797529 busy=77263278 idle=27534251 sw=80916 cpus=1|cache={ReadHitReqs:644 ReadMissReqs:42618 RAHitReqs:329 WriteAbsorbed:24424 WriteThrough:0 Bypasses:0 PrefetchOps:19980 WastedPrefetch:609928 SpaceStalls:0}|disk={Reads:41282 Writes:12653 ReadBytes:20857446400 WriteBytes:6205841408 BusySec:789.84685}|procs=[{PID:1 Name:a FinishSec:1047.96526 CPUSec:378.57203 BlockedSec:468.10154} {PID:2 Name:b FinishSec:1047.97529 CPUSec:378.97835 BlockedSec:275.34426}]|front=0.000000|bins=1039/1044/1044|tot=20857446400.000/6205841408.000/33433800000.000|phys=0",
-	"venus-f8-cache32-block8":  "wall=90297792 busy=77669792 idle=12628000 sw=62113 cpus=1|cache={ReadHitReqs:19447 ReadMissReqs:23815 RAHitReqs:13057 WriteAbsorbed:24424 WriteThrough:0 Bypasses:0 PrefetchOps:24271 WastedPrefetch:108363 SpaceStalls:0}|disk={Reads:37228 Writes:13790 ReadBytes:18694529024 WriteBytes:6779789312 BusySec:878.15372}|procs=[{PID:1 Name:a FinishSec:902.96789 CPUSec:378.57203 BlockedSec:201.49135} {PID:2 Name:b FinishSec:902.97792 CPUSec:378.97835 BlockedSec:187.19947}]|front=0.000000|bins=894/899/899|tot=18694529024.000/6779789312.000/33433800000.000|phys=0",
-	"ccm-default":              "wall=42338356 busy=42337017 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:21117 ReadBytes:7012352 WriteBytes:1656860672 BusySec:89.64191}|procs=[{PID:1 Name:a FinishSec:423.38356 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.37853 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.000000|bins=1/419/419|tot=7012352.000/1656860672.000/3377000000.000|phys=0",
-	"ccm-wb-off":               "wall=70900655 busy=42390337 idle=28510318 sw=75715 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:0 WriteThrough:53210 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:53210 ReadBytes:7012352 WriteBytes:1634000000 BusySec:667.71821}|procs=[{PID:1 Name:a FinishSec:709.00655 CPUSec:204.9 BlockedSec:334.65429} {PID:2 Name:b FinishSec:708.97143 CPUSec:205.02698 BlockedSec:334.60159}]|front=0.000000|bins=1/705/705|tot=7012352.000/1634000000.000/3377000000.000|phys=0",
-	"ccm-ra-off":               "wall=42338567 busy=42337228 idle=1339 sw=22716 cpus=1|cache={ReadHitReqs:52986 ReadMissReqs:214 RAHitReqs:0 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:0 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:213 Writes:21115 ReadBytes:6979584 WriteBytes:1656856576 BusySec:89.62923}|procs=[{PID:1 Name:a FinishSec:423.38064 CPUSec:204.9 BlockedSec:0.05452} {PID:2 Name:b FinishSec:423.38567 CPUSec:205.02698 BlockedSec:0.05261}]|front=0.000000|bins=1/419/419|tot=6979584.000/1656856576.000/3377000000.000|phys=0",
-	"ccm-tiny-cache":           "wall=42353103 busy=42337631 idle=15472 sw=23119 cpus=1|cache={ReadHitReqs:52583 ReadMissReqs:617 RAHitReqs:52563 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:52867 WastedPrefetch:2332 SpaceStalls:0}|disk={Reads:53470 Writes:17486 ReadBytes:1751695360 WriteBytes:1646665728 BusySec:116.76594}|procs=[{PID:1 Name:a FinishSec:423.53103 CPUSec:204.9 BlockedSec:2.28725} {PID:2 Name:b FinishSec:423.4257 CPUSec:205.02698 BlockedSec:2.23512}]|front=0.000000|bins=419/420/420|tot=1751695360.000/1646665728.000/3377000000.000|phys=0",
-	"ccm-ssd-warm":             "wall=42656034 busy=42656034 idle=0 sw=22502 cpus=1|cache={ReadHitReqs:53200 ReadMissReqs:0 RAHitReqs:0 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:1 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:1 Writes:21262 ReadBytes:32768 WriteBytes:1657393152 BusySec:91.09995}|procs=[{PID:1 Name:a FinishSec:426.55531 CPUSec:204.9 BlockedSec:0} {PID:2 Name:b FinishSec:426.56034 CPUSec:205.02698 BlockedSec:0}]|front=0.000000|bins=1/423/423|tot=32768.000/1657393152.000/3377000000.000|phys=0",
-	"ccm-front-tier":           "wall=42323211 busy=42321872 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:21087 ReadBytes:7012352 WriteBytes:1656872960 BusySec:89.69123}|procs=[{PID:1 Name:a FinishSec:423.23211 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.22708 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.785559|bins=1/419/419|tot=7012352.000/1656872960.000/3377000000.000|phys=0",
-	"ccm-per-proc-limit":       "wall=42731171 busy=42338215 idle=392956 sw=23703 cpus=1|cache={ReadHitReqs:51999 ReadMissReqs:1201 RAHitReqs:48150 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:48800 WastedPrefetch:5100 SpaceStalls:0}|disk={Reads:49100 Writes:17709 ReadBytes:1608499200 WriteBytes:1647689728 BusySec:124.65321}|procs=[{PID:1 Name:a FinishSec:427.28662 CPUSec:204.9 BlockedSec:6.39624} {PID:2 Name:b FinishSec:427.31171 CPUSec:205.02698 BlockedSec:6.64508}]|front=0.000000|bins=422/423/423|tot=1608499200.000/1647689728.000/3377000000.000|phys=0",
-	"ccm-flush-delay":          "wall=42338356 busy=42337017 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:3394 ReadBytes:7012352 WriteBytes:1634918400 BusySec:23.46297}|procs=[{PID:1 Name:a FinishSec:423.38356 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.37853 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.000000|bins=1/419/419|tot=7012352.000/1634918400.000/3377000000.000|phys=0",
-	"ccm-queueing":             "wall=42338356 busy=42337017 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:21117 ReadBytes:7012352 WriteBytes:1656860672 BusySec:89.64191}|procs=[{PID:1 Name:a FinishSec:423.38356 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.37853 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.000000|bins=1/419/419|tot=7012352.000/1656860672.000/3377000000.000|phys=0",
-	"ccm-4cpu":                 "wall=21176422 busy=42337018 idle=42368670 sw=22506 cpus=4|cache={ReadHitReqs:53196 ReadMissReqs:4 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:4426 ReadBytes:7012352 WriteBytes:1586524160 BusySec:54.10818}|procs=[{PID:1 Name:a FinishSec:211.63727 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:211.76422 CPUSec:205.02698 BlockedSec:0.01564}]|front=0.000000|bins=1/210/210|tot=7012352.000/1586524160.000/3377000000.000|phys=0",
-	"ccm-physical":             "wall=42338356 busy=42337017 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:21117 ReadBytes:7012352 WriteBytes:1656860672 BusySec:89.64191}|procs=[{PID:1 Name:a FinishSec:423.38356 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.37853 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.000000|bins=1/419/419|tot=7012352.000/1656860672.000/3377000000.000|phys=21331",
-}
-
 // TestShardedPlacementSingleVolumeEquivalence extends the equivalence
 // net to the sharded disk model: with NumVolumes == 1, every placement
 // policy and any stripe unit must reproduce the pre-sharding engine's
 // goldens byte for byte — the N=1 degenerate-case guarantee.
 func TestShardedPlacementSingleVolumeEquivalence(t *testing.T) {
+	goldens := loadGoldens(t, "equiv.golden")
 	appNames := []string{"ccm"}
 	if !testing.Short() {
 		appNames = append(appNames, "venus")
@@ -211,10 +276,7 @@ func TestShardedPlacementSingleVolumeEquivalence(t *testing.T) {
 				cfg.NumVolumes = 1
 				v.tweak(&cfg)
 				got := fingerprint(simulatePair(t, cfg, tr[0], tr[1]))
-				if got != equivGolden[tc.name] {
-					t.Errorf("N=1 %s placement diverged from the single-volume golden:\n got %s\nwant %s",
-						v.name, got, equivGolden[tc.name])
-				}
+				checkGolden(t, goldens, "equiv.golden", tc.name, got)
 			})
 		}
 	}
@@ -230,21 +292,20 @@ func volumeFingerprint(res *Result) string {
 		}
 		s += fmt.Sprintf("%+v", v)
 	}
-	return s + fmt.Sprintf("|imb=%.6f", res.VolumeImbalance())
+	return s + fmt.Sprintf("|imb=%.6f|flush=%+v", res.VolumeImbalance(), res.Flush)
 }
 
-// shardedGolden pins the sharded engine's multi-volume results at its
-// introduction, per-volume stats included. Regenerate with
-//
-//	SIM_EQUIV_GOLDEN=print go test ./internal/sim -run TestShardedVolumeGoldens -v
-//
-// but only to capture a deliberate, reviewed behavior change.
-var shardedGolden = map[string]string{
-	"ccm-4vol-stripe":          "wall=42341179 busy=42337023 idle=4156 sw=22511 cpus=1|cache={ReadHitReqs:53191 ReadMissReqs:9 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:40501 ReadBytes:7012352 WriteBytes:1658167296 BusySec:112.57887}|procs=[{PID:1 Name:a FinishSec:423.41179 CPUSec:204.9 BlockedSec:0.04384} {PID:2 Name:b FinishSec:423.40676 CPUSec:205.02698 BlockedSec:0.05165}]|front=0.000000|bins=1/419/419|tot=7012352.000/1658167296.000/3377000000.000|phys=0|vols={Reads:52 Writes:10442 ReadBytes:1703936 WriteBytes:418615296 BusySec:29.92467 SeekSec:25.55964 TransferSec:4.36476 MaxSeekDistance:268697600};{Reads:54 Writes:9797 ReadBytes:1769472 WriteBytes:395190272 BusySec:28.22199 SeekSec:24.09594 TransferSec:4.12516 MaxSeekDistance:268697600};{Reads:54 Writes:10208 ReadBytes:1769472 WriteBytes:423370752 BusySec:27.17494 SeekSec:22.75524 TransferSec:4.41881 MaxSeekDistance:268652544};{Reads:54 Writes:10054 ReadBytes:1769472 WriteBytes:420990976 BusySec:27.25727 SeekSec:22.86594 TransferSec:4.39044 MaxSeekDistance:268697600}|imb=1.063243",
-	"ccm-4vol-filehash":        "wall=42338356 busy=42337017 idle=1339 sw=22505 cpus=1|cache={ReadHitReqs:53197 ReadMissReqs:3 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:21142 ReadBytes:7012352 WriteBytes:1656864768 BusySec:89.60477}|procs=[{PID:1 Name:a FinishSec:423.38356 CPUSec:204.9 BlockedSec:0.01567} {PID:2 Name:b FinishSec:423.37853 CPUSec:205.02698 BlockedSec:0.01339}]|front=0.000000|bins=1/419/419|tot=7012352.000/1656864768.000/3377000000.000|phys=0|vols={Reads:0 Writes:0 ReadBytes:0 WriteBytes:0 BusySec:0 SeekSec:0 TransferSec:0 MaxSeekDistance:0};{Reads:214 Writes:0 ReadBytes:7012352 WriteBytes:0 BusySec:0.08769 SeekSec:0.01493 TransferSec:0.07276 MaxSeekDistance:268435456};{Reads:0 Writes:20911 ReadBytes:0 WriteBytes:1646829568 BusySec:89.28713 SeekSec:72.14781 TransferSec:17.13932 MaxSeekDistance:268435456};{Reads:0 Writes:231 ReadBytes:0 WriteBytes:10035200 BusySec:0.22995 SeekSec:0.12572 TransferSec:0.10423 MaxSeekDistance:268435456}|imb=3.985820",
-	"ccm-2vol-stripe-queueing": "wall=42338383 busy=42337019 idle=1364 sw=22507 cpus=1|cache={ReadHitReqs:53195 ReadMissReqs:5 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:25109 ReadBytes:7012352 WriteBytes:1656193024 BusySec:93.97899}|procs=[{PID:1 Name:a FinishSec:423.38383 CPUSec:204.9 BlockedSec:0.01592} {PID:2 Name:b FinishSec:423.3788 CPUSec:205.02698 BlockedSec:0.02714}]|front=0.000000|bins=1/419/419|tot=7012352.000/1656193024.000/3377000000.000|phys=0|vols={Reads:104 Writes:12379 ReadBytes:3407872 WriteBytes:854011904 BusySec:46.45728 SeekSec:37.53231 TransferSec:8.92487 MaxSeekDistance:268914688};{Reads:110 Writes:12730 ReadBytes:3604480 WriteBytes:802181120 BusySec:47.52171 SeekSec:39.13141 TransferSec:8.3903 MaxSeekDistance:268959744}|imb=1.011326",
-	"ccm-8vol-tiny-cache":      "wall=44310780 busy=42344460 idle=1966320 sw=29948 cpus=1|cache={ReadHitReqs:45754 ReadMissReqs:7446 RAHitReqs:45069 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:51400 WastedPrefetch:50548 SpaceStalls:0}|disk={Reads:52050 Writes:40844 ReadBytes:1705164800 WriteBytes:1647542272 BusySec:257.21978}|procs=[{PID:1 Name:a FinishSec:443.1078 CPUSec:204.9 BlockedSec:38.28346} {PID:2 Name:b FinishSec:442.96235 CPUSec:205.02698 BlockedSec:38.20114}]|front=0.000000|bins=438/439/439|tot=1705164800.000/1647542272.000/3377000000.000|phys=0|vols={Reads:6300 Writes:5050 ReadBytes:206438400 WriteBytes:202788864 BusySec:31.11658 SeekSec:26.86405 TransferSec:4.24879 MaxSeekDistance:537001984};{Reads:6800 Writes:4445 ReadBytes:222822400 WriteBytes:179605504 BusySec:31.29336 SeekSec:27.11005 TransferSec:4.17896 MaxSeekDistance:537001984};{Reads:6800 Writes:5324 ReadBytes:222822400 WriteBytes:212103168 BusySec:32.65221 SeekSec:28.13095 TransferSec:4.51719 MaxSeekDistance:536956928};{Reads:6800 Writes:5033 ReadBytes:222822400 WriteBytes:212439040 BusySec:31.80418 SeekSec:27.28225 TransferSec:4.51843 MaxSeekDistance:537001984};{Reads:6425 Writes:5087 ReadBytes:210534400 WriteBytes:212561920 BusySec:32.53762 SeekSec:28.14325 TransferSec:4.3906 MaxSeekDistance:537001984};{Reads:6400 Writes:5354 ReadBytes:209715200 WriteBytes:212611072 BusySec:32.39737 SeekSec:28.00795 TransferSec:4.38508 MaxSeekDistance:537001984};{Reads:6300 Writes:5388 ReadBytes:206028800 WriteBytes:209158144 BusySec:33.52829 SeekSec:29.21335 TransferSec:4.31096 MaxSeekDistance:537001984};{Reads:6225 Writes:5163 ReadBytes:203980800 WriteBytes:206274560 BusySec:31.89017 SeekSec:27.62665 TransferSec:4.26016 MaxSeekDistance:537001984}|imb=1.042790",
-	"ccm-4vol-physical":        "wall=42341179 busy=42337023 idle=4156 sw=22511 cpus=1|cache={ReadHitReqs:53191 ReadMissReqs:9 RAHitReqs:211 WriteAbsorbed:53210 WriteThrough:0 Bypasses:0 PrefetchOps:212 WastedPrefetch:0 SpaceStalls:0}|disk={Reads:214 Writes:40501 ReadBytes:7012352 WriteBytes:1658167296 BusySec:112.57887}|procs=[{PID:1 Name:a FinishSec:423.41179 CPUSec:204.9 BlockedSec:0.04384} {PID:2 Name:b FinishSec:423.40676 CPUSec:205.02698 BlockedSec:0.05165}]|front=0.000000|bins=1/419/419|tot=7012352.000/1658167296.000/3377000000.000|phys=40715|vols={Reads:52 Writes:10442 ReadBytes:1703936 WriteBytes:418615296 BusySec:29.92467 SeekSec:25.55964 TransferSec:4.36476 MaxSeekDistance:268697600};{Reads:54 Writes:9797 ReadBytes:1769472 WriteBytes:395190272 BusySec:28.22199 SeekSec:24.09594 TransferSec:4.12516 MaxSeekDistance:268697600};{Reads:54 Writes:10208 ReadBytes:1769472 WriteBytes:423370752 BusySec:27.17494 SeekSec:22.75524 TransferSec:4.41881 MaxSeekDistance:268652544};{Reads:54 Writes:10054 ReadBytes:1769472 WriteBytes:420990976 BusySec:27.25727 SeekSec:22.86594 TransferSec:4.39044 MaxSeekDistance:268697600}|imb=1.063243",
+// schedFingerprint extends the volume fingerprint with the per-volume
+// queue statistics DiskQueueing exposes, pinning scheduler behavior.
+func schedFingerprint(res *Result) string {
+	s := volumeFingerprint(res) + "|queues="
+	for i, q := range res.VolumeQueues {
+		if i > 0 {
+			s += ";"
+		}
+		s += fmt.Sprintf("%+v", q)
+	}
+	return s
 }
 
 func shardedCases() []equivCase {
@@ -290,22 +351,117 @@ func shardedCases() []equivCase {
 }
 
 func TestShardedVolumeGoldens(t *testing.T) {
-	printMode := os.Getenv("SIM_EQUIV_GOLDEN") == "print"
+	write := goldenWriteMode(t)
+	var goldens map[string]string
+	if !write {
+		goldens = loadGoldens(t, "sharded.golden")
+	}
 	a, b := appPair(t, "ccm")
+	got := map[string]string{}
 	for _, tc := range shardedCases() {
 		t.Run(tc.name, func(t *testing.T) {
-			got := volumeFingerprint(simulatePair(t, tc.cfg(), a, b))
-			if printMode {
-				fmt.Printf("GOLDEN\t%q: %q,\n", tc.name, got)
+			fp := volumeFingerprint(simulatePair(t, tc.cfg(), a, b))
+			if write {
+				got[tc.name] = fp
 				return
 			}
-			want, ok := shardedGolden[tc.name]
-			if !ok {
-				t.Fatalf("no golden recorded for %s", tc.name)
+			checkGolden(t, goldens, "sharded.golden", tc.name, fp)
+		})
+	}
+	if write {
+		writeGoldens(t, "sharded.golden", got)
+	}
+}
+
+// schedCases covers the deferred schedulers (SSTF, SCAN) across volume
+// widths and placements, including the write-through configurations
+// where the disk is the bottleneck and dispatch order genuinely moves
+// the results.
+func schedCases() []equivCase {
+	withSched := func(pol Scheduler, tweak func(*Config)) func() Config {
+		return func() Config {
+			c := DefaultConfig()
+			c.DiskQueueing = true
+			c.Scheduler = pol
+			if tweak != nil {
+				tweak(&c)
 			}
-			if got != want {
-				t.Errorf("sharded result diverged:\n got %s\nwant %s", got, want)
+			return c
+		}
+	}
+	return []equivCase{
+		{"ccm-1vol-sstf", "ccm", withSched(SchedSSTF, nil)},
+		{"ccm-1vol-scan", "ccm", withSched(SchedSCAN, nil)},
+		{"ccm-1vol-sstf-wtoff", "ccm", withSched(SchedSSTF, func(c *Config) {
+			c.WriteBehind = false
+		})},
+		{"ccm-1vol-scan-wtoff", "ccm", withSched(SchedSCAN, func(c *Config) {
+			c.WriteBehind = false
+		})},
+		{"ccm-4vol-sstf-stripe", "ccm", withSched(SchedSSTF, func(c *Config) {
+			c.NumVolumes = 4
+			c.StripeUnitBytes = 64 << 10
+		})},
+		{"ccm-4vol-scan-stripe", "ccm", withSched(SchedSCAN, func(c *Config) {
+			c.NumVolumes = 4
+			c.StripeUnitBytes = 64 << 10
+		})},
+		{"ccm-4vol-sstf-filehash", "ccm", withSched(SchedSSTF, func(c *Config) {
+			c.NumVolumes = 4
+			c.Placement = PlaceFileHash
+		})},
+		{"ccm-2vol-scan-physical", "ccm", withSched(SchedSCAN, func(c *Config) {
+			c.NumVolumes = 2
+			c.StripeUnitBytes = 256 << 10
+			c.RecordPhysical = true
+		})},
+	}
+}
+
+// TestSchedulerGoldens pins SSTF and SCAN results (per-volume stats,
+// queue depths, and flush overlap included) against their own goldens.
+// FCFS needs no new goldens: it replays the pre-scheduler queueing
+// goldens byte for byte (TestSchedulerFCFSMatchesQueueingGolden).
+func TestSchedulerGoldens(t *testing.T) {
+	write := goldenWriteMode(t)
+	var goldens map[string]string
+	if !write {
+		goldens = loadGoldens(t, "sched.golden")
+	}
+	a, b := appPair(t, "ccm")
+	got := map[string]string{}
+	for _, tc := range schedCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			fp := schedFingerprint(simulatePair(t, tc.cfg(), a, b))
+			if write {
+				got[tc.name] = fp
+				return
 			}
+			checkGolden(t, goldens, "sched.golden", tc.name, fp)
+		})
+	}
+	if write {
+		writeGoldens(t, "sched.golden", got)
+	}
+}
+
+// TestSchedulerFCFSMatchesQueueingGolden is the FCFS half of the
+// scheduler acceptance bar: Scheduler=FCFS with queueing on — under
+// either placement, with the scheduler field set explicitly — replays
+// the pre-scheduler queueing golden byte for byte, because FCFS
+// dispatch order is arrival order and its departures are computed in
+// closed form exactly as the busyUntil engine always did.
+func TestSchedulerFCFSMatchesQueueingGolden(t *testing.T) {
+	goldens := loadGoldens(t, "equiv.golden")
+	a, b := appPair(t, "ccm")
+	for _, placement := range []Placement{PlaceStripe, PlaceFileHash} {
+		t.Run(placement.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.DiskQueueing = true
+			cfg.Scheduler = SchedFCFS
+			cfg.Placement = placement
+			got := fingerprint(simulatePair(t, cfg, a, b))
+			checkGolden(t, goldens, "equiv.golden", "ccm-queueing", got)
 		})
 	}
 }
@@ -344,7 +500,11 @@ func TestVolumeStatsSumToAggregate(t *testing.T) {
 }
 
 func TestEventEngineEquivalence(t *testing.T) {
-	printMode := os.Getenv("SIM_EQUIV_GOLDEN") == "print"
+	write := goldenWriteMode(t)
+	var goldens map[string]string
+	if !write {
+		goldens = loadGoldens(t, "equiv.golden")
+	}
 	// The ccm cases cost ~0.1s each and always run, so CI's -short pass
 	// keeps the equivalence net; only the multi-second venus workloads
 	// skip in short mode.
@@ -357,6 +517,7 @@ func TestEventEngineEquivalence(t *testing.T) {
 		a, b := appPair(t, name)
 		traces[name] = [2][]*trace.Record{a, b}
 	}
+	got := map[string]string{}
 	for _, tc := range equivCases() {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
@@ -364,18 +525,15 @@ func TestEventEngineEquivalence(t *testing.T) {
 			if !ok {
 				t.Skipf("%s workload: skipped in -short mode", tc.app)
 			}
-			got := fingerprint(simulatePair(t, tc.cfg(), tr[0], tr[1]))
-			if printMode {
-				fmt.Printf("GOLDEN\t%q: %q,\n", tc.name, got)
+			fp := fingerprint(simulatePair(t, tc.cfg(), tr[0], tr[1]))
+			if write {
+				got[tc.name] = fp
 				return
 			}
-			want, ok := equivGolden[tc.name]
-			if !ok {
-				t.Fatalf("no golden recorded for %s", tc.name)
-			}
-			if got != want {
-				t.Errorf("result diverged from the pre-rewrite engine:\n got %s\nwant %s", got, want)
-			}
+			checkGolden(t, goldens, "equiv.golden", tc.name, fp)
 		})
+	}
+	if write {
+		writeGoldens(t, "equiv.golden", got)
 	}
 }

@@ -21,7 +21,8 @@ const (
 	evFetchDone                // disk read done; fill blocks, resume waiters
 	evWaitDone                 // bypass read done; notify one ioWait
 	evWake                     // synchronous bypass write done; wake the writer
-	evFlushDone                // flusher write-back done; clean the run
+	evFlushDone                // flusher write-back done; clean the run (vol = op slot)
+	evVolDone                  // a volume finished its in-service segment (vol = volume)
 )
 
 // event is one scheduled simulator action. Ties on time break by sequence
@@ -33,6 +34,7 @@ type event struct {
 	at   trace.Ticks
 	seq  uint64
 	kind evKind
+	vol  int32 // evVolDone: volume index; evFlushDone: flush-op slot
 	p    *proc
 	r    *trace.Record
 	f    *fetch
@@ -134,7 +136,9 @@ func (s *Simulator) dispatch1(e *event) {
 	case evWake:
 		s.wake(e.p)
 	case evFlushDone:
-		s.completeFlush()
+		s.completeFlush(int(e.vol))
+	case evVolDone:
+		s.volDone(int(e.vol))
 	case evNop:
 	}
 }

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"testing"
+)
+
+// dirtyBlock makes one cache block resident and dirty without kicking
+// the flusher — the state a write leaves behind mid-event.
+func dirtyBlock(t *testing.T, s *Simulator, file uint32, idx int64) {
+	t.Helper()
+	if !s.cache.acquire(0, 1) {
+		t.Fatal("acquire failed")
+	}
+	s.cache.insert(blockKey{file, idx}, 0, true, false, int64(s.now))
+}
+
+// sameVolumeFiles returns two distinct files that hash to the same
+// volume, and one that hashes elsewhere.
+func sameVolumeFiles(t *testing.T, d *disk) (a, b, other uint32) {
+	t.Helper()
+	a = 1
+	va := d.hashVolume(a)
+	for f := uint32(2); f < 64; f++ {
+		if d.hashVolume(f) == va && b == 0 {
+			b = f
+		}
+		if d.hashVolume(f) != va && other == 0 {
+			other = f
+		}
+	}
+	if b == 0 || other == 0 {
+		t.Fatal("hash fixture broke: no co-located / remote file found")
+	}
+	return a, b, other
+}
+
+// TestFlushOverlapsAcrossVolumes pins the placement-aware flusher's
+// point: dirty blocks on two different volumes flush as two concurrent
+// runs, not serialized behind one spindle.
+func TestFlushOverlapsAcrossVolumes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumVolumes = 2
+	cfg.Placement = PlaceFileHash
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, _, fb := sameVolumeFiles(t, s.disk)
+	dirtyBlock(t, s, fa, 0)
+	dirtyBlock(t, s, fb, 0)
+	s.kickFlusher()
+	if s.flushActiveOps != 2 {
+		t.Fatalf("%d flush runs in flight, want 2 concurrent", s.flushActiveOps)
+	}
+	if !s.disk.vols[0].flushBusy || !s.disk.vols[1].flushBusy {
+		t.Error("both volumes should be flush-busy")
+	}
+	drainEvents(s)
+	if s.cache.dirtyCount() != 0 {
+		t.Errorf("%d dirty blocks left", s.cache.dirtyCount())
+	}
+	if s.flushMaxConc != 2 || s.flushRuns != 2 {
+		t.Errorf("flush stats runs=%d maxConc=%d, want 2/2", s.flushRuns, s.flushMaxConc)
+	}
+}
+
+// TestFlushRunsRespectMaxRunBlocks pins the per-run bound: a long
+// contiguous dirty stretch flushes as MaxFlushRunBlocks-sized runs.
+func TestFlushRunsRespectMaxRunBlocks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxFlushRunBlocks = 4
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 10; i++ {
+		dirtyBlock(t, s, 1, i)
+	}
+	s.kickFlusher()
+	if got := len(s.flushOps[0].blocks); got != 4 {
+		t.Fatalf("first run has %d blocks, want 4", got)
+	}
+	drainEvents(s)
+	if s.cache.dirtyCount() != 0 {
+		t.Errorf("%d dirty blocks left", s.cache.dirtyCount())
+	}
+	if s.flushRuns != 3 { // 4 + 4 + 2
+		t.Errorf("%d runs for 10 blocks at cap 4, want 3", s.flushRuns)
+	}
+}
+
+// TestFlushRescanAtCompletionCannotStrand is the regression test for
+// the flush re-arm gap: blocks dirtied while their home volume's run is
+// in flight find flushTimer=false and a busy volume — nothing is left
+// to restart the flusher except the re-scan at evFlushDone. Without it
+// they would strand forever.
+func TestFlushRescanAtCompletionCannotStrand(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumVolumes = 2
+	cfg.Placement = PlaceFileHash
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb, _ := sameVolumeFiles(t, s.disk) // both on one volume
+	dirtyBlock(t, s, fa, 0)
+	s.kickFlusher()
+	if s.flushActiveOps != 1 {
+		t.Fatalf("run not in flight")
+	}
+	// Mid-run: a second file's block dirties on the same (busy) volume.
+	// The write path's kickFlusher finds the volume busy and no timer
+	// armed — the stranding precondition.
+	dirtyBlock(t, s, fb, 0)
+	s.kickFlusher()
+	if s.flushTimer {
+		t.Fatal("unexpected flush timer")
+	}
+	if s.flushActiveOps != 1 {
+		t.Fatalf("second run issued on a busy volume")
+	}
+	drainEvents(s)
+	if s.cache.dirtyCount() != 0 {
+		t.Errorf("%d dirty blocks stranded after the in-flight run completed", s.cache.dirtyCount())
+	}
+	if s.flushRuns != 2 {
+		t.Errorf("%d flush runs, want 2", s.flushRuns)
+	}
+}
+
+// TestFlushTimerRearmsAfterInflightRun covers the same gap under
+// Sprite-style delayed writes: the aging timer fires mid-run (clearing
+// flushTimer without starting anything), and a block dirtied during the
+// run is still young at completion — the completion re-scan must re-arm
+// the timer, or the block ages forever unflushed.
+func TestFlushTimerRearmsAfterInflightRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlushDelayTicks = 100
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirtyBlock(t, s, 1, 0)
+	s.kickFlusher()
+	if !s.flushTimer {
+		t.Fatal("aging timer not armed")
+	}
+	// Fire the timer: the run for block (1,0) starts.
+	s.stepN(1)
+	if s.flushActiveOps != 1 {
+		t.Fatal("run not started at timer fire")
+	}
+	// Mid-run, dirty a young block of another file; its kick can
+	// neither flush (volume busy) nor arm a timer usefully.
+	dirtyBlock(t, s, 2, 0)
+	s.kickFlusher()
+	drainEvents(s)
+	if s.cache.dirtyCount() != 0 {
+		t.Errorf("%d dirty blocks stranded: timer not re-armed after the run", s.cache.dirtyCount())
+	}
+	if s.flushRuns != 2 {
+		t.Errorf("%d flush runs, want 2", s.flushRuns)
+	}
+}
+
+// TestFlushDelayHonoredPerRunHead pins the multi-volume delay
+// semantics: an aged block flushes, but a younger block deeper in the
+// FIFO must not ride along just because its (idle) volume could take a
+// run — it waits out its own age and flushes via the re-armed timer.
+func TestFlushDelayHonoredPerRunHead(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumVolumes = 2
+	cfg.Placement = PlaceFileHash
+	cfg.FlushDelayTicks = 100
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, _, fb := sameVolumeFiles(t, s.disk) // fa and fb on different volumes
+	dirtyBlock(t, s, fa, 0)
+	s.kickFlusher() // arms the aging timer for fa
+	s.stepN(1)      // t=100: timer fires, fa's run issues
+	if s.flushActiveOps != 1 {
+		t.Fatal("aged run not issued at timer fire")
+	}
+	// fb dirties now (age 0) on the other, idle volume: it must NOT be
+	// flushed yet, even though its volume is free.
+	dirtyBlock(t, s, fb, 0)
+	s.kickFlusher()
+	if s.flushActiveOps != 1 {
+		t.Fatalf("young block flushed %v before its delay elapsed", cfg.FlushDelayTicks)
+	}
+	if !s.flushTimer {
+		t.Error("no aging timer armed for the young block")
+	}
+	start := s.now
+	drainEvents(s)
+	if s.cache.dirtyCount() != 0 {
+		t.Errorf("%d dirty blocks stranded", s.cache.dirtyCount())
+	}
+	if s.flushRuns != 2 {
+		t.Errorf("%d flush runs, want 2", s.flushRuns)
+	}
+	// The run's write completes after the block has aged: issue time is
+	// at least dirty time + delay, so completion is strictly later.
+	if s.now < start+cfg.FlushDelayTicks {
+		t.Errorf("young block's flush completed at %v, before its age gate %v", s.now, start+cfg.FlushDelayTicks)
+	}
+}
+
+// TestDirtyByVolTracksPlacement pins the per-volume dirty accounting
+// behind the flusher's O(volumes) idle-work check: counts follow
+// markDirty/markClean through placement, and drain to zero.
+func TestDirtyByVolTracksPlacement(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumVolumes = 4
+	cfg.Placement = PlaceFileHash
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, 4)
+	for f := uint32(1); f <= 12; f++ {
+		dirtyBlock(t, s, f, 0)
+		want[s.disk.hashVolume(f)]++
+	}
+	for i, n := range want {
+		if s.cache.dirtyByVol[i] != n {
+			t.Errorf("dirtyByVol[%d] = %d, want %d", i, s.cache.dirtyByVol[i], n)
+		}
+	}
+	s.kickFlusher()
+	drainEvents(s)
+	for i, n := range s.cache.dirtyByVol {
+		if n != 0 {
+			t.Errorf("dirtyByVol[%d] = %d after full drain, want 0", i, n)
+		}
+	}
+	if s.cache.dirtyCount() != 0 {
+		t.Errorf("%d dirty blocks left", s.cache.dirtyCount())
+	}
+}
+
+// TestFlushSingleVolumeSerializes pins the N=1 degenerate case the
+// equivalence goldens rely on: one volume never has two runs in flight.
+func TestFlushSingleVolumeSerializes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxFlushRunBlocks = 2
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []uint32{1, 2, 3} {
+		dirtyBlock(t, s, f, 0)
+	}
+	s.kickFlusher()
+	if s.flushActiveOps != 1 {
+		t.Fatalf("%d runs in flight on one volume, want 1", s.flushActiveOps)
+	}
+	drainEvents(s)
+	if s.flushMaxConc != 1 {
+		t.Errorf("max concurrency %d on one volume, want 1", s.flushMaxConc)
+	}
+	if s.cache.dirtyCount() != 0 {
+		t.Errorf("%d dirty blocks left", s.cache.dirtyCount())
+	}
+	if s.flushOverlap != 0 {
+		t.Errorf("overlap %v on one volume, want 0", s.flushOverlap)
+	}
+}

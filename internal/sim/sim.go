@@ -249,6 +249,17 @@ type Result struct {
 	// order; it always has Config.NumVolumes entries.
 	Volumes []VolumeStats
 
+	// VolumeQueues breaks per-volume request-queue behavior down when
+	// DiskQueueing is on (one entry per volume, in volume order). It is
+	// nil without queueing: the paper's no-queueing model has no queue
+	// to measure.
+	VolumeQueues []VolumeQueueStats
+
+	// Flush summarizes the background flusher's write-back runs,
+	// including how much of the run time overlapped across volumes
+	// (placement-aware flushing).
+	Flush FlushStats
+
 	// FrontHitRatio is the fraction of cache hits served from the
 	// optional main-memory front tier (0 when the tier is disabled).
 	FrontHitRatio float64
@@ -339,10 +350,25 @@ type Simulator struct {
 	cache        *cache
 	front        *frontCache
 	disk         *disk
-	flushing     bool
 	flushTimer   bool
-	flushRun     []*block // blocks of the in-flight flusher write-back
 	spaceWaiters []spaceWaiter
+
+	// Placement-aware flushing: up to one write-back run per volume in
+	// flight at once. flushOps is a fixed pool of run slots (a run
+	// occupies at least one volume, so NumVolumes slots always
+	// suffice); flushBusyVols counts volumes covered by in-flight runs,
+	// so the every-write kickFlusher call stays O(1) when the array is
+	// saturated — exactly the old single-run early return at N=1.
+	flushOps      []flushOp
+	flushOps1     [1]flushOp // inline slot: single-volume runs allocate nothing
+	flushBusyVols int
+
+	// Flush-overlap accounting (Result.Flush).
+	flushRuns       int64
+	flushActiveOps  int
+	flushMaxConc    int
+	flushOverlap    trace.Ticks
+	flushLastChange trace.Ticks
 
 	// Reusable request-classification scratch. Each buffer serves one
 	// role so the I/O paths can overlap (a read classifies into keysBuf/
@@ -353,8 +379,9 @@ type Simulator struct {
 	joinsBuf []*fetch   // in-flight fetches the request joins
 	raBuf    []blockKey // read-ahead block range and its missing filter
 
-	fetchFree *fetch  // recycled fetch structs
-	waitFree  *ioWait // recycled ioWait structs
+	fetchFree *fetch   // recycled fetch structs
+	waitFree  *ioWait  // recycled ioWait structs
+	reqFree   *diskReq // recycled deferred-scheduler request joins
 
 	diskReadRate  *stats.TimeSeries
 	diskWriteRate *stats.TimeSeries
@@ -378,6 +405,12 @@ func New(cfg Config) (*Simulator, error) {
 		demandRate:    stats.NewTimeSeries(int64(cfg.RateBinTicks)),
 	}
 	s.disk = newDisk(&cfg)
+	s.cache.wireVolumes(s.disk)
+	if len(s.disk.vols) == 1 {
+		s.flushOps = s.flushOps1[:]
+	} else {
+		s.flushOps = make([]flushOp, len(s.disk.vols))
+	}
 	return s, nil
 }
 
@@ -1057,46 +1090,183 @@ func (s *Simulator) retryWrite(p *proc, r *trace.Record) bool {
 
 // --- flusher and space management ------------------------------------
 
-// kickFlusher starts the background write-behind stream if idle. With a
-// Sprite-style flush delay configured, it waits for the oldest dirty
-// block to age before flushing (§2.1; the paper argues this buys nothing
-// for supercomputer workloads).
+// flushOp is one in-flight write-back run: the dirty blocks being
+// written and the volumes the run's segments land on (no other run may
+// touch those volumes until this one completes). Slots are reused; the
+// inline vols array covers typical arrays without allocating.
+type flushOp struct {
+	blocks     []*block
+	vols       []int
+	volsInline [8]int
+	active     bool
+}
+
+// flushScanLimit bounds how many dirty-FIFO entries one kickFlusher
+// call examines while looking for runs on idle volumes. Runs beyond the
+// limit are only delayed, never stranded: every flush completion
+// rescans from the FIFO front, where runs are always issuable once
+// their volumes free up.
+const flushScanLimit = 1024
+
+// kickFlusher starts background write-behind runs on idle volumes. The
+// dirty FIFO is scanned oldest-first, grouped into contiguous same-file
+// runs of up to MaxFlushRunBlocks, and each run whose volumes are all
+// idle is issued — so write-back overlaps across the shards of a
+// multi-volume array instead of serializing behind one spindle. With
+// one volume this degenerates to the classic single-run flusher, byte
+// for byte. With a Sprite-style flush delay configured, it waits for
+// the oldest dirty block to age before flushing (§2.1; the paper
+// argues this buys nothing for supercomputer workloads).
 func (s *Simulator) kickFlusher() {
-	if s.flushing || s.cache.dirtyCount() == 0 {
+	d := s.disk
+	if s.cache.dirtyCount() == 0 || s.flushBusyVols == len(d.vols) {
 		return
 	}
-	if d := s.cfg.FlushDelayTicks; d > 0 {
+	if fd := s.cfg.FlushDelayTicks; fd > 0 {
 		oldest := s.cache.oldestDirty()
-		if age := s.now - trace.Ticks(oldest.dirtyAt); age < d {
+		if age := s.now - trace.Ticks(oldest.dirtyAt); age < fd {
 			if !s.flushTimer {
 				s.flushTimer = true
-				s.post(d-age, event{kind: evFlushTimer})
+				s.post(fd-age, event{kind: evFlushTimer})
 			}
 			return
 		}
 	}
-	run := s.cache.oldestDirtyRun(s.cfg.MaxFlushRunBlocks)
-	if len(run) == 0 {
+	// O(volumes) early exit: an issuable run must be headed by a dirty
+	// block whose home volume is idle (pinned blocks belong to in-flight
+	// runs, whose volumes are busy), so if no idle volume has dirty home
+	// blocks there is nothing to scan for — the saturated case costs the
+	// same as the old single-run "if flushing return" guard.
+	idle := false
+	for i := range d.vols {
+		if !d.vols[i].flushBusy && s.cache.dirtyByVol[i] > 0 {
+			idle = true
+			break
+		}
+	}
+	if !idle {
 		return
 	}
-	s.flushing = true
-	s.flushRun = run
+	fd := s.cfg.FlushDelayTicks
+	scanned := 0
+	for b := s.cache.dirty.front; b != nil && s.flushBusyVols < len(d.vols) && scanned < flushScanLimit; {
+		next := b.links[dirtyList].next
+		scanned++
+		if fd > 0 {
+			if age := s.now - trace.Ticks(b.dirtyAt); age < fd {
+				// The FIFO is dirty-time ordered, so every later block is
+				// younger still: stop here and let the aging timer retry.
+				// (The oldest-block gate above covers the FIFO front; this
+				// arm covers younger run heads deeper in a multi-volume
+				// scan.)
+				if !s.flushTimer {
+					s.flushTimer = true
+					s.post(fd-age, event{kind: evFlushTimer})
+				}
+				break
+			}
+		}
+		// A run headed at b always touches b's home volume; skip the run
+		// assembly entirely when that volume is mid-flush.
+		if !b.pinned && !d.vols[s.cache.homeVol(b)].flushBusy {
+			s.tryIssueFlush(s.cache.dirtyRunFrom(b, s.cfg.MaxFlushRunBlocks))
+		}
+		b = next
+	}
+}
+
+// tryIssueFlush issues one write-back run if every volume it touches is
+// idle, pinning its blocks and marking those volumes flush-busy. It
+// reports whether the run was issued.
+func (s *Simulator) tryIssueFlush(run []*block) bool {
+	if len(run) == 0 {
+		return false
+	}
+	d := s.disk
+	slot := -1
+	for i := range s.flushOps {
+		if !s.flushOps[i].active {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return false // every slot busy: the array is saturated
+	}
+	op := &s.flushOps[slot]
+	if op.vols == nil {
+		op.vols = op.volsInline[:0]
+	}
 	first := run[0].key
 	off := first.idx * s.cfg.BlockBytes
 	size := int64(len(run)) * s.cfg.BlockBytes
-	s.diskAccess(first.file, off, size, true, event{kind: evFlushDone})
+	op.vols = op.vols[:0]
+	for _, seg := range d.split(first.file, off, size) {
+		if d.vols[seg.vol].flushBusy {
+			return false
+		}
+		op.vols = append(op.vols, seg.vol)
+	}
+	op.active = true
+	if len(d.vols) == 1 {
+		// Single volume: at most one run in flight, so the run may alias
+		// the cache's scratch (dirtyRunFrom won't be called again until
+		// this op completes and drops the reference).
+		op.blocks = run
+	} else {
+		op.blocks = append(op.blocks[:0], run...)
+	}
+	for _, b := range run {
+		b.pinned = true
+	}
+	for _, vi := range op.vols {
+		d.vols[vi].flushBusy = true
+	}
+	s.flushBusyVols += len(op.vols)
+	s.flushRuns++
+	s.noteFlushTransition(1)
+	s.diskAccess(first.file, off, size, true, event{kind: evFlushDone, vol: int32(slot)})
+	return true
 }
 
-// completeFlush lands the in-flight write-back: the run's blocks become
-// clean and evictable, stalled requests get another chance, and the
-// flusher looks for more work.
-func (s *Simulator) completeFlush() {
-	for _, b := range s.flushRun {
+// noteFlushTransition updates the flush-overlap accounting at every run
+// issue (+1) or completion (-1).
+func (s *Simulator) noteFlushTransition(delta int) {
+	if s.flushActiveOps >= 2 {
+		s.flushOverlap += s.now - s.flushLastChange
+	}
+	s.flushLastChange = s.now
+	s.flushActiveOps += delta
+	if s.flushActiveOps > s.flushMaxConc {
+		s.flushMaxConc = s.flushActiveOps
+	}
+}
+
+// completeFlush lands one in-flight write-back run: its blocks become
+// clean and evictable, its volumes free up, stalled requests get
+// another chance, and the flusher re-scans the dirty FIFO — including
+// blocks dirtied while this run was in flight, so per-volume runs
+// cannot strand dirty blocks behind a busy spindle.
+func (s *Simulator) completeFlush(slot int) {
+	op := &s.flushOps[slot]
+	for _, b := range op.blocks {
 		b.pinned = false
 		s.cache.markClean(b)
 	}
-	s.flushRun = s.flushRun[:0]
-	s.flushing = false
+	for _, vi := range op.vols {
+		s.disk.vols[vi].flushBusy = false
+	}
+	s.flushBusyVols -= len(op.vols)
+	if len(s.disk.vols) == 1 {
+		op.blocks = nil // aliased cache scratch; drop, don't truncate
+	} else {
+		for i := range op.blocks {
+			op.blocks[i] = nil
+		}
+		op.blocks = op.blocks[:0]
+	}
+	op.active = false
+	s.noteFlushTransition(-1)
 	s.trySpaceWaiters()
 	s.kickFlusher()
 }
@@ -1155,6 +1325,22 @@ func (s *Simulator) result() *Result {
 		res.Disk.ReadBytes += v.readBytes
 		res.Disk.WriteBytes += v.writeBytes
 		res.Disk.BusySec += v.busyTicks.Seconds()
+	}
+	if s.cfg.DiskQueueing {
+		res.VolumeQueues = make([]VolumeQueueStats, len(s.disk.vols))
+		for i := range s.disk.vols {
+			v := &s.disk.vols[i]
+			res.VolumeQueues[i] = VolumeQueueStats{
+				MaxDepth: v.maxQueueDepth,
+				Waits:    v.queueWaits,
+				WaitSec:  v.queueWaitTicks.Seconds(),
+			}
+		}
+	}
+	res.Flush = FlushStats{
+		Runs:          s.flushRuns,
+		MaxConcurrent: s.flushMaxConc,
+		OverlapSec:    s.flushOverlap.Seconds(),
 	}
 	if s.front != nil {
 		res.FrontHitRatio = s.front.HitRatio()

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Hot-path benchmark harness: simulator replay (SimulateVenusPair) and
-# trace decode (TraceDecodeASCII, plus its materializing variant), with
-# allocation reporting. CI invokes it with the defaults below (3 one-shot
-# samples — quick enough for every push, enough to spot a regression),
-# gates the output against the BENCH_PR3.json waterline via
+# Hot-path benchmark harness: simulator replay (SimulateVenusPair),
+# trace decode (TraceDecodeASCII, plus its materializing variant), and
+# the scheduler dispatch path (ScheduledVolume), with allocation
+# reporting. CI invokes it with the defaults below (3 one-shot samples —
+# quick enough for every push, enough to spot a regression), gates the
+# output against the BENCH_PR5.json waterline via
 # scripts/bench_check.sh, and uploads it; for real measurements run e.g.
 #
 #   BENCH_TIME=2s scripts/bench.sh bench_local.txt
@@ -16,5 +17,5 @@ out="${1:-bench.txt}"
 count="${BENCH_COUNT:-3}"
 benchtime="${BENCH_TIME:-1x}"
 
-go test -run '^$' -bench 'SimulateVenusPair|TraceDecodeASCII' \
+go test -run '^$' -bench 'SimulateVenusPair|TraceDecodeASCII|ScheduledVolume' \
 	-benchmem -count "$count" -benchtime "$benchtime" . | tee "$out"

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Benchmark-regression gate: compares a fresh scripts/bench.sh run against
-# the committed waterline in BENCH_PR3.json and fails the bench job when a
-# hot path regresses.
+# the committed waterline in BENCH_PR5.json and fails the bench job when a
+# hot path regresses. BENCH_PR5.json keeps SimulateVenusPair and
+# TraceDecodeASCII at their BENCH_PR3.json numbers (those paths did not
+# move) and adds the ScheduledVolume waterline.
 #
 # A benchmark fails the gate when
 #   - its best (minimum) ns/op across the run's samples exceeds the
@@ -11,12 +13,12 @@
 #   - its allocs/op grows at all (allocation counts are deterministic, so
 #     any increase is a real regression, not noise).
 #
-# Usage: scripts/bench_check.sh [bench.txt] [BENCH_PR3.json]
+# Usage: scripts/bench_check.sh [bench.txt] [BENCH_PR5.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 bench_out="${1:-bench.txt}"
-waterline_json="${2:-BENCH_PR3.json}"
+waterline_json="${2:-BENCH_PR5.json}"
 tolerance="${BENCH_TOLERANCE:-25}"
 
 [[ -r "$bench_out" ]] || { echo "bench_check: no benchmark output at $bench_out" >&2; exit 2; }
@@ -49,7 +51,7 @@ best() {
 }
 
 fail=0
-for name in SimulateVenusPair TraceDecodeASCII; do
+for name in SimulateVenusPair TraceDecodeASCII ScheduledVolume; do
 	want_ns=$(waterline "$name" ns_per_op)
 	want_allocs=$(waterline "$name" allocs_per_op)
 	if [[ -z "$want_ns" || -z "$want_allocs" ]]; then

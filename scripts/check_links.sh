@@ -28,38 +28,44 @@ while IFS= read -r file; do
     done < <(grep -o '\[[^]]*\]([^)]*)' "$file" 2>/dev/null | sed 's/^.*](\([^)]*\))$/\1/' || true)
 done < <(git ls-files -c -o --exclude-standard '*.md')
 
-# --- 2. README quickstart mirrors Example_quickstart ------------------
-# Extract the README's quickstart fence (the ```go block that builds a
-# workload) and require it, line for line in order, inside
+# --- 2. README snippets mirror their Example_* tests ------------------
+# Extract a README ```go fence (the first one matching the given
+# pattern) and require it, line for line in order, inside
 # example_test.go. Leading/trailing whitespace is ignored so the test's
 # indentation doesn't matter; blank lines are skipped.
 norm() { sed -e 's/^[[:space:]]*//' -e 's/[[:space:]]*$//' | grep -v '^$'; }
 
-quickstart=$(awk '
-    /^```go$/ { buf = ""; infence = 1; next }
-    /^```$/   { if (infence && buf ~ /iotrace\.New\(/) { print buf; exit } infence = 0; next }
-    infence   { buf = buf $0 "\n" }
-' README.md)
-if [ -z "$quickstart" ]; then
-    echo "README.md: no quickstart go fence found (expected a \`\`\`go block calling iotrace.New)" >&2
-    exit 1
-fi
-
-# Contiguity matters: the README block must appear as one unbroken run
-# of lines in the example (a subsequence match would let insertions in
-# example_test.go drift past the gate). Lines are joined on a \001
+# check_fence <pattern> <label>: the first go fence whose body matches
+# pattern must appear as one contiguous block in example_test.go.
+# Contiguity matters: a subsequence match would let insertions in
+# example_test.go drift past the gate. Lines are joined on a \001
 # separator so the comparison is whole-line substring matching.
-needle=$(printf '%s\n' "$quickstart" | norm | tr '\n' '\001')
-hay=$(norm <example_test.go | tr '\n' '\001')
-case "$hay" in
-*"$needle"*) ;;
-*)
-    echo "README quickstart is not mirrored verbatim (as one contiguous block) in example_test.go (Example_quickstart)" >&2
-    fail=1
-    ;;
-esac
+check_fence() {
+    local pattern="$1" label="$2" block needle hay
+    block=$(awk -v pat="$pattern" '
+        /^```go$/ { buf = ""; infence = 1; next }
+        /^```$/   { if (infence && buf ~ pat) { print buf; exit } infence = 0; next }
+        infence   { buf = buf $0 "\n" }
+    ' README.md)
+    if [ -z "$block" ]; then
+        echo "README.md: no $label go fence found (expected a \`\`\`go block matching $pattern)" >&2
+        return 1
+    fi
+    needle=$(printf '%s\n' "$block" | norm | tr '\n' '\001')
+    hay=$(norm <example_test.go | tr '\n' '\001')
+    case "$hay" in
+    *"$needle"*) ;;
+    *)
+        echo "README $label snippet is not mirrored verbatim (as one contiguous block) in example_test.go" >&2
+        return 1
+        ;;
+    esac
+}
+
+check_fence 'iotrace\.New\(' "quickstart (Example_quickstart)" || fail=1
+check_fence 'iotrace\.Scheduling\(' "scheduling (Example_scheduling)" || fail=1
 
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "docs check: all markdown links resolve; README quickstart matches example_test.go"
+echo "docs check: all markdown links resolve; README quickstart and scheduling snippets match example_test.go"

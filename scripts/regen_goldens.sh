@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# regen_goldens.sh — regenerate (or verify) the simulator's golden
+# fingerprint files in internal/sim/testdata/.
+#
+# The golden tests (TestEventEngineEquivalence, TestShardedVolumeGoldens,
+# TestSchedulerGoldens) pin simulator results byte-for-byte. When a PR
+# deliberately changes simulator behavior, regenerate the files with
+#
+#   scripts/regen_goldens.sh
+#
+# review the diff, and commit it alongside the change. CI runs
+#
+#   scripts/regen_goldens.sh --check
+#
+# which regenerates into a temporary directory and diffs against the
+# committed files, so stale goldens fail with a pointer here instead of
+# as an opaque fingerprint mismatch.
+#
+# Golden generation needs the full (non -short) suite: the venus entries
+# of equiv.golden are skipped under -short and would be silently dropped.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+golden_tests='TestEventEngineEquivalence|TestShardedVolumeGoldens|TestSchedulerGoldens'
+testdata=internal/sim/testdata
+
+regen() {
+	SIM_EQUIV_GOLDEN=write SIM_GOLDEN_DIR="$1" \
+		go test ./internal/sim -run "^($golden_tests)\$" -count=1 >/dev/null
+}
+
+if [[ "${1:-}" == "--check" ]]; then
+	tmp=$(mktemp -d)
+	trap 'rm -rf "$tmp"' EXIT
+	regen "$tmp"
+	stale=0
+	for f in "$tmp"/*.golden; do
+		name=$(basename "$f")
+		if ! diff -u "$testdata/$name" "$f" >&2; then
+			stale=1
+		fi
+	done
+	if [[ "$stale" -ne 0 ]]; then
+		echo "golden check: $testdata is stale for the current simulator." >&2
+		echo "If the behavior change is deliberate, run scripts/regen_goldens.sh and commit the updated goldens." >&2
+		exit 1
+	fi
+	echo "golden check: $testdata matches the current simulator"
+	exit 0
+fi
+
+regen "$PWD/$testdata"
+git --no-pager diff --stat -- "$testdata" || true
+echo "regenerated goldens in $testdata — review the diff before committing"

@@ -200,6 +200,12 @@ type Grid struct {
 	WriteBehind []bool  // write buffering on/off
 	Volumes     []int   // volume-array widths (1 = the paper's single volume)
 
+	// Schedulers sweeps per-volume disk scheduling policies. Each cell
+	// enables disk queueing under its policy (like the Scheduling
+	// option), so a grid can contrast FCFS/SSTF/SCAN directly against a
+	// base config that leaves queueing off.
+	Schedulers []SchedulerPolicy
+
 	// SplitSpindles divides the base volume's spindles across each
 	// scenario's volume array (conserved hardware; see the
 	// SplitSpindles ConfigOption). It is applied after the Volumes
@@ -220,8 +226,8 @@ type axisMod struct {
 }
 
 // Scenarios expands the grid in a deterministic order: cache size varies
-// fastest, then block size, tier, read-ahead, write-behind, and volume
-// count.
+// fastest, then block size, tier, read-ahead, write-behind, volume
+// count, and scheduling policy.
 func (g Grid) Scenarios() []Scenario {
 	base := DefaultConfig()
 	if g.Base != nil {
@@ -241,7 +247,7 @@ func (g Grid) Scenarios() []Scenario {
 		}
 		return mods
 	}
-	var caches, blocks, tiers, ras, wbs, vols []axisMod
+	var caches, blocks, tiers, ras, wbs, vols, scheds []axisMod
 	for _, mb := range g.CacheMB {
 		mb := mb
 		caches = append(caches, axisMod{fmt.Sprintf("cache=%dMB", mb), func(c *Config) { c.CacheBytes = mb << 20 }})
@@ -266,35 +272,44 @@ func (g Grid) Scenarios() []Scenario {
 		n := n
 		vols = append(vols, axisMod{fmt.Sprintf("vols=%d", n), func(c *Config) { c.NumVolumes = n }})
 	}
+	for _, p := range g.Schedulers {
+		p := p
+		scheds = append(scheds, axisMod{fmt.Sprintf("sched=%v", p), func(c *Config) {
+			c.DiskQueueing = true
+			c.Scheduler = p
+		}})
+	}
 
 	var out []Scenario
-	for _, mv := range pad(vols) {
-		for _, mwb := range pad(wbs) {
-			for _, mra := range pad(ras) {
-				for _, mt := range pad(tiers) {
-					for _, mb := range pad(blocks) {
-						for _, mc := range pad(caches) {
-							cfg := base
-							var parts []string
-							for _, m := range []axisMod{mc, mb, mt, mra, mwb, mv} {
-								if m.apply == nil {
-									continue
+	for _, ms := range pad(scheds) {
+		for _, mv := range pad(vols) {
+			for _, mwb := range pad(wbs) {
+				for _, mra := range pad(ras) {
+					for _, mt := range pad(tiers) {
+						for _, mb := range pad(blocks) {
+							for _, mc := range pad(caches) {
+								cfg := base
+								var parts []string
+								for _, m := range []axisMod{mc, mb, mt, mra, mwb, mv, ms} {
+									if m.apply == nil {
+										continue
+									}
+									m.apply(&cfg)
+									parts = append(parts, m.label)
 								}
-								m.apply(&cfg)
-								parts = append(parts, m.label)
+								if g.SplitSpindles {
+									cfg.Volume = cfg.Volume.Split(cfg.NumVolumes)
+								}
+								name := strings.Join(parts, " ")
+								if name == "" {
+									name = "base"
+								}
+								out = append(out, Scenario{
+									Name:       name,
+									Config:     cfg,
+									SeedOffset: uint64(len(out)) * g.SeedStep,
+								})
 							}
-							if g.SplitSpindles {
-								cfg.Volume = cfg.Volume.Split(cfg.NumVolumes)
-							}
-							name := strings.Join(parts, " ")
-							if name == "" {
-								name = "base"
-							}
-							out = append(out, Scenario{
-								Name:       name,
-								Config:     cfg,
-								SeedOffset: uint64(len(out)) * g.SeedStep,
-							})
 						}
 					}
 				}

@@ -75,7 +75,8 @@ func sweepRender(t *testing.T, results []iotrace.SweepResult) string {
 		b.WriteString(r.Scenario.Name)
 		b.WriteString(" -> ")
 		b.WriteString(renderResult(r.Result))
-		fmt.Fprintf(&b, "|vols=%+v|imb=%.9f", r.Result.Volumes, r.Result.VolumeImbalance())
+		fmt.Fprintf(&b, "|vols=%+v|imb=%.9f|queues=%+v|flush=%+v",
+			r.Result.Volumes, r.Result.VolumeImbalance(), r.Result.VolumeQueues, r.Result.Flush)
 		b.WriteString("\n")
 	}
 	return b.String()
@@ -154,6 +155,75 @@ func TestShardedSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	for i, r := range serial {
 		if len(r.Result.Volumes) != scens[i].Config.NumVolumes {
 			t.Errorf("%s: %d volume entries", r.Scenario.Name, len(r.Result.Volumes))
+		}
+	}
+}
+
+func TestGridSchedulersAxis(t *testing.T) {
+	grid := iotrace.Grid{
+		CacheMB:    []int64{4, 32},
+		Schedulers: []iotrace.SchedulerPolicy{iotrace.SchedFCFS, iotrace.SchedSSTF, iotrace.SchedSCAN},
+	}
+	scens := grid.Scenarios()
+	if len(scens) != 6 {
+		t.Fatalf("%d scenarios, want 6", len(scens))
+	}
+	// Scheduler is the slowest-varying axis; every cell enables
+	// queueing under its policy.
+	want := []struct {
+		name string
+		pol  iotrace.SchedulerPolicy
+	}{
+		{"cache=4MB sched=fcfs", iotrace.SchedFCFS},
+		{"cache=32MB sched=fcfs", iotrace.SchedFCFS},
+		{"cache=4MB sched=sstf", iotrace.SchedSSTF},
+		{"cache=32MB sched=sstf", iotrace.SchedSSTF},
+		{"cache=4MB sched=scan", iotrace.SchedSCAN},
+		{"cache=32MB sched=scan", iotrace.SchedSCAN},
+	}
+	for i, sc := range scens {
+		if sc.Name != want[i].name {
+			t.Errorf("scenario %d named %q, want %q", i, sc.Name, want[i].name)
+		}
+		if !sc.Config.DiskQueueing || sc.Config.Scheduler != want[i].pol {
+			t.Errorf("%s: queueing=%v scheduler=%v", sc.Name, sc.Config.DiskQueueing, sc.Config.Scheduler)
+		}
+	}
+}
+
+// TestSchedulerSweepDeterministicAcrossWorkerCounts is the
+// worker-count-independence property with the Schedulers axis
+// populated: per-scenario results — volume breakdowns, queue depths,
+// and flush overlap included — are byte-identical however the pool is
+// sized.
+func TestSchedulerSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	w, err := iotrace.New(iotrace.App("ccm", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := iotrace.Grid{
+		CacheMB:    []int64{4, 32},
+		Volumes:    []int{1, 2},
+		Schedulers: []iotrace.SchedulerPolicy{iotrace.SchedFCFS, iotrace.SchedSSTF, iotrace.SchedSCAN},
+	}
+	scens := grid.Scenarios()
+	ctx := context.Background()
+	serial, err := w.Sweep(ctx, scens, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := w.Sweep(ctx, scens, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sweepRender(t, serial), sweepRender(t, parallel)
+	if a != b {
+		t.Errorf("workers=6 diverged from workers=1:\n--- serial ---\n%s--- parallel ---\n%s", a, b)
+	}
+	for i, r := range serial {
+		if len(r.Result.VolumeQueues) != scens[i].Config.NumVolumes {
+			t.Errorf("%s: %d VolumeQueues entries, want %d",
+				r.Scenario.Name, len(r.Result.VolumeQueues), scens[i].Config.NumVolumes)
 		}
 	}
 }
