@@ -470,6 +470,48 @@ func BenchmarkScheduledVolume(b *testing.B) {
 	}
 }
 
+// BenchmarkCongestedPair drives the shared-backbone path end to end:
+// the ccm pair behind a congested 40 MB/s link under fair sharing, so
+// every cache<->volume transfer goes through enqueue, rate-sharing
+// epochs (the repost-heavy scheduler), and pooled-transfer completion.
+// Gated against the BENCH_PR6.json waterline by scripts/bench_check.sh.
+func BenchmarkCongestedPair(b *testing.B) {
+	skipIfShort(b)
+	spec, err := apps.Lookup("ccm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	t1, err := workload.Generate(spec.Build(1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	t2, err := workload.Generate(spec.Build(2, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.BackboneMBps = 40
+	cfg.BackboneSched = sim.BackboneFairShare
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AddProcess("a", t1); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AddProcess("b", t2); err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WallSeconds(), "simulated-s")
+	}
+}
+
 func BenchmarkCollectPipeline(b *testing.B) {
 	recs := venusTrace(b)
 	var data []*trace.Record

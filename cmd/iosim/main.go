@@ -12,6 +12,9 @@
 //	iosim -app ccm -copies 2 -sweep 4,32 -sweepvols 1,2,4,8
 //	iosim -app ccm -copies 4 -wb=false -sched scan            # elevator scheduling
 //	iosim -app ccm -copies 4 -sweep 32 -sweepsched fcfs,sstf,scan
+//	iosim -app ccm -copies 4 -backbone 40 -bsched periodic    # shared-backbone congestion
+//	iosim -app ccm -copies 2 -backbone 100 -burst 64 -drain 50
+//	iosim -app ccm -copies 2 -sweep 32 -sweepbackbone 0,100,40
 package main
 
 import (
@@ -54,6 +57,12 @@ func main() {
 		blocks   = flag.String("sweepblocks", "", "comma-separated block sizes in KB for -sweep (default: -block)")
 		svols    = flag.String("sweepvols", "", "comma-separated volume counts for -sweep (default: -volumes)")
 		workers  = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+		backbone = flag.Float64("backbone", 0, "shared I/O backbone bandwidth in MB/s (0 = off)")
+		bsched   = flag.String("bsched", "fifo", "backbone scheduling: fifo, fair, or periodic")
+		bperiod  = flag.Float64("bperiod", 0, "periodic backbone round length in ms (0 = 1000)")
+		burst    = flag.Int64("burst", 0, "burst-buffer capacity in MB (0 = off)")
+		drain    = flag.Float64("drain", 0, "burst-buffer drain bandwidth in MB/s (required with -burst)")
+		sbb      = flag.String("sweepbackbone", "", "comma-separated backbone MB/s values for -sweep (0 = off)")
 	)
 	flag.Parse()
 
@@ -85,6 +94,17 @@ func main() {
 		iotrace.Placement(policy),
 	)
 	cfg.StripeUnitBytes = *unitKB << 10
+	bpol, err := iotrace.ParseBackboneSched(*bsched)
+	if err != nil {
+		fatal(err)
+	}
+	if *backbone > 0 || *sbb != "" {
+		cfg = iotrace.Configure(cfg, iotrace.Backbone(*backbone, bpol))
+		cfg.BackbonePeriodTicks = trace.TicksFromSeconds(*bperiod / 1000)
+	}
+	if *burst > 0 {
+		cfg = iotrace.Configure(cfg, iotrace.BurstBuffer(*burst, *drain))
+	}
 	// -split is applied per scenario in -sweep mode: the Volumes axis
 	// overrides NumVolumes after the base config is built, so splitting
 	// here would divide by the wrong (flag-level) volume count.
@@ -123,7 +143,7 @@ func main() {
 		if *series {
 			fmt.Fprintln(os.Stderr, "iosim: -series is ignored in -sweep mode (charts are per-run)")
 		}
-		runSweep(ctx, w, cfg, *sweep, *blocks, *svols, *ssched, *blockKB, *workers, *splitVol)
+		runSweep(ctx, w, cfg, *sweep, *blocks, *svols, *ssched, *sbb, *blockKB, *workers, *splitVol)
 		return
 	}
 
@@ -169,8 +189,28 @@ func main() {
 		}
 	}
 	for _, p := range res.Procs {
-		fmt.Printf("  %-12s finished %8.1f s  cpu %8.1f s  blocked %8.1f s\n",
+		fmt.Printf("  %-12s finished %8.1f s  cpu %8.1f s  blocked %8.1f s",
 			p.Name, p.FinishSec, p.CPUSec, p.BlockedSec)
+		if res.Backbone != nil {
+			fmt.Printf("  dilation %.2fx", p.Dilation)
+		}
+		fmt.Println()
+	}
+	if bb := res.Backbone; bb != nil {
+		fmt.Printf("system efficiency %.3f (mean per-app utilization)\n", res.SystemEfficiency)
+		fmt.Printf("backbone (%v, %.0f MB/s): %d transfers, %.1f MB, busy %.1f s, waited %.1f s, max queue %d\n",
+			cfg.BackboneSched, cfg.BackboneMBps, bb.Transfers, float64(bb.Bytes)/1e6,
+			bb.BusySec, bb.WaitSec, bb.MaxQueue)
+		for _, a := range bb.PerApp {
+			fmt.Printf("  app pid %-4d %8d transfers %10.1f MB  busy %7.1f s  waited %7.1f s\n",
+				a.PID, a.Transfers, float64(a.Bytes)/1e6, a.BusySec, a.WaitSec)
+		}
+	}
+	if bs := res.Burst; bs != nil {
+		fmt.Printf("burst buffer: absorbed %d writes (%.1f MB), bypassed %d (%.1f MB), drained %.1f MB, peak %.1f MB\n",
+			bs.AbsorbedWrites, float64(bs.AbsorbedBytes)/1e6,
+			bs.BypassedWrites, float64(bs.BypassedBytes)/1e6,
+			float64(bs.DrainedBytes)/1e6, float64(bs.PeakBytes)/1e6)
 	}
 	if *series {
 		read := mbps(res.DiskReadRate.Bins())
@@ -182,9 +222,10 @@ func main() {
 	}
 }
 
-// runSweep expands the -sweep/-sweepblocks/-sweepvols/-sweepsched axes
-// over the base config and executes them on the facade's worker pool.
-func runSweep(ctx context.Context, w *iotrace.Workload, base iotrace.Config, sweepMB, sweepKB, sweepVols, sweepSched string, blockKB int64, workers int, splitVol bool) {
+// runSweep expands the -sweep/-sweepblocks/-sweepvols/-sweepsched/
+// -sweepbackbone axes over the base config and executes them on the
+// facade's worker pool.
+func runSweep(ctx context.Context, w *iotrace.Workload, base iotrace.Config, sweepMB, sweepKB, sweepVols, sweepSched, sweepBB string, blockKB int64, workers int, splitVol bool) {
 	caches, err := parseInt64List(sweepMB)
 	if err != nil {
 		fatal(fmt.Errorf("-sweep: %w", err))
@@ -215,8 +256,19 @@ func runSweep(ctx context.Context, w *iotrace.Workload, base iotrace.Config, swe
 			scheds = append(scheds, pol)
 		}
 	}
+	var backbones []float64
+	if sweepBB != "" {
+		for _, part := range strings.Split(sweepBB, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fatal(fmt.Errorf("-sweepbackbone: %w", err))
+			}
+			backbones = append(backbones, v)
+		}
+	}
 	grid := iotrace.Grid{
 		Base: &base, CacheMB: caches, BlockKB: blocks, Volumes: vols, Schedulers: scheds,
+		Backbones: backbones,
 		// Per-scenario spindle conservation: each cell splits the base
 		// volume by its own NumVolumes (set by the Volumes axis).
 		SplitSpindles: splitVol,
@@ -224,15 +276,16 @@ func runSweep(ctx context.Context, w *iotrace.Workload, base iotrace.Config, swe
 	results, swErr := w.Sweep(ctx, grid.Scenarios(), workers)
 	// On cancellation Sweep still returns every finished scenario, so
 	// print the partial table before exiting non-zero.
-	fmt.Printf("%-24s %10s %10s %12s %10s %10s\n", "scenario", "wall (s)", "idle (s)", "utilization", "hit ratio", "imbalance")
+	fmt.Printf("%-28s %10s %10s %12s %10s %10s %9s\n", "scenario", "wall (s)", "idle (s)", "utilization", "hit ratio", "imbalance", "sys eff")
 	for _, r := range results {
 		if r.Err != nil {
-			fmt.Printf("%-24s error: %v\n", r.Scenario.Name, r.Err)
+			fmt.Printf("%-28s error: %v\n", r.Scenario.Name, r.Err)
 			continue
 		}
-		fmt.Printf("%-24s %10.1f %10.1f %11.2f%% %10.3f %10.2f\n",
+		fmt.Printf("%-28s %10.1f %10.1f %11.2f%% %10.3f %10.2f %9.3f\n",
 			r.Scenario.Name, r.Result.WallSeconds(), r.Result.IdleSeconds(),
-			100*r.Result.Utilization(), r.Result.Cache.ReadHitRatio(), r.Result.VolumeImbalance())
+			100*r.Result.Utilization(), r.Result.Cache.ReadHitRatio(), r.Result.VolumeImbalance(),
+			r.Result.SystemEfficiency)
 	}
 	if swErr != nil {
 		fatal(swErr)

@@ -48,9 +48,48 @@ const (
 // queueing; see Result.VolumeQueues.
 type VolumeQueueStats = sim.VolumeQueueStats
 
+// ProcQueueStats is one process's share of a volume's queue waits — the
+// per-application fairness ledger inside VolumeQueueStats.PerProc.
+type ProcQueueStats = sim.ProcQueueStats
+
 // FlushStats summarizes the background flusher's write-back runs,
 // including cross-volume overlap; see Result.Flush.
 type FlushStats = sim.FlushStats
+
+// BackboneSchedPolicy selects how the shared I/O backbone arbitrates
+// bandwidth among applications: BackboneFIFO, BackboneFairShare, or
+// BackbonePeriodic. See the Backbone option.
+type BackboneSchedPolicy = sim.BackboneSched
+
+// Backbone scheduling policies (Config.BackboneSched).
+const (
+	// BackboneFIFO is the uncoordinated baseline: one global queue,
+	// arrival order, full bandwidth per transfer.
+	BackboneFIFO = sim.BackboneFIFO
+	// BackboneFairShare divides the backbone max-min fairly among the
+	// applications with transfers in flight, recomputing at every
+	// arrival and departure.
+	BackboneFairShare = sim.BackboneFairShare
+	// BackbonePeriodic gives each application an exclusive window of a
+	// fixed repeating period — Aupy et al.'s offline periodic schedule.
+	BackbonePeriodic = sim.BackbonePeriodic
+)
+
+// BackboneStats reports shared-backbone activity with per-application
+// attribution; see Result.Backbone.
+type BackboneStats = sim.BackboneStats
+
+// BackboneAppStats is one application's share of backbone activity.
+type BackboneAppStats = sim.BackboneAppStats
+
+// BurstStats reports burst-buffer activity; see Result.Burst.
+type BurstStats = sim.BurstStats
+
+// ParseBackboneSched converts a policy name ("fifo", "fair",
+// "periodic") to a BackboneSchedPolicy.
+func ParseBackboneSched(s string) (BackboneSchedPolicy, error) {
+	return sim.ParseBackboneSched(s)
+}
 
 // ParseScheduler converts a policy name ("fcfs", "sstf", "scan") to a
 // SchedulerPolicy.
@@ -130,6 +169,34 @@ func Scheduling(p SchedulerPolicy) ConfigOption {
 	return func(c *Config) {
 		c.DiskQueueing = true
 		c.Scheduler = p
+	}
+}
+
+// Backbone routes every cache<->volume transfer across a shared I/O
+// backbone of the given aggregate bandwidth (MB/s), arbitrated among
+// the run's applications by the given policy. With the backbone off
+// (the default) each application's transfers complete as if it owned
+// the I/O path alone — the paper's isolated model; turning it on
+// couples the applications the way a shared interconnect does.
+// Result.Backbone reports the crossings, waits, and per-application
+// attribution; Result.SystemEfficiency and each process's Dilation
+// quantify the congestion.
+func Backbone(mbps float64, sched BackboneSchedPolicy) ConfigOption {
+	return func(c *Config) {
+		c.BackboneMBps = mbps
+		c.BackboneSched = sched
+	}
+}
+
+// BurstBuffer puts a burst-absorbing tier of the given capacity (MB)
+// between the cache and the volume array: volume-bound writes that fit
+// complete at backbone speed and drain to the volumes in the background
+// at drainMBps. Writes that find the buffer full go straight to the
+// array. Result.Burst reports absorbs, bypasses, and drains.
+func BurstBuffer(mb int64, drainMBps float64) ConfigOption {
+	return func(c *Config) {
+		c.BurstBufferMB = mb
+		c.BurstDrainMBps = drainMBps
 	}
 }
 

@@ -142,6 +142,64 @@ func Example_scheduling() {
 	// scan wall 1352.4 s, seek 675.1 s, 1789.0 s queued
 }
 
+// checkpointTrace hand-builds the trace of a cyclic checkpointing
+// application: each cycle computes for computeSec, then dumps
+// stateBytes of state in reqBytes-sized synchronous writes.
+func checkpointTrace(pid uint32, cycles int, computeSec float64, stateBytes, reqBytes int64) []*iotrace.Record {
+	var recs []*iotrace.Record
+	var cpu iotrace.Ticks
+	op := uint32(1)
+	for c := 0; c < cycles; c++ {
+		cpu += iotrace.TicksFromSeconds(computeSec)
+		for off := int64(0); off < stateBytes; off += reqBytes {
+			recs = append(recs, &iotrace.Record{
+				Type:      iotrace.LogicalRecord | iotrace.WriteOp,
+				ProcessID: pid, FileID: 1, OperationID: op,
+				Offset: off, Length: reqBytes,
+				Start: cpu, Completion: 1, ProcessTime: cpu,
+			})
+			op++
+		}
+	}
+	return append(recs, iotrace.EndOfTrace(cpu, cpu))
+}
+
+// Four checkpointing applications share a 40 MB/s I/O backbone: two
+// with 8 MB of state, two with 512 KB, all writing through to their
+// volume. Uncoordinated FIFO lets the bursts convoy — small requests
+// stall behind megabyte transfers. Fair sharing protects the small
+// applications but stretches every colliding burst. Periodic windows
+// matched to the common 1.6 s checkpoint cycle phase-lock each
+// application into its own slot, and win on system efficiency.
+func Example_congestion() {
+	w := &iotrace.Workload{}
+	w.AddTrace("big-a", checkpointTrace(1, 20, 1.27, 8<<20, 1<<20))
+	w.AddTrace("big-b", checkpointTrace(2, 20, 1.27, 8<<20, 1<<20))
+	w.AddTrace("small-a", checkpointTrace(3, 20, 1.53, 512<<10, 64<<10))
+	w.AddTrace("small-b", checkpointTrace(4, 20, 1.53, 512<<10, 64<<10))
+
+	for _, sched := range []iotrace.BackboneSchedPolicy{
+		iotrace.BackboneFIFO, iotrace.BackboneFairShare, iotrace.BackbonePeriodic,
+	} {
+		cfg := iotrace.Configure(iotrace.DefaultConfig(),
+			iotrace.Backbone(40, sched), // 40 MB/s shared link
+		)
+		cfg.NumCPUs = 4
+		cfg.WriteBehind = false // checkpoints write through
+		cfg.BackbonePeriodTicks = iotrace.TicksFromSeconds(1.6)
+		res, err := w.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8v system efficiency %.3f, wall %.1f s\n",
+			sched, res.SystemEfficiency, res.WallSeconds())
+	}
+	// Output:
+	// fifo     system efficiency 0.823, wall 34.1 s
+	// fair     system efficiency 0.848, wall 34.8 s
+	// periodic system efficiency 0.866, wall 32.8 s
+}
+
 // Shard the storage tier: 4 volumes, 64 KB striping. Result.Volumes
 // breaks disk activity down per volume and VolumeImbalance summarizes
 // how evenly the array carried it.

@@ -132,6 +132,71 @@ func TestSteadyStateMissPathRecyclesFetches(t *testing.T) {
 	}
 }
 
+// TestBackboneTransferPathZeroAllocs drives the miss-heavy loop through
+// a congested shared backbone under each scheduler and asserts the
+// granted-transfer hot path — pooled transfer, enqueue, grant (epoch
+// recompute or periodic-window math), completion, recycle — allocates
+// nothing in steady state.
+func TestBackboneTransferPathZeroAllocs(t *testing.T) {
+	for _, sched := range []BackboneSched{BackboneFIFO, BackboneFairShare, BackbonePeriodic} {
+		t.Run(sched.String(), func(t *testing.T) {
+			cfg := allocConfig()
+			cfg.ReadAhead = false
+			cfg.CacheBytes = 1 << 20 // tiny: every wide-stride read misses
+			cfg.BackboneMBps = 50    // scarce: transfers queue and share
+			cfg.BackboneSched = sched
+			items := make([]ioItem, 4000)
+			for i := range items {
+				items[i] = ioItem{file: 1, off: int64(i) << 21, ln: 1 << 18}
+			}
+			s := startAllocHarness(t, cfg, mkTrace(1, items, 0.01))
+			s.backbone.setApps(s.procs) // RunContext does this before dispatching
+
+			s.stepN(3000) // transfer pool and heap reach high water
+			missBefore := s.cache.stats.ReadMissReqs
+			xfersBefore := s.backbone.apps[0].transfers
+			allocs := testing.AllocsPerRun(50, func() { s.stepN(40) })
+			if misses := s.cache.stats.ReadMissReqs - missBefore; misses == 0 {
+				t.Fatal("harness drove no misses")
+			}
+			if s.backbone.apps[0].transfers == xfersBefore {
+				t.Fatal("harness drove no backbone transfers")
+			}
+			if allocs != 0 {
+				t.Errorf("backbone transfer path allocates %.1f allocs per 40 events, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestBurstAbsorbPathZeroAllocs repeats the assertion for the burst
+// buffer: absorb, pooled drain entry, background drain, volume write.
+func TestBurstAbsorbPathZeroAllocs(t *testing.T) {
+	cfg := allocConfig()
+	cfg.ReadAhead = false
+	cfg.WriteBehind = false // synchronous write-through feeds the buffer
+	cfg.BackboneMBps = 200
+	cfg.BackboneSched = BackboneFIFO
+	cfg.BurstBufferMB = 64
+	cfg.BurstDrainMBps = 100
+	items := make([]ioItem, 4000)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i%64) << 20, ln: 1 << 18, write: true}
+	}
+	s := startAllocHarness(t, cfg, mkTrace(1, items, 0.01))
+	s.backbone.setApps(s.procs)
+
+	s.stepN(3000) // drain-entry pool reaches high water
+	absorbedBefore := s.burst.absorbed
+	allocs := testing.AllocsPerRun(50, func() { s.stepN(40) })
+	if s.burst.absorbed == absorbedBefore {
+		t.Fatal("harness drove no burst absorbs")
+	}
+	if allocs != 0 {
+		t.Errorf("burst absorb path allocates %.1f allocs per 40 events, want 0", allocs)
+	}
+}
+
 // TestShardedMissPathZeroAllocs repeats the miss-heavy loop on a striped
 // 4-volume array: the placement split must serve every request from the
 // disk's segment scratch, so sharding adds no steady-state allocations.

@@ -1,0 +1,380 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"iotrace/internal/trace"
+)
+
+func TestParseBackboneSched(t *testing.T) {
+	cases := map[string]BackboneSched{
+		"fifo": BackboneFIFO, "uncoordinated": BackboneFIFO,
+		"fair": BackboneFairShare, "fairshare": BackboneFairShare, "fair-share": BackboneFairShare,
+		"periodic": BackbonePeriodic,
+	}
+	for in, want := range cases {
+		got, err := ParseBackboneSched(in)
+		if err != nil || got != want {
+			t.Errorf("ParseBackboneSched(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseBackboneSched("tdma"); err == nil {
+		t.Error("ParseBackboneSched accepted an unknown name")
+	}
+	for _, s := range []BackboneSched{BackboneFIFO, BackboneFairShare, BackbonePeriodic} {
+		rt, err := ParseBackboneSched(s.String())
+		if err != nil || rt != s {
+			t.Errorf("String/Parse round trip broke for %v: got %v, %v", s, rt, err)
+		}
+	}
+}
+
+func TestBackboneConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.BackboneMBps = -1 },
+		func(c *Config) { c.BackboneSched = BackboneSched(9) },
+		func(c *Config) { c.BackbonePeriodTicks = -1 },
+		func(c *Config) { c.BurstBufferMB = -1 },
+		func(c *Config) { c.BurstBufferMB = 64 }, // no drain bandwidth
+		func(c *Config) { c.BurstDrainMBps = -1 },
+	}
+	for i, tweak := range bad {
+		c := DefaultConfig()
+		tweak(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+	c := DefaultConfig()
+	c.BackboneMBps = 100
+	c.BackboneSched = BackbonePeriodic
+	c.BurstBufferMB = 64
+	c.BurstDrainMBps = 50
+	if err := c.Validate(); err != nil {
+		t.Errorf("good congestion config rejected: %v", err)
+	}
+}
+
+// TestPeriodicDelay pins the closed-form fixed-window completion math
+// against hand-computed schedules: 4 apps, window 100, period 400.
+func TestPeriodicDelay(t *testing.T) {
+	bb := &backbone{window: 100, period: 400}
+	cases := []struct {
+		app       int32
+		now, need trace.Ticks
+		want      trace.Ticks // delay after now
+	}{
+		{0, 0, 50, 50},     // fits in the current window
+		{0, 0, 100, 100},   // exactly fills the window
+		{0, 0, 150, 450},   // 100 now, 50 in the next period's window
+		{0, 0, 400, 1300},  // four full windows: [0,100) [400,500) [800,900) [1200,1300)
+		{0, 30, 80, 380},   // 70 ticks left now, 10 more at [400,410)
+		{1, 0, 30, 130},    // waits for its window at t=100
+		{1, 150, 30, 30},   // inside its own window with 50 ticks left
+		{2, 950, 250, 900}, // window opens at 1000; 100+100+50 -> done at 1850
+		{3, 399, 1, 1},     // the window's last tick crosses immediately
+	}
+	for i, tc := range cases {
+		if got := bb.periodicDelay(tc.app, tc.now, tc.need); got != tc.want {
+			t.Errorf("case %d: periodicDelay(app %d, now %d, need %d) = %d, want %d",
+				i, tc.app, tc.now, tc.need, got, tc.want)
+		}
+	}
+	// One app: the window is the whole period, so delay == need always.
+	solo := &backbone{window: 400, period: 400}
+	if got := solo.periodicDelay(0, 1234, 777); got != 777 {
+		t.Errorf("solo periodicDelay = %d, want 777", got)
+	}
+}
+
+// TestBackboneOffGoldenEquivalence is the do-no-harm bar for the whole
+// congestion subsystem: with BackboneMBps == 0 every other congestion
+// knob is inert, and all three golden sets — equivalence, sharded,
+// scheduler — replay byte for byte through the new code paths.
+func TestBackboneOffGoldenEquivalence(t *testing.T) {
+	// Set every ignored knob to a conspicuous value: if any of them
+	// leaks into the disabled path, the goldens catch it.
+	off := func(c *Config) {
+		c.BackboneMBps = 0
+		c.BackboneSched = BackbonePeriodic
+		c.BackbonePeriodTicks = 777
+		c.BurstBufferMB = 0
+		c.BurstDrainMBps = 12
+	}
+	appNames := []string{"ccm"}
+	if !testing.Short() {
+		appNames = append(appNames, "venus")
+	}
+	traces := map[string][2][]*trace.Record{}
+	for _, name := range appNames {
+		a, b := appPair(t, name)
+		traces[name] = [2][]*trace.Record{a, b}
+	}
+
+	equivGoldens := loadGoldens(t, "equiv.golden")
+	for _, tc := range equivCases() {
+		t.Run("equiv/"+tc.name, func(t *testing.T) {
+			tr, ok := traces[tc.app]
+			if !ok {
+				t.Skipf("%s workload: skipped in -short mode", tc.app)
+			}
+			cfg := tc.cfg()
+			off(&cfg)
+			got := fingerprint(simulatePair(t, cfg, tr[0], tr[1]))
+			checkGolden(t, equivGoldens, "equiv.golden", tc.name, got)
+		})
+	}
+	shardedGoldens := loadGoldens(t, "sharded.golden")
+	for _, tc := range shardedCases() {
+		t.Run("sharded/"+tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			off(&cfg)
+			tr := traces["ccm"]
+			got := volumeFingerprint(simulatePair(t, cfg, tr[0], tr[1]))
+			checkGolden(t, shardedGoldens, "sharded.golden", tc.name, got)
+		})
+	}
+	schedGoldens := loadGoldens(t, "sched.golden")
+	for _, tc := range schedCases() {
+		t.Run("sched/"+tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			off(&cfg)
+			tr := traces["ccm"]
+			got := schedFingerprint(simulatePair(t, cfg, tr[0], tr[1]))
+			checkGolden(t, schedGoldens, "sched.golden", tc.name, got)
+		})
+	}
+}
+
+// backboneFingerprint extends the Result fingerprint with everything the
+// congestion subsystem reports: system efficiency, per-process dilation,
+// backbone aggregate and per-app stats, and burst-buffer stats.
+func backboneFingerprint(res *Result) string {
+	s := fingerprint(res) + fmt.Sprintf("|syseff=%.6f|dil=", res.SystemEfficiency)
+	for i, p := range res.Procs {
+		if i > 0 {
+			s += ";"
+		}
+		s += fmt.Sprintf("%.6f", p.Dilation)
+	}
+	if res.Backbone != nil {
+		s += fmt.Sprintf("|bb=%+v", *res.Backbone)
+	}
+	if res.Burst != nil {
+		s += fmt.Sprintf("|burst=%+v", *res.Burst)
+	}
+	return s
+}
+
+// backboneCases are the congested configurations pinned by
+// testdata/backbone.golden: each scheduler at moderate and scarce
+// bandwidth, the burst-buffer tier (roomy and overflowing), and the
+// backbone composed with a deferred volume scheduler.
+func backboneCases() []equivCase {
+	withBB := func(mbps float64, sched BackboneSched, tweak func(*Config)) func() Config {
+		return func() Config {
+			c := DefaultConfig()
+			c.BackboneMBps = mbps
+			c.BackboneSched = sched
+			if tweak != nil {
+				tweak(&c)
+			}
+			return c
+		}
+	}
+	wt := func(c *Config) { c.WriteBehind = false }
+	return []equivCase{
+		{"ccm-fifo-100", "ccm", withBB(100, BackboneFIFO, nil)},
+		{"ccm-fair-100", "ccm", withBB(100, BackboneFairShare, nil)},
+		{"ccm-periodic-100", "ccm", withBB(100, BackbonePeriodic, nil)},
+		{"ccm-fifo-40-wt", "ccm", withBB(40, BackboneFIFO, wt)},
+		{"ccm-fair-40-wt", "ccm", withBB(40, BackboneFairShare, wt)},
+		{"ccm-periodic-40-wt", "ccm", withBB(40, BackbonePeriodic, wt)},
+		{"ccm-periodic-100ms", "ccm", withBB(60, BackbonePeriodic, func(c *Config) {
+			c.BackbonePeriodTicks = trace.TicksPerSecond / 10
+		})},
+		{"ccm-burst-64", "ccm", withBB(100, BackboneFIFO, func(c *Config) {
+			c.WriteBehind = false
+			c.BurstBufferMB = 64
+			c.BurstDrainMBps = 50
+		})},
+		{"ccm-burst-1-overflow", "ccm", withBB(100, BackboneFIFO, func(c *Config) {
+			c.WriteBehind = false
+			c.BurstBufferMB = 1
+			c.BurstDrainMBps = 10
+		})},
+		{"ccm-fair-sstf", "ccm", withBB(80, BackboneFairShare, func(c *Config) {
+			c.DiskQueueing = true
+			c.Scheduler = SchedSSTF
+		})},
+	}
+}
+
+// TestBackboneGoldens pins the congested configurations against
+// testdata/backbone.golden, the same way the other golden sets pin the
+// isolated engine. Regenerate with scripts/regen_goldens.sh.
+func TestBackboneGoldens(t *testing.T) {
+	write := goldenWriteMode(t)
+	var goldens map[string]string
+	if !write {
+		goldens = loadGoldens(t, "backbone.golden")
+	}
+	a, b := appPair(t, "ccm")
+	got := map[string]string{}
+	for _, tc := range backboneCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			fp := backboneFingerprint(simulatePair(t, tc.cfg(), a, b))
+			if write {
+				got[tc.name] = fp
+				return
+			}
+			checkGolden(t, goldens, "backbone.golden", tc.name, fp)
+		})
+	}
+	if write {
+		writeGoldens(t, "backbone.golden", got)
+	}
+}
+
+// TestBackboneAttributionSums pins the attribution invariants: per-app
+// backbone stats sum exactly to the aggregate, every process's dilation
+// is at least 1, congestion makes the run no faster, and with the
+// backbone off the congestion fields are inert.
+func TestBackboneAttributionSums(t *testing.T) {
+	a, b := appPair(t, "ccm")
+
+	base := simulatePair(t, DefaultConfig(), a, b)
+	if base.Backbone != nil || base.Burst != nil {
+		t.Fatal("backbone-off run reported congestion stats")
+	}
+	for _, p := range base.Procs {
+		if p.Dilation != 1 {
+			t.Errorf("backbone-off dilation %s = %v, want exactly 1", p.Name, p.Dilation)
+		}
+	}
+
+	for _, sched := range []BackboneSched{BackboneFIFO, BackboneFairShare, BackbonePeriodic} {
+		t.Run(sched.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.BackboneMBps = 60
+			cfg.BackboneSched = sched
+			cfg.WriteBehind = false
+			res := simulatePair(t, cfg, a, b)
+			bb := res.Backbone
+			if bb == nil {
+				t.Fatal("no backbone stats")
+			}
+			if bb.Transfers == 0 || bb.Bytes == 0 {
+				t.Fatal("backbone saw no traffic")
+			}
+			var sum BackboneAppStats
+			for i, app := range bb.PerApp {
+				if i > 0 && app.PID <= bb.PerApp[i-1].PID {
+					t.Errorf("PerApp not in ascending PID order: %d after %d", app.PID, bb.PerApp[i-1].PID)
+				}
+				sum.Transfers += app.Transfers
+				sum.Bytes += app.Bytes
+				sum.BusySec += app.BusySec
+				sum.WaitSec += app.WaitSec
+			}
+			if sum.Transfers != bb.Transfers || sum.Bytes != bb.Bytes {
+				t.Errorf("per-app counts %+v do not sum to aggregate %+v", sum, bb)
+			}
+			if math.Abs(sum.BusySec-bb.BusySec) > 1e-9 || math.Abs(sum.WaitSec-bb.WaitSec) > 1e-9 {
+				t.Errorf("per-app seconds (%.9f, %.9f) do not sum to aggregate (%.9f, %.9f)",
+					sum.BusySec, sum.WaitSec, bb.BusySec, bb.WaitSec)
+			}
+			if bb.MaxQueue < 1 {
+				t.Errorf("MaxQueue = %d with traffic", bb.MaxQueue)
+			}
+			for _, p := range res.Procs {
+				if p.Dilation < 1 {
+					t.Errorf("%s dilation %v < 1", p.Name, p.Dilation)
+				}
+			}
+			if res.WallTicks < base.WallTicks {
+				t.Errorf("congested wall %d < uncongested %d", res.WallTicks, base.WallTicks)
+			}
+			if res.SystemEfficiency <= 0 || res.SystemEfficiency > 1 {
+				t.Errorf("SystemEfficiency = %v outside (0, 1]", res.SystemEfficiency)
+			}
+		})
+	}
+}
+
+// TestBurstBufferAccounting drives synchronous write-through traffic
+// through a small burst buffer and checks conservation: every write is
+// either absorbed or bypassed, and everything absorbed eventually
+// drains (byte for byte) to the volume array.
+func TestBurstBufferAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WriteBehind = false
+	cfg.BackboneMBps = 200
+	cfg.BurstBufferMB = 2
+	cfg.BurstDrainMBps = 20
+	items := make([]ioItem, 200)
+	for i := range items {
+		items[i] = ioItem{file: 1, off: int64(i) << 20, ln: 1 << 20, write: true, cpuBefore: 0.001}
+	}
+	res := run(t, cfg, mkTrace(1, items, 0.01))
+	bs := res.Burst
+	if bs == nil {
+		t.Fatal("no burst stats")
+	}
+	if bs.AbsorbedWrites == 0 {
+		t.Fatal("buffer absorbed nothing")
+	}
+	if bs.AbsorbedWrites+bs.BypassedWrites != 200 {
+		t.Errorf("absorbed %d + bypassed %d != 200 writes", bs.AbsorbedWrites, bs.BypassedWrites)
+	}
+	if bs.DrainedBytes != bs.AbsorbedBytes {
+		t.Errorf("drained %d bytes != absorbed %d (buffer did not fully drain)", bs.DrainedBytes, bs.AbsorbedBytes)
+	}
+	if bs.PeakBytes > cfg.BurstBufferMB<<20 {
+		t.Errorf("peak %d exceeds capacity %d", bs.PeakBytes, cfg.BurstBufferMB<<20)
+	}
+	// Drains land on the volumes as writes: the array must have seen at
+	// least the drained bytes.
+	if res.Disk.WriteBytes < bs.DrainedBytes {
+		t.Errorf("volume writes %d < drained %d", res.Disk.WriteBytes, bs.DrainedBytes)
+	}
+}
+
+// TestPerProcQueueAttribution pins the per-process queue-wait ledger:
+// under SSTF with two processes the per-proc entries are in PID order,
+// their waits are attributed, and each process's WaitSec is bounded by
+// the volume's aggregate.
+func TestPerProcQueueAttribution(t *testing.T) {
+	a, b := appPair(t, "ccm")
+	cfg := DefaultConfig()
+	cfg.DiskQueueing = true
+	cfg.Scheduler = SchedSSTF
+	cfg.WriteBehind = false
+	res := simulatePair(t, cfg, a, b)
+	if len(res.VolumeQueues) != 1 {
+		t.Fatalf("%d queue entries", len(res.VolumeQueues))
+	}
+	q := res.VolumeQueues[0]
+	if len(q.PerProc) == 0 {
+		t.Fatal("no per-process queue attribution under contention")
+	}
+	var waitSum float64
+	for i, pp := range q.PerProc {
+		if i > 0 && pp.PID <= q.PerProc[i-1].PID {
+			t.Errorf("PerProc not in PID order: %d after %d", pp.PID, q.PerProc[i-1].PID)
+		}
+		if pp.Waits <= 0 || pp.WaitSec < 0 || pp.MaxWaitSec > pp.WaitSec {
+			t.Errorf("implausible per-proc entry %+v", pp)
+		}
+		waitSum += pp.WaitSec
+	}
+	// Per-proc waits are settled at dispatch (vs the aggregate's arrival
+	// counting) but measure the same queueing, so the totals agree to a
+	// tick's rounding per request.
+	slack := float64(q.Waits+1) / float64(trace.TicksPerSecond)
+	if waitSum > q.WaitSec+slack {
+		t.Errorf("per-proc wait sum %.6f exceeds aggregate %.6f", waitSum, q.WaitSec)
+	}
+}

@@ -138,6 +138,35 @@ type Config struct {
 
 	// RateBinTicks is the bin width of the result's rate series.
 	RateBinTicks trace.Ticks
+
+	// BackboneMBps caps the shared I/O backbone every cache<->volume
+	// transfer must cross, in MB/s aggregate across all applications.
+	// 0 (the default) disables the backbone entirely: transfers
+	// complete the moment their volume service does, byte-identical to
+	// the isolated engine the paper describes.
+	BackboneMBps float64
+
+	// BackboneSched selects how the backbone arbitrates bandwidth among
+	// applications: BackboneFIFO (uncoordinated global queue),
+	// BackboneFairShare (max-min fair, recomputed at arrival/departure
+	// epochs), or BackbonePeriodic (fixed round-based per-app windows).
+	// Ignored when BackboneMBps == 0.
+	BackboneSched BackboneSched
+
+	// BackbonePeriodTicks is the period of BackbonePeriodic's round
+	// (divided evenly into one window per application). 0 defaults to
+	// one second. Ignored by the other schedulers.
+	BackbonePeriodTicks trace.Ticks
+
+	// BurstBufferMB sizes an optional burst-buffer tier between the
+	// cache and the volume array: volume-bound writes that fit are
+	// absorbed at backbone speed and drained to the volumes in the
+	// background. 0 disables the tier.
+	BurstBufferMB int64
+
+	// BurstDrainMBps is the background drain bandwidth from the burst
+	// buffer to the volume array. Required > 0 when BurstBufferMB > 0.
+	BurstDrainMBps float64
 }
 
 // DefaultConfig returns the baseline configuration used by the paper
@@ -217,6 +246,24 @@ func (c *Config) Validate() error {
 	}
 	if c.FrontBytes < 0 {
 		return fmt.Errorf("sim: front tier %d bytes", c.FrontBytes)
+	}
+	if c.BackboneMBps < 0 {
+		return fmt.Errorf("sim: backbone bandwidth %g MB/s", c.BackboneMBps)
+	}
+	if c.BackboneSched != BackboneFIFO && c.BackboneSched != BackboneFairShare && c.BackboneSched != BackbonePeriodic {
+		return fmt.Errorf("sim: unknown backbone scheduler %d", c.BackboneSched)
+	}
+	if c.BackbonePeriodTicks < 0 {
+		return fmt.Errorf("sim: backbone period %d ticks", c.BackbonePeriodTicks)
+	}
+	if c.BurstBufferMB < 0 {
+		return fmt.Errorf("sim: burst buffer %d MB", c.BurstBufferMB)
+	}
+	if c.BurstBufferMB > 0 && c.BurstDrainMBps <= 0 {
+		return fmt.Errorf("sim: burst buffer needs a positive drain bandwidth (got %g MB/s)", c.BurstDrainMBps)
+	}
+	if c.BurstDrainMBps < 0 {
+		return fmt.Errorf("sim: burst drain bandwidth %g MB/s", c.BurstDrainMBps)
 	}
 	return nil
 }

@@ -85,6 +85,16 @@ type volume struct {
 	maxQueueDepth           int
 	queueWaits              int64
 	queueWaitTicks          trace.Ticks
+	procQ                   []procWaitAcc // per-pid queue-wait ledger
+}
+
+// procWaitAcc accumulates one process's queue waits on one volume
+// (VolumeQueueStats.PerProc).
+type procWaitAcc struct {
+	pid       uint32
+	waits     int64
+	waitTicks trace.Ticks
+	maxWait   trace.Ticks
 }
 
 // fileSpacing separates synthetic file bases; crossing files costs a
@@ -318,9 +328,20 @@ func (s *Simulator) diskAccess(fileID uint32, off, size int64, write bool, done 
 // on the closed-form path below, which is byte-identical to the
 // pre-scheduler queueing engine.
 func (s *Simulator) diskAccessTagged(fileID uint32, off, size int64, write bool, tag physOp, done event) {
+	if s.burst != nil && write && size > 0 && s.burstAbsorb(fileID, off, size, tag, done) {
+		return
+	}
+	s.volumeAccess(fileID, off, size, write, tag, done, true)
+}
+
+// volumeAccess services one request at the volume array. viaBackbone
+// routes the completion across the shared backbone when one is
+// configured; burst-buffer drains pass false (they sit behind the
+// backbone, not on it).
+func (s *Simulator) volumeAccess(fileID uint32, off, size int64, write bool, tag physOp, done event, viaBackbone bool) {
 	d := s.disk
 	if d.queueing && d.sched != SchedFCFS {
-		s.scheduleAccess(fileID, off, size, write, tag, done)
+		s.scheduleAccess(fileID, off, size, write, tag, done, viaBackbone)
 		return
 	}
 	var maxWait trace.Ticks
@@ -339,7 +360,7 @@ func (s *Simulator) diskAccessTagged(fileID uint32, off, size int64, write bool,
 			}
 			v.busyUntil = start + dur
 			wait = (start - s.now) + dur
-			v.noteFCFSQueue(s.now, start, dur)
+			v.noteFCFSQueue(s.now, start, dur, tag.pid)
 		} else {
 			wait = dur
 		}
@@ -379,5 +400,9 @@ func (s *Simulator) diskAccessTagged(fileID uint32, off, size int64, write bool,
 			maxWait = wait
 		}
 	}
-	s.post(maxWait+d.interrupt, done)
+	if !viaBackbone {
+		s.post(maxWait+d.interrupt, done)
+		return
+	}
+	s.finishVolumeAccess(maxWait, size, tag, done)
 }

@@ -104,12 +104,27 @@ func checkGolden(t *testing.T, goldens map[string]string, file, name, got string
 	}
 }
 
+// procFP mirrors ProcResult's pre-backbone fields so that fields added
+// by the congestion subsystem (Dilation, always 1 with the backbone
+// off) do not shift golden bytes.
+type procFP struct {
+	PID        uint32
+	Name       string
+	FinishSec  float64
+	CPUSec     float64
+	BlockedSec float64
+}
+
 // fingerprint renders every observable field of a Result in a stable form.
 func fingerprint(res *Result) string {
+	procs := make([]procFP, len(res.Procs))
+	for i, p := range res.Procs {
+		procs[i] = procFP{p.PID, p.Name, p.FinishSec, p.CPUSec, p.BlockedSec}
+	}
 	return fmt.Sprintf(
 		"wall=%d busy=%d idle=%d sw=%d cpus=%d|cache=%+v|disk=%+v|procs=%+v|front=%.6f|bins=%d/%d/%d|tot=%.3f/%.3f/%.3f|phys=%d",
 		res.WallTicks, res.BusyTicks, res.IdleTicks, res.Switches, res.NumCPUs,
-		res.Cache, res.Disk, res.Procs, res.FrontHitRatio,
+		res.Cache, res.Disk, procs, res.FrontHitRatio,
 		res.DiskReadRate.Len(), res.DiskWriteRate.Len(), res.DemandRate.Len(),
 		res.DiskReadRate.Total(), res.DiskWriteRate.Total(), res.DemandRate.Total(),
 		len(res.Physical))
@@ -295,6 +310,14 @@ func volumeFingerprint(res *Result) string {
 	return s + fmt.Sprintf("|imb=%.6f|flush=%+v", res.VolumeImbalance(), res.Flush)
 }
 
+// queueFP mirrors VolumeQueueStats' pre-backbone fields so the added
+// PerProc breakdown does not shift golden bytes.
+type queueFP struct {
+	MaxDepth int
+	Waits    int64
+	WaitSec  float64
+}
+
 // schedFingerprint extends the volume fingerprint with the per-volume
 // queue statistics DiskQueueing exposes, pinning scheduler behavior.
 func schedFingerprint(res *Result) string {
@@ -303,7 +326,7 @@ func schedFingerprint(res *Result) string {
 		if i > 0 {
 			s += ";"
 		}
-		s += fmt.Sprintf("%+v", q)
+		s += fmt.Sprintf("%+v", queueFP{q.MaxDepth, q.Waits, q.WaitSec})
 	}
 	return s
 }

@@ -12,17 +12,20 @@ import (
 type evKind uint8
 
 const (
-	evNop        evKind = iota // completion nobody waits on (async bypass)
-	evRunSlice                 // a dispatched process starts its quantum
-	evSliceEnd                 // quantum expiry or arrival at the next action
-	evDoIO                     // file-system code done; request hits the cache
-	evAdvanceRun               // hit/absorb cost paid; consume record, keep CPU
-	evFlushTimer               // delayed-write aging timer fired
-	evFetchDone                // disk read done; fill blocks, resume waiters
-	evWaitDone                 // bypass read done; notify one ioWait
-	evWake                     // synchronous bypass write done; wake the writer
-	evFlushDone                // flusher write-back done; clean the run (vol = op slot)
-	evVolDone                  // a volume finished its in-service segment (vol = volume)
+	evNop          evKind = iota // completion nobody waits on (async bypass)
+	evRunSlice                   // a dispatched process starts its quantum
+	evSliceEnd                   // quantum expiry or arrival at the next action
+	evDoIO                       // file-system code done; request hits the cache
+	evAdvanceRun                 // hit/absorb cost paid; consume record, keep CPU
+	evFlushTimer                 // delayed-write aging timer fired
+	evFetchDone                  // disk read done; fill blocks, resume waiters
+	evWaitDone                   // bypass read done; notify one ioWait
+	evWake                       // synchronous bypass write done; wake the writer
+	evFlushDone                  // flusher write-back done; clean the run (vol = op slot)
+	evVolDone                    // a volume finished its in-service segment (vol = volume)
+	evBackboneXfer               // volume leg done; transfer enters the shared backbone
+	evBackboneDone               // backbone crossing complete (tick = transfer gen)
+	evBurstDrain                 // burst buffer's head drain finished
 )
 
 // event is one scheduled simulator action. Ties on time break by sequence
@@ -39,7 +42,8 @@ type event struct {
 	r    *trace.Record
 	f    *fetch
 	w    *ioWait
-	tick trace.Ticks // evSliceEnd: the slice length being retired
+	x    *transfer
+	tick trace.Ticks // evSliceEnd: slice length; evBackboneDone: transfer gen
 }
 
 // eventHeap is a 4-ary min-heap of value events keyed on (at, seq). The
@@ -139,6 +143,12 @@ func (s *Simulator) dispatch1(e *event) {
 		s.completeFlush(int(e.vol))
 	case evVolDone:
 		s.volDone(int(e.vol))
+	case evBackboneXfer:
+		s.bbEnqueue(e.x)
+	case evBackboneDone:
+		s.bbDone(e.x, uint32(e.tick))
+	case evBurstDrain:
+		s.burstDrainDone()
 	case evNop:
 	}
 }

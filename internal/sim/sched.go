@@ -79,6 +79,26 @@ type VolumeQueueStats struct {
 	// WaitSec is the total time requests spent queued before their
 	// service began.
 	WaitSec float64
+
+	// PerProc breaks queue waits down by requesting process, in PID
+	// order — the fairness ledger that makes SSTF starvation visible:
+	// under sustained load a distant process's WaitSec and MaxWaitSec
+	// grow while the head-adjacent process's stay flat. Requests with
+	// no attributable process (background flusher work on unowned
+	// blocks) land under PID 0.
+	PerProc []ProcQueueStats
+}
+
+// ProcQueueStats is one process's share of a volume's queue waits.
+// Unlike the aggregate Waits (counted at arrival), per-process entries
+// are settled at dispatch: Waits counts this process's requests that
+// waited at all, WaitSec sums their waits, MaxWaitSec is the single
+// longest wait — the starvation indicator.
+type ProcQueueStats struct {
+	PID        uint32
+	Waits      int64
+	WaitSec    float64
+	MaxWaitSec float64
 }
 
 // FlushStats reports the background flusher's write-back activity.
@@ -109,15 +129,19 @@ type volPending struct {
 
 // diskReq joins the per-volume segments of one request under a deferred
 // scheduler: the request's completion is posted when its last segment
-// finishes, plus the completion interrupt. Recycled through the
-// simulator's free-list.
+// finishes, plus the completion interrupt (crossing the shared backbone
+// first when one is configured). Recycled through the simulator's
+// free-list.
 type diskReq struct {
-	remaining int
-	done      event
-	freeNext  *diskReq
+	remaining   int
+	bytes       int64
+	tag         physOp
+	viaBackbone bool
+	done        event
+	freeNext    *diskReq
 }
 
-func (s *Simulator) newDiskReq(done event, n int) *diskReq {
+func (s *Simulator) newDiskReq(done event, n int, bytes int64, tag physOp, viaBackbone bool) *diskReq {
 	dr := s.reqFree
 	if dr != nil {
 		s.reqFree = dr.freeNext
@@ -126,6 +150,7 @@ func (s *Simulator) newDiskReq(done event, n int) *diskReq {
 		dr = &diskReq{}
 	}
 	dr.remaining, dr.done = n, done
+	dr.bytes, dr.tag, dr.viaBackbone = bytes, tag, viaBackbone
 	return dr
 }
 
@@ -135,10 +160,32 @@ func (s *Simulator) freeDiskReq(dr *diskReq) {
 	s.reqFree = dr
 }
 
+// noteProcWait settles one request's queue wait against its process's
+// per-pid ledger. Zero waits are not recorded (the per-process counters
+// track requests that waited at all). The pid table is a compact slice
+// scanned linearly — a handful of processes per run — appended to once
+// per (volume, pid) pair, so the steady state allocates nothing.
+func (v *volume) noteProcWait(pid uint32, wait trace.Ticks) {
+	if wait <= 0 {
+		return
+	}
+	for i := range v.procQ {
+		if v.procQ[i].pid == pid {
+			v.procQ[i].waits++
+			v.procQ[i].waitTicks += wait
+			if wait > v.procQ[i].maxWait {
+				v.procQ[i].maxWait = wait
+			}
+			return
+		}
+	}
+	v.procQ = append(v.procQ, procWaitAcc{pid: pid, waits: 1, waitTicks: wait, maxWait: wait})
+}
+
 // noteFCFSQueue tracks queue-depth statistics for the closed-form FCFS
 // path: pend is a ring of in-flight completion times (nondecreasing,
 // since each departure extends busyUntil), pruned at every arrival.
-func (v *volume) noteFCFSQueue(now, start, dur trace.Ticks) {
+func (v *volume) noteFCFSQueue(now, start, dur trace.Ticks, pid uint32) {
 	for v.pendHead < len(v.pend) && v.pend[v.pendHead] <= now {
 		v.pendHead++
 	}
@@ -157,6 +204,7 @@ func (v *volume) noteFCFSQueue(now, start, dur trace.Ticks) {
 	if start > now {
 		v.queueWaits++
 		v.queueWaitTicks += start - now
+		v.noteProcWait(pid, start-now)
 	}
 	v.pend = append(v.pend, start+dur)
 }
@@ -165,10 +213,10 @@ func (v *volume) noteFCFSQueue(now, start, dur trace.Ticks) {
 // per-volume queues: each segment is enqueued on its volume and the
 // request completes when the slowest segment has been serviced plus the
 // completion interrupt. Idle volumes dispatch immediately.
-func (s *Simulator) scheduleAccess(fileID uint32, off, size int64, write bool, tag physOp, done event) {
+func (s *Simulator) scheduleAccess(fileID uint32, off, size int64, write bool, tag physOp, done event, viaBackbone bool) {
 	d := s.disk
 	segs := d.split(fileID, off, size)
-	dr := s.newDiskReq(done, len(segs))
+	dr := s.newDiskReq(done, len(segs), size, tag, viaBackbone)
 	for _, seg := range segs {
 		v := &d.vols[seg.vol]
 		p := v.pos(seg.file, seg.off)
@@ -207,6 +255,7 @@ func (s *Simulator) volDispatch(vi int) {
 	v.inService = true
 	v.cur = req
 	v.queueWaitTicks += s.now - req.enq
+	v.noteProcWait(req.tag.pid, s.now-req.enq)
 
 	dur := d.accessTime(v, req.pos, req.size)
 	v.busyTicks += dur
@@ -249,7 +298,11 @@ func (s *Simulator) volDone(vi int) {
 	v.cur = volPending{}
 	dr.remaining--
 	if dr.remaining == 0 {
-		s.post(s.disk.interrupt, dr.done)
+		if dr.viaBackbone {
+			s.finishVolumeAccess(0, dr.bytes, dr.tag, dr.done)
+		} else {
+			s.post(s.disk.interrupt, dr.done)
+		}
 		s.freeDiskReq(dr)
 	}
 	s.volDispatch(vi)

@@ -191,6 +191,12 @@ type ProcResult struct {
 	FinishSec  float64
 	CPUSec     float64
 	BlockedSec float64
+
+	// Dilation is the application's slowdown attributable to waiting on
+	// the shared backbone: FinishSec over what the finish time would
+	// have been with those synchronous backbone waits removed. 1 means
+	// no congestion delay (always 1 with the backbone off).
+	Dilation float64
 }
 
 // DiskStats reports storage-tier activity aggregated over the whole
@@ -277,6 +283,22 @@ type Result struct {
 	// semantics: block-number offsets, block-count lengths, operation
 	// ids tying them to the logical requests that caused them.
 	Physical []*trace.Record
+
+	// SystemEfficiency is the mean over processes of CPUSec/FinishSec —
+	// each application's achieved utilization, averaged. This is the
+	// cross-application figure of merit the congestion literature
+	// optimizes (Aupy et al.'s Σ β_i / N): a scheduler that lets one app
+	// monopolize the backbone while others starve scores worse than one
+	// that keeps every app progressing.
+	SystemEfficiency float64
+
+	// Backbone reports shared-backbone activity, with per-application
+	// attribution; nil when the backbone is disabled.
+	Backbone *BackboneStats
+
+	// Burst reports burst-buffer activity; nil when the tier is
+	// disabled.
+	Burst *BurstStats
 
 	cfgRateBin trace.Ticks
 }
@@ -379,9 +401,17 @@ type Simulator struct {
 	joinsBuf []*fetch   // in-flight fetches the request joins
 	raBuf    []blockKey // read-ahead block range and its missing filter
 
-	fetchFree *fetch   // recycled fetch structs
-	waitFree  *ioWait  // recycled ioWait structs
-	reqFree   *diskReq // recycled deferred-scheduler request joins
+	fetchFree *fetch      // recycled fetch structs
+	waitFree  *ioWait     // recycled ioWait structs
+	reqFree   *diskReq    // recycled deferred-scheduler request joins
+	xferFree  *transfer   // recycled backbone transfers
+	drainFree *drainEntry // recycled burst-buffer drain entries
+
+	// backbone and burst model the shared I/O path and the burst-
+	// absorbing tier; nil (the default) keeps both out of the event
+	// flow entirely.
+	backbone *backbone
+	burst    *burstBuffer
 
 	diskReadRate  *stats.TimeSeries
 	diskWriteRate *stats.TimeSeries
@@ -406,6 +436,12 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	s.disk = newDisk(&cfg)
 	s.cache.wireVolumes(s.disk)
+	if cfg.BackboneMBps > 0 {
+		s.backbone = newBackbone(&cfg)
+	}
+	if cfg.BurstBufferMB > 0 {
+		s.burst = newBurstBuffer(&cfg)
+	}
 	if len(s.disk.vols) == 1 {
 		s.flushOps = s.flushOps1[:]
 	} else {
@@ -547,6 +583,9 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	for _, p := range s.procs {
 		p.computeLeft = p.feed.cur.ProcessTime
 		s.ready = append(s.ready, p)
+	}
+	if s.backbone != nil {
+		s.backbone.setApps(s.procs)
 	}
 	s.dispatch()
 	if ok := s.runEvents(ctx); !ok {
@@ -1225,7 +1264,13 @@ func (s *Simulator) tryIssueFlush(run []*block) bool {
 	s.flushBusyVols += len(op.vols)
 	s.flushRuns++
 	s.noteFlushTransition(1)
-	s.diskAccess(first.file, off, size, true, event{kind: evFlushDone, vol: int32(slot)})
+	// The run is attributed to the process that dirtied its head block,
+	// so backbone scheduling and per-app stats see write-behind traffic
+	// as the application's own (owner 0 — warm-cache blocks — falls to
+	// the first registered app).
+	s.diskAccessTagged(first.file, off, size, true,
+		physOp{kind: trace.FileData, pid: run[0].owner},
+		event{kind: evFlushDone, vol: int32(slot)})
 	return true
 }
 
@@ -1330,11 +1375,26 @@ func (s *Simulator) result() *Result {
 		res.VolumeQueues = make([]VolumeQueueStats, len(s.disk.vols))
 		for i := range s.disk.vols {
 			v := &s.disk.vols[i]
-			res.VolumeQueues[i] = VolumeQueueStats{
+			qs := VolumeQueueStats{
 				MaxDepth: v.maxQueueDepth,
 				Waits:    v.queueWaits,
 				WaitSec:  v.queueWaitTicks.Seconds(),
 			}
+			if len(v.procQ) > 0 {
+				qs.PerProc = make([]ProcQueueStats, len(v.procQ))
+				for j, acc := range v.procQ {
+					qs.PerProc[j] = ProcQueueStats{
+						PID:        acc.pid,
+						Waits:      acc.waits,
+						WaitSec:    acc.waitTicks.Seconds(),
+						MaxWaitSec: acc.maxWait.Seconds(),
+					}
+				}
+				sort.Slice(qs.PerProc, func(a, b int) bool {
+					return qs.PerProc[a].PID < qs.PerProc[b].PID
+				})
+			}
+			res.VolumeQueues[i] = qs
 		}
 	}
 	res.Flush = FlushStats{
@@ -1354,13 +1414,36 @@ func (s *Simulator) result() *Result {
 	res.IdleTicks = capacity - res.BusyTicks
 	res.Procs = make([]ProcResult, 0, len(s.procs))
 	for _, p := range s.procs {
-		res.Procs = append(res.Procs, ProcResult{
+		pr := ProcResult{
 			PID: p.pid, Name: p.name,
 			FinishSec:  p.finishAt.Seconds(),
 			CPUSec:     p.cpuUsed.Seconds(),
 			BlockedSec: p.blockedTotal.Seconds(),
-		})
+			Dilation:   1,
+		}
+		if s.backbone != nil {
+			if a := s.backbone.appByPID(p.pid); a != nil {
+				if base := pr.FinishSec - a.syncWaitTicks.Seconds(); base > 0 {
+					if dil := pr.FinishSec / base; dil > 1 {
+						pr.Dilation = dil
+					}
+				}
+			}
+		}
+		if pr.FinishSec > 0 {
+			res.SystemEfficiency += pr.CPUSec / pr.FinishSec
+		}
+		res.Procs = append(res.Procs, pr)
+	}
+	if len(res.Procs) > 0 {
+		res.SystemEfficiency /= float64(len(res.Procs))
 	}
 	sort.Slice(res.Procs, func(a, b int) bool { return res.Procs[a].PID < res.Procs[b].PID })
+	if s.backbone != nil {
+		res.Backbone = s.backbone.stats()
+	}
+	if s.burst != nil {
+		res.Burst = s.burst.stats()
+	}
 	return res
 }

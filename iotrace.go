@@ -95,6 +95,17 @@ const (
 	TicksPerMinute      = trace.TicksPerMinute
 )
 
+// TicksFromSeconds converts seconds to Ticks, rounding to the nearest
+// tick.
+func TicksFromSeconds(s float64) Ticks { return trace.TicksFromSeconds(s) }
+
+// EndOfTrace returns the trailing comment record every hand-built trace
+// needs, carrying the process's total CPU time and traced wall time.
+// Append it after the last I/O record (see Example_congestion).
+func EndOfTrace(cpu, wall Ticks) *Record {
+	return &Record{Type: CommentRecord, CommentText: trace.EndComment(cpu, wall)}
+}
+
 // DefaultConfig returns the baseline §6 configuration: 32 MB main-memory
 // cache, 4 KB blocks, read-ahead and write-behind on.
 func DefaultConfig() Config { return sim.DefaultConfig() }

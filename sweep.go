@@ -160,13 +160,17 @@ func (w *Workload) traceBytes() int64 {
 // scenarios (tiny caches, synchronous writes) don't start last and leave
 // the worker pool idling through a one-scenario tail. The estimate is
 // deliberately cheap — write-behind-off scenarios lead (every write pays
-// a disk round trip regardless of cache size), then descending
-// cache pressure (trace bytes per cache byte). Ties keep grid order, so
-// the schedule is deterministic; per-scenario results and output order
-// are unaffected either way.
+// a disk round trip regardless of cache size), then descending backbone
+// congestion (trace bytes per backbone byte/s: a congested cell's
+// transfers queue behind each other, stretching its wall time far past
+// an uncongested twin's), then descending cache pressure (trace bytes
+// per cache byte). Ties keep grid order, so the schedule is
+// deterministic; per-scenario results and output order are unaffected
+// either way.
 func scheduleOrder(scenarios []Scenario, traceBytes int64) []int {
 	order := make([]int, len(scenarios))
 	pressure := make([]float64, len(scenarios))
+	congestion := make([]float64, len(scenarios))
 	for i := range scenarios {
 		order[i] = i
 		cache := scenarios[i].Config.CacheBytes
@@ -174,12 +178,18 @@ func scheduleOrder(scenarios []Scenario, traceBytes int64) []int {
 			cache = 1
 		}
 		pressure[i] = float64(traceBytes) / float64(cache)
+		if mbps := scenarios[i].Config.BackboneMBps; mbps > 0 {
+			congestion[i] = float64(traceBytes) / (mbps * 1e6)
+		}
 	}
 	sort.SliceStable(order, func(x, y int) bool {
 		a, b := order[x], order[y]
 		wbA, wbB := scenarios[a].Config.WriteBehind, scenarios[b].Config.WriteBehind
 		if wbA != wbB {
 			return !wbA
+		}
+		if congestion[a] != congestion[b] {
+			return congestion[a] > congestion[b]
 		}
 		return pressure[a] > pressure[b]
 	})
@@ -205,6 +215,12 @@ type Grid struct {
 	// option), so a grid can contrast FCFS/SSTF/SCAN directly against a
 	// base config that leaves queueing off.
 	Schedulers []SchedulerPolicy
+
+	// Backbones sweeps shared-backbone bandwidths in MB/s; 0 is the
+	// uncongested (backbone-off) cell. The arbitration policy comes from
+	// the base config's BackboneSched, so contrasting policies at fixed
+	// bandwidth takes one grid per policy (or explicit scenarios).
+	Backbones []float64
 
 	// SplitSpindles divides the base volume's spindles across each
 	// scenario's volume array (conserved hardware; see the
@@ -247,7 +263,7 @@ func (g Grid) Scenarios() []Scenario {
 		}
 		return mods
 	}
-	var caches, blocks, tiers, ras, wbs, vols, scheds []axisMod
+	var caches, blocks, tiers, ras, wbs, vols, scheds, backbones []axisMod
 	for _, mb := range g.CacheMB {
 		mb := mb
 		caches = append(caches, axisMod{fmt.Sprintf("cache=%dMB", mb), func(c *Config) { c.CacheBytes = mb << 20 }})
@@ -279,36 +295,46 @@ func (g Grid) Scenarios() []Scenario {
 			c.Scheduler = p
 		}})
 	}
+	for _, mbps := range g.Backbones {
+		mbps := mbps
+		label := "backbone=off"
+		if mbps > 0 {
+			label = fmt.Sprintf("backbone=%gMBps", mbps)
+		}
+		backbones = append(backbones, axisMod{label, func(c *Config) { c.BackboneMBps = mbps }})
+	}
 
 	var out []Scenario
-	for _, ms := range pad(scheds) {
-		for _, mv := range pad(vols) {
-			for _, mwb := range pad(wbs) {
-				for _, mra := range pad(ras) {
-					for _, mt := range pad(tiers) {
-						for _, mb := range pad(blocks) {
-							for _, mc := range pad(caches) {
-								cfg := base
-								var parts []string
-								for _, m := range []axisMod{mc, mb, mt, mra, mwb, mv, ms} {
-									if m.apply == nil {
-										continue
+	for _, mbb := range pad(backbones) {
+		for _, ms := range pad(scheds) {
+			for _, mv := range pad(vols) {
+				for _, mwb := range pad(wbs) {
+					for _, mra := range pad(ras) {
+						for _, mt := range pad(tiers) {
+							for _, mb := range pad(blocks) {
+								for _, mc := range pad(caches) {
+									cfg := base
+									var parts []string
+									for _, m := range []axisMod{mc, mb, mt, mra, mwb, mv, ms, mbb} {
+										if m.apply == nil {
+											continue
+										}
+										m.apply(&cfg)
+										parts = append(parts, m.label)
 									}
-									m.apply(&cfg)
-									parts = append(parts, m.label)
+									if g.SplitSpindles {
+										cfg.Volume = cfg.Volume.Split(cfg.NumVolumes)
+									}
+									name := strings.Join(parts, " ")
+									if name == "" {
+										name = "base"
+									}
+									out = append(out, Scenario{
+										Name:       name,
+										Config:     cfg,
+										SeedOffset: uint64(len(out)) * g.SeedStep,
+									})
 								}
-								if g.SplitSpindles {
-									cfg.Volume = cfg.Volume.Split(cfg.NumVolumes)
-								}
-								name := strings.Join(parts, " ")
-								if name == "" {
-									name = "base"
-								}
-								out = append(out, Scenario{
-									Name:       name,
-									Config:     cfg,
-									SeedOffset: uint64(len(out)) * g.SeedStep,
-								})
 							}
 						}
 					}

@@ -28,6 +28,28 @@ func TestScheduleOrderCostAware(t *testing.T) {
 	}
 }
 
+func TestScheduleOrderCongestedCellsFirst(t *testing.T) {
+	grid := Grid{
+		CacheMB:   []int64{256, 4},
+		Backbones: []float64{0, 200, 25},
+	}
+	scens := grid.Scenarios()
+	if len(scens) != 6 {
+		t.Fatalf("%d scenarios, want 6", len(scens))
+	}
+	// Grid order: backbone=off {256,4}, backbone=200 {256,4},
+	// backbone=25 {256,4}. The scarcest backbone is the slowest axis
+	// value (every transfer queues), so its cells start first; within a
+	// bandwidth class, descending cache pressure orders as before.
+	order := scheduleOrder(scens, 1<<30)
+	want := []int{5, 4, 3, 2, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
 func TestScheduleOrderIsAPermutation(t *testing.T) {
 	scens := Grid{CacheMB: []int64{4, 8, 16, 32, 64}, BlockKB: []int64{4, 8}}.Scenarios()
 	order := scheduleOrder(scens, 123<<20)
