@@ -512,6 +512,54 @@ func BenchmarkCongestedPair(b *testing.B) {
 	}
 }
 
+// BenchmarkDegradedPair drives the fault-injection path end to end:
+// the ccm pair in write-through mode under a plan that takes the
+// volume down mid-run and then degrades it to half speed, so requests
+// go through hold/retry (the pooled retry FIFO), frozen-service
+// banking, flusher recovery, and slow-factor recomputation.
+// Gated against the BENCH_PR7.json waterline by scripts/bench_check.sh.
+func BenchmarkDegradedPair(b *testing.B) {
+	skipIfShort(b)
+	spec, err := apps.Lookup("ccm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	t1, err := workload.Generate(spec.Build(1, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	t2, err := workload.Generate(spec.Build(2, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sim.ParseFaultPlan("vol0:down@30s+20s,vol0:slow2x@100s+150s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.WriteBehind = false // every write meets the faulted volume
+	cfg.Faults = plan
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AddProcess("a", t1); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.AddProcess("b", t2); err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.WallSeconds(), "simulated-s")
+		b.ReportMetric(res.DegradedSec, "degraded-s")
+	}
+}
+
 func BenchmarkCollectPipeline(b *testing.B) {
 	recs := venusTrace(b)
 	var data []*trace.Record

@@ -15,6 +15,8 @@
 //	iosim -app ccm -copies 4 -backbone 40 -bsched periodic    # shared-backbone congestion
 //	iosim -app ccm -copies 2 -backbone 100 -burst 64 -drain 50
 //	iosim -app ccm -copies 2 -sweep 32 -sweepbackbone 0,100,40
+//	iosim -app ccm -copies 2 -faults vol0:down@200s+30s            # fault injection
+//	iosim -app ccm -copies 2 -sweep 32 -sweepfaults 'off;vol0:down@200s+30s,backbone:down@500s+10s'
 package main
 
 import (
@@ -43,7 +45,7 @@ func main() {
 		limit    = flag.Int("limit", 0, "per-process block ownership cap (0 = none)")
 		quantum  = flag.Float64("quantum", 10, "scheduler quantum in ms")
 		queueing = flag.Bool("queueing", false, "FCFS disk queueing (ablation; the paper used none)")
-		sched    = flag.String("sched", "", "per-volume disk scheduling: fcfs, sstf, or scan (implies queueing)")
+		sched    = flag.String("sched", "", "per-volume disk scheduling: fcfs, sstf, scan, or aged-sstf (implies queueing)")
 		ssched   = flag.String("sweepsched", "", "comma-separated scheduling policies for -sweep (each implies queueing)")
 		volumes  = flag.Int("volumes", 1, "shard the storage tier into this many volumes")
 		place    = flag.String("placement", "stripe", "multi-volume placement: stripe or filehash")
@@ -63,6 +65,8 @@ func main() {
 		burst    = flag.Int64("burst", 0, "burst-buffer capacity in MB (0 = off)")
 		drain    = flag.Float64("drain", 0, "burst-buffer drain bandwidth in MB/s (required with -burst)")
 		sbb      = flag.String("sweepbackbone", "", "comma-separated backbone MB/s values for -sweep (0 = off)")
+		faults   = flag.String("faults", "", "fault plan, e.g. vol1:down@200s+30s,backbone:down@800s+10s")
+		sfaults  = flag.String("sweepfaults", "", "semicolon-separated fault plans for -sweep ('off' = no faults)")
 	)
 	flag.Parse()
 
@@ -105,6 +109,13 @@ func main() {
 	if *burst > 0 {
 		cfg = iotrace.Configure(cfg, iotrace.BurstBuffer(*burst, *drain))
 	}
+	if *faults != "" {
+		plan, err := iotrace.ParseFaultPlan(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = iotrace.Configure(cfg, iotrace.Faults(plan))
+	}
 	// -split is applied per scenario in -sweep mode: the Volumes axis
 	// overrides NumVolumes after the base config is built, so splitting
 	// here would divide by the wrong (flag-level) volume count.
@@ -143,7 +154,7 @@ func main() {
 		if *series {
 			fmt.Fprintln(os.Stderr, "iosim: -series is ignored in -sweep mode (charts are per-run)")
 		}
-		runSweep(ctx, w, cfg, *sweep, *blocks, *svols, *ssched, *sbb, *blockKB, *workers, *splitVol)
+		runSweep(ctx, w, cfg, *sweep, *blocks, *svols, *ssched, *sbb, *sfaults, *blockKB, *workers, *splitVol)
 		return
 	}
 
@@ -194,7 +205,15 @@ func main() {
 		if res.Backbone != nil {
 			fmt.Printf("  dilation %.2fx", p.Dilation)
 		}
+		if cfg.Faults != nil {
+			fmt.Printf("  restarts %d  lost %.1f s  retried %d",
+				p.Restarts, p.LostTicks.Seconds(), p.RetriedRequests)
+		}
 		fmt.Println()
+	}
+	if cfg.Faults != nil {
+		fmt.Printf("faults: %d events, degraded %.1f s, availability %.3f\n",
+			res.FaultEvents, res.DegradedSec, res.Availability)
 	}
 	if bb := res.Backbone; bb != nil {
 		fmt.Printf("system efficiency %.3f (mean per-app utilization)\n", res.SystemEfficiency)
@@ -223,9 +242,9 @@ func main() {
 }
 
 // runSweep expands the -sweep/-sweepblocks/-sweepvols/-sweepsched/
-// -sweepbackbone axes over the base config and executes them on the
-// facade's worker pool.
-func runSweep(ctx context.Context, w *iotrace.Workload, base iotrace.Config, sweepMB, sweepKB, sweepVols, sweepSched, sweepBB string, blockKB int64, workers int, splitVol bool) {
+// -sweepbackbone/-sweepfaults axes over the base config and executes
+// them on the facade's worker pool.
+func runSweep(ctx context.Context, w *iotrace.Workload, base iotrace.Config, sweepMB, sweepKB, sweepVols, sweepSched, sweepBB, sweepFaults string, blockKB int64, workers int, splitVol bool) {
 	caches, err := parseInt64List(sweepMB)
 	if err != nil {
 		fatal(fmt.Errorf("-sweep: %w", err))
@@ -266,9 +285,27 @@ func runSweep(ctx context.Context, w *iotrace.Workload, base iotrace.Config, swe
 			backbones = append(backbones, v)
 		}
 	}
+	// Fault plans separate with ';' because each plan's events separate
+	// with ','; the literal "off" (or an empty segment) is the fault-free
+	// cell.
+	var plans []*iotrace.FaultPlan
+	if sweepFaults != "" {
+		for _, part := range strings.Split(sweepFaults, ";") {
+			part = strings.TrimSpace(part)
+			if part == "" || part == "off" {
+				plans = append(plans, nil)
+				continue
+			}
+			plan, err := iotrace.ParseFaultPlan(part)
+			if err != nil {
+				fatal(fmt.Errorf("-sweepfaults: %w", err))
+			}
+			plans = append(plans, plan)
+		}
+	}
 	grid := iotrace.Grid{
 		Base: &base, CacheMB: caches, BlockKB: blocks, Volumes: vols, Schedulers: scheds,
-		Backbones: backbones,
+		Backbones: backbones, Faults: plans,
 		// Per-scenario spindle conservation: each cell splits the base
 		// volume by its own NumVolumes (set by the Volumes axis).
 		SplitSpindles: splitVol,

@@ -42,6 +42,10 @@ const (
 	SchedSSTF = sim.SchedSSTF
 	// SchedSCAN runs the elevator: ascending sweep, then descending.
 	SchedSCAN = sim.SchedSCAN
+	// SchedAgedSSTF is shortest-seek-first with linear aging: waiting
+	// requests gain seek-distance credit over time, bounding the
+	// per-process starvation plain SSTF exhibits under sustained load.
+	SchedAgedSSTF = sim.SchedAgedSSTF
 )
 
 // VolumeQueueStats is one volume's request-queue activity under disk
@@ -85,16 +89,47 @@ type BackboneAppStats = sim.BackboneAppStats
 // BurstStats reports burst-buffer activity; see Result.Burst.
 type BurstStats = sim.BurstStats
 
+// FaultPlan schedules deterministic component failures — volume
+// outages, sustained slowdowns, backbone blackouts — as simulation
+// events; see the Faults option and ParseFaultPlan.
+type FaultPlan = sim.FaultPlan
+
+// FaultEvent is one scheduled failure of a FaultPlan.
+type FaultEvent = sim.FaultEvent
+
+// Fault kinds (FaultEvent.Kind).
+const (
+	// FaultVolDown takes one volume offline for the event's duration;
+	// requests touching it retry with backoff until it recovers or they
+	// time out.
+	FaultVolDown = sim.FaultVolDown
+	// FaultVolSlow multiplies one volume's service times by
+	// FaultEvent.Factor for the event's duration.
+	FaultVolSlow = sim.FaultVolSlow
+	// FaultBackboneDown blacks out the shared backbone for the event's
+	// duration; in-flight transfers resume where they stopped.
+	FaultBackboneDown = sim.FaultBackboneDown
+)
+
 // ParseBackboneSched converts a policy name ("fifo", "fair",
 // "periodic") to a BackboneSchedPolicy.
 func ParseBackboneSched(s string) (BackboneSchedPolicy, error) {
 	return sim.ParseBackboneSched(s)
 }
 
-// ParseScheduler converts a policy name ("fcfs", "sstf", "scan") to a
-// SchedulerPolicy.
+// ParseScheduler converts a policy name ("fcfs", "sstf", "scan",
+// "aged-sstf") to a SchedulerPolicy.
 func ParseScheduler(s string) (SchedulerPolicy, error) {
 	return sim.ParseScheduler(s)
+}
+
+// ParseFaultPlan parses a compact fault spec like
+// "vol1:down@200s+30s,vol0:slow2x@500s+60s,backbone:down@800s+10s":
+// comma-separated events, each <target>:<kind>@<start>+<duration>, with
+// target volN or backbone, kind down or slow<factor>x, and times
+// suffixed s (seconds) or t (ticks).
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	return sim.ParseFaultPlan(s)
 }
 
 // ParsePlacement converts a policy name ("stripe", "filehash") to a
@@ -198,6 +233,19 @@ func BurstBuffer(mb int64, drainMBps float64) ConfigOption {
 		c.BurstBufferMB = mb
 		c.BurstDrainMBps = drainMBps
 	}
+}
+
+// Faults injects the given fault plan into the run: the scheduled
+// volume outages, slowdowns, and backbone blackouts fire as simulation
+// events, with held requests retrying under the config's
+// RetryTimeoutTicks/RetryBackoffTicks and processes restarting from
+// their last completed checkpoint write on unrecoverable failures.
+// Result.Availability, Result.DegradedSec, and the per-process
+// Restarts/LostTicks/RetriedRequests report the resilience cost. A nil
+// plan (the default) disables fault injection entirely — runs replay
+// byte-identically to the fault-free engine.
+func Faults(plan *FaultPlan) ConfigOption {
+	return func(c *Config) { c.Faults = plan }
 }
 
 // SplitSpindles divides the configured volume's spindles across the

@@ -61,6 +61,7 @@ func TestParseScheduler(t *testing.T) {
 		{"sstf", iotrace.SchedSSTF},
 		{"scan", iotrace.SchedSCAN},
 		{"elevator", iotrace.SchedSCAN},
+		{"aged-sstf", iotrace.SchedAgedSSTF},
 	} {
 		got, err := iotrace.ParseScheduler(tc.in)
 		if err != nil || got != tc.want {
@@ -69,6 +70,36 @@ func TestParseScheduler(t *testing.T) {
 	}
 	if _, err := iotrace.ParseScheduler("noop"); err == nil {
 		t.Error("unknown scheduler parsed")
+	}
+}
+
+func TestFaultsOption(t *testing.T) {
+	plan, err := iotrace.ParseFaultPlan("vol1:down@200s+30s,vol0:slow2x@500s+60s,backbone:down@800s+10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Events) != 3 {
+		t.Fatalf("%d events, want 3", len(plan.Events))
+	}
+	if plan.Events[0].Kind != iotrace.FaultVolDown ||
+		plan.Events[1].Kind != iotrace.FaultVolSlow ||
+		plan.Events[2].Kind != iotrace.FaultBackboneDown {
+		t.Errorf("kinds %v/%v/%v drifted from the spec order",
+			plan.Events[0].Kind, plan.Events[1].Kind, plan.Events[2].Kind)
+	}
+	base := iotrace.DefaultConfig()
+	cfg := iotrace.Configure(base, iotrace.Faults(plan))
+	if cfg.Faults != plan {
+		t.Error("Faults option did not install the plan")
+	}
+	if base.Faults != nil {
+		t.Error("Faults mutated its base")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("fault config invalid: %v", err)
+	}
+	if _, err := iotrace.ParseFaultPlan("vol0:explode@1s+1s"); err == nil {
+		t.Error("unknown fault kind parsed")
 	}
 }
 

@@ -195,6 +195,10 @@ type backbone struct {
 
 	outstanding int
 	maxQueue    int
+
+	// down marks an active fault-plan blackout: arrivals enqueue but
+	// nothing starts service until backboneRestore re-grants bandwidth.
+	down bool
 }
 
 func newBackbone(cfg *Config) *backbone {
@@ -328,7 +332,8 @@ func (s *Simulator) bbEnqueue(x *transfer) {
 			bb.fifoTail.next = x
 		}
 		bb.fifoTail = x
-		if bb.fifoHead == x {
+		if bb.fifoHead == x && !bb.down {
+			x.since, x.rate = s.now, bb.bw
 			s.postTransferDone(x, x.ideal)
 		}
 		return
@@ -340,8 +345,8 @@ func (s *Simulator) bbEnqueue(x *transfer) {
 		a.tail.next = x
 	}
 	a.tail = x
-	if a.head != x {
-		return // queued behind this app's in-service transfer
+	if a.head != x || bb.down {
+		return // queued behind this app's in-service transfer, or blackout
 	}
 	switch bb.sched {
 	case BackboneFairShare:
@@ -381,9 +386,11 @@ func (s *Simulator) bbEpoch() {
 // startPeriodic puts an app's head transfer in service under the fixed
 // periodic schedule: its bytes cross at full bandwidth, but only during
 // the app's own windows, so the completion lands after skipping the
-// phases owned by other apps.
+// phases owned by other apps. since/rate mark the transfer in service so
+// a blackout can bank its in-window progress.
 func (s *Simulator) startPeriodic(x *transfer) {
-	s.postTransferDone(x, s.backbone.periodicDelay(x.app, s.now, x.ideal))
+	x.since, x.rate = s.now, s.backbone.bw
+	s.postTransferDone(x, s.backbone.periodicDelay(x.app, s.now, crossTicks(int64(math.Ceil(x.remaining)), s.backbone.bw)))
 }
 
 // periodicDelay returns how long after now a transfer needing `need`
@@ -420,6 +427,40 @@ func (bb *backbone) periodicDelay(app int32, now trace.Ticks, need trace.Ticks) 
 	return t + (P - W) + full*P + rem - now
 }
 
+// inWindowTicks returns how much of [from, to) falls inside app's
+// periodic windows — the time a periodic head transfer actually moved
+// bytes, which is what a blackout must bank. Full periods contribute one
+// window each; the sub-period remainder intersects at most two
+// occurrences of the window.
+func (bb *backbone) inWindowTicks(app int32, from, to trace.Ticks) trace.Ticks {
+	if to <= from {
+		return 0
+	}
+	W, P := bb.window, bb.period
+	winStart := trace.Ticks(app) * W
+	total := (to - from) / P * W
+	a0 := from % P
+	a1 := a0 + (to-from)%P
+	total += tickOverlap(a0, a1, winStart, winStart+W)
+	total += tickOverlap(a0, a1, winStart+P, winStart+W+P)
+	return total
+}
+
+// tickOverlap returns the length of the intersection of [a0, a1) and
+// [b0, b1).
+func tickOverlap(a0, a1, b0, b1 trace.Ticks) trace.Ticks {
+	if b0 > a0 {
+		a0 = b0
+	}
+	if b1 < a1 {
+		a1 = b1
+	}
+	if a1 > a0 {
+		return a1 - a0
+	}
+	return 0
+}
+
 // bbDone completes a transfer crossing (evBackboneDone). Stale events —
 // superseded by a fair-share epoch repost or a recycled transfer — are
 // dropped by gen mismatch.
@@ -449,7 +490,9 @@ func (s *Simulator) bbDone(x *transfer, gen uint32) {
 		if bb.fifoHead == nil {
 			bb.fifoTail = nil
 		} else {
-			s.postTransferDone(bb.fifoHead, bb.fifoHead.ideal)
+			h := bb.fifoHead
+			h.since, h.rate = s.now, bb.bw
+			s.postTransferDone(h, h.ideal)
 		}
 	case BackboneFairShare:
 		a.head = x.next

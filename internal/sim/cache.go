@@ -90,10 +90,13 @@ type fetch struct {
 }
 
 // ioWait tracks a synchronous request waiting on one or more fetches; the
-// blocked process wakes when the last one lands. Waits are recycled
-// through the simulator's free-list.
+// blocked process wakes when the last one lands. failed marks a wait one
+// of whose legs hit an unrecoverable fault: when the last leg settles the
+// process restarts from its checkpoint instead of waking. Waits are
+// recycled through the simulator's free-list.
 type ioWait struct {
 	remaining int
+	failed    bool
 	p         *proc
 	freeNext  *ioWait
 }
@@ -419,6 +422,12 @@ func (c *cache) touch(b *block) (wasPrefetch bool) {
 
 // used returns occupied plus reserved slots.
 func (c *cache) used() int { return c.nResident + c.reserved }
+
+// unreserve releases n reserved slots without filling them — the path a
+// failed fetch takes: its acquire reserved slots that no insert will
+// ever consume, and without this release they would leak from the
+// cache's capacity for the rest of the run.
+func (c *cache) unreserve(n int) { c.reserved -= n }
 
 // evict removes a clean, unpinned block and recycles its struct.
 func (c *cache) evict(b *block) {

@@ -167,6 +167,25 @@ type Config struct {
 	// BurstDrainMBps is the background drain bandwidth from the burst
 	// buffer to the volume array. Required > 0 when BurstBufferMB > 0.
 	BurstDrainMBps float64
+
+	// Faults schedules deterministic component failures: volume outages,
+	// sustained slowdowns, and backbone blackouts (see ParseFaultPlan for
+	// the compact spec form). nil or empty disables fault injection
+	// entirely — no fault state is consulted on any hot path and runs
+	// replay byte-identically to the fault-free engine.
+	Faults *FaultPlan
+
+	// RetryTimeoutTicks bounds how long a request held by a volume
+	// outage keeps retrying before it fails unrecoverably (restarting
+	// the blocked process from its last checkpoint, or dropping the
+	// background write). Must be > 0 when Faults is non-empty.
+	RetryTimeoutTicks trace.Ticks
+
+	// RetryBackoffTicks is the initial retry interval for held requests;
+	// each unsuccessful attempt doubles it, clamped so the final attempt
+	// lands exactly on the RetryTimeoutTicks deadline. Must be > 0 when
+	// Faults is non-empty.
+	RetryBackoffTicks trace.Ticks
 }
 
 // DefaultConfig returns the baseline configuration used by the paper
@@ -191,6 +210,10 @@ func DefaultConfig() Config {
 		StripeUnitBytes:   1 << 20,
 		MaxFlushRunBlocks: 256,
 		RateBinTicks:      trace.TicksPerSecond,
+		// Inert without a fault plan; with one, requests retry for up to
+		// 30 s starting at a 1 ms interval.
+		RetryTimeoutTicks: 30 * trace.TicksPerSecond,
+		RetryBackoffTicks: trace.TicksPerSecond / 1000,
 	}
 }
 
@@ -235,7 +258,7 @@ func (c *Config) Validate() error {
 	if c.MaxFlushRunBlocks <= 0 {
 		return fmt.Errorf("sim: flush run %d", c.MaxFlushRunBlocks)
 	}
-	if c.Scheduler != SchedFCFS && c.Scheduler != SchedSSTF && c.Scheduler != SchedSCAN {
+	if c.Scheduler != SchedFCFS && c.Scheduler != SchedSSTF && c.Scheduler != SchedSCAN && c.Scheduler != SchedAgedSSTF {
 		return fmt.Errorf("sim: unknown scheduler %d", c.Scheduler)
 	}
 	if c.RateBinTicks <= 0 {
@@ -264,6 +287,17 @@ func (c *Config) Validate() error {
 	}
 	if c.BurstDrainMBps < 0 {
 		return fmt.Errorf("sim: burst drain bandwidth %g MB/s", c.BurstDrainMBps)
+	}
+	if c.RetryTimeoutTicks < 0 || c.RetryBackoffTicks < 0 {
+		return fmt.Errorf("sim: negative retry ticks")
+	}
+	if c.Faults != nil && len(c.Faults.Events) > 0 {
+		if err := c.Faults.validate(); err != nil {
+			return err
+		}
+		if c.RetryTimeoutTicks <= 0 || c.RetryBackoffTicks <= 0 {
+			return fmt.Errorf("sim: fault plan needs positive retry timeout and backoff (got %d, %d ticks)", c.RetryTimeoutTicks, c.RetryBackoffTicks)
+		}
 	}
 	return nil
 }

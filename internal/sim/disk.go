@@ -75,6 +75,18 @@ type volume struct {
 
 	flushBusy bool // an in-flight flusher run covers this volume
 
+	// Fault state (inert at zero; only consulted when a FaultPlan is
+	// configured). downCnt counts overlapping outage events; slow is the
+	// product of active slowdown factors (0 = healthy, so the zero value
+	// costs nothing in accessTime); gen stales a frozen segment's posted
+	// evVolDone; curDone/frozen carry the in-service segment's scheduled
+	// finish and its unserved remainder across an outage.
+	downCnt int
+	slow    float64
+	gen     uint32
+	curDone trace.Ticks
+	frozen  trace.Ticks
+
 	// Stats.
 	reads, writes           int64
 	readBytes, writeBytes   int64
@@ -290,6 +302,12 @@ func (d *disk) accessTime(v *volume, p int64, size int64) trace.Ticks {
 		seekMs += d.model.Disk.HalfRotationMs
 	}
 	transferMs := float64(size) / d.model.BandwidthBytesPerSec() * 1000
+	if v.slow > 1 {
+		// A degraded volume pays its fault plan's slowdown factor on the
+		// whole service: longer settle times and a slower channel alike.
+		seekMs *= v.slow
+		transferMs *= v.slow
+	}
 	v.seekTicks += trace.Ticks(seekMs*100 + 0.5)
 	v.transferTicks += trace.Ticks(transferMs*100 + 0.5)
 	ms := seekMs + transferMs
@@ -340,6 +358,14 @@ func (s *Simulator) diskAccessTagged(fileID uint32, off, size int64, write bool,
 // backbone, not on it).
 func (s *Simulator) volumeAccess(fileID uint32, off, size int64, write bool, tag physOp, done event, viaBackbone bool) {
 	d := s.disk
+	if s.faults != nil && s.anyVolDown(fileID, off, size) {
+		// A volume this request touches is down: hold it for retry with
+		// backoff instead of admitting it (every admission path funnels
+		// through here — demand fetches, bypasses, write-through, burst
+		// drains; the flusher is gated earlier and never reaches this).
+		s.holdForRetry(fileID, off, size, write, tag, done, viaBackbone)
+		return
+	}
 	if d.queueing && d.sched != SchedFCFS {
 		s.scheduleAccess(fileID, off, size, write, tag, done, viaBackbone)
 		return

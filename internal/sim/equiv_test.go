@@ -438,6 +438,14 @@ func schedCases() []equivCase {
 			c.StripeUnitBytes = 256 << 10
 			c.RecordPhysical = true
 		})},
+		{"ccm-1vol-asstf", "ccm", withSched(SchedAgedSSTF, nil)},
+		{"ccm-1vol-asstf-wtoff", "ccm", withSched(SchedAgedSSTF, func(c *Config) {
+			c.WriteBehind = false
+		})},
+		{"ccm-4vol-asstf-stripe", "ccm", withSched(SchedAgedSSTF, func(c *Config) {
+			c.NumVolumes = 4
+			c.StripeUnitBytes = 64 << 10
+		})},
 	}
 }
 

@@ -26,6 +26,9 @@ const (
 	evBackboneXfer               // volume leg done; transfer enters the shared backbone
 	evBackboneDone               // backbone crossing complete (tick = transfer gen)
 	evBurstDrain                 // burst buffer's head drain finished
+	evFaultStart                 // a fault-plan event begins (vol = plan index)
+	evFaultEnd                   // a fault-plan event ends (vol = plan index)
+	evRetryFire                  // a held request's backoff timer (tick = op gen)
 )
 
 // event is one scheduled simulator action. Ties on time break by sequence
@@ -43,7 +46,8 @@ type event struct {
 	f    *fetch
 	w    *ioWait
 	x    *transfer
-	tick trace.Ticks // evSliceEnd: slice length; evBackboneDone: transfer gen
+	ro   *retryOp
+	tick trace.Ticks // evSliceEnd: slice length; evBackboneDone/evRetryFire: gen
 }
 
 // eventHeap is a 4-ary min-heap of value events keyed on (at, seq). The
@@ -129,6 +133,11 @@ func (s *Simulator) dispatch1(e *event) {
 		s.doIO(e.p, e.r)
 	case evAdvanceRun:
 		s.advance(e.p)
+		if s.faults != nil {
+			// A write absorbed by the cache (or a hit) is durable enough
+			// to checkpoint the moment its record is consumed.
+			e.p.commitCkpt()
+		}
 		s.runSlice(e.p)
 	case evFlushTimer:
 		s.flushTimer = false
@@ -142,13 +151,19 @@ func (s *Simulator) dispatch1(e *event) {
 	case evFlushDone:
 		s.completeFlush(int(e.vol))
 	case evVolDone:
-		s.volDone(int(e.vol))
+		s.volDone(int(e.vol), uint32(e.tick))
 	case evBackboneXfer:
 		s.bbEnqueue(e.x)
 	case evBackboneDone:
 		s.bbDone(e.x, uint32(e.tick))
 	case evBurstDrain:
 		s.burstDrainDone()
+	case evFaultStart:
+		s.faultStart(int(e.vol))
+	case evFaultEnd:
+		s.faultEnd(int(e.vol))
+	case evRetryFire:
+		s.retryFire(e.ro, uint32(e.tick))
 	case evNop:
 	}
 }

@@ -1,0 +1,589 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"iotrace/internal/trace"
+)
+
+func mustPlan(t *testing.T, spec string) *FaultPlan {
+	t.Helper()
+	p, err := ParseFaultPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	sec := trace.TicksPerSecond
+	for _, tc := range []struct {
+		in   string
+		want []FaultEvent
+	}{
+		{"vol0:down@200s+30s", []FaultEvent{
+			{Kind: FaultVolDown, Vol: 0, At: 200 * sec, Dur: 30 * sec}}},
+		{"vol3:slow2.5x@0s+1s", []FaultEvent{
+			{Kind: FaultVolSlow, Vol: 3, At: 0, Dur: sec, Factor: 2.5}}},
+		{"backbone:down@800s+10s", []FaultEvent{
+			{Kind: FaultBackboneDown, At: 800 * sec, Dur: 10 * sec}}},
+		{"vol1:down@12345t+7t", []FaultEvent{
+			{Kind: FaultVolDown, Vol: 1, At: 12345, Dur: 7}}},
+		{"vol1:down@200s+30s, vol0:slow2x@500s+60s ,backbone:down@800s+10s", []FaultEvent{
+			{Kind: FaultVolDown, Vol: 1, At: 200 * sec, Dur: 30 * sec},
+			{Kind: FaultVolSlow, Vol: 0, At: 500 * sec, Dur: 60 * sec, Factor: 2},
+			{Kind: FaultBackboneDown, At: 800 * sec, Dur: 10 * sec}}},
+		{"vol0:down@0.5s+0.25s", []FaultEvent{
+			{Kind: FaultVolDown, Vol: 0, At: sec / 2, Dur: sec / 4}}},
+	} {
+		p, err := ParseFaultPlan(tc.in)
+		if err != nil {
+			t.Errorf("ParseFaultPlan(%q): %v", tc.in, err)
+			continue
+		}
+		if len(p.Events) != len(tc.want) {
+			t.Errorf("ParseFaultPlan(%q) = %d events, want %d", tc.in, len(p.Events), len(tc.want))
+			continue
+		}
+		for i, e := range p.Events {
+			if e != tc.want[i] {
+				t.Errorf("ParseFaultPlan(%q)[%d] = %+v, want %+v", tc.in, i, e, tc.want[i])
+			}
+		}
+		// The rendered form must re-parse to the same plan (the sweep axis
+		// labels scenarios with it, and the fuzzer hardens the property).
+		rt, err := ParseFaultPlan(p.String())
+		if err != nil {
+			t.Errorf("re-parse of %q: %v", p.String(), err)
+			continue
+		}
+		for i := range p.Events {
+			if rt.Events[i] != p.Events[i] {
+				t.Errorf("round trip of %q via %q changed event %d", tc.in, p.String(), i)
+			}
+		}
+	}
+
+	for _, bad := range []string{
+		"", "  ", "vol0", "vol0:down", "vol0:down@5s", "vol0:down+5s",
+		"vol0:up@1s+1s", "volx:down@1s+1s", "vol-1:down@1s+1s",
+		"backbone:slow2x@1s+1s", "disk0:down@1s+1s",
+		"vol0:slow1x@1s+1s", "vol0:slow0.5x@1s+1s", "vol0:slowNaNx@1s+1s",
+		"vol0:down@1m+1s", "vol0:down@1s+", "vol0:down@-3s+1s",
+		"vol0:down@1e99s+1s", "vol0:down@1.5t+1s",
+	} {
+		if p, err := ParseFaultPlan(bad); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted: %+v", bad, p)
+		}
+	}
+}
+
+func TestConfigValidateFaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = mustPlan(t, "vol0:down@10s+5s")
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Validate rejected a well-formed plan: %v", err)
+	}
+	for _, tc := range []struct {
+		name  string
+		tweak func(*Config)
+	}{
+		{"zero-duration", func(c *Config) {
+			c.Faults = &FaultPlan{Events: []FaultEvent{{Kind: FaultVolDown, At: 10}}}
+		}},
+		{"negative-start", func(c *Config) {
+			c.Faults = &FaultPlan{Events: []FaultEvent{{Kind: FaultVolDown, At: -1, Dur: 10}}}
+		}},
+		{"slow-factor-1", func(c *Config) {
+			c.Faults = &FaultPlan{Events: []FaultEvent{{Kind: FaultVolSlow, At: 0, Dur: 10, Factor: 1}}}
+		}},
+		{"unknown-kind", func(c *Config) {
+			c.Faults = &FaultPlan{Events: []FaultEvent{{Kind: FaultKind(9), At: 0, Dur: 10}}}
+		}},
+		{"no-timeout", func(c *Config) { c.RetryTimeoutTicks = 0 }},
+		{"no-backoff", func(c *Config) { c.RetryBackoffTicks = 0 }},
+	} {
+		c := DefaultConfig()
+		c.Faults = mustPlan(t, "vol0:down@10s+5s")
+		tc.tweak(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the config", tc.name)
+		}
+	}
+	// Negative retry knobs are invalid even without a plan.
+	c := DefaultConfig()
+	c.RetryTimeoutTicks = -1
+	if err := c.Validate(); err == nil {
+		t.Error("Validate accepted a negative retry timeout")
+	}
+}
+
+// TestFaultsOffGoldenEquivalence is the do-no-harm bar for the fault
+// subsystem, mirroring TestBackboneOffGoldenEquivalence: with no
+// FaultPlan the retry knobs are inert and all four golden sets replay
+// byte for byte through the fault-aware code paths.
+func TestFaultsOffGoldenEquivalence(t *testing.T) {
+	// Conspicuous retry knobs: if either leaks into the fault-free path,
+	// the goldens catch it.
+	off := func(c *Config) {
+		c.Faults = nil
+		c.RetryTimeoutTicks = 777
+		c.RetryBackoffTicks = 999
+	}
+	appNames := []string{"ccm"}
+	if !testing.Short() {
+		appNames = append(appNames, "venus")
+	}
+	traces := map[string][2][]*trace.Record{}
+	for _, name := range appNames {
+		a, b := appPair(t, name)
+		traces[name] = [2][]*trace.Record{a, b}
+	}
+
+	equivGoldens := loadGoldens(t, "equiv.golden")
+	for _, tc := range equivCases() {
+		t.Run("equiv/"+tc.name, func(t *testing.T) {
+			tr, ok := traces[tc.app]
+			if !ok {
+				t.Skipf("%s workload: skipped in -short mode", tc.app)
+			}
+			cfg := tc.cfg()
+			off(&cfg)
+			got := fingerprint(simulatePair(t, cfg, tr[0], tr[1]))
+			checkGolden(t, equivGoldens, "equiv.golden", tc.name, got)
+		})
+	}
+	shardedGoldens := loadGoldens(t, "sharded.golden")
+	for _, tc := range shardedCases() {
+		t.Run("sharded/"+tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			off(&cfg)
+			tr := traces["ccm"]
+			got := volumeFingerprint(simulatePair(t, cfg, tr[0], tr[1]))
+			checkGolden(t, shardedGoldens, "sharded.golden", tc.name, got)
+		})
+	}
+	schedGoldens := loadGoldens(t, "sched.golden")
+	for _, tc := range schedCases() {
+		t.Run("sched/"+tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			off(&cfg)
+			tr := traces["ccm"]
+			got := schedFingerprint(simulatePair(t, cfg, tr[0], tr[1]))
+			checkGolden(t, schedGoldens, "sched.golden", tc.name, got)
+		})
+	}
+	backboneGoldens := loadGoldens(t, "backbone.golden")
+	for _, tc := range backboneCases() {
+		t.Run("backbone/"+tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			off(&cfg)
+			tr := traces["ccm"]
+			got := backboneFingerprint(simulatePair(t, cfg, tr[0], tr[1]))
+			checkGolden(t, backboneGoldens, "backbone.golden", tc.name, got)
+		})
+	}
+}
+
+// faultFingerprint extends the scheduler fingerprint with everything the
+// fault subsystem reports: availability, degraded time, event count, and
+// the per-process restart/lost/retry ledger.
+func faultFingerprint(res *Result) string {
+	s := schedFingerprint(res) + fmt.Sprintf("|avail=%.6f|deg=%.3f|fev=%d|resil=",
+		res.Availability, res.DegradedSec, res.FaultEvents)
+	for i, p := range res.Procs {
+		if i > 0 {
+			s += ";"
+		}
+		s += fmt.Sprintf("%d/%d/%d", p.Restarts, int64(p.LostTicks), p.RetriedRequests)
+	}
+	return s
+}
+
+// faultCases are the degraded configurations pinned by
+// testdata/fault.golden: each failure mode alone, outages composed with
+// the deferred schedulers (freeze/thaw), the backbone blackout, a
+// timeout tight enough to force checkpoint restarts, and overlapping
+// faults.
+func faultCases() []equivCase {
+	withPlan := func(spec string, tweak func(*Config)) func() Config {
+		return func() Config {
+			c := DefaultConfig()
+			p, err := ParseFaultPlan(spec)
+			if err != nil {
+				panic(err)
+			}
+			c.Faults = p
+			if tweak != nil {
+				tweak(&c)
+			}
+			return c
+		}
+	}
+	return []equivCase{
+		// With write-behind on, ccm's write-dominated traffic rides out
+		// the outage invisibly: absorbed writes stay dirty, the flusher
+		// reroutes around the down volume, and recovery drains the
+		// backlog — the golden pins that processes see no impact.
+		{"ccm-vol-down", "ccm", withPlan("vol0:down@2s+20s", nil)},
+		{"ccm-vol-slow", "ccm", withPlan("vol0:slow3x@10s+60s", nil)},
+		{"ccm-down-wt", "ccm", withPlan("vol0:down@20s+15s", func(c *Config) {
+			c.WriteBehind = false
+		})},
+		{"ccm-down-scan", "ccm", withPlan("vol1:down@30s+20s", func(c *Config) {
+			c.NumVolumes = 4
+			c.StripeUnitBytes = 64 << 10
+			c.DiskQueueing = true
+			c.Scheduler = SchedSCAN
+		})},
+		{"ccm-down-asstf", "ccm", withPlan("vol1:down@30s+20s", func(c *Config) {
+			c.NumVolumes = 4
+			c.StripeUnitBytes = 64 << 10
+			c.DiskQueueing = true
+			c.Scheduler = SchedAgedSSTF
+		})},
+		{"ccm-backbone-blackout", "ccm", withPlan("backbone:down@30s+10s", func(c *Config) {
+			c.BackboneMBps = 100
+			c.BackboneSched = BackboneFIFO
+		})},
+		{"ccm-blackout-fair", "ccm", withPlan("backbone:down@30s+10s", func(c *Config) {
+			c.BackboneMBps = 100
+			c.BackboneSched = BackboneFairShare
+		})},
+		// Write-through plus a timeout much shorter than the outage: the
+		// blocked writers fail unrecoverably and restart from checkpoints.
+		{"ccm-down-restarts", "ccm", withPlan("vol0:down@30s+40s", func(c *Config) {
+			c.WriteBehind = false
+			c.RetryTimeoutTicks = 5 * trace.TicksPerSecond
+		})},
+		{"ccm-overlapping", "ccm", withPlan(
+			"vol0:slow2x@10s+80s,vol0:down@40s+10s,backbone:down@45s+10s", func(c *Config) {
+				c.BackboneMBps = 100
+				c.BackboneSched = BackboneFIFO
+			})},
+		{"ccm-burst-down", "ccm", withPlan("vol0:down@25s+20s", func(c *Config) {
+			c.WriteBehind = false
+			c.BackboneMBps = 100
+			c.BackboneSched = BackboneFIFO
+			c.BurstBufferMB = 64
+			c.BurstDrainMBps = 50
+		})},
+	}
+}
+
+// TestFaultGoldens pins the degraded configurations against
+// testdata/fault.golden. Regenerate with scripts/regen_goldens.sh.
+func TestFaultGoldens(t *testing.T) {
+	write := goldenWriteMode(t)
+	var goldens map[string]string
+	if !write {
+		goldens = loadGoldens(t, "fault.golden")
+	}
+	a, b := appPair(t, "ccm")
+	got := map[string]string{}
+	for _, tc := range faultCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			fp := faultFingerprint(simulatePair(t, tc.cfg(), a, b))
+			if write {
+				got[tc.name] = fp
+				return
+			}
+			checkGolden(t, goldens, "fault.golden", tc.name, fp)
+		})
+	}
+	if write {
+		writeGoldens(t, "fault.golden", got)
+	}
+}
+
+// TestVolumeOutageDegradesAndRecovers pins the basic degradation
+// contract on a real workload: an outage makes the run no faster,
+// surfaces retries and degraded time, and the run still completes with
+// availability strictly inside (0, 1).
+func TestVolumeOutageDegradesAndRecovers(t *testing.T) {
+	a, b := appPair(t, "ccm")
+	healthy := simulatePair(t, DefaultConfig(), a, b)
+	if healthy.Availability != 1 || healthy.DegradedSec != 0 || healthy.FaultEvents != 0 {
+		t.Fatalf("fault-free run reports avail=%v deg=%v ev=%d, want 1/0/0",
+			healthy.Availability, healthy.DegradedSec, healthy.FaultEvents)
+	}
+	for _, p := range healthy.Procs {
+		if p.Restarts != 0 || p.LostTicks != 0 || p.RetriedRequests != 0 {
+			t.Fatalf("fault-free proc %s carries resilience counters: %+v", p.Name, p)
+		}
+	}
+
+	// Write-through keeps the volume on every write's critical path, so
+	// the outage window is guaranteed to catch in-flight demand.
+	wt := DefaultConfig()
+	wt.WriteBehind = false
+	healthyWT := simulatePair(t, wt, a, b)
+	cfg := wt
+	cfg.Faults = mustPlan(t, "vol0:down@30s+20s")
+	degraded := simulatePair(t, cfg, a, b)
+	if degraded.WallTicks < healthyWT.WallTicks {
+		t.Errorf("outage made the run faster: %v < %v", degraded.WallTicks, healthyWT.WallTicks)
+	}
+	if degraded.FaultEvents != 1 {
+		t.Errorf("FaultEvents = %d, want 1", degraded.FaultEvents)
+	}
+	if degraded.DegradedSec != 20 {
+		t.Errorf("DegradedSec = %v, want 20", degraded.DegradedSec)
+	}
+	if degraded.Availability <= 0 || degraded.Availability >= 1 {
+		t.Errorf("Availability = %v, want in (0, 1)", degraded.Availability)
+	}
+	var retried int64
+	for _, p := range degraded.Procs {
+		retried += p.RetriedRequests
+	}
+	if retried == 0 {
+		t.Error("a 20 s outage on the only volume drove no retries")
+	}
+}
+
+// TestSlowVolumeStretchesService pins FaultVolSlow: a sustained 4x
+// slowdown covering the whole run stretches disk busy time and the run
+// itself, while the degraded-but-alive volume keeps answering — no
+// retries, no restarts. (Request counts legitimately shift: slower
+// service changes flush-run coalescing.)
+func TestSlowVolumeStretchesService(t *testing.T) {
+	a, b := appPair(t, "ccm")
+	healthy := simulatePair(t, DefaultConfig(), a, b)
+	cfg := DefaultConfig()
+	cfg.Faults = mustPlan(t, "vol0:slow4x@0s+100000s")
+	slow := simulatePair(t, cfg, a, b)
+	if slow.Disk.BusySec <= healthy.Disk.BusySec {
+		t.Errorf("4x slowdown left disk busy at %.1f s (healthy %.1f s)",
+			slow.Disk.BusySec, healthy.Disk.BusySec)
+	}
+	if slow.WallTicks < healthy.WallTicks {
+		t.Errorf("slowdown made the run faster: %v < %v", slow.WallTicks, healthy.WallTicks)
+	}
+	for _, p := range slow.Procs {
+		if p.Restarts != 0 || p.RetriedRequests != 0 {
+			t.Errorf("slowdown caused retries/restarts for %s: %+v", p.Name, p)
+		}
+	}
+}
+
+// TestRetryTimeoutTriggersRestart drives a process into an outage longer
+// than its retry timeout: the blocked read fails unrecoverably, the
+// process rolls back to its checkpoint write and replays — repeatedly,
+// until the volume recovers — and the lost compute is surfaced.
+func TestRetryTimeoutTriggersRestart(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = mustPlan(t, "vol0:down@1.5s+10s")
+	cfg.RetryTimeoutTicks = 2 * trace.TicksPerSecond
+	tr := mkTrace(1, []ioItem{
+		// 1 s compute, then the checkpoint write (absorbed, durable).
+		{file: 1, off: 0, ln: 1 << 20, write: true, cpuBefore: 1},
+		// 1 s compute, then a read the outage blocks past its timeout.
+		{file: 1, off: 8 << 20, ln: 1 << 20, cpuBefore: 1},
+	}, 0.5)
+	res := run(t, cfg, tr)
+	p := res.Procs[0]
+	if p.Restarts == 0 {
+		t.Fatal("no restarts: the blocked read never timed out")
+	}
+	if p.LostTicks <= 0 {
+		t.Error("restarts discarded no compute")
+	}
+	// Each replay re-runs the ~1 s of compute after the checkpoint.
+	if lost := p.LostTicks.Seconds(); lost < 0.9*float64(p.Restarts) {
+		t.Errorf("lost %.2f s over %d restarts, want ~1 s each", lost, p.Restarts)
+	}
+	// The run recovers: the read eventually lands and the trace finishes
+	// after the outage lifts at t=11.5 s.
+	if res.WallSeconds() < 11.5 {
+		t.Errorf("wall %.1f s: run finished before the outage lifted", res.WallSeconds())
+	}
+}
+
+// TestFlushRecoveryDrainsBacklog extends the TestFlushRescan* family to
+// outages: blocks dirtied while their home volume is down must not
+// strand — recovery's kickFlusher drains the backlog.
+func TestFlushRecoveryDrainsBacklog(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = mustPlan(t, "vol0:down@0s+1s")
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.faultStart(0) // volume down; posts its own recovery event
+	dirtyBlock(t, s, 1, 0)
+	dirtyBlock(t, s, 1, 1)
+	s.kickFlusher()
+	if s.flushActiveOps != 0 {
+		t.Fatalf("%d flush runs issued onto a down volume", s.flushActiveOps)
+	}
+	drainEvents(s) // recovery fires, kickFlusher drains the backlog
+	if s.cache.dirtyCount() != 0 {
+		t.Errorf("%d dirty blocks stranded across the outage", s.cache.dirtyCount())
+	}
+	if s.flushRuns == 0 {
+		t.Error("no flush runs after recovery")
+	}
+}
+
+// TestFlushRecoveryMultiVolume pins the routing half: with one of two
+// volumes down, the healthy volume's dirty blocks flush immediately; the
+// down volume's wait for recovery.
+func TestFlushRecoveryMultiVolume(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumVolumes = 2
+	cfg.Placement = PlaceFileHash
+	cfg.Faults = mustPlan(t, "vol0:down@0s+1s")
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, _, fb := sameVolumeFiles(t, s.disk) // fa and fb on different volumes
+	downVol := s.disk.hashVolume(fa)
+	s.faults.plan.Events[0].Vol = downVol
+	s.faultStart(0)
+	dirtyBlock(t, s, fa, 0)
+	dirtyBlock(t, s, fb, 0)
+	s.kickFlusher()
+	if s.flushActiveOps != 1 {
+		t.Fatalf("%d flush runs in flight, want 1 (healthy volume only)", s.flushActiveOps)
+	}
+	if s.disk.vols[downVol].flushBusy {
+		t.Error("flusher issued onto the down volume")
+	}
+	drainEvents(s)
+	if s.cache.dirtyCount() != 0 {
+		t.Errorf("%d dirty blocks stranded", s.cache.dirtyCount())
+	}
+}
+
+// TestBackboneBlackoutBanksProgress pins the blackout contract under
+// each backbone scheduler: a mid-run blackout stretches the run, every
+// transfer still completes (banked remainders resume rather than
+// vanish), and the run finishes. Exact degraded results are pinned by
+// testdata/fault.golden; this guards the invariants across schedulers.
+func TestBackboneBlackoutBanksProgress(t *testing.T) {
+	a, b := appPair(t, "ccm")
+	for _, sched := range []BackboneSched{BackboneFIFO, BackboneFairShare, BackbonePeriodic} {
+		t.Run(sched.String(), func(t *testing.T) {
+			base := DefaultConfig()
+			base.BackboneMBps = 80
+			base.BackboneSched = sched
+			healthy := simulatePair(t, base, a, b)
+
+			cfg := base
+			cfg.Faults = mustPlan(t, "backbone:down@20s+15s")
+			dark := simulatePair(t, cfg, a, b)
+			if dark.WallTicks < healthy.WallTicks {
+				t.Errorf("blackout made the run faster: %v < %v", dark.WallTicks, healthy.WallTicks)
+			}
+			if dark.Backbone.Transfers == 0 || dark.Backbone.Bytes == 0 {
+				t.Errorf("no transfers completed across the blackout: %+v", dark.Backbone)
+			}
+			if dark.FaultEvents != 1 || dark.DegradedSec != 15 {
+				t.Errorf("events=%d degraded=%v, want 1/15", dark.FaultEvents, dark.DegradedSec)
+			}
+		})
+	}
+}
+
+// TestBlackoutWithoutBackboneIsLegal pins the sweep-composability rule:
+// a plan with backbone events runs fine without a backbone configured —
+// the failure is a no-op, but the window still counts as degraded.
+func TestBlackoutWithoutBackboneIsLegal(t *testing.T) {
+	a, b := appPair(t, "ccm")
+	cfg := DefaultConfig()
+	cfg.Faults = mustPlan(t, "backbone:down@10s+5s")
+	res := simulatePair(t, cfg, a, b)
+	if res.FaultEvents != 1 || res.DegradedSec != 5 {
+		t.Errorf("events=%d degraded=%v, want 1/5", res.FaultEvents, res.DegradedSec)
+	}
+}
+
+// TestFaultPlanVolumeWrapsModulo pins the sweep rule: a plan naming
+// vol5 applies to vol5 mod NumVolumes, so one plan stays valid across
+// every width of a volume sweep.
+func TestFaultPlanVolumeWrapsModulo(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = mustPlan(t, "vol5:down@0s+1s")
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.faultStart(0)
+	if s.disk.vols[0].downCnt != 1 { // 5 mod 1
+		t.Errorf("vol5 on a 1-volume array: downCnt = %d, want 1 on vol0", s.disk.vols[0].downCnt)
+	}
+	drainEvents(s)
+}
+
+// TestDegradedRetryZeroAllocs repeats the outage→hold→retry→recover
+// cycle and asserts the degraded steady state allocates nothing: held
+// ops come from the pool, timers are plain heap events, and re-issue
+// reuses the closed-form FCFS path.
+func TestDegradedRetryZeroAllocs(t *testing.T) {
+	cfg := allocConfig()
+	// The plan exists to arm the fault state; the test drives the event
+	// itself, far from the scheduled start.
+	cfg.Faults = &FaultPlan{Events: []FaultEvent{
+		{Kind: FaultVolDown, Vol: 0, At: 1 << 50, Dur: 1000},
+	}}
+	cfg.RetryBackoffTicks = 64
+	cfg.RetryTimeoutTicks = 1 << 40
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off int64
+	cycle := func() {
+		s.faultStart(0) // down; schedules recovery 1000 ticks out
+		// Two requests hold, back off, then drain and re-issue at recovery.
+		s.diskAccess(1, off, 1<<20, false, event{kind: evNop})
+		s.diskAccess(1, off+(2<<20), 1<<20, true, event{kind: evNop})
+		off += 4 << 20
+		drainEvents(s)
+	}
+	for i := 0; i < 4; i++ {
+		cycle() // pools, heap, and the FCFS ring reach high water
+	}
+	if s.faults.retried == 0 || s.faults.maxHeld < 2 {
+		t.Fatalf("harness drove no holds (retried=%d maxHeld=%d)", s.faults.retried, s.faults.maxHeld)
+	}
+	if allocs := testing.AllocsPerRun(50, func() { cycle() }); allocs != 0 {
+		t.Errorf("degraded retry cycle allocates %.1f allocs, want 0", allocs)
+	}
+}
+
+// FuzzParseFaultPlan hardens the plan grammar: arbitrary input must
+// never panic, and anything that parses must round-trip through String
+// to an identical plan.
+func FuzzParseFaultPlan(f *testing.F) {
+	f.Add("vol1:down@200s+30s,vol0:slow2x@500s+60s,backbone:down@800s+10s")
+	f.Add("vol0:down@12345t+7t")
+	f.Add("vol3:slow2.5x@0.5s+0.25s")
+	f.Add("backbone:down@0s+1s")
+	f.Add("vol0:down@1e3s+1s")
+	f.Add(",,,")
+	f.Add("vol0:slowx@1s+1s")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseFaultPlan(s)
+		if err != nil {
+			return
+		}
+		rendered := p.String()
+		rt, err := ParseFaultPlan(rendered)
+		if err != nil {
+			t.Fatalf("String() of a parsed plan does not re-parse: %q -> %q: %v", s, rendered, err)
+		}
+		if len(rt.Events) != len(p.Events) {
+			t.Fatalf("round trip changed event count: %q -> %q", s, rendered)
+		}
+		for i := range p.Events {
+			if rt.Events[i] != p.Events[i] {
+				t.Fatalf("round trip changed event %d: %+v -> %+v (via %q)",
+					i, p.Events[i], rt.Events[i], rendered)
+			}
+		}
+	})
+}

@@ -37,6 +37,16 @@ const (
 	// reverses and sweeps descending. Bounded unfairness, near-SSTF
 	// seek totals on seek-heavy mixes.
 	SchedSCAN
+
+	// SchedAgedSSTF is shortest-seek-first with linear aging: each
+	// pending segment's effective distance shrinks by agedSSTFAging
+	// bytes per tick it has waited, so a request parked far from the
+	// head eventually outranks fresh head-adjacent arrivals. This
+	// bounds the per-process starvation SSTF exhibits under sustained
+	// load (visible in VolumeQueueStats.PerProc) while keeping most of
+	// its seek advantage; with an empty or single-entry queue it is
+	// exactly SSTF.
+	SchedAgedSSTF
 )
 
 func (s Scheduler) String() string {
@@ -45,13 +55,15 @@ func (s Scheduler) String() string {
 		return "sstf"
 	case SchedSCAN:
 		return "scan"
+	case SchedAgedSSTF:
+		return "aged-sstf"
 	default:
 		return "fcfs"
 	}
 }
 
-// ParseScheduler converts a policy name ("fcfs", "sstf", "scan") to a
-// Scheduler.
+// ParseScheduler converts a policy name ("fcfs", "sstf", "scan",
+// "aged-sstf") to a Scheduler.
 func ParseScheduler(s string) (Scheduler, error) {
 	switch s {
 	case "fcfs":
@@ -60,9 +72,17 @@ func ParseScheduler(s string) (Scheduler, error) {
 		return SchedSSTF, nil
 	case "scan", "elevator":
 		return SchedSCAN, nil
+	case "aged-sstf", "asstf":
+		return SchedAgedSSTF, nil
 	}
-	return 0, fmt.Errorf("sim: unknown scheduler %q (want fcfs, sstf, or scan)", s)
+	return 0, fmt.Errorf("sim: unknown scheduler %q (want fcfs, sstf, scan, or aged-sstf)", s)
 }
+
+// agedSSTFAging is SchedAgedSSTF's aging rate: the seek distance (bytes)
+// one tick of queue wait is worth. At 32 KiB/tick, ~0.66 s of waiting
+// outweighs the maximum seek (seekScale = 2 GiB), so no segment waits
+// much longer than that behind a stream of closer arrivals.
+const agedSSTFAging = 1 << 15
 
 // VolumeQueueStats reports one volume's request-queue activity under
 // DiskQueueing. Result.VolumeQueues carries one entry per volume when
@@ -247,7 +267,15 @@ func (s *Simulator) volDispatch(vi int) {
 		v.inService = false
 		return
 	}
-	i := v.pickNext(d.sched)
+	if s.faults != nil && v.downCnt > 0 {
+		// The volume is down: leave the queue parked (inService false);
+		// thawVolume re-dispatches at recovery. Only requests already
+		// queued before the outage wait here — new arrivals are held for
+		// retry at admission.
+		v.inService = false
+		return
+	}
+	i := v.pickNext(d.sched, s.now)
 	req := v.queue[i]
 	copy(v.queue[i:], v.queue[i+1:])
 	v.queue[len(v.queue)-1] = volPending{} // drop the dr pointer
@@ -286,14 +314,19 @@ func (s *Simulator) volDispatch(vi int) {
 			ProcessID:   req.tag.pid,
 		})
 	}
-	s.post(dur, event{kind: evVolDone, vol: int32(vi)})
+	v.curDone = s.now + dur
+	s.post(dur, event{kind: evVolDone, vol: int32(vi), tick: trace.Ticks(v.gen)})
 }
 
 // volDone retires the in-service segment: the parent request completes
 // when its last segment lands, and the volume dispatches its next
-// queued segment, if any.
-func (s *Simulator) volDone(vi int) {
+// queued segment, if any. A stale gen means an outage froze this
+// segment after its completion was posted; thawVolume reposts it.
+func (s *Simulator) volDone(vi int, gen uint32) {
 	v := &s.disk.vols[vi]
+	if gen != v.gen {
+		return
+	}
 	dr := v.cur.dr
 	v.cur = volPending{}
 	dr.remaining--
@@ -312,7 +345,7 @@ func (s *Simulator) volDone(vi int) {
 // kept in arrival order (removal shifts), so first-encountered wins
 // break every tie toward the earliest arrival — deterministic across
 // runs by construction.
-func (v *volume) pickNext(pol Scheduler) int {
+func (v *volume) pickNext(pol Scheduler, now trace.Ticks) int {
 	q := v.queue
 	if len(q) == 1 {
 		return 0
@@ -323,6 +356,19 @@ func (v *volume) pickNext(pol Scheduler) int {
 		for i := 1; i < len(q); i++ {
 			if d := seekDist(q[i].pos, v.lastPos); d < bestDist {
 				best, bestDist = i, d
+			}
+		}
+		return best
+	case SchedAgedSSTF:
+		// Effective priority: seek distance minus accumulated age credit.
+		// Strictly-less wins, so equal priorities — in particular freshly
+		// co-arrived equidistant segments — fall to the earliest arrival,
+		// like SSTF's ties.
+		best := 0
+		bestPr := seekDist(q[0].pos, v.lastPos) - int64(now-q[0].enq)*agedSSTFAging
+		for i := 1; i < len(q); i++ {
+			if pr := seekDist(q[i].pos, v.lastPos) - int64(now-q[i].enq)*agedSSTFAging; pr < bestPr {
+				best, bestPr = i, pr
 			}
 		}
 		return best

@@ -41,12 +41,13 @@ func TestParseScheduler(t *testing.T) {
 		want Scheduler
 	}{
 		{"fcfs", SchedFCFS}, {"sstf", SchedSSTF}, {"scan", SchedSCAN}, {"elevator", SchedSCAN},
+		{"aged-sstf", SchedAgedSSTF}, {"asstf", SchedAgedSSTF},
 	} {
 		got, err := ParseScheduler(tc.in)
 		if err != nil || got != tc.want {
 			t.Errorf("ParseScheduler(%q) = %v, %v", tc.in, got, err)
 		}
-		if tc.in != "elevator" && got.String() != tc.in {
+		if tc.in != "elevator" && tc.in != "asstf" && got.String() != tc.in {
 			t.Errorf("%v.String() = %q, want %q", got, got.String(), tc.in)
 		}
 	}
@@ -61,7 +62,7 @@ func TestConfigValidateScheduler(t *testing.T) {
 	if err := cfg.Validate(); err == nil {
 		t.Error("Validate accepted an unknown scheduler")
 	}
-	for _, pol := range []Scheduler{SchedFCFS, SchedSSTF, SchedSCAN} {
+	for _, pol := range []Scheduler{SchedFCFS, SchedSSTF, SchedSCAN, SchedAgedSSTF} {
 		cfg.Scheduler = pol
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("Validate rejected %v: %v", pol, err)
@@ -142,13 +143,85 @@ func TestSCANElevatorOrder(t *testing.T) {
 	}
 }
 
+// TestAgedSSTFBoundsStarvation pins the aging policy's point: a distant
+// request that has waited long enough outranks a fresh head-adjacent
+// arrival — where plain SSTF, given the same arrivals, services the
+// near one first and leaves the far one parked.
+func TestAgedSSTFBoundsStarvation(t *testing.T) {
+	const mb = 1 << 20
+	issue := func(pol Scheduler) *Simulator {
+		s, err := New(schedConfig(pol))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A long transfer holds the head busy while the queue builds; the
+		// head parks at its end, 64 MB.
+		s.diskAccess(1, 0, 64*mb, false, event{kind: evNop})
+		s.diskAccess(1, 200*mb, mb, false, event{kind: evNop}) // far, old
+		// Half a second into the service, a near request arrives. By the
+		// dispatch decision the far request has aged 0.5 s more — 32 KiB
+		// per tick * 50k ticks of credit, far more than the ~134 MB seek
+		// difference.
+		s.now = trace.TicksPerSecond / 2
+		s.diskAccess(1, 66*mb, mb, false, event{kind: evNop}) // near, fresh
+		v := &s.disk.vols[0]
+		if !v.inService || v.curDone <= s.now {
+			t.Fatalf("fixture: first service ended at %v, before the near arrival at %v", v.curDone, s.now)
+		}
+		drainEvents(s)
+		return s
+	}
+
+	aged := physOffsets(issue(SchedAgedSSTF))
+	if len(aged) != 3 {
+		t.Fatalf("%d physical records, want 3", len(aged))
+	}
+	base := aged[0]
+	if rel := (aged[1] - base) * trace.BlockSize; rel != 200*mb {
+		t.Errorf("aged-sstf serviced offset %d second, want the aged far request at %d", rel, 200*mb)
+	}
+
+	sstf := physOffsets(issue(SchedSSTF))
+	if rel := (sstf[1] - sstf[0]) * trace.BlockSize; rel != 66*mb {
+		t.Errorf("sstf serviced offset %d second, want the near request at %d — the policies should diverge here", rel, 66*mb)
+	}
+}
+
+// TestAgedSSTFFreshQueueMatchesSSTF pins the degenerate case: when every
+// pending request arrived at the same instant there is no age credit to
+// differentiate them, and aged-SSTF picks exactly SSTF's nearest-first
+// order.
+func TestAgedSSTFFreshQueueMatchesSSTF(t *testing.T) {
+	const mb = 1 << 20
+	run := func(pol Scheduler) []int64 {
+		s, err := New(schedConfig(pol))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.diskAccess(1, 0, 2*mb, false, event{kind: evNop})
+		s.diskAccess(1, 200*mb, mb, false, event{kind: evNop})
+		s.diskAccess(1, 3*mb, mb, false, event{kind: evNop})
+		drainEvents(s)
+		return physOffsets(s)
+	}
+	aged, sstf := run(SchedAgedSSTF), run(SchedSSTF)
+	if len(aged) != len(sstf) {
+		t.Fatalf("%d vs %d physical records", len(aged), len(sstf))
+	}
+	for i := range aged {
+		if aged[i] != sstf[i] {
+			t.Errorf("service %d: aged-sstf at %d, sstf at %d — co-arrived queues should match", i, aged[i], sstf[i])
+		}
+	}
+}
+
 // TestSchedulerQueueDepthStats pins the per-volume queue accounting: a
 // burst of n requests on one busy volume reaches depth n, with n-1
 // waits, under every policy (FCFS tracks the same stats through its
 // closed-form ring).
 func TestSchedulerQueueDepthStats(t *testing.T) {
 	const n = 5
-	for _, pol := range []Scheduler{SchedFCFS, SchedSSTF, SchedSCAN} {
+	for _, pol := range []Scheduler{SchedFCFS, SchedSSTF, SchedSCAN, SchedAgedSSTF} {
 		t.Run(pol.String(), func(t *testing.T) {
 			s, err := New(schedConfig(pol))
 			if err != nil {
@@ -220,7 +293,7 @@ func TestSchedulerAttributionSums(t *testing.T) {
 	trA := mkTrace(1, mkItems(0), 0.05)
 	trB := mkTrace(2, mkItems(11), 0.05)
 
-	for _, pol := range []Scheduler{SchedFCFS, SchedSSTF, SchedSCAN} {
+	for _, pol := range []Scheduler{SchedFCFS, SchedSSTF, SchedSCAN, SchedAgedSSTF} {
 		for _, placement := range []Placement{PlaceStripe, PlaceFileHash} {
 			for _, vols := range []int{1, 3} {
 				name := pol.String() + "/" + placement.String() + "/" + string(rune('0'+vols)) + "vol"
@@ -287,7 +360,7 @@ func TestSchedulerAttributionSums(t *testing.T) {
 // FCFS depth ring — must run allocation-free once pools reach their
 // high-water marks.
 func TestScheduledDispatchZeroAllocs(t *testing.T) {
-	for _, pol := range []Scheduler{SchedFCFS, SchedSSTF, SchedSCAN} {
+	for _, pol := range []Scheduler{SchedFCFS, SchedSSTF, SchedSCAN, SchedAgedSSTF} {
 		t.Run(pol.String(), func(t *testing.T) {
 			cfg := allocConfig()
 			cfg.ReadAhead = false

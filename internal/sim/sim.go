@@ -167,6 +167,17 @@ type proc struct {
 	// scan over a compact slice beats a hash per request and never
 	// allocates in steady state.
 	fileEnds []fileEnd
+
+	// Checkpoint/restart state (fault injection only). ckpt is the last
+	// committed rollback point; ckptPend is staged when a synchronous
+	// write record is consumed and commits once that write is durable
+	// (absorbed, or its disk completion lands).
+	ckpt       procCkpt
+	ckptPend   procCkpt
+	ckptStaged bool
+	restarts   int64
+	retried    int64
+	lostTicks  trace.Ticks
 }
 
 // swapLastEnd records that the process's access to file now ends at end
@@ -197,6 +208,15 @@ type ProcResult struct {
 	// have been with those synchronous backbone waits removed. 1 means
 	// no congestion delay (always 1 with the backbone off).
 	Dilation float64
+
+	// Restarts counts checkpoint rollbacks the process took after
+	// unrecoverable I/O faults; LostTicks is the CPU work those
+	// rollbacks discarded and replayed; RetriedRequests counts the
+	// process's requests that were held by a volume outage and later
+	// re-issued. All zero without a FaultPlan.
+	Restarts        int64
+	LostTicks       trace.Ticks
+	RetriedRequests int64
 }
 
 // DiskStats reports storage-tier activity aggregated over the whole
@@ -299,6 +319,14 @@ type Result struct {
 	// Burst reports burst-buffer activity; nil when the tier is
 	// disabled.
 	Burst *BurstStats
+
+	// Availability is the fraction of the run's wall time during which
+	// no fault-plan event was active (1 without a FaultPlan);
+	// DegradedSec is the complementary degraded wall time, and
+	// FaultEvents counts plan events that began during the run.
+	Availability float64
+	DegradedSec  float64
+	FaultEvents  int
 
 	cfgRateBin trace.Ticks
 }
@@ -409,9 +437,11 @@ type Simulator struct {
 
 	// backbone and burst model the shared I/O path and the burst-
 	// absorbing tier; nil (the default) keeps both out of the event
-	// flow entirely.
+	// flow entirely. faults follows the same discipline: nil means no
+	// fault plan and no fault checks on any hot path.
 	backbone *backbone
 	burst    *burstBuffer
+	faults   *faultState
 
 	diskReadRate  *stats.TimeSeries
 	diskWriteRate *stats.TimeSeries
@@ -441,6 +471,9 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	if cfg.BurstBufferMB > 0 {
 		s.burst = newBurstBuffer(&cfg)
+	}
+	if cfg.Faults != nil && len(cfg.Faults.Events) > 0 {
+		s.faults = newFaultState(cfg.Faults)
 	}
 	if len(s.disk.vols) == 1 {
 		s.flushOps = s.flushOps1[:]
@@ -587,6 +620,14 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	if s.backbone != nil {
 		s.backbone.setApps(s.procs)
 	}
+	if s.faults != nil {
+		// Every process's initial rollback point is the trace start;
+		// checkpoint writes advance it as they complete.
+		for _, p := range s.procs {
+			p.ckpt = p.snapshot()
+		}
+		s.scheduleFaults()
+	}
 	s.dispatch()
 	if ok := s.runEvents(ctx); !ok {
 		if s.err != nil {
@@ -720,6 +761,9 @@ func (s *Simulator) advance(p *proc) {
 		next = 0
 	}
 	p.computeLeft = next
+	if s.faults != nil {
+		s.noteWriteAdvanced(p, r)
+	}
 }
 
 // continueRunning resumes the running process after an action that kept
@@ -740,6 +784,11 @@ func (s *Simulator) block(p *proc) {
 // wake readies a blocked process (its next compute burst was already set
 // up by advance).
 func (s *Simulator) wake(p *proc) {
+	if s.faults != nil {
+		// The I/O the process blocked on completed; if it was a
+		// checkpoint write, it is durable now.
+		p.commitCkpt()
+	}
 	p.blocked = false
 	p.blockedTotal += s.now - p.blockedSince
 	s.ready = append(s.ready, p)
@@ -776,6 +825,7 @@ func (s *Simulator) newWait(p *proc) *ioWait {
 	if w != nil {
 		s.waitFree = w.freeNext
 		w.remaining, w.p, w.freeNext = 0, p, nil
+		w.failed = false
 	} else {
 		w = &ioWait{p: p}
 	}
@@ -790,12 +840,18 @@ func (s *Simulator) freeWait(w *ioWait) {
 }
 
 // waitDone retires one of the fetches a wait was counting; the last one
-// wakes the blocked process and recycles the wait.
+// wakes the blocked process and recycles the wait — unless any leg
+// failed unrecoverably, in which case the process restarts from its
+// last checkpoint instead.
 func (s *Simulator) waitDone(w *ioWait) {
 	w.remaining--
 	if w.remaining == 0 {
-		p := w.p
+		p, failed := w.p, w.failed
 		s.freeWait(w)
+		if failed {
+			s.restartProc(p)
+			return
+		}
 		s.wake(p)
 	}
 }
@@ -1178,7 +1234,8 @@ func (s *Simulator) kickFlusher() {
 	// same as the old single-run "if flushing return" guard.
 	idle := false
 	for i := range d.vols {
-		if !d.vols[i].flushBusy && s.cache.dirtyByVol[i] > 0 {
+		if !d.vols[i].flushBusy && s.cache.dirtyByVol[i] > 0 &&
+			!(s.faults != nil && d.vols[i].downCnt > 0) {
 			idle = true
 			break
 		}
@@ -1206,8 +1263,10 @@ func (s *Simulator) kickFlusher() {
 			}
 		}
 		// A run headed at b always touches b's home volume; skip the run
-		// assembly entirely when that volume is mid-flush.
-		if !b.pinned && !d.vols[s.cache.homeVol(b)].flushBusy {
+		// assembly entirely when that volume is mid-flush or down (the
+		// block stays dirty; recovery re-kicks the flusher to drain it).
+		if hv := s.cache.homeVol(b); !b.pinned && !d.vols[hv].flushBusy &&
+			!(s.faults != nil && d.vols[hv].downCnt > 0) {
 			s.tryIssueFlush(s.cache.dirtyRunFrom(b, s.cfg.MaxFlushRunBlocks))
 		}
 		b = next
@@ -1241,7 +1300,7 @@ func (s *Simulator) tryIssueFlush(run []*block) bool {
 	size := int64(len(run)) * s.cfg.BlockBytes
 	op.vols = op.vols[:0]
 	for _, seg := range d.split(first.file, off, size) {
-		if d.vols[seg.vol].flushBusy {
+		if d.vols[seg.vol].flushBusy || (s.faults != nil && d.vols[seg.vol].downCnt > 0) {
 			return false
 		}
 		op.vols = append(op.vols, seg.vol)
@@ -1416,10 +1475,13 @@ func (s *Simulator) result() *Result {
 	for _, p := range s.procs {
 		pr := ProcResult{
 			PID: p.pid, Name: p.name,
-			FinishSec:  p.finishAt.Seconds(),
-			CPUSec:     p.cpuUsed.Seconds(),
-			BlockedSec: p.blockedTotal.Seconds(),
-			Dilation:   1,
+			FinishSec:       p.finishAt.Seconds(),
+			CPUSec:          p.cpuUsed.Seconds(),
+			BlockedSec:      p.blockedTotal.Seconds(),
+			Dilation:        1,
+			Restarts:        p.restarts,
+			LostTicks:       p.lostTicks,
+			RetriedRequests: p.retried,
 		}
 		if s.backbone != nil {
 			if a := s.backbone.appByPID(p.pid); a != nil {
@@ -1444,6 +1506,15 @@ func (s *Simulator) result() *Result {
 	}
 	if s.burst != nil {
 		res.Burst = s.burst.stats()
+	}
+	res.Availability = 1
+	if s.faults != nil {
+		events, degraded := s.faults.degradedWindow(res.WallTicks)
+		res.FaultEvents = events
+		res.DegradedSec = degraded.Seconds()
+		if res.WallTicks > 0 {
+			res.Availability = 1 - res.DegradedSec/res.WallSeconds()
+		}
 	}
 	return res
 }

@@ -3,8 +3,9 @@
 # fingerprint files in internal/sim/testdata/.
 #
 # The golden tests (TestEventEngineEquivalence, TestShardedVolumeGoldens,
-# TestSchedulerGoldens, TestBackboneGoldens) pin simulator results
-# byte-for-byte. When a PR deliberately changes simulator behavior,
+# TestSchedulerGoldens, TestBackboneGoldens, TestFaultGoldens) pin
+# simulator results byte-for-byte. When a PR deliberately changes
+# simulator behavior,
 # regenerate the files with
 #
 #   scripts/regen_goldens.sh
@@ -22,7 +23,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-golden_tests='TestEventEngineEquivalence|TestShardedVolumeGoldens|TestSchedulerGoldens|TestBackboneGoldens'
+golden_tests='TestEventEngineEquivalence|TestShardedVolumeGoldens|TestSchedulerGoldens|TestBackboneGoldens|TestFaultGoldens'
 testdata=internal/sim/testdata
 
 regen() {

@@ -222,6 +222,13 @@ type Grid struct {
 	// bandwidth takes one grid per policy (or explicit scenarios).
 	Backbones []float64
 
+	// Faults sweeps fault plans: each cell injects its plan's scheduled
+	// outages, slowdowns, and blackouts (see the Faults option). A nil
+	// entry is the fault-free "faults=off" cell, so one grid can contrast
+	// a configuration's healthy and degraded runs directly. Plans whose
+	// volume indices exceed a cell's volume count wrap modulo that count.
+	Faults []*FaultPlan
+
 	// SplitSpindles divides the base volume's spindles across each
 	// scenario's volume array (conserved hardware; see the
 	// SplitSpindles ConfigOption). It is applied after the Volumes
@@ -243,7 +250,7 @@ type axisMod struct {
 
 // Scenarios expands the grid in a deterministic order: cache size varies
 // fastest, then block size, tier, read-ahead, write-behind, volume
-// count, and scheduling policy.
+// count, scheduling policy, backbone bandwidth, and fault plan.
 func (g Grid) Scenarios() []Scenario {
 	base := DefaultConfig()
 	if g.Base != nil {
@@ -263,7 +270,7 @@ func (g Grid) Scenarios() []Scenario {
 		}
 		return mods
 	}
-	var caches, blocks, tiers, ras, wbs, vols, scheds, backbones []axisMod
+	var caches, blocks, tiers, ras, wbs, vols, scheds, backbones, faults []axisMod
 	for _, mb := range g.CacheMB {
 		mb := mb
 		caches = append(caches, axisMod{fmt.Sprintf("cache=%dMB", mb), func(c *Config) { c.CacheBytes = mb << 20 }})
@@ -303,37 +310,47 @@ func (g Grid) Scenarios() []Scenario {
 		}
 		backbones = append(backbones, axisMod{label, func(c *Config) { c.BackboneMBps = mbps }})
 	}
+	for _, plan := range g.Faults {
+		plan := plan
+		label := "faults=off"
+		if plan != nil && len(plan.Events) > 0 {
+			label = "faults=" + plan.String()
+		}
+		faults = append(faults, axisMod{label, func(c *Config) { c.Faults = plan }})
+	}
 
 	var out []Scenario
-	for _, mbb := range pad(backbones) {
-		for _, ms := range pad(scheds) {
-			for _, mv := range pad(vols) {
-				for _, mwb := range pad(wbs) {
-					for _, mra := range pad(ras) {
-						for _, mt := range pad(tiers) {
-							for _, mb := range pad(blocks) {
-								for _, mc := range pad(caches) {
-									cfg := base
-									var parts []string
-									for _, m := range []axisMod{mc, mb, mt, mra, mwb, mv, ms, mbb} {
-										if m.apply == nil {
-											continue
+	for _, mf := range pad(faults) {
+		for _, mbb := range pad(backbones) {
+			for _, ms := range pad(scheds) {
+				for _, mv := range pad(vols) {
+					for _, mwb := range pad(wbs) {
+						for _, mra := range pad(ras) {
+							for _, mt := range pad(tiers) {
+								for _, mb := range pad(blocks) {
+									for _, mc := range pad(caches) {
+										cfg := base
+										var parts []string
+										for _, m := range []axisMod{mc, mb, mt, mra, mwb, mv, ms, mbb, mf} {
+											if m.apply == nil {
+												continue
+											}
+											m.apply(&cfg)
+											parts = append(parts, m.label)
 										}
-										m.apply(&cfg)
-										parts = append(parts, m.label)
+										if g.SplitSpindles {
+											cfg.Volume = cfg.Volume.Split(cfg.NumVolumes)
+										}
+										name := strings.Join(parts, " ")
+										if name == "" {
+											name = "base"
+										}
+										out = append(out, Scenario{
+											Name:       name,
+											Config:     cfg,
+											SeedOffset: uint64(len(out)) * g.SeedStep,
+										})
 									}
-									if g.SplitSpindles {
-										cfg.Volume = cfg.Volume.Split(cfg.NumVolumes)
-									}
-									name := strings.Join(parts, " ")
-									if name == "" {
-										name = "base"
-									}
-									out = append(out, Scenario{
-										Name:       name,
-										Config:     cfg,
-										SeedOffset: uint64(len(out)) * g.SeedStep,
-									})
 								}
 							}
 						}

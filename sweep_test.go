@@ -75,8 +75,9 @@ func sweepRender(t *testing.T, results []iotrace.SweepResult) string {
 		b.WriteString(r.Scenario.Name)
 		b.WriteString(" -> ")
 		b.WriteString(renderResult(r.Result))
-		fmt.Fprintf(&b, "|vols=%+v|imb=%.9f|queues=%+v|flush=%+v",
-			r.Result.Volumes, r.Result.VolumeImbalance(), r.Result.VolumeQueues, r.Result.Flush)
+		fmt.Fprintf(&b, "|vols=%+v|imb=%.9f|queues=%+v|flush=%+v|avail=%.9f deg=%.3f fev=%d",
+			r.Result.Volumes, r.Result.VolumeImbalance(), r.Result.VolumeQueues, r.Result.Flush,
+			r.Result.Availability, r.Result.DegradedSec, r.Result.FaultEvents)
 		b.WriteString("\n")
 	}
 	return b.String()
@@ -224,6 +225,90 @@ func TestSchedulerSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 		if len(r.Result.VolumeQueues) != scens[i].Config.NumVolumes {
 			t.Errorf("%s: %d VolumeQueues entries, want %d",
 				r.Scenario.Name, len(r.Result.VolumeQueues), scens[i].Config.NumVolumes)
+		}
+	}
+}
+
+func TestGridFaultsAxis(t *testing.T) {
+	plan, err := iotrace.ParseFaultPlan("vol0:down@2s+20s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := iotrace.Grid{
+		CacheMB: []int64{4, 32},
+		Faults:  []*iotrace.FaultPlan{nil, plan},
+	}
+	scens := grid.Scenarios()
+	if len(scens) != 4 {
+		t.Fatalf("%d scenarios, want 4", len(scens))
+	}
+	// The fault axis varies slowest: all faults-off cells come before any
+	// faulted cell, and nil labels itself "faults=off".
+	want := []struct {
+		name string
+		plan *iotrace.FaultPlan
+	}{
+		{"cache=4MB faults=off", nil},
+		{"cache=32MB faults=off", nil},
+		{"cache=4MB faults=vol0:down@2s+20s", plan},
+		{"cache=32MB faults=vol0:down@2s+20s", plan},
+	}
+	for i, sc := range scens {
+		if sc.Name != want[i].name {
+			t.Errorf("scenario %d named %q, want %q", i, sc.Name, want[i].name)
+		}
+		if sc.Config.Faults != want[i].plan {
+			t.Errorf("%s: Faults = %v, want %v", sc.Name, sc.Config.Faults, want[i].plan)
+		}
+	}
+}
+
+// TestFaultSweepDeterministicAcrossWorkerCounts is the tentpole's
+// reproducibility acceptance at the sweep layer: the same seed and the
+// same fault plan render byte-identically whatever the worker-pool
+// width, resilience counters included.
+func TestFaultSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	w, err := iotrace.New(iotrace.App("ccm", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outage, err := iotrace.ParseFaultPlan("vol0:down@2s+20s,backbone:down@60s+10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := iotrace.DefaultConfig()
+	base.WriteBehind = false // route writes at the faulted volumes
+	grid := iotrace.Grid{
+		Base:    &base,
+		CacheMB: []int64{4, 32},
+		Volumes: []int{1, 2},
+		Faults:  []*iotrace.FaultPlan{nil, outage},
+	}
+	scens := grid.Scenarios()
+	ctx := context.Background()
+	serial, err := w.Sweep(ctx, scens, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := w.Sweep(ctx, scens, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sweepRender(t, serial), sweepRender(t, parallel)
+	if a != b {
+		t.Errorf("workers=4 diverged from workers=1:\n--- serial ---\n%s--- parallel ---\n%s", a, b)
+	}
+	// Faults-off cells report full availability; faulted cells account
+	// for their outage windows.
+	for i, r := range serial {
+		if scens[i].Config.Faults == nil {
+			if r.Result.Availability != 1 || r.Result.FaultEvents != 0 {
+				t.Errorf("%s: avail %.3f, %d fault events without a plan",
+					r.Scenario.Name, r.Result.Availability, r.Result.FaultEvents)
+			}
+		} else if r.Result.FaultEvents == 0 || r.Result.DegradedSec <= 0 {
+			t.Errorf("%s: %d fault events, degraded %.1f s with a plan",
+				r.Scenario.Name, r.Result.FaultEvents, r.Result.DegradedSec)
 		}
 	}
 }
