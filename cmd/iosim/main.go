@@ -16,6 +16,7 @@
 //	iosim -app ccm -copies 2 -backbone 100 -burst 64 -drain 50
 //	iosim -app ccm -copies 2 -sweep 32 -sweepbackbone 0,100,40
 //	iosim -app ccm -copies 2 -faults vol0:down@200s+30s            # fault injection
+//	iosim -cache 32 accesses.csv                                   # foreign trace (format auto-detected)
 //	iosim -app ccm -copies 2 -sweep 32 -sweepfaults 'off;vol0:down@200s+30s,backbone:down@500s+10s'
 package main
 
@@ -51,7 +52,8 @@ func main() {
 		place    = flag.String("placement", "stripe", "multi-volume placement: stripe or filehash")
 		unitKB   = flag.Int64("stripeunit", 1024, "stripe unit in KB for -placement stripe")
 		splitVol = flag.Bool("split", false, "divide the volume's spindles across the shards (conserved hardware)")
-		format   = flag.String("format", "ascii", "trace file format")
+		format   = flag.String("format", "auto", "trace file format: auto, ascii, binary, ascii-raw, csv, darshan")
+		csvmap   = flag.String("csvmap", "", "CSV column mapping preset or spec for csv traces (default, azure, or key=value pairs)")
 		app      = flag.String("app", "", "simulate copies of a built-in app instead of trace files")
 		copies   = flag.Int("copies", 1, "number of copies of -app")
 		series   = flag.Bool("series", false, "print disk-traffic chart")
@@ -130,7 +132,7 @@ func main() {
 			fatal(err)
 		}
 	case flag.NArg() > 0:
-		f, err := iotrace.ParseFormat(*format)
+		opts, err := iotrace.ImportOpts(*format, *csvmap)
 		if err != nil {
 			fatal(err)
 		}
@@ -139,8 +141,9 @@ func main() {
 			// Decode-once source: the file is decoded and validated a
 			// single time, shared by the run — or by every scenario of a
 			// -sweep — and materialized feeds also satisfy -warm's
-			// whole-trace scan.
-			w.AddTraceFile(name, path, f)
+			// whole-trace scan. Foreign formats (csv, darshan) import
+			// through the same path; -format auto detects per file.
+			w.AddImportedFile(name, path, opts...)
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "usage: iosim [flags] trace...  or  iosim [flags] -app venus -copies 2")

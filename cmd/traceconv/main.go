@@ -9,6 +9,8 @@
 //
 //	traceconv -in ascii -out binary venus.trace venus.bin
 //	traceconv -merge -out ascii merged.trace a.trace b.trace
+//	traceconv -out ascii accesses.csv accesses.trace          # foreign import (format auto-detected)
+//	traceconv -csvmap azure -out ascii blobs.csv blobs.trace
 package main
 
 import (
@@ -24,19 +26,23 @@ import (
 
 func main() {
 	var (
-		inFormat  = flag.String("in", "ascii", "input format: ascii, binary, ascii-raw")
-		outFormat = flag.String("out", "binary", "output format")
+		inFormat  = flag.String("in", "auto", "input format: auto, ascii, binary, ascii-raw, csv, darshan")
+		outFormat = flag.String("out", "binary", "output format (a native one: ascii, binary, ascii-raw)")
+		csvmap    = flag.String("csvmap", "", "CSV column mapping preset or spec for csv inputs (default, azure, or key=value pairs)")
 		merge     = flag.Bool("merge", false, "merge several inputs into one time-ordered trace")
 	)
 	flag.Parse()
 
-	inF, err := iotrace.ParseFormat(*inFormat)
+	inOpts, err := iotrace.ImportOpts(*inFormat, *csvmap)
 	if err != nil {
 		fatal(err)
 	}
 	outF, err := iotrace.ParseFormat(*outFormat)
 	if err != nil {
 		fatal(err)
+	}
+	if outF == iotrace.FormatAuto {
+		fatal(fmt.Errorf("-out must name a concrete format, not auto"))
 	}
 
 	args := flag.Args()
@@ -48,7 +54,7 @@ func main() {
 		outPath, inPaths := args[0], args[1:]
 		var all []*trace.Record
 		for _, path := range inPaths {
-			recs, err := iotrace.LoadTraceFile(path, *inFormat)
+			recs, err := iotrace.ImportFile(path, inOpts...)
 			if err != nil {
 				fatal(err)
 			}
@@ -87,7 +93,7 @@ func main() {
 	// would truncate the input before it is read, so that case buffers.
 	var n int64
 	if samePath(args[0], args[1]) {
-		recs, err := iotrace.Materialize(iotrace.ReadTraceFile(args[0], inF))
+		recs, err := iotrace.ImportFile(args[0], inOpts...)
 		if err != nil {
 			fatal(err)
 		}
@@ -96,7 +102,7 @@ func main() {
 		}
 	} else {
 		var err error
-		n, err = iotrace.WriteTraceFile(args[1], outF, iotrace.ReadTraceFile(args[0], inF))
+		n, err = iotrace.WriteTraceFile(args[1], outF, iotrace.ImportRecords(args[0], inOpts...))
 		if err != nil {
 			fatal(err)
 		}
@@ -109,8 +115,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s (%s, %d bytes) -> %s (%s, %d bytes), %d records streamed\n",
-		args[0], *inFormat, inInfo.Size(), args[1], *outFormat, outInfo.Size(), n)
+	// Report the concrete input format, resolving an auto flag against
+	// the file so the line documents what actually happened.
+	resolvedIn, err := iotrace.ResolveFormat(*inFormat, args[0])
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s (%v, %d bytes) -> %s (%v, %d bytes), %d records streamed\n",
+		args[0], resolvedIn, inInfo.Size(), args[1], outF, outInfo.Size(), n)
 }
 
 // samePath reports whether two paths name the same file (by identity

@@ -9,6 +9,7 @@
 //
 //	tracestat venus.trace
 //	tracestat -format binary -files -series a.trace b.trace
+//	tracestat accesses.csv job.darshan        # foreign formats auto-detect
 package main
 
 import (
@@ -26,7 +27,8 @@ import (
 
 func main() {
 	var (
-		format = flag.String("format", "ascii", "trace format: ascii, binary, ascii-raw")
+		format = flag.String("format", "auto", "trace format: auto, ascii, binary, ascii-raw, csv, darshan")
+		csvmap = flag.String("csvmap", "", "CSV column mapping preset or spec for csv traces (default, azure, or key=value pairs)")
 		files  = flag.Bool("files", false, "include the per-file breakdown")
 		series = flag.Bool("series", false, "include the data-rate-over-CPU-time chart")
 	)
@@ -35,7 +37,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: tracestat [-format f] [-files] [-series] trace...")
 		os.Exit(2)
 	}
-	f, err := iotrace.ParseFormat(*format)
+	opts, err := iotrace.ImportOpts(*format, *csvmap)
 	if err != nil {
 		fatal(err)
 	}
@@ -44,7 +46,9 @@ func main() {
 	var all []*iotrace.Stats
 	for _, path := range flag.Args() {
 		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		s, err := iotrace.CharacterizeSeq(name, iotrace.ReadTraceFile(path, f))
+		// ImportRecords streams without the simulator's validation, so
+		// foreign and multi-process traces characterize fine.
+		s, err := iotrace.CharacterizeSeq(name, iotrace.ImportRecords(path, opts...))
 		if err != nil {
 			fatal(err)
 		}
@@ -61,7 +65,7 @@ func main() {
 		s := all[i]
 		fmt.Printf("\n-- %s: %.0f%% sequential, %.0f%% async --\n",
 			s.Name, 100*s.SeqFraction(), 100*s.AsyncFraction())
-		recs, err := iotrace.LoadTraceFile(path, *format)
+		recs, err := iotrace.ImportFile(path, opts...)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,157 @@
+package iotrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"iter"
+	"os"
+
+	"iotrace/internal/trace"
+)
+
+// Foreign-trace import: the facade over the format registry in
+// internal/trace. Every entry point auto-detects the format from the
+// file extension and first bytes unless pinned with WithFormat, and
+// accepts the same SourceOption importer knobs as NewTraceSource
+// (WithCSVMapping, WithDarshanRank).
+//
+// ImportRecords streams without validation — use it to characterize or
+// convert arbitrary logs, including multi-process ones. ImportSource
+// (and ImportFile for a one-shot slice) feed the simulator, whose
+// single-process trace contract ValidateTrace enforces on first use.
+
+// DetectFormat determines the format of the trace at path from its
+// extension and first bytes, without decoding it.
+func DetectFormat(path string) (Format, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FormatAuto, fmt.Errorf("iotrace: detect format: %w", err)
+	}
+	defer f.Close()
+	prefix := make([]byte, detectPeekBytes)
+	n, err := io.ReadFull(f, prefix)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return FormatAuto, fmt.Errorf("iotrace: detect format: %w", err)
+	}
+	format, err := trace.DetectFormat(path, prefix[:n])
+	if err != nil {
+		return FormatAuto, fmt.Errorf("iotrace: %w", err)
+	}
+	return format, nil
+}
+
+// ResolveFormat turns a format-flag value into a concrete Format:
+// ParseFormat on the name, then — for "auto" — DetectFormat on the
+// file. It is the one flag path every cmd shares.
+func ResolveFormat(name, path string) (Format, error) {
+	format, err := ParseFormat(name)
+	if err != nil {
+		return format, err
+	}
+	if format == FormatAuto {
+		return DetectFormat(path)
+	}
+	return format, nil
+}
+
+// ImportOpts converts the shared cmd flag values — a -format name and
+// a -csvmap mapping spec — into SourceOptions for the import entry
+// points. It is the one flag-parsing path iosim, tracestat, and
+// traceconv share: format names go through ParseFormat ("auto" stays
+// auto and resolves per file), specs through ParseCSVMapping.
+func ImportOpts(formatName, csvSpec string) ([]SourceOption, error) {
+	format, err := ParseFormat(formatName)
+	if err != nil {
+		return nil, err
+	}
+	opts := []SourceOption{WithFormat(format)}
+	if csvSpec != "" {
+		m, err := ParseCSVMapping(csvSpec)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithCSVMapping(m))
+	}
+	return opts, nil
+}
+
+// importConfig harvests the format and importer options a SourceOption
+// list configures, without building a real source.
+func importConfig(opts []SourceOption) (Format, trace.DecodeOptions) {
+	s := NewTraceSource("", opts...)
+	return s.format, s.opts
+}
+
+// ImportRecords returns a streaming iterator over the records of the
+// trace at path, in any registered format. Like ReadTraceFile, the
+// iterator is re-iterable — each range reopens the file — and performs
+// no validation, so it can stream traces the simulator would reject
+// (multi-process logs, unsorted streams) for characterization or
+// conversion. Detection runs on every range; pin the format with
+// WithFormat to skip it.
+func ImportRecords(path string, opts ...SourceOption) iter.Seq2[*Record, error] {
+	format, dopts := importConfig(opts)
+	return func(yield func(*Record, error) bool) {
+		f, err := os.Open(path)
+		if err != nil {
+			yield(nil, fmt.Errorf("iotrace: import: %w", err))
+			return
+		}
+		defer f.Close()
+		var r io.Reader = f
+		if format == FormatAuto {
+			br := bufio.NewReaderSize(f, 64<<10)
+			prefix, _ := br.Peek(detectPeekBytes)
+			resolved, err := trace.DetectFormat(path, prefix)
+			if err != nil {
+				yield(nil, fmt.Errorf("iotrace: %w", err))
+				return
+			}
+			format, r = resolved, br
+		}
+		for rec, err := range decodeRecords(r, format, dopts) {
+			if !yield(rec, err) {
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
+}
+
+// ImportFile decodes the whole trace at path into a slice, comments
+// included, in any registered format (auto-detected unless pinned).
+func ImportFile(path string, opts ...SourceOption) ([]*Record, error) {
+	return Materialize(ImportRecords(path, opts...))
+}
+
+// ImportSource returns a decode-once, validated TraceSource for the
+// trace at path — NewTraceSource under its importer-facing name. Use
+// the result anywhere a simulator feed goes: Source, AddSource, or
+// shared across sweeps.
+func ImportSource(path string, opts ...SourceOption) *TraceSource {
+	return NewTraceSource(path, opts...)
+}
+
+// NewTraceDecoder returns a streaming decoder for the records of r,
+// resolving FormatAuto (the default) by sniffing the stream's first
+// bytes — there is no file name, so extension hints do not apply.
+func NewTraceDecoder(r io.Reader, opts ...SourceOption) (TraceDecoder, error) {
+	format, dopts := importConfig(opts)
+	if format == FormatAuto {
+		br := bufio.NewReaderSize(r, 64<<10)
+		prefix, _ := br.Peek(detectPeekBytes)
+		resolved, err := trace.DetectFormat("", prefix)
+		if err != nil {
+			return nil, fmt.Errorf("iotrace: %w", err)
+		}
+		format, r = resolved, br
+	}
+	dec, err := trace.NewDecoder(r, format, dopts)
+	if err != nil {
+		return nil, fmt.Errorf("iotrace: %w", err)
+	}
+	return dec, nil
+}

@@ -1,0 +1,402 @@
+package iotrace_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iotrace"
+)
+
+// csvIdentityFixture writes a CSV site log and the same requests
+// hand-encoded as a native ASCII trace, returning both paths. The
+// record streams are constructed to be identical, which is the whole
+// point: an imported foreign trace must be indistinguishable from a
+// hand-encoded native one everywhere downstream.
+func csvIdentityFixture(t *testing.T, dir string) (csvPath, nativePath string) {
+	t.Helper()
+	var csv strings.Builder
+	csv.WriteString("time,op,file,bytes,duration\n")
+	var recs []*iotrace.Record
+	seen := map[int]uint32{}
+	nextOff := map[uint32]int64{}
+	for i := 0; i < 120; i++ {
+		start := iotrace.Ticks(i) * 25_000 // 0.25 s steps
+		dur := iotrace.Ticks(i%7) * 100    // whole milliseconds
+		f := i % 3
+		length := int64(1024 * (1 + i%5))
+		write := i%3 == 0
+		op := "read"
+		typ := iotrace.LogicalRecord | iotrace.ReadOp | iotrace.SyncOp | iotrace.FileData
+		if write {
+			op = "write"
+			typ = iotrace.LogicalRecord | iotrace.WriteOp | iotrace.SyncOp | iotrace.FileData
+		}
+		fmt.Fprintf(&csv, "%d.%02d,%s,f%d,%d,0.%03d\n", i/4, 25*(i%4), op, f, length, i%7)
+
+		id, ok := seen[f]
+		if !ok {
+			id = uint32(len(seen) + 1)
+			seen[f] = id
+			recs = append(recs, &iotrace.Record{
+				Type:        iotrace.CommentRecord,
+				CommentText: fmt.Sprintf("file %d = f%d", id, f),
+			})
+		}
+		recs = append(recs, &iotrace.Record{
+			Type: typ, Offset: nextOff[id], Length: length,
+			Start: start, Completion: dur,
+			FileID: id, ProcessID: 1, ProcessTime: start,
+		})
+		nextOff[id] += length
+	}
+	csvPath = filepath.Join(dir, "site-log.csv")
+	nativePath = filepath.Join(dir, "native.trace")
+	if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := iotrace.SaveTraceFile(nativePath, "ascii", recs); err != nil {
+		t.Fatal(err)
+	}
+	return csvPath, nativePath
+}
+
+// darshanIdentityFixture writes a Darshan-style counter log and the
+// native ASCII encoding of the stream its synthesis is documented to
+// produce.
+func darshanIdentityFixture(t *testing.T, dir string) (darshanPath, nativePath string) {
+	t.Helper()
+	log := "# darshan log version: 3.41\n" +
+		"POSIX\t0\t771\tPOSIX_READS\t64\t/scratch/in.dat\t/scratch\tlustre\n" +
+		"POSIX\t0\t771\tPOSIX_BYTES_READ\t1048576\t/scratch/in.dat\t/scratch\tlustre\n" +
+		"POSIX\t0\t771\tPOSIX_F_READ_START_TIMESTAMP\t1.0\t/scratch/in.dat\t/scratch\tlustre\n" +
+		"POSIX\t0\t771\tPOSIX_F_READ_END_TIMESTAMP\t9.0\t/scratch/in.dat\t/scratch\tlustre\n" +
+		"POSIX\t0\t905\tPOSIX_WRITES\t32\t/scratch/out.dat\t/scratch\tlustre\n" +
+		"POSIX\t0\t905\tPOSIX_BYTES_WRITTEN\t524289\t/scratch/out.dat\t/scratch\tlustre\n" +
+		"POSIX\t0\t905\tPOSIX_F_WRITE_START_TIMESTAMP\t2.0\t/scratch/out.dat\t/scratch\tlustre\n" +
+		"POSIX\t0\t905\tPOSIX_F_WRITE_END_TIMESTAMP\t10.0\t/scratch/out.dat\t/scratch\tlustre\n"
+	darshanPath = filepath.Join(dir, "job.darshan")
+	if err := os.WriteFile(darshanPath, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The synthesis contract: per (file, direction), n sequential
+	// requests totalling the byte counter, spread evenly over the
+	// timestamp window (remainder on the last), merged by start time
+	// after the file-name comments.
+	recs := []*iotrace.Record{
+		{Type: iotrace.CommentRecord, CommentText: "file 1 = /scratch/in.dat"},
+		{Type: iotrace.CommentRecord, CommentText: "file 2 = /scratch/out.dat"},
+	}
+	type run struct {
+		write      bool
+		file       uint32
+		n, total   int64
+		start, end iotrace.Ticks
+	}
+	var data []*iotrace.Record
+	for _, r := range []run{
+		{false, 1, 64, 1048576, 100_000, 900_000},
+		{true, 2, 32, 524289, 200_000, 1_000_000},
+	} {
+		typ := iotrace.LogicalRecord | iotrace.ReadOp | iotrace.SyncOp | iotrace.FileData
+		if r.write {
+			typ = iotrace.LogicalRecord | iotrace.WriteOp | iotrace.SyncOp | iotrace.FileData
+		}
+		per, rem := r.total/r.n, r.total%r.n
+		dur := (r.end - r.start) / iotrace.Ticks(r.n)
+		var off int64
+		for i := int64(0); i < r.n; i++ {
+			length := per
+			if i == r.n-1 {
+				length += rem
+			}
+			start := r.start + iotrace.Ticks(i)*dur
+			data = append(data, &iotrace.Record{
+				Type: typ, Offset: off, Length: length,
+				Start: start, Completion: dur,
+				FileID: r.file, ProcessID: 1, ProcessTime: start,
+			})
+			off += length
+		}
+	}
+	// Stable merge by start time (the reads start first here, and the
+	// interleave is by construction already what SliceStable yields).
+	for len(data) > 0 {
+		best := 0
+		for i, r := range data {
+			if r.Start < data[best].Start {
+				best = i
+			}
+		}
+		recs = append(recs, data[best])
+		data = append(data[:best], data[best+1:]...)
+	}
+	nativePath = filepath.Join(dir, "job-native.trace")
+	if err := iotrace.SaveTraceFile(nativePath, "ascii", recs); err != nil {
+		t.Fatal(err)
+	}
+	return darshanPath, nativePath
+}
+
+// identityGrid is the sweep used by the byte-identity pins: enough axes
+// to exercise caching, write-behind, and congestion paths.
+func identityGrid() []iotrace.Scenario {
+	return iotrace.Grid{
+		CacheMB:     []int64{1, 4},
+		WriteBehind: []bool{true, false},
+		Backbones:   []float64{0, 50},
+	}.Scenarios()
+}
+
+// assertImportIdentity pins the acceptance criterion: the foreign file,
+// imported through the facade with format auto-detection, simulates and
+// sweeps byte-identically to its hand-encoded native twin.
+func assertImportIdentity(t *testing.T, foreignPath, nativePath string) {
+	t.Helper()
+	imported, err := iotrace.New(iotrace.ImportedFile("job", foreignPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := iotrace.New(iotrace.TraceFile("job", nativePath, iotrace.FormatASCII))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The decoded record streams are identical, record for record.
+	got, err := iotrace.ImportFile(foreignPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := iotrace.LoadTraceFile(nativePath, "ascii")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("imported %d records, native %d", len(got), len(want))
+	}
+	for i := range want {
+		if *got[i] != *want[i] {
+			t.Fatalf("record %d differs:\nimported: %+v\nnative:   %+v", i, got[i], want[i])
+		}
+	}
+
+	// Single simulation: byte-identical results.
+	resImported, err := imported.Simulate(iotrace.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resNative, err := native.Simulate(iotrace.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri, rn := renderResult(resImported), renderResult(resNative); ri != rn {
+		t.Errorf("simulation results differ:\nimported: %s\nnative:   %s", ri, rn)
+	}
+
+	// Whole sweep: byte-identical per-scenario results.
+	ctx := context.Background()
+	sweepImported, err := imported.Sweep(ctx, identityGrid(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepNative, err := native.Sweep(ctx, identityGrid(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si, sn := sweepRender(t, sweepImported), sweepRender(t, sweepNative); si != sn {
+		t.Errorf("sweep results differ:\nimported:\n%s\nnative:\n%s", si, sn)
+	}
+}
+
+func TestImportCSVByteIdentical(t *testing.T) {
+	csvPath, nativePath := csvIdentityFixture(t, t.TempDir())
+	assertImportIdentity(t, csvPath, nativePath)
+}
+
+func TestImportDarshanByteIdentical(t *testing.T) {
+	darshanPath, nativePath := darshanIdentityFixture(t, t.TempDir())
+	assertImportIdentity(t, darshanPath, nativePath)
+}
+
+// TestDetectAndResolveFormat pins the facade detection path the cmds
+// share: extension first, then content, and ResolveFormat only touching
+// the file when the flag says auto.
+func TestDetectAndResolveFormat(t *testing.T) {
+	dir := t.TempDir()
+	csvPath, nativePath := csvIdentityFixture(t, dir)
+
+	if f, err := iotrace.DetectFormat(csvPath); err != nil || f != iotrace.FormatCSV {
+		t.Errorf("DetectFormat(csv) = %v, %v", f, err)
+	}
+	// .trace is not a registered extension, so content decides.
+	if f, err := iotrace.DetectFormat(nativePath); err != nil || f != iotrace.FormatASCII {
+		t.Errorf("DetectFormat(native) = %v, %v", f, err)
+	}
+	if _, err := iotrace.DetectFormat(filepath.Join(dir, "missing")); err == nil {
+		t.Error("DetectFormat of a missing file succeeded")
+	}
+
+	// A concrete flag never touches the file.
+	if f, err := iotrace.ResolveFormat("binary", filepath.Join(dir, "missing")); err != nil || f != iotrace.FormatBinary {
+		t.Errorf("ResolveFormat(binary) = %v, %v", f, err)
+	}
+	if f, err := iotrace.ResolveFormat("auto", csvPath); err != nil || f != iotrace.FormatCSV {
+		t.Errorf("ResolveFormat(auto, csv) = %v, %v", f, err)
+	}
+	if _, err := iotrace.ResolveFormat("yaml", csvPath); err == nil {
+		t.Error("ResolveFormat accepted a bogus format name")
+	}
+}
+
+// TestTraceSourceAutoDetection: a source built without WithFormat
+// resolves its format on first use and reports it via Format, still
+// decoding exactly once.
+func TestTraceSourceAutoDetection(t *testing.T) {
+	csvPath, _ := csvIdentityFixture(t, t.TempDir())
+	src := iotrace.ImportSource(csvPath)
+	f, err := src.Format()
+	if err != nil || f != iotrace.FormatCSV {
+		t.Fatalf("Format() = %v, %v; want csv", f, err)
+	}
+	w, err := iotrace.New(iotrace.Source("log", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Simulate(iotrace.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if src.Decodes() != 1 {
+		t.Errorf("source decoded %d times, want 1", src.Decodes())
+	}
+}
+
+// TestImportRecordsSkipsValidation: the streaming import path accepts
+// traces the simulator's contract rejects (multiple processes), so
+// foreign logs can be characterized and converted as-is — while the
+// validated ImportSource path refuses them with a clear error.
+func TestImportRecordsSkipsValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "multi.csv")
+	src := "time,op,file,bytes,proc\n" +
+		"1,read,f,100,alice\n" +
+		"2,write,f,200,bob\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := iotrace.ImportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("imported %d records, want 3", len(recs))
+	}
+	if _, err := iotrace.CharacterizeSeq("multi", iotrace.ImportRecords(path)); err != nil {
+		t.Fatalf("characterizing a multi-process import: %v", err)
+	}
+
+	w, err := iotrace.New(iotrace.Source("multi", iotrace.ImportSource(path)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Simulate(iotrace.DefaultConfig()); err == nil {
+		t.Error("simulating a multi-process import succeeded; want a validation error")
+	}
+}
+
+// TestImportRecordsReiterable: each range replays the file, like
+// ReadTraceFile.
+func TestImportRecordsReiterable(t *testing.T) {
+	csvPath, _ := csvIdentityFixture(t, t.TempDir())
+	seq := iotrace.ImportRecords(csvPath)
+	for pass := 0; pass < 2; pass++ {
+		n := 0
+		for _, err := range seq {
+			if err != nil {
+				t.Fatalf("pass %d: %v", pass, err)
+			}
+			n++
+		}
+		if n != 123 { // 120 rows + 3 file comments
+			t.Fatalf("pass %d yielded %d records, want 123", pass, n)
+		}
+	}
+}
+
+// TestImportOpts covers the shared cmd flag path: format names and CSV
+// mapping specs parse together, and errors surface from either half.
+func TestImportOpts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blobs.csv")
+	src := "Timestamp,AnonBlobName,BlobBytes,Write\n" +
+		"1000,blobA,1024,true\n" +
+		"2000,blobB,2048,false\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := iotrace.ImportOpts("csv", "azure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := iotrace.ImportFile(path, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || !recs[1].Type.IsWrite() || recs[3].Length != 2048 {
+		t.Errorf("azure import produced %v", recs)
+	}
+	if _, err := iotrace.ImportOpts("yaml", ""); err == nil {
+		t.Error("ImportOpts accepted a bogus format")
+	}
+	if _, err := iotrace.ImportOpts("csv", "unit=fortnights"); err == nil {
+		t.Error("ImportOpts accepted a bogus mapping spec")
+	}
+}
+
+// TestNewTraceDecoder: the io.Reader entry point sniffs content (no
+// file name to go by) and honors a pinned format.
+func TestNewTraceDecoder(t *testing.T) {
+	csvSrc := "time,op,file,bytes\n1,read,f,100\n"
+	dec, err := iotrace.NewTraceDecoder(bytes.NewReader([]byte(csvSrc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec iotrace.Record
+	if err := dec.Next(&rec); err != nil || !rec.IsComment() {
+		t.Fatalf("first sniffed-CSV record = %+v, %v; want the file comment", rec, err)
+	}
+	if _, err := iotrace.NewTraceDecoder(bytes.NewReader([]byte("no format here"))); err == nil {
+		t.Error("NewTraceDecoder sniffed a format out of garbage")
+	}
+}
+
+// TestDarshanRankOption: WithDarshanRank flows through the facade to
+// the importer (pid = rank+1 keeps the simulator's one-process rule).
+func TestDarshanRankOption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ranks.darshan")
+	log := "POSIX\t0\t1\tPOSIX_READS\t1\t/a\n" +
+		"POSIX\t0\t1\tPOSIX_BYTES_READ\t100\t/a\n" +
+		"POSIX\t1\t2\tPOSIX_WRITES\t1\t/b\n" +
+		"POSIX\t1\t2\tPOSIX_BYTES_WRITTEN\t200\t/b\n"
+	if err := os.WriteFile(path, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := iotrace.ImportFile(path, iotrace.WithDarshanRank(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data []*iotrace.Record
+	for _, r := range recs {
+		if !r.IsComment() {
+			data = append(data, r)
+		}
+	}
+	if len(data) != 1 || data[0].ProcessID != 2 || !data[0].Type.IsWrite() {
+		t.Errorf("rank-1 import produced %v; want one pid-2 write", data)
+	}
+}

@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"strings"
 	"testing"
 )
 
@@ -69,6 +71,41 @@ func TestReaderNextZeroAllocsBinary(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("binary decode allocates %.1f allocs per 80 records, want 0", allocs)
+	}
+}
+
+// TestCSVDecoderNextZeroAllocs asserts the CSV importer matches the
+// native scanners' discipline: once every file and proc has been seen,
+// the Next loop — line scan, in-place field spans, fixed-point time
+// parse, map hits — allocates nothing per row.
+func TestCSVDecoderNextZeroAllocs(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("time,op,file,bytes,proc\n")
+	for i := 0; i < 12000; i++ {
+		// 8 files and 3 named procs, all registered during warm-up.
+		fmt.Fprintf(&sb, "%d,read,file%d,4096,client%d\n", i, i%8, i%3)
+	}
+	dec, err := NewDecoder(strings.NewReader(sb.String()), FormatCSV, DecodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	for i := 0; i < 2000; i++ {
+		if err := dec.Next(&rec); err != nil {
+			t.Fatalf("warm-up record %d: %v", i, err)
+		}
+	}
+	decoded := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 80; i++ {
+			if err := dec.Next(&rec); err != nil {
+				t.Fatalf("record %d: %v", decoded, err)
+			}
+			decoded++
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("CSV decode allocates %.1f allocs per 80 rows, want 0", allocs)
 	}
 }
 

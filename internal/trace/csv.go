@@ -1,0 +1,755 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CSV trace import.
+//
+// Site I/O logs and public request traces (the Azure Functions blob
+// trace is the canonical example) are CSV tables, one request per row,
+// with site-specific column names, time units, and read/write
+// encodings. A CSVMapping names the columns that carry a Record's
+// fields; the decoder scans rows in place with the native scanner's
+// allocation discipline — no encoding/csv, no strconv, no per-row
+// strings — so the steady-state Next loop is 0 allocs/op (the one
+// exception: the first sight of each file copies its name and emits a
+// FileNameComment record, exactly what the native format's comment
+// convention records).
+//
+// Import conventions, chosen so an imported stream is indistinguishable
+// from the same requests hand-encoded natively:
+//
+//   - Rows must be nondecreasing in their time column (site logs are;
+//     an out-of-order row is an error naming its line).
+//   - Every row becomes a synchronous logical file-data record;
+//     ProcessTime is set to the row's start time (the importer cannot
+//     know CPU time; charging wall time keeps the CPU clock monotone).
+//   - File ids are assigned in first-seen order starting at 1, each
+//     announced by the conventional "file N = name" comment.
+//   - Without an offset column, accesses are sequential per file: each
+//     row starts where the file's previous row ended.
+
+// TimeUnit is the unit of a CSV time or duration column.
+type TimeUnit int
+
+const (
+	// UnitSeconds is the default: fractional seconds ("12.00305").
+	UnitSeconds TimeUnit = iota
+	// UnitMillis is milliseconds.
+	UnitMillis
+	// UnitMicros is microseconds.
+	UnitMicros
+	// UnitTicks is the native 10-microsecond tick.
+	UnitTicks
+)
+
+func (u TimeUnit) String() string {
+	switch u {
+	case UnitSeconds:
+		return "s"
+	case UnitMillis:
+		return "ms"
+	case UnitMicros:
+		return "us"
+	case UnitTicks:
+		return "ticks"
+	}
+	return fmt.Sprintf("unknown(%d)", int(u))
+}
+
+// unitTenthTicks converts one unit to tenth-of-tick resolution, the
+// common grid the fixed-point time parser computes on (fine enough to
+// round microseconds to ticks exactly).
+func (u TimeUnit) unitTenthTicks() (uint64, bool) {
+	switch u {
+	case UnitSeconds:
+		return 1_000_000, true
+	case UnitMillis:
+		return 1_000, true
+	case UnitMicros:
+		return 1, true
+	case UnitTicks:
+		return 10, true
+	}
+	return 0, false
+}
+
+// ParseTimeUnit converts a unit name ("s", "ms", "us", "ticks") to a
+// TimeUnit.
+func ParseTimeUnit(s string) (TimeUnit, error) {
+	switch strings.ToLower(s) {
+	case "s", "sec", "secs", "seconds":
+		return UnitSeconds, nil
+	case "ms", "millis", "milliseconds":
+		return UnitMillis, nil
+	case "us", "micros", "microseconds":
+		return UnitMicros, nil
+	case "ticks", "tick":
+		return UnitTicks, nil
+	}
+	return 0, fmt.Errorf("trace: unknown time unit %q (want s, ms, us, or ticks)", s)
+}
+
+// A CSVMapping tells the CSV importer which columns carry a Record's
+// fields and how to interpret them. Column specs are strings: a decimal
+// number selects a zero-based column index; anything else names a
+// header column (case-insensitive; requires Header). Time, Op, File,
+// and Bytes are required; the rest are optional ("" or a name absent
+// from the header leaves them unset).
+type CSVMapping struct {
+	// Comma is the field separator; 0 means ','.
+	Comma byte
+	// Header says the first row names the columns.
+	Header bool
+
+	Time     string // request start timestamp (required)
+	Op       string // read/write discriminator (required)
+	File     string // file name or id (required)
+	Bytes    string // request length in bytes (required)
+	Offset   string // byte offset; unset = sequential per file
+	Duration string // completion latency; unset = 0
+	Proc     string // process id or client name; unset = single process 1
+
+	// TimeUnit is the unit of Time and Duration (default UnitSeconds).
+	TimeUnit TimeUnit
+
+	// ReadValues and WriteValues are the accepted Op column tokens,
+	// matched case-insensitively. Empty lists take the defaults
+	// (read/r/get and write/w/put).
+	ReadValues  []string
+	WriteValues []string
+}
+
+// isZero reports whether no column was specified at all, in which case
+// the decoder substitutes DefaultCSVMapping.
+func (m *CSVMapping) isZero() bool {
+	return m.Time == "" && m.Op == "" && m.File == "" && m.Bytes == "" &&
+		m.Offset == "" && m.Duration == "" && m.Proc == ""
+}
+
+// DefaultCSVMapping returns the generic site-log mapping: a headered
+// table with time/op/file/bytes columns (plus offset, duration, and
+// proc when present), times in seconds.
+func DefaultCSVMapping() CSVMapping {
+	return CSVMapping{
+		Header: true,
+		Time:   "time", Op: "op", File: "file", Bytes: "bytes",
+		Offset: "offset", Duration: "duration", Proc: "proc",
+		TimeUnit: UnitSeconds,
+	}
+}
+
+// AzureFunctionsCSVMapping returns the mapping for Azure-Functions-style
+// blob access traces: millisecond timestamps, anonymized blob names, and
+// a boolean write column standing in for an op name.
+func AzureFunctionsCSVMapping() CSVMapping {
+	return CSVMapping{
+		Header: true,
+		Time:   "Timestamp", Op: "Write", File: "AnonBlobName", Bytes: "BlobBytes",
+		TimeUnit:    UnitMillis,
+		ReadValues:  []string{"false", "0"},
+		WriteValues: []string{"true", "1"},
+	}
+}
+
+// ParseCSVMapping parses a CLI mapping spec. The presets "default" (or
+// "") and "azure" return the corresponding built-in mapping; otherwise
+// the spec is comma-separated key=value pairs over the keys
+// time, op, file, bytes, offset, duration, proc (column specs),
+// unit (s|ms|us|ticks), sep (comma|tab|semicolon), header (bool), and
+// read/write ('|'-separated accepted Op tokens):
+//
+//	header=1,time=Timestamp,op=Write,file=AnonBlobName,bytes=BlobBytes,unit=ms,write=true,read=false
+func ParseCSVMapping(spec string) (CSVMapping, error) {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "", "default":
+		return DefaultCSVMapping(), nil
+	case "azure", "azure-functions":
+		return AzureFunctionsCSVMapping(), nil
+	}
+	m := CSVMapping{Header: true}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, found := strings.Cut(part, "=")
+		if !found {
+			return CSVMapping{}, fmt.Errorf("trace: csv mapping %q: want key=value", part)
+		}
+		switch strings.ToLower(key) {
+		case "time":
+			m.Time = val
+		case "op":
+			m.Op = val
+		case "file":
+			m.File = val
+		case "bytes":
+			m.Bytes = val
+		case "offset":
+			m.Offset = val
+		case "duration":
+			m.Duration = val
+		case "proc":
+			m.Proc = val
+		case "unit":
+			u, err := ParseTimeUnit(val)
+			if err != nil {
+				return CSVMapping{}, err
+			}
+			m.TimeUnit = u
+		case "sep":
+			switch strings.ToLower(val) {
+			case "comma", ",":
+				m.Comma = ','
+			case "tab", "\t":
+				m.Comma = '\t'
+			case "semicolon", ";":
+				m.Comma = ';'
+			default:
+				if len(val) != 1 {
+					return CSVMapping{}, fmt.Errorf("trace: csv mapping: bad separator %q", val)
+				}
+				m.Comma = val[0]
+			}
+		case "header":
+			switch strings.ToLower(val) {
+			case "1", "true", "yes":
+				m.Header = true
+			case "0", "false", "no":
+				m.Header = false
+			default:
+				return CSVMapping{}, fmt.Errorf("trace: csv mapping: bad header value %q", val)
+			}
+		case "read":
+			m.ReadValues = strings.Split(val, "|")
+		case "write":
+			m.WriteValues = strings.Split(val, "|")
+		default:
+			return CSVMapping{}, fmt.Errorf("trace: csv mapping: unknown key %q", key)
+		}
+	}
+	return m, nil
+}
+
+// Column roles, indexing the decoder's resolved-column and span tables.
+const (
+	csvTime = iota
+	csvOp
+	csvFile
+	csvBytes
+	csvOffset
+	csvDuration
+	csvProc
+	csvNumFields
+)
+
+var csvRoleNames = [csvNumFields]string{
+	"time", "op", "file", "bytes", "offset", "duration", "proc",
+}
+
+// csvDecoder streams Records out of a CSV table. See the package
+// comment at the top of this file for the import conventions.
+type csvDecoder struct {
+	ls   lineScanner
+	m    CSVMapping
+	sep  byte
+	unit uint64 // tenth-ticks per time unit
+
+	resolved bool                 // columns resolved (header consumed)
+	cols     [csvNumFields]int    // column index per role; -1 unset
+	maxCol   int                  // highest mapped column index
+	spans    [csvNumFields][2]int // per-row byte ranges into the current line
+	have     [csvNumFields]bool
+
+	fileIDs map[string]uint32 // file name -> id, first-seen order from 1
+	nextOff []int64           // per file id-1: next sequential offset
+	procIDs map[string]uint32 // non-numeric proc names -> pid
+
+	pending    Record // data record held while its file comment goes out
+	hasPending bool
+	lastStart  Ticks
+	line       int64 // 1-based physical line number, for errors
+}
+
+// newCSVDecoder builds the decoder, resolving index-based column specs
+// immediately (name-based specs wait for the header row).
+func newCSVDecoder(r io.Reader, m CSVMapping) (*csvDecoder, error) {
+	if m.isZero() {
+		m = DefaultCSVMapping()
+	}
+	if m.Comma == 0 {
+		m.Comma = ','
+	}
+	if len(m.ReadValues) == 0 {
+		m.ReadValues = []string{"read", "r", "get"}
+	}
+	if len(m.WriteValues) == 0 {
+		m.WriteValues = []string{"write", "w", "put"}
+	}
+	unit, ok := m.TimeUnit.unitTenthTicks()
+	if !ok {
+		return nil, fmt.Errorf("trace: csv mapping: unknown time unit %v", m.TimeUnit)
+	}
+	d := &csvDecoder{
+		m: m, sep: m.Comma, unit: unit,
+		fileIDs: make(map[string]uint32),
+	}
+	d.ls.init(r)
+	if !m.Header {
+		if err := d.resolveIndexed(); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// specs returns the column specs in role order.
+func (d *csvDecoder) specs() [csvNumFields]string {
+	return [csvNumFields]string{
+		d.m.Time, d.m.Op, d.m.File, d.m.Bytes, d.m.Offset, d.m.Duration, d.m.Proc,
+	}
+}
+
+// resolveIndexed resolves every spec as a numeric column index — the
+// only possibility without a header row.
+func (d *csvDecoder) resolveIndexed() error {
+	specs := d.specs()
+	for role, spec := range specs {
+		d.cols[role] = -1
+		if spec == "" {
+			if role <= csvBytes {
+				return fmt.Errorf("trace: csv mapping: required column %q is not set", csvRoleNames[role])
+			}
+			continue
+		}
+		idx, ok := allDigits(spec)
+		if !ok {
+			return fmt.Errorf("trace: csv mapping: column %q = %q needs a header row to resolve by name", csvRoleNames[role], spec)
+		}
+		d.cols[role] = idx
+	}
+	d.finishResolve()
+	return nil
+}
+
+// resolveHeader resolves name-based specs against the header row.
+// Required columns must resolve; optional ones absent from the header
+// are simply unset, so one mapping covers sibling logs that differ in
+// optional columns.
+func (d *csvDecoder) resolveHeader(line []byte) error {
+	type span struct{ start, end int }
+	var names []span
+	err := d.scanFields(line, func(col, start, end int) {
+		names = append(names, span{start, end})
+	})
+	if err != nil {
+		return fmt.Errorf("trace: csv header: %w", err)
+	}
+	specs := d.specs()
+	for role, spec := range specs {
+		d.cols[role] = -1
+		if spec == "" {
+			if role <= csvBytes {
+				return fmt.Errorf("trace: csv mapping: required column %q is not set", csvRoleNames[role])
+			}
+			continue
+		}
+		if idx, ok := allDigits(spec); ok {
+			d.cols[role] = idx
+			continue
+		}
+		for i, nm := range names {
+			if eqFold(line[nm.start:nm.end], spec) {
+				d.cols[role] = i
+				break
+			}
+		}
+		if d.cols[role] < 0 && role <= csvBytes {
+			return fmt.Errorf("trace: csv header %q has no column %q (mapped as %q)", line, spec, csvRoleNames[role])
+		}
+	}
+	d.finishResolve()
+	return nil
+}
+
+func (d *csvDecoder) finishResolve() {
+	d.maxCol = 0
+	for _, c := range d.cols {
+		if c > d.maxCol {
+			d.maxCol = c
+		}
+	}
+	d.resolved = true
+}
+
+// scanFields walks one row, invoking visit(col, start, end) per field
+// with the field's trimmed byte range. Fields may be double-quoted (the
+// outer quotes are excluded from the range; separators inside quotes do
+// not split). Scanning stops after the highest mapped column.
+func (d *csvDecoder) scanFields(line []byte, visit func(col, start, end int)) error {
+	for len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	i, col := 0, 0
+	for {
+		// Leading padding.
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') && line[i] != d.sep {
+			i++
+		}
+		var start, end int
+		if i < len(line) && line[i] == '"' {
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '"' {
+					if j+1 < len(line) && line[j+1] == '"' {
+						j += 2 // doubled quote: kept raw (see csvFieldString)
+						continue
+					}
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return fmt.Errorf("unterminated quoted field at column %d", col)
+			}
+			start, end = i+1, j
+			i = j + 1
+			for i < len(line) && line[i] != d.sep {
+				if line[i] != ' ' && line[i] != '\t' {
+					return fmt.Errorf("garbage after quoted field at column %d", col)
+				}
+				i++
+			}
+		} else {
+			start = i
+			for i < len(line) && line[i] != d.sep {
+				i++
+			}
+			end = i
+			for end > start && (line[end-1] == ' ' || line[end-1] == '\t') {
+				end--
+			}
+		}
+		visit(col, start, end)
+		if col >= d.maxCol && d.resolved {
+			return nil // nothing mapped beyond here; skip the tail
+		}
+		if i >= len(line) {
+			return nil
+		}
+		i++ // separator
+		col++
+	}
+}
+
+// captureRow scans one data row into the per-role span table.
+func (d *csvDecoder) captureRow(line []byte) error {
+	d.have = [csvNumFields]bool{}
+	return d.scanFields(line, func(col, start, end int) {
+		for role, c := range d.cols {
+			if c == col {
+				d.spans[role] = [2]int{start, end}
+				d.have[role] = true
+			}
+		}
+	})
+}
+
+// Next decodes the next row into *dst. The first sight of each file
+// emits its "file N = name" comment record, with the data row following
+// on the next call.
+func (d *csvDecoder) Next(dst *Record) error {
+	if d.hasPending {
+		*dst = d.pending
+		d.hasPending = false
+		d.pending = Record{}
+		return nil
+	}
+	for {
+		line, err := d.ls.readLine()
+		if err != nil {
+			return err // io.EOF at a clean end
+		}
+		d.line++
+		trimmed := line
+		for len(trimmed) > 0 && (trimmed[len(trimmed)-1] == '\r') {
+			trimmed = trimmed[:len(trimmed)-1]
+		}
+		if len(trimmed) == 0 {
+			continue // blank line
+		}
+		if !d.resolved {
+			if err := d.resolveHeader(line); err != nil {
+				return err
+			}
+			continue
+		}
+		return d.decodeRow(line, dst)
+	}
+}
+
+// decodeRow turns one captured row into a record (or a new-file comment
+// plus a pending record).
+func (d *csvDecoder) decodeRow(line []byte, dst *Record) error {
+	if err := d.captureRow(line); err != nil {
+		return d.rowErr("%v", err)
+	}
+	for role := csvTime; role <= csvBytes; role++ {
+		if !d.have[role] {
+			return d.rowErr("row is missing the %q column", csvRoleNames[role])
+		}
+	}
+
+	start, err := d.parseTicksSpan(csvTime)
+	if err != nil {
+		return err
+	}
+	if start < d.lastStart {
+		return d.rowErr("time runs backwards (%v after %v); csv import requires rows sorted by time", start, d.lastStart)
+	}
+	d.lastStart = start
+
+	opField := d.span(csvOp)
+	var typ RecordType
+	switch {
+	case matchToken(opField, d.m.ReadValues):
+		typ = LogicalRecord | ReadOp | SyncOp | FileData
+	case matchToken(opField, d.m.WriteValues):
+		typ = LogicalRecord | WriteOp | SyncOp | FileData
+	default:
+		return d.rowErr("op %q matches neither the read tokens %v nor the write tokens %v", opField, d.m.ReadValues, d.m.WriteValues)
+	}
+
+	length, err := d.parseUintSpan(csvBytes)
+	if err != nil {
+		return err
+	}
+	if length > 1<<62 {
+		return d.rowErr("length %d overflows", length)
+	}
+
+	var dur Ticks
+	if d.have[csvDuration] && d.cols[csvDuration] >= 0 {
+		if dur, err = d.parseTicksSpan(csvDuration); err != nil {
+			return err
+		}
+	}
+
+	pid := uint32(1)
+	if d.have[csvProc] && d.cols[csvProc] >= 0 {
+		if pid, err = d.procID(d.span(csvProc)); err != nil {
+			return err
+		}
+	}
+
+	fileField := d.span(csvFile)
+	// Keyed by the raw span bytes (quote escapes included) so lookup and
+	// insert agree; only the comment text pays the un-escaping copy.
+	id, known := d.fileIDs[string(fileField)]
+	if !known {
+		// Control characters cannot survive the native comment line the
+		// name is about to be recorded in (a trailing CR, for one, is
+		// CRLF-stripped on decode), so they are rejected up front.
+		for _, c := range fileField {
+			if c < 0x20 {
+				return d.rowErr("file name %q contains a control character", fileField)
+			}
+		}
+		id = uint32(len(d.fileIDs) + 1)
+		d.fileIDs[string(fileField)] = id
+		d.nextOff = append(d.nextOff, 0)
+	}
+
+	var off int64
+	if d.have[csvOffset] && d.cols[csvOffset] >= 0 {
+		v, err := d.parseUintSpan(csvOffset)
+		if err != nil {
+			return err
+		}
+		if v > 1<<62 {
+			return d.rowErr("offset %d overflows", v)
+		}
+		off = int64(v)
+	} else {
+		off = d.nextOff[id-1]
+	}
+	d.nextOff[id-1] = off + int64(length)
+
+	rec := Record{
+		Type:        typ,
+		Offset:      off,
+		Length:      int64(length),
+		Start:       start,
+		Completion:  dur,
+		FileID:      id,
+		ProcessID:   pid,
+		ProcessTime: start,
+	}
+	if !known {
+		d.pending = rec
+		d.hasPending = true
+		*dst = Record{
+			Type:        Comment,
+			CommentText: FileNameComment(id, csvFieldString(fileField)),
+		}
+		return nil
+	}
+	*dst = rec
+	return nil
+}
+
+// span returns the current row's bytes for a role (the spans index into
+// the scanner's current line).
+func (d *csvDecoder) span(role int) []byte {
+	s := d.spans[role]
+	return d.ls.line[s[0]:s[1]]
+}
+
+func (d *csvDecoder) rowErr(format string, args ...any) error {
+	return fmt.Errorf("trace: csv line %d: %s", d.line, fmt.Sprintf(format, args...))
+}
+
+// parseUintSpan parses a role's field as an unsigned decimal.
+func (d *csvDecoder) parseUintSpan(role int) (uint64, error) {
+	b := d.span(role)
+	v, ok := parseUintBytes(b)
+	if !ok {
+		return 0, d.rowErr("bad %s field %q: not an unsigned decimal", csvRoleNames[role], b)
+	}
+	return v, nil
+}
+
+// parseTicksSpan parses a role's field as a fixed-point time in the
+// mapping's unit, rounding to the nearest tick. The arithmetic is all
+// integer (strconv.ParseFloat allocates and rounds differently across
+// magnitudes); fractional digits beyond the unit's resolution are
+// truncated.
+func (d *csvDecoder) parseTicksSpan(role int) (Ticks, error) {
+	b := d.span(role)
+	intDigits := b
+	var frac []byte
+	for i, c := range b {
+		if c == '.' {
+			intDigits, frac = b[:i], b[i+1:]
+			break
+		}
+	}
+	ip, ok := parseUintBytes(intDigits)
+	if !ok && !(len(intDigits) == 0 && len(frac) > 0) {
+		return 0, d.rowErr("bad %s field %q: not a decimal time", csvRoleNames[role], b)
+	}
+	if ip > (1<<63-1)/d.unit {
+		return 0, d.rowErr("%s field %q overflows", csvRoleNames[role], b)
+	}
+	tenths := ip * d.unit
+	p := d.unit
+	for _, c := range frac {
+		if c-'0' > 9 {
+			return 0, d.rowErr("bad %s field %q: not a decimal time", csvRoleNames[role], b)
+		}
+		p /= 10
+		if p == 0 {
+			break // beyond tenth-tick resolution
+		}
+		tenths += uint64(c-'0') * p
+	}
+	return Ticks((tenths + 5) / 10), nil
+}
+
+// procID maps a proc field to a process id: numeric fields are taken
+// literally (they look like pids), anything else is assigned in
+// first-seen order starting at 1.
+func (d *csvDecoder) procID(b []byte) (uint32, error) {
+	if v, ok := parseUintBytes(b); ok {
+		if v == 0 || v >= 1<<32 {
+			return 0, d.rowErr("process id %d out of range", v)
+		}
+		return uint32(v), nil
+	}
+	if id, ok := d.procIDs[string(b)]; ok {
+		return id, nil
+	}
+	if d.procIDs == nil {
+		d.procIDs = make(map[string]uint32)
+	}
+	id := uint32(len(d.procIDs) + 1)
+	d.procIDs[string(b)] = id
+	return id, nil
+}
+
+// csvFieldString materializes a field as a string, un-doubling the
+// quote escapes the span scan left raw. Only new-file and new-proc
+// bookkeeping pays this copy.
+func csvFieldString(b []byte) string {
+	s := string(b)
+	if strings.Contains(s, `""`) {
+		s = strings.ReplaceAll(s, `""`, `"`)
+	}
+	return s
+}
+
+// parseUintBytes parses an all-digit field. ok is false for empty
+// fields, non-digits, or >19 digits (potential overflow — the importer
+// rejects rather than re-parsing; no real request is that large).
+func parseUintBytes(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 19 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c-'0' > 9 {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v, true
+}
+
+// matchToken reports whether b equals any token, ASCII-case-insensitively.
+func matchToken(b []byte, tokens []string) bool {
+	for _, t := range tokens {
+		if eqFold(b, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// eqFold is an allocation-free ASCII-case-insensitive equality check.
+func eqFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		cb, cs := b[i], s[i]
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if 'A' <= cs && cs <= 'Z' {
+			cs += 'a' - 'A'
+		}
+		if cb != cs {
+			return false
+		}
+	}
+	return true
+}
+
+// allDigits parses spec as a column index.
+func allDigits(spec string) (int, bool) {
+	if spec == "" || len(spec) > 6 {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(spec); i++ {
+		if spec[i]-'0' > 9 {
+			return 0, false
+		}
+		n = n*10 + int(spec[i]-'0')
+	}
+	return n, true
+}

@@ -1,0 +1,283 @@
+package trace
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// decodeCSV is the test harness: decode src with mapping m, failing the
+// test on error.
+func decodeCSV(t *testing.T, src string, m CSVMapping) []*Record {
+	t.Helper()
+	recs, err := DecodeAll(strings.NewReader(src), FormatCSV, DecodeOptions{CSV: m})
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	return recs
+}
+
+// csvRec builds the record every CSV row maps to: a synchronous logical
+// file-data access with ProcessTime equal to Start.
+func csvRec(write bool, off, length int64, start, dur Ticks, file, pid uint32) *Record {
+	typ := LogicalRecord | ReadOp | SyncOp | FileData
+	if write {
+		typ = LogicalRecord | WriteOp | SyncOp | FileData
+	}
+	return &Record{
+		Type: typ, Offset: off, Length: length,
+		Start: start, Completion: dur,
+		FileID: file, ProcessID: pid, ProcessTime: start,
+	}
+}
+
+func fileComment(id uint32, name string) *Record {
+	return &Record{Type: Comment, CommentText: FileNameComment(id, name)}
+}
+
+func diffRecords(t *testing.T, got, want []*Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d\ngot: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("record %d:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCSVDefaultMapping decodes a fully-columned site log: explicit
+// offsets, durations, and process ids, times in seconds.
+func TestCSVDefaultMapping(t *testing.T) {
+	src := `time,op,file,bytes,offset,duration,proc
+0.5,read,/a,4096,0,0.01,1
+0.5,write,/b,512,100,0,2
+1,READ,/a,4096,4096,0,1
+`
+	got := decodeCSV(t, src, DefaultCSVMapping())
+	want := []*Record{
+		fileComment(1, "/a"),
+		csvRec(false, 0, 4096, 50_000, 1_000, 1, 1),
+		fileComment(2, "/b"),
+		csvRec(true, 100, 512, 50_000, 0, 2, 2),
+		csvRec(false, 4096, 4096, 100_000, 0, 1, 1),
+	}
+	diffRecords(t, got, want)
+}
+
+// TestCSVSequentialOffsets pins the no-offset-column convention: each
+// row starts where its file's previous row ended, per file.
+func TestCSVSequentialOffsets(t *testing.T) {
+	src := "time,op,file,bytes\n" +
+		"0,write,f,100\n" +
+		"1,write,f,200\n" +
+		"2,read,g,50\n" +
+		"3,read,f,25\n"
+	got := decodeCSV(t, src, DefaultCSVMapping())
+	want := []*Record{
+		fileComment(1, "f"),
+		csvRec(true, 0, 100, 0, 0, 1, 1),
+		csvRec(true, 100, 200, 100_000, 0, 1, 1),
+		fileComment(2, "g"),
+		csvRec(false, 0, 50, 200_000, 0, 2, 1),
+		csvRec(false, 300, 25, 300_000, 0, 1, 1),
+	}
+	diffRecords(t, got, want)
+}
+
+// TestCSVIndexedColumns decodes a headerless table via zero-based
+// column indices, with a non-default separator.
+func TestCSVIndexedColumns(t *testing.T) {
+	m := CSVMapping{
+		Comma: ';', Header: false,
+		Time: "0", Op: "1", File: "2", Bytes: "3",
+		TimeUnit: UnitTicks,
+	}
+	src := "10;r;data;512\n20;w;data;1024\n"
+	got := decodeCSV(t, src, m)
+	want := []*Record{
+		fileComment(1, "data"),
+		csvRec(false, 0, 512, 10, 0, 1, 1),
+		csvRec(true, 512, 1024, 20, 0, 1, 1),
+	}
+	diffRecords(t, got, want)
+}
+
+// TestCSVAzureMapping decodes the Azure-Functions-style blob trace
+// shape: millisecond timestamps, boolean Write column, extra columns
+// the mapping ignores.
+func TestCSVAzureMapping(t *testing.T) {
+	src := `Timestamp,AnonRegion,AnonBlobName,BlobBytes,Read,Write
+1000,east,blobA,1024,false,True
+2500,east,blobB,2048,true,False
+`
+	got := decodeCSV(t, src, AzureFunctionsCSVMapping())
+	want := []*Record{
+		fileComment(1, "blobA"),
+		csvRec(true, 0, 1024, 100_000, 0, 1, 1),
+		fileComment(2, "blobB"),
+		csvRec(false, 0, 2048, 250_000, 0, 2, 1),
+	}
+	diffRecords(t, got, want)
+}
+
+// TestCSVQuotedFields covers quoted fields: embedded separators,
+// padding around quotes, and doubled-quote escapes (the file comment
+// carries the unescaped name).
+func TestCSVQuotedFields(t *testing.T) {
+	src := "time,op,file,bytes\n" +
+		"1,read, \"a,b\" ,100\n" +
+		"2,read,\"say \"\"hi\"\"\",200\n" +
+		"3,read,\"a,b\",50\n"
+	got := decodeCSV(t, src, DefaultCSVMapping())
+	want := []*Record{
+		fileComment(1, "a,b"),
+		csvRec(false, 0, 100, 100_000, 0, 1, 1),
+		fileComment(2, `say "hi"`),
+		csvRec(false, 0, 200, 200_000, 0, 2, 1),
+		csvRec(false, 100, 50, 300_000, 0, 1, 1),
+	}
+	diffRecords(t, got, want)
+}
+
+// TestCSVNamedProcs maps non-numeric proc fields to first-seen pids
+// while numeric fields pass through literally.
+func TestCSVNamedProcs(t *testing.T) {
+	src := "time,op,file,bytes,proc\n" +
+		"0,read,f,1,clientB\n" +
+		"1,read,f,1,clientA\n" +
+		"2,read,f,1,clientB\n" +
+		"3,read,f,1,7\n"
+	got := decodeCSV(t, src, DefaultCSVMapping())
+	pids := []uint32{}
+	for _, r := range got {
+		if !r.IsComment() {
+			pids = append(pids, r.ProcessID)
+		}
+	}
+	want := []uint32{1, 2, 1, 7}
+	if !reflect.DeepEqual(pids, want) {
+		t.Errorf("pids = %v, want %v", pids, want)
+	}
+}
+
+// TestCSVTimeUnits pins the fixed-point time parser across units,
+// including rounding to the nearest tick and sub-resolution truncation.
+func TestCSVTimeUnits(t *testing.T) {
+	cases := []struct {
+		unit TimeUnit
+		text string
+		want Ticks
+	}{
+		{UnitSeconds, "0", 0},
+		{UnitSeconds, "1.5", 150_000},
+		{UnitSeconds, ".5", 50_000},
+		{UnitSeconds, "0.000004", 0}, // 0.4 ticks rounds down
+		{UnitSeconds, "0.000005", 1}, // 0.5 ticks rounds up
+		{UnitSeconds, "12.00305", 1_200_305},
+		{UnitMillis, "1000", 100_000},
+		{UnitMillis, "1.23", 123},
+		{UnitMicros, "10", 1},
+		{UnitMicros, "14", 1}, // 1.4 ticks rounds to 1
+		{UnitMicros, "15", 2},
+		{UnitTicks, "42", 42},
+		{UnitTicks, "42.9", 43},
+	}
+	for _, tc := range cases {
+		m := CSVMapping{Header: false, Time: "0", Op: "1", File: "2", Bytes: "3", TimeUnit: tc.unit}
+		src := tc.text + ",read,f,1\n"
+		recs := decodeCSV(t, src, m)
+		if len(recs) != 2 {
+			t.Fatalf("%v %q: got %d records", tc.unit, tc.text, len(recs))
+		}
+		if recs[1].Start != tc.want {
+			t.Errorf("%v %q: start = %v ticks, want %v", tc.unit, tc.text, int64(recs[1].Start), int64(tc.want))
+		}
+	}
+}
+
+// TestCSVErrors exercises the rejection paths: every malformed input
+// must produce an error naming what went wrong, never a panic or a
+// silently wrong record.
+func TestCSVErrors(t *testing.T) {
+	def := DefaultCSVMapping()
+	cases := []struct {
+		name string
+		src  string
+		m    CSVMapping
+		want string // substring of the error
+	}{
+		{"time backwards", "time,op,file,bytes\n2,read,f,1\n1,read,f,1\n", def, "time runs backwards"},
+		{"bad op", "time,op,file,bytes\n1,peek,f,1\n", def, "matches neither"},
+		{"bad bytes", "time,op,file,bytes\n1,read,f,many\n", def, "bad bytes field"},
+		{"bad time", "time,op,file,bytes\nnoon,read,f,1\n", def, "bad time field"},
+		{"missing required header", "time,op,file\n1,read,f\n", def, "has no column"},
+		{"row too short", "time,op,file,bytes\n1,read\n", def, "missing the"},
+		{"unterminated quote", "time,op,file,bytes\n1,read,\"f,1\n", def, "unterminated quoted field"},
+		{"garbage after quote", "time,op,file,bytes\n1,read,\"f\"x,1\n", def, "garbage after quoted field"},
+		{"pid zero", "time,op,file,bytes,proc\n1,read,f,1,0\n", def, "out of range"},
+		{"name needs header", "", CSVMapping{Header: false, Time: "ts", Op: "1", File: "2", Bytes: "3"}, "needs a header row"},
+		{"required unset", "", CSVMapping{Header: false, Time: "0", Op: "1", File: "2"}, `required column "bytes"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeAll(strings.NewReader(tc.src), FormatCSV, DecodeOptions{CSV: tc.m})
+			if err == nil {
+				t.Fatalf("decode succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseCSVMapping covers the CLI spec syntax: presets, key=value
+// pairs, and rejection of unknown keys and values.
+func TestParseCSVMapping(t *testing.T) {
+	if m, err := ParseCSVMapping(""); err != nil || !reflect.DeepEqual(m, DefaultCSVMapping()) {
+		t.Errorf("empty spec: %+v, %v; want the default mapping", m, err)
+	}
+	if m, err := ParseCSVMapping("azure"); err != nil || !reflect.DeepEqual(m, AzureFunctionsCSVMapping()) {
+		t.Errorf("azure: %+v, %v; want the azure mapping", m, err)
+	}
+	m, err := ParseCSVMapping("time=ts,op=kind,file=path,bytes=n,unit=ms,sep=tab,header=1,read=get|load,write=put")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CSVMapping{
+		Comma: '\t', Header: true,
+		Time: "ts", Op: "kind", File: "path", Bytes: "n",
+		TimeUnit:    UnitMillis,
+		ReadValues:  []string{"get", "load"},
+		WriteValues: []string{"put"},
+	}
+	if !reflect.DeepEqual(m, want) {
+		t.Errorf("spec parsed to %+v, want %+v", m, want)
+	}
+	for _, bad := range []string{"color=red", "unit=fortnights", "header=maybe", "sep=ab", "justakey"} {
+		if _, err := ParseCSVMapping(bad); err == nil {
+			t.Errorf("ParseCSVMapping(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestParseTimeUnit pins the unit-name table both ways.
+func TestParseTimeUnit(t *testing.T) {
+	for name, want := range map[string]TimeUnit{
+		"s": UnitSeconds, "seconds": UnitSeconds,
+		"ms": UnitMillis, "us": UnitMicros, "ticks": UnitTicks,
+	} {
+		got, err := ParseTimeUnit(name)
+		if err != nil || got != want {
+			t.Errorf("ParseTimeUnit(%q) = %v, %v; want %v", name, got, err, want)
+		}
+		if rt, err := ParseTimeUnit(got.String()); err != nil || rt != got {
+			t.Errorf("unit %v does not round-trip through its name %q", got, got.String())
+		}
+	}
+	if _, err := ParseTimeUnit("fortnights"); err == nil {
+		t.Error("ParseTimeUnit accepted a bogus unit")
+	}
+}

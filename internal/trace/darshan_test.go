@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// darshanVenus is a hand-written darshan-parser-style log: two files,
+// one rank, read and write phases, plus header lines, an ignored
+// MPI-IO module, and counters the synthesis does not consume.
+const darshanVenus = `# darshan log version: 3.41
+# exe: ./venus
+#<module>	<rank>	<record id>	<counter>	<value>	<file name>	<mount pt>	<fs type>
+POSIX	0	771	POSIX_OPENS	1	/scratch/in.dat	/scratch	lustre
+POSIX	0	771	POSIX_READS	4	/scratch/in.dat	/scratch	lustre
+POSIX	0	771	POSIX_BYTES_READ	4096	/scratch/in.dat	/scratch	lustre
+POSIX	0	771	POSIX_F_READ_START_TIMESTAMP	1.0	/scratch/in.dat	/scratch	lustre
+POSIX	0	771	POSIX_F_READ_END_TIMESTAMP	2.0	/scratch/in.dat	/scratch	lustre
+MPIIO	0	771	MPIIO_BYTES_READ	4096	/scratch/in.dat	/scratch	lustre
+POSIX	0	905	POSIX_WRITES	2	/scratch/out.dat	/scratch	lustre
+POSIX	0	905	POSIX_BYTES_WRITTEN	1025	/scratch/out.dat	/scratch	lustre
+POSIX	0	905	POSIX_F_WRITE_START_TIMESTAMP	0.5	/scratch/out.dat	/scratch	lustre
+POSIX	0	905	POSIX_F_WRITE_END_TIMESTAMP	0.7	/scratch/out.dat	/scratch	lustre
+`
+
+func decodeDarshan(t *testing.T, src string, opts DecodeOptions) []*Record {
+	t.Helper()
+	recs, err := DecodeAll(strings.NewReader(src), FormatDarshan, opts)
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	return recs
+}
+
+// TestDarshanSynthesis pins the whole synthesized stream: file-name
+// comments first (first-seen ids), then evenly spread sequential runs
+// merged by start time, remainder bytes on each run's last record.
+func TestDarshanSynthesis(t *testing.T) {
+	got := decodeDarshan(t, darshanVenus, DecodeOptions{})
+	want := []*Record{
+		fileComment(1, "/scratch/in.dat"),
+		fileComment(2, "/scratch/out.dat"),
+		// Writes: 2 over [0.5s, 0.7s], 1025 bytes -> 512 + 513.
+		csvRec(true, 0, 512, 50_000, 10_000, 2, 1),
+		csvRec(true, 512, 513, 60_000, 10_000, 2, 1),
+		// Reads: 4 over [1s, 2s], 4096 bytes -> 4 x 1024 every 0.25 s.
+		csvRec(false, 0, 1024, 100_000, 25_000, 1, 1),
+		csvRec(false, 1024, 1024, 125_000, 25_000, 1, 1),
+		csvRec(false, 2048, 1024, 150_000, 25_000, 1, 1),
+		csvRec(false, 3072, 1024, 175_000, 25_000, 1, 1),
+	}
+	diffRecords(t, got, want)
+}
+
+// TestDarshanRankSelection checks both rank modes: merged (default,
+// everything is pid 1) and single-rank (pid = rank+1, other ranks
+// dropped, shared rank -1 records kept).
+func TestDarshanRankSelection(t *testing.T) {
+	src := "POSIX\t0\t1\tPOSIX_READS\t1\t/a\n" +
+		"POSIX\t0\t1\tPOSIX_BYTES_READ\t100\t/a\n" +
+		"POSIX\t1\t2\tPOSIX_WRITES\t1\t/b\n" +
+		"POSIX\t1\t2\tPOSIX_BYTES_WRITTEN\t200\t/b\n" +
+		"POSIX\t-1\t3\tPOSIX_READS\t1\t/shared\n" +
+		"POSIX\t-1\t3\tPOSIX_BYTES_READ\t300\t/shared\n"
+
+	merged := decodeDarshan(t, src, DecodeOptions{})
+	files, pids := map[uint32]bool{}, map[uint32]bool{}
+	for _, r := range merged {
+		if !r.IsComment() {
+			files[r.FileID] = true
+			pids[r.ProcessID] = true
+		}
+	}
+	if len(files) != 3 || !pids[1] || len(pids) != 1 {
+		t.Errorf("merged import: files %v pids %v; want 3 files, all pid 1", files, pids)
+	}
+
+	rank1 := decodeDarshan(t, src, DecodeOptions{DarshanRankSet: true, DarshanRank: 1})
+	var data []*Record
+	for _, r := range rank1 {
+		if !r.IsComment() {
+			data = append(data, r)
+		}
+	}
+	if len(data) != 2 {
+		t.Fatalf("rank 1 import: %d data records, want 2 (rank 1 + shared)", len(data))
+	}
+	for _, r := range data {
+		if r.ProcessID != 2 {
+			t.Errorf("rank 1 import: pid %d, want 2 (rank+1)", r.ProcessID)
+		}
+	}
+	if !data[0].Type.IsWrite() || data[0].Length != 200 {
+		t.Errorf("rank 1 import kept the wrong records: %v", data)
+	}
+}
+
+// TestDarshanSpaceSeparated accepts hand-written logs with plain
+// whitespace instead of tabs, and falls back to the record id when no
+// file name column is present.
+func TestDarshanSpaceSeparated(t *testing.T) {
+	src := "POSIX 0 42 POSIX_READS 2\n" +
+		"POSIX 0 42 POSIX_BYTES_READ 64\n"
+	got := decodeDarshan(t, src, DecodeOptions{})
+	if len(got) != 3 {
+		t.Fatalf("got %d records, want comment + 2 reads", len(got))
+	}
+	if _, name, ok := ParseFileNameComment(got[0].CommentText); !ok || name != "record-42" {
+		t.Errorf("fallback file name = %q, want record-42", got[0].CommentText)
+	}
+}
+
+// TestDarshanBytesWithoutCount synthesizes one request when bytes moved
+// but no operation count was recorded, and clamps the -1 "unset"
+// sentinel to zero.
+func TestDarshanBytesWithoutCount(t *testing.T) {
+	src := "POSIX\t0\t1\tPOSIX_READS\t-1\t/a\n" +
+		"POSIX\t0\t1\tPOSIX_BYTES_READ\t777\t/a\n"
+	got := decodeDarshan(t, src, DecodeOptions{})
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want comment + 1 read", len(got))
+	}
+	if got[1].Length != 777 || !got[1].Type.IsRead() {
+		t.Errorf("synthesized %v, want one 777-byte read", got[1])
+	}
+}
+
+// TestDarshanErrors: malformed logs reject with line-numbered errors.
+func TestDarshanErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		opts DecodeOptions
+		want string
+	}{
+		{"short line", "POSIX\t0\t1\n", DecodeOptions{}, "line 1"},
+		{"bad rank", "POSIX\tzero\t1\tPOSIX_READS\t1\t/a\n", DecodeOptions{}, "bad rank"},
+		{"bad counter value", "POSIX\t0\t1\tPOSIX_READS\tlots\t/a\n", DecodeOptions{}, "bad POSIX_READS"},
+		{"bad timestamp", "POSIX\t0\t1\tPOSIX_F_READ_START_TIMESTAMP\tnoon\t/a\n", DecodeOptions{}, "bad POSIX_F_READ_START_TIMESTAMP"},
+		{"negative rank option", "", DecodeOptions{DarshanRankSet: true, DarshanRank: -2}, "want >= 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeAll(strings.NewReader(tc.src), FormatDarshan, tc.opts)
+			if err == nil {
+				t.Fatalf("decode succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// A Decoder is the format-agnostic streaming decode contract: Next
+// decodes the next record into *dst and returns io.EOF at a clean end of
+// stream. Decoders follow the native Reader's allocation discipline —
+// the steady-state decode loop of every line-oriented format allocates
+// nothing per data record (comment text, new-file bookkeeping, and
+// materializing formats like Darshan are the exceptions).
+//
+// Fields a format cannot elide or reconstruct are left at their natural
+// values, so *dst is fully overwritten on every successful call and a
+// reused destination record needs no resetting between calls.
+type Decoder interface {
+	Next(dst *Record) error
+}
+
+// DecodeOptions carries per-format importer knobs through NewDecoder.
+// The zero value is always valid: the CSV reader falls back to
+// DefaultCSVMapping and the Darshan reader merges every rank into one
+// process stream.
+type DecodeOptions struct {
+	// CSV is the column mapping for FormatCSV. A zero mapping (no column
+	// specs at all) means DefaultCSVMapping.
+	CSV CSVMapping
+
+	// DarshanRankSet selects the single MPI rank DarshanRank for
+	// FormatDarshan instead of merging every rank into one process
+	// stream (the default, which a single-process simulator feed needs).
+	DarshanRankSet bool
+	DarshanRank    int
+}
+
+// formatSpec is one registry entry: the identity, names, detection
+// hooks, and decoder constructor of a trace format. The registry is the
+// single source for ParseFormat, Format.String, DetectFormat, and
+// NewDecoder, so adding a format is one entry plus its decoder.
+type formatSpec struct {
+	format  Format
+	name    string   // canonical name (Format.String, ParseFormat)
+	aliases []string // additional ParseFormat spellings
+	exts    []string // file extensions DetectFormat maps to this format
+	encode  bool     // whether Writer can emit it (importers are decode-only)
+	sniff   func(prefix []byte) bool
+	open    func(r io.Reader, opts DecodeOptions) (Decoder, error)
+}
+
+// formatRegistry lists every known format. Order is presentation order
+// (FormatNames, error messages); detection priority is sniffOrder.
+var formatRegistry = []formatSpec{
+	{
+		format: FormatASCII,
+		name:   "ascii", aliases: []string{"text"},
+		encode: true,
+		sniff:  sniffNativeASCII,
+		open: func(r io.Reader, _ DecodeOptions) (Decoder, error) {
+			return readerDecoder{NewReader(r, FormatASCII)}, nil
+		},
+	},
+	{
+		format: FormatBinary,
+		name:   "binary", aliases: []string{"bin"},
+		exts:   []string{".bin"},
+		encode: true,
+		sniff:  sniffBinary,
+		open: func(r io.Reader, _ DecodeOptions) (Decoder, error) {
+			return readerDecoder{NewReader(r, FormatBinary)}, nil
+		},
+	},
+	{
+		format: FormatASCIIRaw,
+		name:   "ascii-raw", aliases: []string{"raw"},
+		encode: true,
+		// Raw is a writer-side distinction (no elision); its lines decode
+		// through the ASCII scanner, so it never wins a content sniff.
+		open: func(r io.Reader, _ DecodeOptions) (Decoder, error) {
+			return readerDecoder{NewReader(r, FormatASCIIRaw)}, nil
+		},
+	},
+	{
+		format: FormatCSV,
+		name:   "csv",
+		exts:   []string{".csv"},
+		sniff:  sniffCSV,
+		open: func(r io.Reader, opts DecodeOptions) (Decoder, error) {
+			return newCSVDecoder(r, opts.CSV)
+		},
+	},
+	{
+		format: FormatDarshan,
+		name:   "darshan",
+		exts:   []string{".darshan"},
+		sniff:  sniffDarshan,
+		open: func(r io.Reader, opts DecodeOptions) (Decoder, error) {
+			return newDarshanDecoder(r, opts), nil
+		},
+	},
+}
+
+// sniffOrder is the content-detection priority: most distinctive
+// signature first. Binary's leading type byte is 0x00 (valid record
+// types fit in one byte), Darshan logs open with a '#' header, a native
+// ASCII line is all decimal digits and separators (or a "255 " comment),
+// and a separator-bearing first line falls through to CSV last.
+var sniffOrder = []Format{FormatBinary, FormatDarshan, FormatASCII, FormatCSV}
+
+// specOf returns the registry entry for f, or nil.
+func specOf(f Format) *formatSpec {
+	for i := range formatRegistry {
+		if formatRegistry[i].format == f {
+			return &formatRegistry[i]
+		}
+	}
+	return nil
+}
+
+// FormatNames returns the canonical name of every registered format, in
+// registry order, plus "auto" — the accepted values of ParseFormat.
+func FormatNames() []string {
+	names := make([]string, 0, len(formatRegistry)+1)
+	names = append(names, "auto")
+	for i := range formatRegistry {
+		names = append(names, formatRegistry[i].name)
+	}
+	return names
+}
+
+// readerDecoder adapts the native Reader (whose zero-alloc entry point
+// is NextInto) to the Decoder contract.
+type readerDecoder struct{ r *Reader }
+
+func (d readerDecoder) Next(dst *Record) error { return d.r.NextInto(dst) }
+
+// NewDecoder returns a streaming decoder for the records of r in the
+// given format. FormatAuto is rejected: content sniffing needs a peeked
+// prefix, which DetectFormat provides to callers that hold one.
+func NewDecoder(r io.Reader, format Format, opts DecodeOptions) (Decoder, error) {
+	if format == FormatAuto {
+		return nil, fmt.Errorf("trace: cannot build a decoder for the auto format; resolve it with DetectFormat first")
+	}
+	spec := specOf(format)
+	if spec == nil {
+		return nil, fmt.Errorf("trace: unknown format %v", format)
+	}
+	return spec.open(r, opts)
+}
+
+// DetectFormat determines the format of a trace from its file name and
+// the first bytes of its content. A registered extension decides
+// immediately (a ".csv" of digit-heavy rows is still CSV); otherwise the
+// content sniffers run in signature-strength order. Either argument may
+// be empty/nil; detection fails only when nothing matches.
+func DetectFormat(path string, prefix []byte) (Format, error) {
+	if ext := strings.ToLower(filepath.Ext(path)); ext != "" {
+		for i := range formatRegistry {
+			for _, e := range formatRegistry[i].exts {
+				if ext == e {
+					return formatRegistry[i].format, nil
+				}
+			}
+		}
+	}
+	for _, f := range sniffOrder {
+		if spec := specOf(f); spec.sniff != nil && len(prefix) > 0 && spec.sniff(prefix) {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: cannot detect the format of %q (known formats: %s)",
+		path, strings.Join(FormatNames(), ", "))
+}
+
+// firstLine returns the first line of prefix (without the newline),
+// which is all the content sniffers look at.
+func firstLine(prefix []byte) []byte {
+	for i, c := range prefix {
+		if c == '\n' {
+			return prefix[:i]
+		}
+	}
+	return prefix
+}
+
+// sniffBinary: binary wire records lead with a big-endian uint16 record
+// type, and every valid type fits in one byte — so byte 0 is 0x00.
+func sniffBinary(prefix []byte) bool { return prefix[0] == 0 }
+
+// sniffDarshan: darshan-parser text output opens with '#' header lines
+// ("# darshan log version: ..."); the native format never emits '#'.
+func sniffDarshan(prefix []byte) bool { return prefix[0] == '#' }
+
+// sniffNativeASCII: a native line is decimal fields separated by
+// spaces/tabs, or a comment line "255 <anything>".
+func sniffNativeASCII(prefix []byte) bool {
+	line := firstLine(prefix)
+	for len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	if len(line) == 0 {
+		return false
+	}
+	if v, rest, ok := leadingUint(line); ok && v == uint64(Comment) && (len(rest) == 0 || rest[0] == ' ') {
+		return true
+	}
+	for _, c := range line {
+		if !(c-'0' <= 9 || c == ' ' || c == '\t') {
+			return false
+		}
+	}
+	return true
+}
+
+// sniffCSV: a separator-bearing first line that nothing stronger
+// claimed. Both supported separators are probed; an explicit mapping's
+// separator is irrelevant here (detection picks the format, the mapping
+// then governs the decode).
+func sniffCSV(prefix []byte) bool {
+	line := firstLine(prefix)
+	for _, c := range line {
+		if c == ',' || c == ';' || c == '\t' {
+			return true
+		}
+	}
+	return false
+}
+
+// leadingUint parses the decimal prefix of b, returning the value, the
+// remainder, and whether at least one digit was consumed.
+func leadingUint(b []byte) (v uint64, rest []byte, ok bool) {
+	i := 0
+	for i < len(b) && b[i]-'0' <= 9 {
+		v = v*10 + uint64(b[i]-'0')
+		i++
+	}
+	return v, b[i:], i > 0
+}
+
+// DecodeAll materializes every record of r in the given format, comment
+// records included, using the same chunk-arena batching as ReadAll.
+func DecodeAll(r io.Reader, format Format, opts DecodeOptions) ([]*Record, error) {
+	dec, err := NewDecoder(r, format, opts)
+	if err != nil {
+		return nil, err
+	}
+	return decodeAllFrom(dec)
+}
+
+// decodeAllFrom drains a decoder into chunk-allocated records: one
+// allocation per readChunkRecords records instead of one per record.
+func decodeAllFrom(dec Decoder) ([]*Record, error) {
+	var out []*Record
+	var chunk []Record
+	for {
+		if len(chunk) == cap(chunk) {
+			chunk = make([]Record, 0, readChunkRecords)
+		}
+		chunk = chunk[:len(chunk)+1]
+		rec := &chunk[len(chunk)-1]
+		err := dec.Next(rec)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}

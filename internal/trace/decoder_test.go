@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseFormatRegistry pins every accepted format name and alias,
+// and that unknown names error listing the choices.
+func TestParseFormatRegistry(t *testing.T) {
+	cases := map[string]Format{
+		"ascii": FormatASCII, "text": FormatASCII, "ASCII": FormatASCII,
+		"binary": FormatBinary, "bin": FormatBinary,
+		"ascii-raw": FormatASCIIRaw, "raw": FormatASCIIRaw,
+		"csv": FormatCSV, "darshan": FormatDarshan,
+		"auto": FormatAuto, "detect": FormatAuto,
+	}
+	for name, want := range cases {
+		got, err := ParseFormat(name)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	_, err := ParseFormat("yaml")
+	if err == nil || !strings.Contains(err.Error(), "darshan") {
+		t.Errorf("ParseFormat(yaml) error %v should list the known formats", err)
+	}
+	// Every canonical name round-trips through Format.String.
+	for _, name := range FormatNames() {
+		f, err := ParseFormat(name)
+		if err != nil {
+			t.Fatalf("FormatNames lists %q but ParseFormat rejects it: %v", name, err)
+		}
+		if f.String() != name {
+			t.Errorf("Format %v stringifies to %q, want %q", int(f), f.String(), name)
+		}
+	}
+	if s := Format(99).String(); !strings.Contains(s, "unknown") {
+		t.Errorf("Format(99).String() = %q, want unknown", s)
+	}
+}
+
+// TestDetectFormat covers the two detection stages: a registered
+// extension decides immediately, otherwise content sniffing in
+// signature-strength order.
+func TestDetectFormat(t *testing.T) {
+	cases := []struct {
+		name   string
+		path   string
+		prefix string
+		want   Format
+	}{
+		{"csv extension wins over digit content", "log.csv", "1,2,3\n", FormatCSV},
+		{"bin extension", "trace.bin", "", FormatBinary},
+		{"darshan extension", "job.darshan", "", FormatDarshan},
+		{"binary content", "trace", "\x00\x80\x01\x02", FormatBinary},
+		{"darshan content", "job.txt", "# darshan log version: 3.41\n", FormatDarshan},
+		{"native ascii content", "venus.trace", "128 0 1 2 3 4 5 6 7 8\n", FormatASCII},
+		{"native comment content", "venus.trace", "255 traced on a Y-MP\n", FormatASCII},
+		{"csv content", "accesses.log", "time,op,file,bytes\n", FormatCSV},
+		{"tab csv content", "accesses.log", "a\tb\tc\n", FormatCSV},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := DetectFormat(tc.path, []byte(tc.prefix))
+			if err != nil || got != tc.want {
+				t.Errorf("DetectFormat(%q, %q) = %v, %v; want %v", tc.path, tc.prefix, got, err, tc.want)
+			}
+		})
+	}
+	if f, err := DetectFormat("mystery.dat", []byte("hello world\n")); err == nil {
+		t.Errorf("DetectFormat of undetectable content = %v, want error", f)
+	} else if !strings.Contains(err.Error(), "darshan") {
+		t.Errorf("detection error %v should list the known formats", err)
+	}
+}
+
+// TestNewDecoderContract: FormatAuto is rejected (it needs a prefix to
+// resolve), unknown formats are rejected, and the native formats decode
+// through the Decoder interface exactly as through Reader.
+func TestNewDecoderContract(t *testing.T) {
+	if _, err := NewDecoder(strings.NewReader(""), FormatAuto, DecodeOptions{}); err == nil {
+		t.Error("NewDecoder accepted FormatAuto")
+	}
+	if _, err := NewDecoder(strings.NewReader(""), Format(99), DecodeOptions{}); err == nil {
+		t.Error("NewDecoder accepted an unregistered format")
+	}
+
+	recs := genTrace(11, 200)
+	for _, format := range []Format{FormatASCII, FormatBinary, FormatASCIIRaw} {
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, format, recs); err != nil {
+			t.Fatal(err)
+		}
+		dec, err := NewDecoder(bytes.NewReader(buf.Bytes()), format, DecodeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []*Record
+		for {
+			var r Record
+			err := dec.Next(&r)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%v: %v", format, err)
+			}
+			clone := r
+			got = append(got, &clone)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("%v: decoded %d records, want %d", format, len(got), len(recs))
+		}
+		for i := range recs {
+			if !reflect.DeepEqual(got[i], recs[i]) {
+				t.Fatalf("%v record %d: %+v != %+v", format, i, got[i], recs[i])
+			}
+		}
+	}
+}
+
+// TestReadAllImporterFormats: the historical entry point now reaches
+// every registered format, not just the native pair.
+func TestReadAllImporterFormats(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader("time,op,file,bytes\n1,read,f,100\n"), FormatCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1].Length != 100 {
+		t.Errorf("ReadAll(csv) = %v", recs)
+	}
+}
+
+// TestWriterDecodeOnly: encoding an importer format fails with a
+// message that says what to do instead.
+func TestWriterDecodeOnly(t *testing.T) {
+	for _, f := range []Format{FormatCSV, FormatDarshan} {
+		w := NewWriter(io.Discard, f)
+		err := w.WriteRecord(&Record{Type: LogicalRecord | SyncOp | FileData, Length: 1})
+		if err == nil || !strings.Contains(err.Error(), "decode-only") {
+			t.Errorf("writing %v: err = %v, want decode-only error", f, err)
+		}
+	}
+}

@@ -65,21 +65,72 @@ func FuzzDecodeASCII(f *testing.F) {
 		if err != nil {
 			return // rejected cleanly; that is all garbage must do
 		}
-		var buf bytes.Buffer
-		if err := WriteAll(&buf, FormatASCII, recs); err != nil {
-			return // decoded values the writer's validation refuses
+		checkASCIIRoundTrip(t, data, recs)
+	})
+}
+
+func checkASCIIRoundTrip(t *testing.T, data []byte, recs []*Record) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, FormatASCII, recs); err != nil {
+		return // decoded values the writer's validation refuses
+	}
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()), FormatASCII)
+	if err != nil {
+		t.Fatalf("re-decode of re-encoded trace failed: %v\ninput: %q\nre-encoded: %q", err, data, buf.Bytes())
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip changed record count %d -> %d\ninput: %q", len(recs), len(got), data)
+	}
+	for i := range recs {
+		if !reflect.DeepEqual(got[i], recs[i]) {
+			t.Fatalf("record %d changed across round trip:\nfirst decode: %+v\nsecond decode: %+v\ninput: %q", i, recs[i], got[i], data)
 		}
-		got, err := ReadAll(bytes.NewReader(buf.Bytes()), FormatASCII)
-		if err != nil {
-			t.Fatalf("re-decode of re-encoded trace failed: %v\ninput: %q\nre-encoded: %q", err, data, buf.Bytes())
-		}
-		if len(got) != len(recs) {
-			t.Fatalf("round trip changed record count %d -> %d\ninput: %q", len(recs), len(got), data)
-		}
-		for i := range recs {
-			if !reflect.DeepEqual(got[i], recs[i]) {
-				t.Fatalf("record %d changed across round trip:\nfirst decode: %+v\nsecond decode: %+v\ninput: %q", i, recs[i], got[i], data)
+	}
+}
+
+// FuzzDecodeCSV feeds arbitrary bytes to the CSV importer under both
+// built-in mappings. Properties:
+//
+//  1. No panic: garbage is rejected with an error — the importer is a
+//     boundary where untrusted foreign logs enter the system.
+//  2. Valid records: anything accepted passes Record.Validate and
+//     survives a native ASCII round trip bit for bit, so an imported
+//     stream is indistinguishable from a hand-encoded one downstream.
+func FuzzDecodeCSV(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"time,op,file,bytes\n",
+		"time,op,file,bytes\n0.5,read,/a,4096\n1,write,/b,512\n",
+		"time,op,file,bytes,offset,duration,proc\n1,read,f,1,2,3,4\n",
+		"time,op,file,bytes\n1,read,\"a,b\",100\n2,read,\"say \"\"hi\"\"\",1\n",
+		"Timestamp,AnonBlobName,BlobBytes,Write\n1000,blob,1024,true\n",
+		"time,op,file,bytes\n2,read,f,1\n1,read,f,1\n",        // time runs backwards
+		"time,op,file,bytes\n1,read,\"f,1\n",                  // unterminated quote
+		"time,op,file,bytes\n1,read\n",                        // short row
+		"time;op;file;bytes\n1;read;f;1\n",                    // wrong separator
+		"time,op,file,bytes\r\n1,read,f,1\r\n",                // CRLF
+		"\n\ntime,op,file,bytes\n\n1,read,f,1\n",              // blank lines
+		"time,op,file,bytes\n99999999999999999999,read,f,1\n", // overflow
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, m := range []CSVMapping{DefaultCSVMapping(), AzureFunctionsCSVMapping()} {
+			recs, err := DecodeAll(bytes.NewReader(data), FormatCSV, DecodeOptions{CSV: m})
+			if err != nil {
+				continue // rejected cleanly
 			}
+			for i, r := range recs {
+				if err := r.Validate(); err != nil {
+					t.Fatalf("accepted record %d is invalid: %v\nrecord: %+v\ninput: %q", i, err, r, data)
+				}
+			}
+			var buf bytes.Buffer
+			if err := WriteAll(&buf, FormatASCII, recs); err != nil {
+				t.Fatalf("imported records failed native encoding: %v\ninput: %q", err, data)
+			}
+			checkASCIIRoundTrip(t, data, recs)
 		}
 	})
 }

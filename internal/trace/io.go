@@ -8,9 +8,12 @@ import (
 	"strings"
 )
 
-// Format selects the on-disk encoding of a trace stream. Both formats
-// carry the same compressed wire records; they differ only in field
-// serialization.
+// Format selects the encoding of a trace stream. The native formats
+// (ASCII, binary, ASCII-raw) carry the same compressed wire records and
+// differ only in field serialization; the importer formats (CSV,
+// Darshan) are decode-only mappings of foreign logs onto Records. The
+// format registry in decoder.go is the single source of format names,
+// extensions, sniffers, and decoder constructors.
 type Format int
 
 const (
@@ -24,32 +27,48 @@ const (
 	// against nothing elided. It exists to measure what the compression
 	// flags buy (a paper-motivated ablation).
 	FormatASCIIRaw
+	// FormatCSV imports site-log CSV tables via a CSVMapping
+	// (decode-only; see csv.go).
+	FormatCSV
+	// FormatDarshan imports Darshan-style per-job counter logs,
+	// synthesizing a record stream (decode-only; see darshan.go).
+	FormatDarshan
+
+	// FormatAuto is the detection sentinel: resolve the concrete format
+	// from the file extension and content (DetectFormat) before
+	// decoding.
+	FormatAuto Format = -1
 )
 
 func (f Format) String() string {
-	switch f {
-	case FormatASCII:
-		return "ascii"
-	case FormatBinary:
-		return "binary"
-	case FormatASCIIRaw:
-		return "ascii-raw"
+	if f == FormatAuto {
+		return "auto"
+	}
+	if spec := specOf(f); spec != nil {
+		return spec.name
 	}
 	return "unknown(" + strconv.Itoa(int(f)) + ")"
 }
 
-// ParseFormat converts a format name ("ascii", "binary", "ascii-raw") to a
-// Format.
+// ParseFormat converts a format name ("auto", "ascii", "binary",
+// "ascii-raw", "csv", "darshan", or a registered alias) to a Format.
 func ParseFormat(s string) (Format, error) {
-	switch strings.ToLower(s) {
-	case "ascii", "text":
-		return FormatASCII, nil
-	case "binary", "bin":
-		return FormatBinary, nil
-	case "ascii-raw", "raw":
-		return FormatASCIIRaw, nil
+	name := strings.ToLower(s)
+	if name == "auto" || name == "detect" {
+		return FormatAuto, nil
 	}
-	return 0, fmt.Errorf("trace: unknown format %q", s)
+	for i := range formatRegistry {
+		spec := &formatRegistry[i]
+		if name == spec.name {
+			return spec.format, nil
+		}
+		for _, a := range spec.aliases {
+			if name == a {
+				return spec.format, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown format %q (want %s)", s, strings.Join(FormatNames(), ", "))
 }
 
 // A Writer compresses and serializes records to an underlying stream.
@@ -95,7 +114,11 @@ func (w *Writer) WriteRecord(r *Record) error {
 	case FormatBinary:
 		w.buf, err = appendBinary(w.buf, wire)
 	default:
-		err = fmt.Errorf("trace: unknown format %v", w.format)
+		if spec := specOf(w.format); spec != nil && !spec.encode {
+			err = fmt.Errorf("trace: format %v is decode-only (convert to a native format to write)", w.format)
+		} else {
+			err = fmt.Errorf("trace: unknown format %v", w.format)
+		}
 	}
 	if err != nil {
 		return err
@@ -131,59 +154,78 @@ func (w *Writer) Records() int64 { return w.n }
 // Flush writes any buffered data to the underlying stream.
 func (w *Writer) Flush() error { return w.bw.Flush() }
 
-// A Reader parses and decompresses records from an underlying stream.
+// A Reader parses and decompresses records from an underlying stream in
+// one of the native formats. Foreign formats decode through NewDecoder,
+// which also adapts Reader to the format-agnostic Decoder contract.
 type Reader struct {
 	format Format
-	br     *bufio.Reader
+	ls     lineScanner
 	bin    *binaryDecoder
 	dec    *Decompressor
-	lbuf   []byte     // spill buffer for lines longer than the bufio window
 	wire   wireRecord // reusable parse target
 	rec    Record     // reusable decode target served by Next
 	n      int64
 }
 
-// NewReader returns a Reader for the given format.
+// NewReader returns a Reader for the given native format.
 func NewReader(r io.Reader, format Format) *Reader {
 	rd := &Reader{format: format, dec: NewDecompressor()}
 	switch format {
 	case FormatBinary:
 		rd.bin = &binaryDecoder{r: bufio.NewReaderSize(r, 64<<10)}
 	default:
-		rd.br = bufio.NewReaderSize(r, 64<<10)
+		rd.ls.init(r)
 	}
 	return rd
 }
 
+// lineScanner serves newline-terminated lines out of a bufio window,
+// spilling into a reusable buffer only when a line exceeds it. It is
+// the shared line substrate of the ASCII Reader and the line-oriented
+// importers (CSV, Darshan): zero allocations per line in the common
+// case.
+type lineScanner struct {
+	br   *bufio.Reader
+	lbuf []byte // spill buffer for lines longer than the bufio window
+	line []byte // the line most recently returned by readLine
+}
+
+func (s *lineScanner) init(r io.Reader) { s.br = bufio.NewReaderSize(r, 64<<10) }
+
 // readLine returns the next line without its terminating newline,
 // serving it straight out of the bufio window when it fits (the common
-// case: wire records are tens of bytes) and spilling into a reusable
-// buffer when it does not. The returned slice is only valid until the
-// next readLine call. io.EOF is returned only at a clean end of stream;
-// a final line without a trailing newline is still a line.
-func (r *Reader) readLine() ([]byte, error) {
-	line, err := r.br.ReadSlice('\n')
+// case: wire records are tens of bytes). The returned slice — also
+// retained in s.line for callers that hold index spans into it — is
+// only valid until the next readLine call. io.EOF is returned only at a
+// clean end of stream; a final line without a trailing newline is still
+// a line.
+func (s *lineScanner) readLine() ([]byte, error) {
+	line, err := s.br.ReadSlice('\n')
 	switch err {
 	case nil:
-		return line[:len(line)-1], nil
+		s.line = line[:len(line)-1]
+		return s.line, nil
 	case io.EOF:
 		if len(line) == 0 {
 			return nil, io.EOF
 		}
-		return line, nil
+		s.line = line
+		return s.line, nil
 	case bufio.ErrBufferFull:
-		r.lbuf = append(r.lbuf[:0], line...)
+		s.lbuf = append(s.lbuf[:0], line...)
 	default:
 		return nil, err
 	}
 	for {
-		line, err = r.br.ReadSlice('\n')
-		r.lbuf = append(r.lbuf, line...)
+		line, err = s.br.ReadSlice('\n')
+		s.lbuf = append(s.lbuf, line...)
 		switch err {
 		case nil:
-			return r.lbuf[:len(r.lbuf)-1], nil
+			s.line = s.lbuf[:len(s.lbuf)-1]
+			return s.line, nil
 		case io.EOF:
-			return r.lbuf, nil
+			s.line = s.lbuf
+			return s.line, nil
 		case bufio.ErrBufferFull:
 			continue
 		default:
@@ -200,7 +242,7 @@ func (r *Reader) readLine() ([]byte, error) {
 func (r *Reader) NextInto(dst *Record) error {
 	switch r.format {
 	case FormatASCII, FormatASCIIRaw:
-		line, err := r.readLine()
+		line, err := r.ls.readLine()
 		if err != nil {
 			return err
 		}
@@ -270,26 +312,10 @@ const readChunkRecords = 1024
 // ReadAll reads records until EOF. Comment records are included; callers
 // that only want data records should filter with Record.IsComment.
 // Records are batch-allocated in chunks, so a decoded trace costs two
-// allocations per thousand records rather than one per record.
+// allocations per thousand records rather than one per record. It is
+// DecodeAll with default options: importer formats work here too.
 func ReadAll(r io.Reader, format Format) ([]*Record, error) {
-	tr := NewReader(r, format)
-	var out []*Record
-	var chunk []Record
-	for {
-		if len(chunk) == cap(chunk) {
-			chunk = make([]Record, 0, readChunkRecords)
-		}
-		chunk = chunk[:len(chunk)+1]
-		rec := &chunk[len(chunk)-1]
-		err := tr.NextInto(rec)
-		if err == io.EOF {
-			return out, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, rec)
-	}
+	return DecodeAll(r, format, DecodeOptions{})
 }
 
 // fileNamePrefix is the comment convention for fileId-to-name mappings.

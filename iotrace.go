@@ -20,8 +20,10 @@ type (
 	Record = trace.Record
 	// Ticks is the paper's time unit: one tick is 10 microseconds.
 	Ticks = trace.Ticks
-	// Format selects a trace encoding: FormatASCII, FormatBinary, or
-	// FormatASCIIRaw.
+	// Format selects a trace encoding: the native FormatASCII,
+	// FormatBinary, and FormatASCIIRaw, the decode-only importer
+	// formats FormatCSV and FormatDarshan, or the FormatAuto
+	// detection sentinel.
 	Format = trace.Format
 	// RecordType is the bit-set classifying a Record: logical/physical,
 	// read/write, sync/async, data kind. Compose it from the re-exported
@@ -44,6 +46,16 @@ type (
 	TraceReader = trace.Reader
 	// TraceWriter is the record-at-a-time encoder behind WriteRecords.
 	TraceWriter = trace.Writer
+	// TraceDecoder is the format-agnostic streaming decode contract
+	// every format — native or imported — satisfies: Next decodes into
+	// *dst and returns io.EOF at a clean end of stream.
+	TraceDecoder = trace.Decoder
+	// CSVMapping tells the CSV importer which columns carry which
+	// record fields; build one by hand, with DefaultCSVMapping or
+	// AzureFunctionsCSVMapping, or from a spec via ParseCSVMapping.
+	CSVMapping = trace.CSVMapping
+	// TimeUnit is the unit of a CSV timestamp/duration column.
+	TimeUnit = trace.TimeUnit
 )
 
 // NewTraceReader returns a pull-based decoder for the records of r in
@@ -64,11 +76,23 @@ const (
 	SSD        = sim.SSD
 )
 
-// Trace encodings.
+// Trace encodings. The importer formats are decode-only; FormatAuto
+// resolves against the file extension and content at decode time.
 const (
 	FormatASCII    = trace.FormatASCII
 	FormatBinary   = trace.FormatBinary
 	FormatASCIIRaw = trace.FormatASCIIRaw
+	FormatCSV      = trace.FormatCSV
+	FormatDarshan  = trace.FormatDarshan
+	FormatAuto     = trace.FormatAuto
+)
+
+// CSV timestamp/duration units (CSVMapping.TimeUnit).
+const (
+	UnitSeconds = trace.UnitSeconds
+	UnitMillis  = trace.UnitMillis
+	UnitMicros  = trace.UnitMicros
+	UnitTicks   = trace.UnitTicks
 )
 
 // Record-type bits (Record.Type), re-exported so traces can be built
@@ -114,9 +138,33 @@ func DefaultConfig() Config { return sim.DefaultConfig() }
 // share of the solid-state disk.
 func SSDConfig() Config { return sim.SSDConfig() }
 
-// ParseFormat converts a format name ("ascii", "binary", "ascii-raw") to
-// a Format.
+// ParseFormat converts a format name ("auto", "ascii", "binary",
+// "ascii-raw", "csv", "darshan", or an alias) to a Format. Every cmd
+// resolves its format flags through this one parser.
 func ParseFormat(s string) (Format, error) { return trace.ParseFormat(s) }
+
+// FormatNames returns the accepted ParseFormat values, for flag usage
+// strings.
+func FormatNames() []string { return trace.FormatNames() }
+
+// DefaultCSVMapping returns the generic site-log mapping: a header row
+// naming time, op, file, bytes (plus optional offset, duration, proc)
+// columns, timestamps in seconds.
+func DefaultCSVMapping() CSVMapping { return trace.DefaultCSVMapping() }
+
+// AzureFunctionsCSVMapping returns the mapping for the Azure Functions
+// blob-access dataset (Timestamp, AnonBlobName, BlobBytes, Write).
+func AzureFunctionsCSVMapping() CSVMapping { return trace.AzureFunctionsCSVMapping() }
+
+// ParseCSVMapping builds a CSVMapping from a compact spec string: a
+// preset name ("default", "azure") or comma-separated key=value pairs
+// (time, op, file, bytes, offset, duration, proc, unit, sep, header,
+// read, write) — e.g. "time=ts,op=kind,file=path,bytes=n,unit=ms".
+func ParseCSVMapping(spec string) (CSVMapping, error) { return trace.ParseCSVMapping(spec) }
+
+// ParseTimeUnit converts a unit name ("s", "ms", "us", "ticks", and
+// common aliases) to a TimeUnit.
+func ParseTimeUnit(s string) (TimeUnit, error) { return trace.ParseTimeUnit(s) }
 
 // Apps lists the built-in paper applications (bvi, ccm, forma, gcm, les,
 // upw, venus).

@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
 # Benchmark-regression gate: compares a fresh scripts/bench.sh run against
-# the committed waterline in BENCH_PR7.json and fails the bench job when a
-# hot path regresses. BENCH_PR7.json carries the SimulateVenusPair,
-# TraceDecodeASCII, ScheduledVolume, and CongestedPair waterlines from
-# BENCH_PR6.json verbatim (none of those paths changed — the fault
-# machinery is inert without a plan), and adds the DegradedPair
-# waterline for the fault-injection retry path.
+# the committed waterline in BENCH_PR8.json and fails the bench job when a
+# hot path regresses. BENCH_PR8.json carries the SimulateVenusPair,
+# TraceDecodeASCII, ScheduledVolume, CongestedPair, and DegradedPair
+# waterlines from BENCH_PR7.json verbatim (native decode still runs
+# through the pre-existing Reader; the importer registry only wraps it),
+# and adds the ImportCSV waterline for the CSV importer decode loop.
 #
 # A benchmark fails the gate when
 #   - its best (minimum) ns/op across the run's samples exceeds the
@@ -15,12 +15,12 @@
 #   - its allocs/op grows at all (allocation counts are deterministic, so
 #     any increase is a real regression, not noise).
 #
-# Usage: scripts/bench_check.sh [bench.txt] [BENCH_PR7.json]
+# Usage: scripts/bench_check.sh [bench.txt] [BENCH_PR8.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 bench_out="${1:-bench.txt}"
-waterline_json="${2:-BENCH_PR7.json}"
+waterline_json="${2:-BENCH_PR8.json}"
 tolerance="${BENCH_TOLERANCE:-25}"
 
 [[ -r "$bench_out" ]] || { echo "bench_check: no benchmark output at $bench_out" >&2; exit 2; }
@@ -53,7 +53,7 @@ best() {
 }
 
 fail=0
-for name in SimulateVenusPair TraceDecodeASCII ScheduledVolume CongestedPair DegradedPair; do
+for name in SimulateVenusPair TraceDecodeASCII ScheduledVolume CongestedPair DegradedPair ImportCSV; do
 	want_ns=$(waterline "$name" ns_per_op)
 	want_allocs=$(waterline "$name" allocs_per_op)
 	if [[ -z "$want_ns" || -z "$want_allocs" ]]; then

@@ -66,8 +66,9 @@ check_fence 'iotrace\.New\(' "quickstart (Example_quickstart)" || fail=1
 check_fence 'iotrace\.Scheduling\(' "scheduling (Example_scheduling)" || fail=1
 check_fence 'iotrace\.Backbone\(' "congestion (Example_congestion)" || fail=1
 check_fence 'iotrace\.Faults\(' "faults (Example_faults)" || fail=1
+check_fence 'iotrace\.ImportFile\(' "importer (Example_import)" || fail=1
 
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "docs check: all markdown links resolve; README quickstart, scheduling, congestion, and faults snippets match example_test.go"
+echo "docs check: all markdown links resolve; README quickstart, scheduling, congestion, faults, and importer snippets match example_test.go"

@@ -1,6 +1,7 @@
 package iotrace
 
 import (
+	"bufio"
 	"fmt"
 	"iter"
 	"os"
@@ -26,23 +27,63 @@ import (
 // sharing one slice across concurrently running simulators safe.
 type TraceSource struct {
 	path   string
-	format Format
+	format Format // as configured; FormatAuto means detect on first use
+	opts   trace.DecodeOptions
 
 	once    sync.Once
 	decodes atomic.Int64
 
-	recs   []*Record // all decoded records, comments included
-	data   []*Record // validated data records (what simulators replay)
-	pid    uint32
-	endCPU Ticks
-	nbytes int64 // sum of data-record lengths (sweep-scheduler pressure)
-	err    error
+	resolved Format    // concrete format after the decode
+	recs     []*Record // all decoded records, comments included
+	data     []*Record // validated data records (what simulators replay)
+	pid      uint32
+	endCPU   Ticks
+	nbytes   int64 // data bytes requested (sweep-scheduler pressure)
+	err      error
+}
+
+// A SourceOption configures a TraceSource (and the facade import
+// helpers built on it).
+type SourceOption func(*TraceSource)
+
+// WithFormat pins the source's trace format, bypassing auto-detection.
+func WithFormat(format Format) SourceOption {
+	return func(s *TraceSource) { s.format = format }
+}
+
+// WithCSVMapping sets the column mapping used when the source decodes
+// as CSV. It does not by itself select the CSV format — combine with
+// WithFormat(FormatCSV) unless detection will pick CSV anyway.
+func WithCSVMapping(m CSVMapping) SourceOption {
+	return func(s *TraceSource) { s.opts.CSV = m }
+}
+
+// WithDarshanRank restricts a Darshan-style import to a single MPI
+// rank (plus rank −1 shared records) instead of merging every rank
+// into one process stream.
+func WithDarshanRank(rank int) SourceOption {
+	return func(s *TraceSource) {
+		s.opts.DarshanRankSet = true
+		s.opts.DarshanRank = rank
+	}
 }
 
 // NewTraceSource returns a decode-once source for the trace at path.
-// The file is not touched until the source is first consumed.
-func NewTraceSource(path string, format Format) *TraceSource {
-	return &TraceSource{path: path, format: format}
+// The format is auto-detected from the extension and content unless
+// pinned with WithFormat. The file is not touched until the source is
+// first consumed.
+func NewTraceSource(path string, opts ...SourceOption) *TraceSource {
+	s := &TraceSource{path: path, format: FormatAuto, resolved: FormatAuto}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// NewTraceSourceFormat is the original positional constructor, kept as
+// a thin wrapper over NewTraceSource(path, WithFormat(format)).
+func NewTraceSourceFormat(path string, format Format) *TraceSource {
+	return NewTraceSource(path, WithFormat(format))
 }
 
 // Path returns the path the source decodes.
@@ -53,7 +94,8 @@ func (s *TraceSource) Path() string { return s.path }
 // pin the decode-once contract.
 func (s *TraceSource) Decodes() int64 { return s.decodes.Load() }
 
-// load performs the single decode-and-validate pass.
+// load performs the single decode-and-validate pass, resolving the
+// auto format against the file's extension and first bytes.
 func (s *TraceSource) load() error {
 	s.once.Do(func() {
 		s.decodes.Add(1)
@@ -63,7 +105,21 @@ func (s *TraceSource) load() error {
 			return
 		}
 		defer f.Close()
-		recs, err := trace.ReadAll(f, s.format)
+		br := bufio.NewReaderSize(f, 64<<10)
+		format := s.format
+		if format == FormatAuto {
+			// Peek keeps the sniffed prefix in the decode stream, so
+			// detection costs no reopen. A short file truncates the
+			// prefix; that is fine, sniffers look at the first line.
+			prefix, _ := br.Peek(detectPeekBytes)
+			format, err = trace.DetectFormat(s.path, prefix)
+			if err != nil {
+				s.err = fmt.Errorf("iotrace: trace source: %w", err)
+				return
+			}
+		}
+		s.resolved = format
+		recs, err := trace.DecodeAll(br, format, s.opts)
 		if err != nil {
 			s.err = fmt.Errorf("iotrace: trace source %s: %w", s.path, err)
 			return
@@ -75,12 +131,23 @@ func (s *TraceSource) load() error {
 		}
 		s.recs, s.data, s.pid, s.endCPU = recs, data, pid, endCPU
 		for _, r := range data {
-			if r.Length > 0 {
-				s.nbytes += r.Length
-			}
+			s.nbytes += r.RequestBytes()
 		}
 	})
 	return s.err
+}
+
+// detectPeekBytes is how much leading content auto-detection sniffs:
+// enough for any first line the sniffers care about.
+const detectPeekBytes = 4096
+
+// Format returns the source's concrete decode format, triggering the
+// one-time decode so that auto-detection has resolved.
+func (s *TraceSource) Format() (Format, error) {
+	if err := s.load(); err != nil {
+		return s.resolved, err
+	}
+	return s.resolved, nil
 }
 
 // Records returns a re-iterable stream over every decoded record,
@@ -110,8 +177,10 @@ func (s *TraceSource) checked() (data []*Record, pid uint32, endCPU Ticks, err e
 	return s.data, s.pid, s.endCPU, nil
 }
 
-// dataBytes returns the sum of data-record lengths, the sweep
-// scheduler's cache-pressure numerator. It triggers the one-time decode.
+// dataBytes returns the total bytes the data records request —
+// framing-aware, so physical (block-unit) and imported traces weigh
+// comparably — which is the sweep scheduler's cache-pressure
+// numerator. It triggers the one-time decode.
 func (s *TraceSource) dataBytes() (int64, error) {
 	if err := s.load(); err != nil {
 		return 0, err

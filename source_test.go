@@ -28,7 +28,7 @@ func stageTrace(t *testing.T, app string, format iotrace.Format) (string, []*iot
 
 func TestTraceSourceIsLazyAndDecodesOnce(t *testing.T) {
 	path, recs := stageTrace(t, "upw", iotrace.FormatASCII)
-	src := iotrace.NewTraceSource(path, iotrace.FormatASCII)
+	src := iotrace.NewTraceSource(path, iotrace.WithFormat(iotrace.FormatASCII))
 	if src.Decodes() != 0 {
 		t.Fatalf("constructor decoded %d times; want lazy", src.Decodes())
 	}
@@ -146,7 +146,7 @@ func TestSourceWorkloadMatchesSliceAndStream(t *testing.T) {
 
 func TestSourceSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	path, _ := stageTrace(t, "upw", iotrace.FormatASCII)
-	src := iotrace.NewTraceSource(path, iotrace.FormatASCII)
+	src := iotrace.NewTraceSource(path, iotrace.WithFormat(iotrace.FormatASCII))
 	w, err := iotrace.New(
 		iotrace.Source("upw", src),
 		iotrace.App("bvi", 1),
@@ -172,7 +172,7 @@ func TestSourceSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestSourceErrorsSurfaceFromConsumers(t *testing.T) {
-	missing := iotrace.NewTraceSource(filepath.Join(t.TempDir(), "nope.trace"), iotrace.FormatASCII)
+	missing := iotrace.NewTraceSource(filepath.Join(t.TempDir(), "nope.trace"), iotrace.WithFormat(iotrace.FormatASCII))
 	w, err := iotrace.New(iotrace.Source("ghost", missing))
 	if err != nil {
 		t.Fatalf("lazy source failed at build time: %v", err)
@@ -196,7 +196,7 @@ func TestSourceErrorsSurfaceFromConsumers(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("not a trace\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	src := iotrace.NewTraceSource(bad, iotrace.FormatASCII)
+	src := iotrace.NewTraceSource(bad, iotrace.WithFormat(iotrace.FormatASCII))
 	wb, err := iotrace.New(iotrace.Source("bad", src))
 	if err != nil {
 		t.Fatal(err)

@@ -25,8 +25,20 @@ const streamChunkRecords = 512
 // slot in a chunk arena), so callers may hold on to any subset without
 // copying; chunks are reclaimed once no record in them is referenced.
 func ReadRecords(r io.Reader, format Format) iter.Seq2[*Record, error] {
+	return decodeRecords(r, format, trace.DecodeOptions{})
+}
+
+// decodeRecords is ReadRecords for any registered decoder: the same
+// chunk-arena streaming loop over the format-agnostic Decoder contract,
+// with importer options threaded through. FormatAuto is rejected here —
+// resolve it first (DetectFormat needs the file's name and prefix).
+func decodeRecords(r io.Reader, format Format, opts trace.DecodeOptions) iter.Seq2[*Record, error] {
 	return func(yield func(*Record, error) bool) {
-		tr := trace.NewReader(r, format)
+		dec, err := trace.NewDecoder(r, format, opts)
+		if err != nil {
+			yield(nil, err)
+			return
+		}
 		var chunk []Record
 		for {
 			if len(chunk) == cap(chunk) {
@@ -34,7 +46,7 @@ func ReadRecords(r io.Reader, format Format) iter.Seq2[*Record, error] {
 			}
 			chunk = chunk[:len(chunk)+1]
 			rec := &chunk[len(chunk)-1]
-			err := tr.NextInto(rec)
+			err := dec.Next(rec)
 			if err == io.EOF {
 				return
 			}

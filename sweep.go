@@ -147,9 +147,7 @@ func (w *Workload) traceBytes() int64 {
 			continue
 		}
 		for _, r := range p.Records {
-			if !r.IsComment() && r.Length > 0 {
-				total += r.Length
-			}
+			total += r.RequestBytes()
 		}
 	}
 	return total

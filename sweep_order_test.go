@@ -1,6 +1,9 @@
 package iotrace
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 // These tests live inside the package: scheduleOrder is an internal
 // policy whose contract (execution order only, never results) is pinned
@@ -95,4 +98,61 @@ func TestWorkloadTraceBytes(t *testing.T) {
 	if total != manual {
 		t.Fatalf("traceBytes = %d, want %d", total, manual)
 	}
+}
+
+// TestDataBytesFramingAware pins the sweep scheduler's cache-pressure
+// numerator against trace framing: a physical trace carries Length in
+// 512-byte blocks, a logical (or imported) one in plain bytes, and
+// dataBytes must weigh both in bytes so foreign imports don't skew the
+// congestion-aware start order.
+func TestDataBytesFramingAware(t *testing.T) {
+	dir := t.TempDir()
+
+	physical := []*Record{
+		{Type: CommentRecord, CommentText: "file 1 = raw-device"},
+		{Type: ReadOp | SyncOp | FileData, Length: 8,
+			Start: 10, Completion: 5, FileID: 1, ProcessID: 1, ProcessTime: 10},
+		{Type: WriteOp | SyncOp | FileData, Offset: 8, Length: 4,
+			Start: 20, Completion: 5, FileID: 1, ProcessID: 1, ProcessTime: 20},
+	}
+	physPath := dir + "/phys.trace"
+	if err := SaveTraceFile(physPath, "ascii", physical); err != nil {
+		t.Fatal(err)
+	}
+	src := NewTraceSource(physPath, WithFormat(FormatASCII))
+	got, err := src.dataBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(8+4) * 512; got != want {
+		t.Fatalf("physical dataBytes = %d, want %d (block units scaled to bytes)", got, want)
+	}
+
+	csvPath := dir + "/log.csv"
+	csv := "time,op,file,bytes\n1,read,f,4096\n2,write,f,1000\n"
+	if err := writeFile(t, csvPath, csv); err != nil {
+		t.Fatal(err)
+	}
+	imp := NewTraceSource(csvPath)
+	got, err = imp.dataBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(4096 + 1000); got != want {
+		t.Fatalf("imported dataBytes = %d, want %d (logical records are plain bytes)", got, want)
+	}
+
+	// And the workload-level aggregate the scheduler actually consumes.
+	w, err := New(Source("phys", src), Source("log", imp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.traceBytes(), int64(12*512+4096+1000); got != want {
+		t.Fatalf("traceBytes = %d, want %d", got, want)
+	}
+}
+
+func writeFile(t *testing.T, path, data string) error {
+	t.Helper()
+	return os.WriteFile(path, []byte(data), 0o644)
 }

@@ -118,7 +118,15 @@ func Source(name string, src *TraceSource) Option {
 // ReadTraceFile, which re-opens and re-decodes the file on every replay,
 // the file is read once and sweeps of any width pay one decode.
 func TraceFile(name, path string, format Format) Option {
-	return Source(name, NewTraceSource(path, format))
+	return Source(name, NewTraceSource(path, WithFormat(format)))
+}
+
+// ImportedFile adds the trace at path as one process with the format
+// auto-detected from the extension and content (pin it or pass
+// importer knobs with WithFormat/WithCSVMapping/WithDarshanRank). Like
+// TraceFile, it is backed by a private decode-once TraceSource.
+func ImportedFile(name, path string, opts ...SourceOption) Option {
+	return Source(name, NewTraceSource(path, opts...))
 }
 
 // FirstPID sets the process id of the workload's first generated process
@@ -228,6 +236,12 @@ func (w *Workload) AddTraceStream(name string, seq iter.Seq2[*Record, error]) {
 // by a private decode-once TraceSource (see TraceFile).
 func (w *Workload) AddTraceFile(name, path string, format Format) {
 	_ = w.extend(TraceFile(name, path, format)) // lazy: cannot fail here
+}
+
+// AddImportedFile appends the trace at path as one process, with the
+// format auto-detected unless pinned via options (see ImportedFile).
+func (w *Workload) AddImportedFile(name, path string, opts ...SourceOption) {
+	_ = w.extend(ImportedFile(name, path, opts...)) // lazy: cannot fail here
 }
 
 // AddSource appends a shared decode-once trace source as one process.
