@@ -61,6 +61,7 @@ func main() {
 		blocks   = flag.String("sweepblocks", "", "comma-separated block sizes in KB for -sweep (default: -block)")
 		svols    = flag.String("sweepvols", "", "comma-separated volume counts for -sweep (default: -volumes)")
 		workers  = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+		par      = flag.Int("par", 1, "event-engine goroutines per run (needs -sched sstf/scan/aged-sstf; results identical at any value)")
 		backbone = flag.Float64("backbone", 0, "shared I/O backbone bandwidth in MB/s (0 = off)")
 		bsched   = flag.String("bsched", "fifo", "backbone scheduling: fifo, fair, or periodic")
 		bperiod  = flag.Float64("bperiod", 0, "periodic backbone round length in ms (0 = 1000)")
@@ -84,6 +85,7 @@ func main() {
 	cfg.PerProcessBlockLimit = *limit
 	cfg.QuantumTicks = trace.TicksFromSeconds(*quantum / 1000)
 	cfg.DiskQueueing = *queueing
+	cfg = iotrace.Configure(cfg, iotrace.Parallelism(*par))
 	if *sched != "" {
 		pol, err := iotrace.ParseScheduler(*sched)
 		if err != nil {

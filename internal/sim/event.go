@@ -60,6 +60,10 @@ type eventHeap struct {
 
 func (h *eventHeap) len() int { return len(h.ev) }
 
+// peek returns a pointer to the earliest event without removing it.
+// The pointer is invalidated by the next push or pop.
+func (h *eventHeap) peek() *event { return &h.ev[0] }
+
 func evBefore(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at

@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"context"
+	"sync"
+
+	"iotrace/internal/trace"
+)
+
+// Conservative parallel event engine.
+//
+// Volumes are independent between cache-boundary interactions, which is
+// the structure conservative parallel discrete-event simulation
+// exploits: a volume completion (evVolDone) touches only its volume's
+// queue, head position, and stats — everything else it causes (the
+// request join's completion interrupt, the rate series, the physical
+// trace, the next completion's event post) is a global effect that can
+// be replayed later, as long as it is replayed in the exact order the
+// serial engine would have produced it.
+//
+// The engine therefore splits every completion into the two halves
+// sched.go's dispatchLocal defines:
+//
+//  1. Workers run the volume-local half of a *window* of completions
+//     concurrently — one event per volume, so their mutations are
+//     disjoint by construction.
+//  2. The coordinator replays the global half at a merge barrier, in
+//     (time, sequence) order of the window's events, assigning fresh
+//     sequence numbers exactly as the serial loop would have. Sequence
+//     numbers are the engine's tie-break (event.go), so replaying the
+//     emission log in serial order makes the parallel run byte-identical
+//     to the serial one — the repo's standing invariant, pinned by
+//     TestParallelDeterminism across every golden configuration.
+//
+// Window rule (the conservative synchronization): a window is a
+// contiguous run of evVolDone events at the top of the heap, one per
+// volume, spanning at most the lookahead horizon. Servicing a
+// completion at time t spawns new events no earlier than
+//
+//	t + min(InterruptTicks, minimum volume service time)
+//
+// without a backbone — the request join completes after the interrupt,
+// and the volume's next segment needs at least its minimum service
+// time — and at t itself with one (finishVolumeAccess enqueues the
+// backbone crossing at the completion tick, so the backbone is a global
+// barrier and the lookahead collapses to zero). Events spawned at the
+// same tick as a window member always carry higher sequence numbers
+// than every window member, so equal-timestamp completions are safe to
+// group regardless: the window degenerates to "simultaneous completions
+// across distinct volumes", which is precisely where striped arrays
+// concentrate their parallelism (equal-size segments dispatched
+// together complete together). Everything else — backbone grants, fault
+// starts/ends, retry timers, CPU events — dispatches serially, acting
+// as a global barrier between windows.
+//
+// Tie-break ordering: simultaneous completions across volume partitions
+// execute their global halves in ascending (at, seq) order of the
+// completions themselves — the order the serial loop pops them — so
+// volume A's completion posted before volume B's stays ahead of B at
+// every later tie. TestParallelTieBreak pins this with two volumes
+// completing on the same tick.
+
+// parMaxWindow bounds one window (and sizes the preallocated emission
+// log). Windows are naturally bounded by the volume count; the cap only
+// guards pathological configs.
+const parMaxWindow = 64
+
+// parEmit is one completion's emission record: what the worker learned
+// running the volume-local half, everything the merge needs to replay
+// the global half.
+type parEmit struct {
+	stale        bool     // gen mismatch: a fault froze this completion
+	dr           *diskReq // the completing segment's request join
+	redispatched bool     // the volume started its next queued segment
+	dur          trace.Ticks
+	gen          uint32
+	req          volPending // the redispatched segment (size/tag/write/pos)
+}
+
+// parEngine drives one run's windows: persistent workers fed task
+// indices over a channel, a WaitGroup barrier per window, and the
+// emission log the merge replays.
+type parEngine struct {
+	s    *Simulator
+	win  []event
+	emit []parEmit
+	vols []int32 // volumes claimed by the current window
+
+	work chan int
+	wg   sync.WaitGroup
+
+	lookahead trace.Ticks
+}
+
+// parLookahead computes the conservative horizon for this run. The
+// minimum service time is bounded below by the shortest conceivable
+// transfer — and a zero-length segment (a pure reposition) can service
+// in zero ticks, so with the stock volume model the bound floors to
+// zero and windows hold simultaneous completions only. A volume model
+// with a fixed per-request overhead would widen the horizon (up to the
+// completion interrupt) with no engine change.
+func (s *Simulator) parLookahead() trace.Ticks {
+	if s.backbone != nil {
+		// finishVolumeAccess enqueues the crossing at the completion
+		// tick: zero lookahead, same-tick windows only.
+		return 0
+	}
+	la := s.disk.interrupt
+	if minSvc := trace.Ticks(0); minSvc < la {
+		la = minSvc
+	}
+	return la
+}
+
+// parallelEligible reports whether this run uses the partitioned
+// engine: asked for (Parallelism > 1) and able to help (deferred
+// per-volume scheduling is the only source of evVolDone events; FCFS's
+// closed-form departures and the no-queueing model have no per-volume
+// work to partition, so they keep the serial loop untouched).
+func (s *Simulator) parallelEligible() bool {
+	return s.cfg.Parallelism > 1 && s.disk.queueing && s.disk.sched != SchedFCFS
+}
+
+func newParEngine(s *Simulator) *parEngine {
+	e := &parEngine{
+		s:         s,
+		win:       make([]event, 0, parMaxWindow),
+		emit:      make([]parEmit, parMaxWindow),
+		vols:      make([]int32, 0, parMaxWindow),
+		work:      make(chan int, parMaxWindow),
+		lookahead: s.parLookahead(),
+	}
+	workers := s.cfg.Parallelism - 1
+	if max := len(s.disk.vols) - 1; workers > max {
+		workers = max
+	}
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *parEngine) worker() {
+	for i := range e.work {
+		e.compute(i)
+		e.wg.Done()
+	}
+}
+
+func (e *parEngine) stop() { close(e.work) }
+
+// claimWindow pops the conservative window off the heap: the top event
+// (known to be evVolDone) plus every following completion within the
+// horizon on a volume not yet claimed. Returns the window length.
+func (e *parEngine) claimWindow() int {
+	s := e.s
+	e.win = e.win[:0]
+	e.vols = e.vols[:0]
+	first := s.events.pop()
+	e.win = append(e.win, first)
+	e.vols = append(e.vols, first.vol)
+	horizon := first.at + e.lookahead
+claim:
+	for len(e.win) < parMaxWindow && s.events.len() > 0 {
+		top := s.events.peek()
+		if top.kind != evVolDone || top.at > horizon {
+			break
+		}
+		for _, vi := range e.vols {
+			if vi == top.vol {
+				// A second completion on the same volume (a stale
+				// frozen-segment event next to a live one): the window
+				// ends here — same-volume halves must run in order.
+				break claim
+			}
+		}
+		ev := s.events.pop()
+		e.win = append(e.win, ev)
+		e.vols = append(e.vols, ev.vol)
+	}
+	return len(e.win)
+}
+
+// compute runs the volume-local half of window event i: the gen check
+// serial volDone performs, then dispatchLocal at the event's own
+// timestamp. Touches only the event's volume, so concurrent computes on
+// distinct volumes are race-free.
+func (e *parEngine) compute(i int) {
+	s := e.s
+	ev := &e.win[i]
+	em := &e.emit[i]
+	v := &s.disk.vols[ev.vol]
+	if uint32(ev.tick) != v.gen {
+		em.stale = true
+		return
+	}
+	em.dr = v.cur.dr
+	v.cur = volPending{}
+	req, dur, ok := s.dispatchLocal(int(ev.vol), ev.at)
+	em.redispatched = ok
+	if ok {
+		em.req, em.dur, em.gen = req, dur, v.gen
+	}
+}
+
+// execute fans the window's volume-local halves out to the workers and
+// waits for all of them. The coordinator services index 0 itself and
+// then helps drain the queue, so small windows never pay a handoff for
+// work the coordinator could have done.
+func (e *parEngine) execute(k int) {
+	for i := 0; i < k; i++ {
+		e.emit[i] = parEmit{}
+	}
+	e.wg.Add(k - 1)
+	for i := 1; i < k; i++ {
+		e.work <- i
+	}
+	e.compute(0)
+	for {
+		select {
+		case i := <-e.work:
+			e.compute(i)
+			e.wg.Done()
+		default:
+			e.wg.Wait()
+			return
+		}
+	}
+}
+
+// merge replays the window's global effects in (at, seq) order of the
+// completions, with the clock set per event — byte-for-byte the posts,
+// rate-series adds, and physical records serial volDone + volDispatch
+// would have produced, in the same order, with the same sequence
+// numbers.
+func (e *parEngine) merge(k int) {
+	s := e.s
+	for i := 0; i < k; i++ {
+		ev := &e.win[i]
+		em := &e.emit[i]
+		s.now = ev.at
+		if em.stale {
+			continue
+		}
+		dr := em.dr
+		dr.remaining--
+		if dr.remaining == 0 {
+			if dr.viaBackbone {
+				s.finishVolumeAccess(0, dr.bytes, dr.tag, dr.done)
+			} else {
+				s.post(s.disk.interrupt, dr.done)
+			}
+			s.freeDiskReq(dr)
+		}
+		if !em.redispatched {
+			continue
+		}
+		req, dur := &em.req, em.dur
+		if req.write {
+			s.diskWriteRate.AddSpread(int64(ev.at), int64(dur), float64(req.size))
+		} else {
+			s.diskReadRate.AddSpread(int64(ev.at), int64(dur), float64(req.size))
+		}
+		if s.cfg.RecordPhysical {
+			rt := trace.PhysicalRecord | req.tag.kind
+			if req.write {
+				rt |= trace.WriteOp
+			}
+			s.physical = append(s.physical, &trace.Record{
+				Type:        rt,
+				FileID:      volumeDeviceID + uint32(ev.vol),
+				Offset:      req.pos / trace.BlockSize,
+				Length:      (req.size + trace.BlockSize - 1) / trace.BlockSize,
+				Start:       ev.at,
+				Completion:  dur,
+				OperationID: req.tag.op,
+				ProcessID:   req.tag.pid,
+			})
+		}
+		s.post(dur, event{kind: evVolDone, vol: ev.vol, tick: trace.Ticks(em.gen)})
+	}
+}
+
+// runEventsParallel is the partitioned engine's drain loop: the serial
+// loop's twin, except that runs of simultaneous volume completions are
+// claimed as one window, computed concurrently, and merged in order.
+// Every non-completion event — backbone grants, fault starts/ends,
+// retry timers, the whole CPU side — dispatches serially between
+// windows, acting as a global barrier.
+func (s *Simulator) runEventsParallel(ctx context.Context) bool {
+	eng := newParEngine(s)
+	defer eng.stop()
+	const ctxCheckInterval = 1 << 12
+	n := 0
+	for s.err == nil && s.events.len() > 0 {
+		if n++; n%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				s.fail(err)
+				return false
+			}
+		}
+		if s.events.peek().kind != evVolDone {
+			e := s.events.pop()
+			s.now = e.at
+			s.dispatch1(&e)
+			continue
+		}
+		k := eng.claimWindow()
+		if k == 1 {
+			// A lone completion: skip the handoff and run it serially.
+			s.now = eng.win[0].at
+			s.dispatch1(&eng.win[0])
+			continue
+		}
+		n += k - 1
+		s.parWindows++
+		eng.execute(k)
+		eng.merge(k)
+	}
+	if s.err != nil {
+		return false
+	}
+	for _, p := range s.procs {
+		if !p.done {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"iotrace/internal/trace"
+)
+
+// The metamorphic determinism suite: every testdata-pinned
+// configuration — the seed equivalence matrix, the sharded and
+// scheduler grids, the backbone cases, the fault plans — must produce a
+// byte-identical fingerprint at Parallelism 1, 2, and 8. Parallelism 1
+// is the serial loop the goldens pin, so transitively every golden
+// replays byte for byte under the partitioned engine. Ineligible
+// configurations (no deferred scheduler) take the serial path at any
+// parallelism and pass trivially; they stay in the matrix to pin the
+// engine gate itself.
+
+// parSuiteCase is one cell: a pinned config plus the fingerprint
+// function its golden file uses (the widest view of that subsystem's
+// observable state).
+type parSuiteCase struct {
+	name string
+	app  string
+	cfg  func() Config
+	fp   func(*Result) string
+}
+
+func parallelSuite() []parSuiteCase {
+	var out []parSuiteCase
+	add := func(set string, cases []equivCase, fp func(*Result) string) {
+		for _, c := range cases {
+			app := c.app
+			if app == "" {
+				app = "ccm"
+			}
+			out = append(out, parSuiteCase{set + "/" + c.name, app, c.cfg, fp})
+		}
+	}
+	add("equiv", equivCases(), fingerprint)
+	add("sharded", shardedCases(), volumeFingerprint)
+	add("sched", schedCases(), schedFingerprint)
+	add("backbone", backboneCases(), backboneFingerprint)
+	add("fault", faultCases(), faultFingerprint)
+	return out
+}
+
+// parallelEligibleConfig mirrors Simulator.parallelEligible on a bare
+// Config (with Parallelism assumed > 1), so tests can classify cases
+// without constructing a simulator.
+func parallelEligibleConfig(c Config) bool {
+	return c.DiskQueueing && c.Scheduler != SchedFCFS
+}
+
+// simulateAt runs the pair at the given parallelism, returning the
+// fingerprint and the number of multi-event windows the parallel
+// engine merged.
+func simulateAt(t *testing.T, cfg Config, par int, a, b []*trace.Record, fp func(*Result) string) (string, int64) {
+	t.Helper()
+	cfg.Parallelism = par
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddProcess("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddProcess("b", b); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp(res), s.parWindows
+}
+
+func TestParallelDeterminism(t *testing.T) {
+	appNames := []string{"ccm"}
+	if !testing.Short() {
+		appNames = append(appNames, "venus")
+	}
+	traces := map[string][2][]*trace.Record{}
+	for _, name := range appNames {
+		a, b := appPair(t, name)
+		traces[name] = [2][]*trace.Record{a, b}
+	}
+	suite := parallelSuite()
+	if raceDetectorEnabled {
+		// Instrumented runs cost ~15x and the stripe-queueing cases run
+		// tens of seconds each under the detector: keep one
+		// representative per scheduler plus a fault plan. The
+		// uninstrumented run of this test still covers the full matrix.
+		raceCases := map[string]bool{
+			"sched/ccm-4vol-sstf-stripe":  true,
+			"sched/ccm-4vol-scan-stripe":  true,
+			"sched/ccm-4vol-asstf-stripe": true,
+			"fault/ccm-down-scan":         true,
+		}
+		var keep []parSuiteCase
+		for _, tc := range suite {
+			if raceCases[tc.name] {
+				keep = append(keep, tc)
+			}
+		}
+		if len(keep) != len(raceCases) {
+			t.Fatalf("race subset matched %d of %d pinned case names; update the list", len(keep), len(raceCases))
+		}
+		suite = keep
+	}
+	var windows int64
+	for _, tc := range suite {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tr, ok := traces[tc.app]
+			if !ok {
+				t.Skipf("%s workload: skipped in -short mode", tc.app)
+			}
+			want, _ := simulateAt(t, tc.cfg(), 1, tr[0], tr[1], tc.fp)
+			for _, par := range []int{2, 8} {
+				got, w := simulateAt(t, tc.cfg(), par, tr[0], tr[1], tc.fp)
+				windows += w
+				if got != want {
+					t.Errorf("parallelism %d diverged from serial:\n serial:   %s\n parallel: %s", par, want, got)
+				}
+			}
+		})
+	}
+	// The suite must actually exercise concurrent windows somewhere —
+	// a regression that silently disabled the engine would otherwise
+	// pass every equality above.
+	if windows == 0 {
+		t.Error("no configuration produced a multi-event window; the parallel engine never ran")
+	}
+}
+
+// TestParallelDeterminismStress re-runs the parallel-eligible scheduler
+// grid under varying GOMAXPROCS so the race detector sees real worker
+// interleavings — 1 serializes the workers, NumCPU frees them.
+func TestParallelDeterminismStress(t *testing.T) {
+	procs := []int{1, 2, runtime.NumCPU()}
+	a, b := appPair(t, "ccm")
+	all := append(schedCases(), backboneCases()...)
+	all = append(all, faultCases()...)
+	var cases []equivCase
+	for _, tc := range all {
+		c := tc.cfg()
+		if !parallelEligibleConfig(c) {
+			continue
+		}
+		if raceDetectorEnabled && c.NumVolumes == 1 {
+			// Under the detector, keep only the multi-volume cases —
+			// the ones whose windows hold real concurrent work.
+			continue
+		}
+		cases = append(cases, tc)
+	}
+	if raceDetectorEnabled && len(cases) > 2 {
+		// Two stripe cases give the detector distinct scheduler
+		// interleavings; more just repeats them at ~40s apiece.
+		cases = cases[:2]
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			want, _ := simulateAt(t, tc.cfg(), 1, a, b, schedFingerprint)
+			for _, n := range procs {
+				prev := runtime.GOMAXPROCS(n)
+				got, _ := simulateAt(t, tc.cfg(), 8, a, b, schedFingerprint)
+				runtime.GOMAXPROCS(prev)
+				if got != want {
+					t.Errorf("GOMAXPROCS=%d diverged from serial:\n serial:   %s\n parallel: %s", n, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelTieBreak pins the tie-break ordering for simultaneous
+// completions across volume partitions: a two-volume stripe makes
+// equal-size segments dispatch together and complete on the same tick,
+// and the physical trace — every access in emission order — must be
+// byte-identical between the serial loop and the partitioned engine.
+// The serial order is the contract: completions posted earlier carry
+// lower sequence numbers and their global effects replay first.
+func TestParallelTieBreak(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumVolumes = 2
+	cfg.Placement = PlaceStripe
+	cfg.StripeUnitBytes = 64 << 10
+	cfg.DiskQueueing = true
+	cfg.Scheduler = SchedSSTF
+	cfg.RecordPhysical = true
+
+	a, b := appPair(t, "ccm")
+	format := func(res *Result) []string {
+		out := make([]string, len(res.Physical))
+		for i, r := range res.Physical {
+			out[i] = fmt.Sprintf("%+v", *r)
+		}
+		return out
+	}
+
+	cfg.Parallelism = 1
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.AddProcess("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.AddProcess("b", b); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := s1.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Parallelism = 8
+	s8, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s8.AddProcess("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s8.AddProcess("b", b); err != nil {
+		t.Fatal(err)
+	}
+	res8, err := s8.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if s8.parWindows == 0 {
+		t.Fatal("stripe run produced no simultaneous completions; the tie-break path was not exercised")
+	}
+	p1, p8 := format(res1), format(res8)
+	if len(p1) != len(p8) {
+		t.Fatalf("physical trace length diverged: serial %d, parallel %d", len(p1), len(p8))
+	}
+	for i := range p1 {
+		if p1[i] != p8[i] {
+			t.Fatalf("physical record %d diverged:\n serial:   %s\n parallel: %s", i, p1[i], p8[i])
+		}
+	}
+	if got, want := schedFingerprint(res8), schedFingerprint(res1); got != want {
+		t.Errorf("fingerprint diverged:\n serial:   %s\n parallel: %s", want, got)
+	}
+}

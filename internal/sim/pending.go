@@ -1,0 +1,171 @@
+package sim
+
+import "sort"
+
+// Position-ordered pending index: a sorted mirror of a volume's
+// arrival-ordered queue, so SSTF and SCAN picks stop scanning linearly
+// once the queue is deep. The arrival-ordered queue stays the source of
+// truth (and the reference implementation — pickNextLinear — stays the
+// oracle TestPickNextIndexedMatchesLinear fuzzes against); the index
+// only changes how the same pick is found:
+//
+//   - SSTF: the head's nearest pending positions are the two neighbors
+//     of lastPos in (pos, aseq) order — one binary search, two
+//     candidates, tie toward the earlier arrival.
+//   - SCAN: the elevator's next stop is the successor (ascending) or
+//     predecessor (descending) of lastPos — one binary search per
+//     direction probe.
+//
+// Aged-SSTF keeps the linear scan: its effective priorities shift with
+// waiting time, so no static order can index them.
+//
+// Ties on position resolve by aseq, the per-volume arrival sequence:
+// within an equal-position run the index is sorted by arrival, so the
+// run head is exactly the entry the linear scan's first-encountered-
+// wins tie-break would pick. This makes the indexed pick equal to the
+// linear pick for every queue state, not just distinct positions.
+
+// posIndexMinDepth is the queue depth at which a volume switches from
+// linear scanning to the sorted index. Below it the linear scan wins on
+// constants (and allocates nothing — the depths the bench gate pins
+// stay on the linear path); above it the O(log n) search wins. Once
+// built, the index is maintained until the queue drains, even if the
+// depth dips back under the threshold, so it is always complete when
+// consulted.
+const posIndexMinDepth = 32
+
+// posKey locates one pending segment in position order. aseq resolves
+// equal positions toward the earlier arrival and is unique per volume,
+// so keys are strictly ordered.
+type posKey struct {
+	pos  int64
+	aseq uint64
+}
+
+func posKeyLess(a, b posKey) bool {
+	if a.pos != b.pos {
+		return a.pos < b.pos
+	}
+	return a.aseq < b.aseq
+}
+
+// lowerBound returns the first index in byPos whose key is >= k.
+func (v *volume) lowerBound(k posKey) int {
+	return sort.Search(len(v.byPos), func(i int) bool {
+		return !posKeyLess(v.byPos[i], k)
+	})
+}
+
+// buildPosIndex materializes the index from the current queue contents.
+func (v *volume) buildPosIndex() {
+	v.byPos = v.byPos[:0]
+	for i := range v.queue {
+		v.byPos = append(v.byPos, posKey{pos: v.queue[i].pos, aseq: v.queue[i].aseq})
+	}
+	sort.Slice(v.byPos, func(i, j int) bool { return posKeyLess(v.byPos[i], v.byPos[j]) })
+	v.byPosOn = true
+}
+
+// dropPosIndex retires the index when the queue drains, ending the
+// deep-queue episode; the backing array is kept for the next one.
+func (v *volume) dropPosIndex() {
+	v.byPos = v.byPos[:0]
+	v.byPosOn = false
+}
+
+// insertByPos adds one arrival to the live index.
+func (v *volume) insertByPos(pos int64, aseq uint64) {
+	k := posKey{pos: pos, aseq: aseq}
+	i := v.lowerBound(k)
+	v.byPos = append(v.byPos, posKey{})
+	copy(v.byPos[i+1:], v.byPos[i:])
+	v.byPos[i] = k
+}
+
+// removeByPos drops one dispatched segment from the live index.
+func (v *volume) removeByPos(pos int64, aseq uint64) {
+	i := v.lowerBound(posKey{pos: pos, aseq: aseq})
+	copy(v.byPos[i:], v.byPos[i+1:])
+	v.byPos = v.byPos[:len(v.byPos)-1]
+}
+
+// queueIndexOf maps an index entry back to its position in the
+// arrival-ordered queue. The queue is sorted by aseq (arrivals append,
+// removals shift), so this is a binary search, keeping the indexed pick
+// O(log n) end to end.
+func (v *volume) queueIndexOf(aseq uint64) int {
+	return sort.Search(len(v.queue), func(i int) bool {
+		return v.queue[i].aseq >= aseq
+	})
+}
+
+// sstfIndexed returns the queue index of the pending segment with the
+// shortest seek from the head, resolving distance ties toward the
+// earliest arrival — byte-for-byte the linear SSTF pick.
+func (v *volume) sstfIndexed() int {
+	// All entries at or above lastPos: the first is the nearest position
+	// in the upward direction, and within its equal-position run the
+	// earliest arrival. (aseq 0 sorts before any real arrival.)
+	hi := v.lowerBound(posKey{pos: v.lastPos})
+	var best posKey
+	switch {
+	case hi == len(v.byPos):
+		// Everything is below the head: nearest is the highest position;
+		// its run head is found by one more bound on that position.
+		lo := v.byPos[len(v.byPos)-1]
+		best = v.byPos[v.lowerBound(posKey{pos: lo.pos})]
+	case hi == 0:
+		best = v.byPos[0]
+	default:
+		up := v.byPos[hi]
+		lo := v.byPos[v.lowerBound(posKey{pos: v.byPos[hi-1].pos})]
+		dUp, dLo := up.pos-v.lastPos, v.lastPos-lo.pos
+		// Strictly-shorter wins; an exact distance tie falls to the
+		// earlier arrival across both runs, like the linear scan's
+		// first-encountered-wins over the arrival-ordered queue.
+		if dLo < dUp || (dLo == dUp && lo.aseq < up.aseq) {
+			best = lo
+		} else {
+			best = up
+		}
+	}
+	return v.queueIndexOf(best.aseq)
+}
+
+// scanIndexedDir returns the elevator's next stop in one direction —
+// ascending: the run head of the smallest position at or above the
+// head; descending: the run head of the largest at or below — or -1
+// when the direction is exhausted, mirroring scanPick.
+func (v *volume) scanIndexedDir(up bool) int {
+	if up {
+		i := v.lowerBound(posKey{pos: v.lastPos})
+		if i == len(v.byPos) {
+			return -1
+		}
+		return v.queueIndexOf(v.byPos[i].aseq)
+	}
+	// First entry strictly above lastPos bounds the candidates below it.
+	i := v.lowerBound(posKey{pos: v.lastPos + 1})
+	if i == 0 {
+		return -1
+	}
+	run := v.lowerBound(posKey{pos: v.byPos[i-1].pos})
+	return v.queueIndexOf(v.byPos[run].aseq)
+}
+
+// scanIndexed runs the elevator state machine over the index, flipping
+// direction exactly as the linear pick does.
+func (v *volume) scanIndexed() int {
+	if v.scanUp {
+		if i := v.scanIndexedDir(true); i >= 0 {
+			return i
+		}
+		v.scanUp = false
+		return v.scanIndexedDir(false)
+	}
+	if i := v.scanIndexedDir(false); i >= 0 {
+		return i
+	}
+	v.scanUp = true
+	return v.scanIndexedDir(true)
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"iotrace/internal/trace"
+)
+
+// TestPickNextIndexedMatchesLinear fuzzes random request batches
+// through two mirrored volumes — one forced onto the position-ordered
+// index, one kept on the linear reference scan — and asserts they pick
+// the identical service order for every scheduling policy, including
+// the elevator's direction flips and every distance/position tie.
+// pickNextLinear is the oracle: first-encountered-wins over the
+// arrival-ordered queue defines the contract the index must reproduce.
+func TestPickNextIndexedMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(1991))
+	pols := []Scheduler{SchedFCFS, SchedSSTF, SchedSCAN, SchedAgedSSTF}
+	for round := 0; round < 400; round++ {
+		pol := pols[round%len(pols)]
+		lin := &volume{scanUp: true}
+		idx := &volume{scanUp: true}
+		// Small position ranges force dense collisions (equal-position
+		// runs, exact distance ties); large ones exercise sparse queues.
+		posRange := int64(1) << (4 + uint(rng.Intn(18)))
+		now := trace.Ticks(rng.Int63n(1 << 20))
+		var aseq uint64
+		enqueue := func(k int) {
+			for i := 0; i < k; i++ {
+				aseq++
+				vp := volPending{
+					pos:  rng.Int63n(posRange),
+					aseq: aseq,
+					size: rng.Int63n(64 << 10),
+					enq:  now,
+				}
+				for _, v := range []*volume{lin, idx} {
+					v.queue = append(v.queue, vp)
+					if v.byPosOn {
+						v.insertByPos(vp.pos, vp.aseq)
+					}
+				}
+			}
+		}
+		enqueue(1 + rng.Intn(80))
+		// Force the index on regardless of depth so shallow queues are
+		// covered too; deeper rounds also exercise the lazy rebuild once
+		// a drain drops it.
+		if pol == SchedSSTF || pol == SchedSCAN {
+			idx.buildPosIndex()
+		}
+		start := rng.Int63n(posRange)
+		lin.lastPos, idx.lastPos = start, start
+		for step := 0; len(lin.queue) > 0; step++ {
+			now += trace.Ticks(rng.Intn(100))
+			li := lin.pickNextLinear(pol, now)
+			ii := idx.pickNext(pol, now)
+			if li != ii || lin.queue[li] != idx.queue[ii] {
+				t.Fatalf("round %d step %d pol %v: linear picked %d %+v, indexed picked %d %+v (head %d)",
+					round, step, pol, li, lin.queue[li], ii, idx.queue[ii], lin.lastPos)
+			}
+			if lin.scanUp != idx.scanUp {
+				t.Fatalf("round %d step %d pol %v: elevator direction diverged (linear up=%v indexed up=%v)",
+					round, step, pol, lin.scanUp, idx.scanUp)
+			}
+			req := lin.removeQueued(li)
+			idx.removeQueued(ii)
+			// Mirror accessTime's head movement.
+			lin.lastPos = req.pos + req.size
+			idx.lastPos = req.pos + req.size
+			// Interleave fresh arrivals mid-drain so removals and
+			// insertions hit a live index, not just the initial build.
+			if rng.Intn(4) == 0 {
+				enqueue(1 + rng.Intn(5))
+			}
+		}
+		if idx.byPosOn || len(idx.byPos) != 0 {
+			t.Fatalf("round %d: index not retired after drain (on=%v len=%d)",
+				round, idx.byPosOn, len(idx.byPos))
+		}
+	}
+}
+
+// TestPosIndexLazyThreshold pins the activation contract: shallow
+// queues never build the index (protecting the bench gate's allocation
+// waterlines), deep ones do, and a drain retires it.
+func TestPosIndexLazyThreshold(t *testing.T) {
+	v := &volume{scanUp: true}
+	add := func(n int) {
+		for i := 0; i < n; i++ {
+			v.aseq++
+			v.queue = append(v.queue, volPending{pos: int64(i * 100), aseq: v.aseq})
+			if v.byPosOn {
+				v.insertByPos(int64(i*100), v.aseq)
+			}
+		}
+	}
+	add(posIndexMinDepth - 1)
+	v.pickNext(SchedSSTF, 0)
+	if v.byPosOn {
+		t.Fatalf("index built below threshold depth %d", len(v.queue))
+	}
+	add(1)
+	v.pickNext(SchedSSTF, 0)
+	if !v.byPosOn {
+		t.Fatalf("index not built at threshold depth %d", len(v.queue))
+	}
+	for len(v.queue) > 0 {
+		v.removeQueued(v.pickNext(SchedSSTF, 0))
+	}
+	if v.byPosOn {
+		t.Fatal("index still on after the queue drained")
+	}
+}

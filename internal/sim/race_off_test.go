@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// raceDetectorEnabled mirrors the race build tag so the determinism
+// suite can trade breadth for runtime under the detector (each run
+// costs roughly an order of magnitude more instrumented).
+const raceDetectorEnabled = false

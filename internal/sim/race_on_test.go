@@ -1,0 +1,6 @@
+//go:build race
+
+package sim
+
+// raceDetectorEnabled mirrors the race build tag; see race_off_test.go.
+const raceDetectorEnabled = true

@@ -139,7 +139,8 @@ type FlushStats struct {
 // at enqueue (file bases are assigned on first touch, in arrival
 // order), so policy decisions compare plain integers.
 type volPending struct {
-	pos   int64 // synthetic volume position of the segment's first byte
+	pos   int64  // synthetic volume position of the segment's first byte
+	aseq  uint64 // per-volume arrival sequence (position-index tie-break)
 	size  int64
 	enq   trace.Ticks // arrival time, for wait accounting
 	dr    *diskReq    // parent request join
@@ -248,24 +249,51 @@ func (s *Simulator) scheduleAccess(fileID uint32, off, size int64, write bool, t
 		if depth > v.maxQueueDepth {
 			v.maxQueueDepth = depth
 		}
+		v.aseq++
 		v.queue = append(v.queue, volPending{
-			pos: p, size: seg.size, enq: s.now, dr: dr, tag: tag, write: write,
+			pos: p, aseq: v.aseq, size: seg.size, enq: s.now, dr: dr, tag: tag, write: write,
 		})
+		if v.byPosOn {
+			v.insertByPos(p, v.aseq)
+		}
 		if !v.inService {
 			s.volDispatch(seg.vol)
 		}
 	}
 }
 
-// volDispatch picks the next queued segment by policy and puts it in
-// service: the volume's head moves, seek/transfer attribution lands in
-// its stats, and the segment's completion fires as evVolDone.
-func (s *Simulator) volDispatch(vi int) {
+// removeQueued removes index i from the arrival-ordered queue and
+// returns the segment, maintaining the position index while it is live
+// and retiring it when the queue drains.
+func (v *volume) removeQueued(i int) volPending {
+	req := v.queue[i]
+	copy(v.queue[i:], v.queue[i+1:])
+	v.queue[len(v.queue)-1] = volPending{} // drop the dr pointer
+	v.queue = v.queue[:len(v.queue)-1]
+	if v.byPosOn {
+		if len(v.queue) == 0 {
+			v.dropPosIndex()
+		} else {
+			v.removeByPos(req.pos, req.aseq)
+		}
+	}
+	return req
+}
+
+// dispatchLocal is the volume-local half of volDispatch at time at:
+// the policy pick, queue removal, head movement, and per-volume wait
+// and seek/transfer accounting. Global effects — the rate series, the
+// physical trace, the evVolDone post — are left to the caller, so the
+// parallel engine can run this half on a worker goroutine and replay
+// the global half in deterministic event order at its merge barrier
+// (par.go). The serial volDispatch wraps it with the same effects in
+// the same order the monolithic dispatch always had.
+func (s *Simulator) dispatchLocal(vi int, at trace.Ticks) (req volPending, dur trace.Ticks, ok bool) {
 	d := s.disk
 	v := &d.vols[vi]
 	if len(v.queue) == 0 {
 		v.inService = false
-		return
+		return volPending{}, 0, false
 	}
 	if s.faults != nil && v.downCnt > 0 {
 		// The volume is down: leave the queue parked (inService false);
@@ -273,27 +301,38 @@ func (s *Simulator) volDispatch(vi int) {
 		// queued before the outage wait here — new arrivals are held for
 		// retry at admission.
 		v.inService = false
-		return
+		return volPending{}, 0, false
 	}
-	i := v.pickNext(d.sched, s.now)
-	req := v.queue[i]
-	copy(v.queue[i:], v.queue[i+1:])
-	v.queue[len(v.queue)-1] = volPending{} // drop the dr pointer
-	v.queue = v.queue[:len(v.queue)-1]
+	req = v.removeQueued(v.pickNext(d.sched, at))
 	v.inService = true
 	v.cur = req
-	v.queueWaitTicks += s.now - req.enq
-	v.noteProcWait(req.tag.pid, s.now-req.enq)
+	v.queueWaitTicks += at - req.enq
+	v.noteProcWait(req.tag.pid, at-req.enq)
 
-	dur := d.accessTime(v, req.pos, req.size)
+	dur = d.accessTime(v, req.pos, req.size)
 	v.busyTicks += dur
 	if req.write {
 		v.writes++
 		v.writeBytes += req.size
-		s.diskWriteRate.AddSpread(int64(s.now), int64(dur), float64(req.size))
 	} else {
 		v.reads++
 		v.readBytes += req.size
+	}
+	v.curDone = at + dur
+	return req, dur, true
+}
+
+// volDispatch picks the next queued segment by policy and puts it in
+// service: the volume's head moves, seek/transfer attribution lands in
+// its stats, and the segment's completion fires as evVolDone.
+func (s *Simulator) volDispatch(vi int) {
+	req, dur, ok := s.dispatchLocal(vi, s.now)
+	if !ok {
+		return
+	}
+	if req.write {
+		s.diskWriteRate.AddSpread(int64(s.now), int64(dur), float64(req.size))
+	} else {
 		s.diskReadRate.AddSpread(int64(s.now), int64(dur), float64(req.size))
 	}
 	if s.cfg.RecordPhysical {
@@ -314,8 +353,7 @@ func (s *Simulator) volDispatch(vi int) {
 			ProcessID:   req.tag.pid,
 		})
 	}
-	v.curDone = s.now + dur
-	s.post(dur, event{kind: evVolDone, vol: int32(vi), tick: trace.Ticks(v.gen)})
+	s.post(dur, event{kind: evVolDone, vol: int32(vi), tick: trace.Ticks(s.disk.vols[vi].gen)})
 }
 
 // volDone retires the in-service segment: the parent request completes
@@ -341,11 +379,40 @@ func (s *Simulator) volDone(vi int, gen uint32) {
 	s.volDispatch(vi)
 }
 
-// pickNext returns the queue index the policy services next. Queues are
-// kept in arrival order (removal shifts), so first-encountered wins
-// break every tie toward the earliest arrival — deterministic across
-// runs by construction.
+// pickNext returns the queue index the policy services next. Shallow
+// queues scan linearly (pickNextLinear, the reference implementation);
+// once the depth crosses posIndexMinDepth, SSTF and SCAN switch to the
+// position-ordered index (pending.go), which finds the identical pick
+// by binary search — TestPickNextIndexedMatchesLinear fuzzes the two
+// against each other. Aged-SSTF always scans: its priorities move with
+// waiting time, so no static order can index them.
 func (v *volume) pickNext(pol Scheduler, now trace.Ticks) int {
+	if len(v.queue) == 1 {
+		// Match pickNextLinear's single-entry shortcut exactly: in
+		// particular the elevator must NOT flip direction here, even if
+		// the lone entry is behind the head — the flip the linear scan
+		// never performs would leak into later picks.
+		return 0
+	}
+	if pol == SchedSSTF || pol == SchedSCAN {
+		if !v.byPosOn && len(v.queue) >= posIndexMinDepth {
+			v.buildPosIndex()
+		}
+		if v.byPosOn {
+			if pol == SchedSSTF {
+				return v.sstfIndexed()
+			}
+			return v.scanIndexed()
+		}
+	}
+	return v.pickNextLinear(pol, now)
+}
+
+// pickNextLinear is the linear-scan pick over the arrival-ordered
+// queue: first-encountered wins break every tie toward the earliest
+// arrival — deterministic across runs by construction. It is the
+// oracle the indexed picks must match byte for byte.
+func (v *volume) pickNextLinear(pol Scheduler, now trace.Ticks) int {
 	q := v.queue
 	if len(q) == 1 {
 		return 0

@@ -448,6 +448,12 @@ type Simulator struct {
 	demandRate    *stats.TimeSeries
 
 	physical []*trace.Record
+
+	// parWindows counts multi-event windows the parallel engine merged
+	// (par.go); zero on the serial path. Tests use it to confirm a
+	// configuration actually exercised concurrent windows rather than
+	// degenerating to the serial twin.
+	parWindows int64
 }
 
 // New returns a simulator for the given configuration.
@@ -629,7 +635,13 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 		s.scheduleFaults()
 	}
 	s.dispatch()
-	if ok := s.runEvents(ctx); !ok {
+	var ok bool
+	if s.parallelEligible() {
+		ok = s.runEventsParallel(ctx)
+	} else {
+		ok = s.runEvents(ctx)
+	}
+	if !ok {
 		if s.err != nil {
 			return nil, s.err
 		}

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Benchmark-regression gate: compares a fresh scripts/bench.sh run against
-# the committed waterline in BENCH_PR8.json and fails the bench job when a
-# hot path regresses. BENCH_PR8.json carries the SimulateVenusPair,
-# TraceDecodeASCII, ScheduledVolume, CongestedPair, and DegradedPair
-# waterlines from BENCH_PR7.json verbatim (native decode still runs
-# through the pre-existing Reader; the importer registry only wraps it),
-# and adds the ImportCSV waterline for the CSV importer decode loop.
+# the committed waterline in BENCH_PR9.json and fails the bench job when a
+# hot path regresses. BENCH_PR9.json carries all six serial waterlines
+# (SimulateVenusPair, TraceDecodeASCII, ScheduledVolume, CongestedPair,
+# DegradedPair, ImportCSV) from BENCH_PR8.json verbatim — the parallel
+# event engine sits behind a Parallelism>1 gate and leaves the serial
+# loop untouched — and adds the Figure8Parallel legs: workers=1 pinned
+# to ScheduledVolume's exact waterline (same gate, same serial loop),
+# workers=2/4 with headroom for the engine's fixed setup allocations
+# (worker goroutines, window buffers), documented in the JSON notes.
 #
 # A benchmark fails the gate when
 #   - its best (minimum) ns/op across the run's samples exceeds the
@@ -15,12 +18,12 @@
 #   - its allocs/op grows at all (allocation counts are deterministic, so
 #     any increase is a real regression, not noise).
 #
-# Usage: scripts/bench_check.sh [bench.txt] [BENCH_PR8.json]
+# Usage: scripts/bench_check.sh [bench.txt] [BENCH_PR9.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 bench_out="${1:-bench.txt}"
-waterline_json="${2:-BENCH_PR8.json}"
+waterline_json="${2:-BENCH_PR9.json}"
 tolerance="${BENCH_TOLERANCE:-25}"
 
 [[ -r "$bench_out" ]] || { echo "bench_check: no benchmark output at $bench_out" >&2; exit 2; }
@@ -53,7 +56,7 @@ best() {
 }
 
 fail=0
-for name in SimulateVenusPair TraceDecodeASCII ScheduledVolume CongestedPair DegradedPair ImportCSV; do
+for name in SimulateVenusPair TraceDecodeASCII ScheduledVolume 'Figure8Parallel/workers=1' 'Figure8Parallel/workers=2' 'Figure8Parallel/workers=4' CongestedPair DegradedPair ImportCSV; do
 	want_ns=$(waterline "$name" ns_per_op)
 	want_allocs=$(waterline "$name" allocs_per_op)
 	if [[ -z "$want_ns" || -z "$want_allocs" ]]; then
