@@ -1,0 +1,191 @@
+package iotrace
+
+import (
+	"fmt"
+)
+
+// Wire types of the iosimd service API: ConfigSpec and GridSpec are the
+// JSON request forms of a simulator Config and a sweep Grid, and
+// ResultView is the JSON shape one simulated cell is served as. They
+// live in the root package so library users can build requests and
+// decode responses with the same types the server uses.
+
+// ConfigSpec is the JSON form of a simulator configuration. Absent
+// fields keep the paper's defaults (DefaultConfig, or SSDConfig when
+// ssd is true); pointer fields distinguish "absent" from an explicit
+// zero or false. Policy fields take the same names the CLI flags do
+// (ParseScheduler, ParseBackboneSched, ParsePlacement, ParseFaultPlan).
+type ConfigSpec struct {
+	SSD           bool    `json:"ssd,omitempty"`
+	CacheMB       *int64  `json:"cache_mb,omitempty"`
+	BlockKB       *int64  `json:"block_kb,omitempty"`
+	ReadAhead     *bool   `json:"read_ahead,omitempty"`
+	WriteBehind   *bool   `json:"write_behind,omitempty"`
+	Warm          bool    `json:"warm,omitempty"`
+	BlockLimit    int     `json:"proc_block_limit,omitempty"`
+	Volumes       int     `json:"volumes,omitempty"`
+	Placement     string  `json:"placement,omitempty"`
+	StripeUnitKB  int64   `json:"stripe_unit_kb,omitempty"`
+	SplitSpindles bool    `json:"split_spindles,omitempty"`
+	Scheduler     string  `json:"scheduler,omitempty"`
+	BackboneMBps  float64 `json:"backbone_mbps,omitempty"`
+	BackboneSched string  `json:"backbone_sched,omitempty"`
+	BurstMB       int64   `json:"burst_mb,omitempty"`
+	DrainMBps     float64 `json:"drain_mbps,omitempty"`
+	Faults        string  `json:"faults,omitempty"`
+}
+
+// Config converts the spec into a simulator configuration, applying the
+// same parsers and option helpers the CLI flag path uses.
+func (s ConfigSpec) Config() (Config, error) {
+	cfg := DefaultConfig()
+	if s.SSD {
+		cfg = SSDConfig()
+	}
+	if s.CacheMB != nil {
+		cfg.CacheBytes = *s.CacheMB << 20
+	}
+	if s.BlockKB != nil {
+		cfg.BlockBytes = *s.BlockKB << 10
+	}
+	if s.ReadAhead != nil {
+		cfg.ReadAhead = *s.ReadAhead
+	}
+	if s.WriteBehind != nil {
+		cfg.WriteBehind = *s.WriteBehind
+	}
+	cfg.WarmCache = s.Warm
+	cfg.PerProcessBlockLimit = s.BlockLimit
+	if s.Volumes > 0 {
+		cfg = Configure(cfg, Volumes(s.Volumes))
+	}
+	if s.Placement != "" {
+		policy, err := ParsePlacement(s.Placement)
+		if err != nil {
+			return cfg, err
+		}
+		cfg = Configure(cfg, Placement(policy))
+	}
+	if s.StripeUnitKB > 0 {
+		cfg.StripeUnitBytes = s.StripeUnitKB << 10
+	}
+	if s.Scheduler != "" {
+		pol, err := ParseScheduler(s.Scheduler)
+		if err != nil {
+			return cfg, err
+		}
+		cfg = Configure(cfg, Scheduling(pol))
+	}
+	if s.BackboneMBps > 0 || s.BackboneSched != "" {
+		bpol := BackboneFIFO
+		if s.BackboneSched != "" {
+			var err error
+			if bpol, err = ParseBackboneSched(s.BackboneSched); err != nil {
+				return cfg, err
+			}
+		}
+		cfg = Configure(cfg, Backbone(s.BackboneMBps, bpol))
+	}
+	if s.BurstMB > 0 {
+		cfg = Configure(cfg, BurstBuffer(s.BurstMB, s.DrainMBps))
+	}
+	if s.Faults != "" {
+		plan, err := ParseFaultPlan(s.Faults)
+		if err != nil {
+			return cfg, err
+		}
+		cfg = Configure(cfg, Faults(plan))
+	}
+	if s.SplitSpindles {
+		cfg = Configure(cfg, SplitSpindles())
+	}
+	return cfg, nil
+}
+
+// GridSpec is the JSON form of a sweep Grid: each set axis multiplies,
+// absent axes keep the base configuration's value, exactly like Grid.
+// Policy and fault-plan axes take names/specs ("off" or "" is the
+// fault-free cell).
+type GridSpec struct {
+	CacheMB       []int64   `json:"cache_mb,omitempty"`
+	BlockKB       []int64   `json:"block_kb,omitempty"`
+	ReadAhead     []bool    `json:"read_ahead,omitempty"`
+	WriteBehind   []bool    `json:"write_behind,omitempty"`
+	Volumes       []int     `json:"volumes,omitempty"`
+	Schedulers    []string  `json:"schedulers,omitempty"`
+	Backbones     []float64 `json:"backbones,omitempty"`
+	Faults        []string  `json:"faults,omitempty"`
+	SplitSpindles bool      `json:"split_spindles,omitempty"`
+	SeedStep      uint64    `json:"seed_step,omitempty"`
+}
+
+// Grid converts the spec into a Grid over the given base configuration.
+func (g GridSpec) Grid(base Config) (Grid, error) {
+	grid := Grid{
+		Base:          &base,
+		CacheMB:       g.CacheMB,
+		BlockKB:       g.BlockKB,
+		ReadAhead:     g.ReadAhead,
+		WriteBehind:   g.WriteBehind,
+		Volumes:       g.Volumes,
+		Backbones:     g.Backbones,
+		SplitSpindles: g.SplitSpindles,
+		SeedStep:      g.SeedStep,
+	}
+	for _, name := range g.Schedulers {
+		pol, err := ParseScheduler(name)
+		if err != nil {
+			return grid, fmt.Errorf("schedulers: %w", err)
+		}
+		grid.Schedulers = append(grid.Schedulers, pol)
+	}
+	for _, spec := range g.Faults {
+		if spec == "" || spec == "off" {
+			grid.Faults = append(grid.Faults, nil)
+			continue
+		}
+		plan, err := ParseFaultPlan(spec)
+		if err != nil {
+			return grid, fmt.Errorf("faults: %w", err)
+		}
+		grid.Faults = append(grid.Faults, plan)
+	}
+	return grid, nil
+}
+
+// ResultView is the served JSON shape of one simulated cell: the
+// scenario's name and content-addressed key, the headline metrics
+// capacity planning reads first, and the full Result minus its bulky
+// record-level payloads (the physical trace and the rate time series),
+// which don't survive JSON usefully and would bloat every cached cell.
+// Marshaling a ResultView is deterministic, which is what lets iosimd
+// serve cached cells byte-identical to fresh ones.
+type ResultView struct {
+	Scenario         string      `json:"scenario"`
+	Key              ScenarioKey `json:"key,omitempty"`
+	WallSec          float64     `json:"wall_sec"`
+	IdleSec          float64     `json:"idle_sec"`
+	Utilization      float64     `json:"utilization"`
+	ReadHitRatio     float64     `json:"read_hit_ratio"`
+	SystemEfficiency float64     `json:"system_efficiency"`
+	Result           *Result     `json:"result"`
+}
+
+// NewResultView builds the served view of one simulated cell. The
+// embedded Result is a shallow copy with Physical and the rate series
+// cleared; the caller's Result is not modified.
+func NewResultView(scenario string, key ScenarioKey, r *Result) ResultView {
+	cp := *r
+	cp.Physical = nil
+	cp.DiskReadRate, cp.DiskWriteRate, cp.DemandRate = nil, nil, nil
+	return ResultView{
+		Scenario:         scenario,
+		Key:              key,
+		WallSec:          r.WallSeconds(),
+		IdleSec:          r.IdleSeconds(),
+		Utilization:      r.Utilization(),
+		ReadHitRatio:     r.Cache.ReadHitRatio(),
+		SystemEfficiency: r.SystemEfficiency,
+		Result:           &cp,
+	}
+}

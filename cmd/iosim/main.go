@@ -31,99 +31,35 @@ import (
 	"strings"
 
 	"iotrace"
+	"iotrace/internal/cliflags"
 	"iotrace/internal/stats"
-	"iotrace/internal/trace"
 )
 
 func main() {
+	sim := cliflags.AddSim(flag.CommandLine)
+	im := cliflags.AddImport(flag.CommandLine)
 	var (
-		cacheMB  = flag.Int64("cache", 32, "cache size in MB")
-		blockKB  = flag.Int64("block", 4, "cache block size in KB")
-		ra       = flag.Bool("ra", true, "enable read-ahead")
-		wb       = flag.Bool("wb", true, "enable write-behind")
-		ssd      = flag.Bool("ssd", false, "SSD tier: per-block channel costs, 256 MB default size")
-		warm     = flag.Bool("warm", false, "preload touched file blocks (data set lives in the cache)")
-		limit    = flag.Int("limit", 0, "per-process block ownership cap (0 = none)")
-		quantum  = flag.Float64("quantum", 10, "scheduler quantum in ms")
-		queueing = flag.Bool("queueing", false, "FCFS disk queueing (ablation; the paper used none)")
-		sched    = flag.String("sched", "", "per-volume disk scheduling: fcfs, sstf, scan, or aged-sstf (implies queueing)")
-		ssched   = flag.String("sweepsched", "", "comma-separated scheduling policies for -sweep (each implies queueing)")
-		volumes  = flag.Int("volumes", 1, "shard the storage tier into this many volumes")
-		place    = flag.String("placement", "stripe", "multi-volume placement: stripe or filehash")
-		unitKB   = flag.Int64("stripeunit", 1024, "stripe unit in KB for -placement stripe")
-		splitVol = flag.Bool("split", false, "divide the volume's spindles across the shards (conserved hardware)")
-		format   = flag.String("format", "auto", "trace file format: auto, ascii, binary, ascii-raw, csv, darshan")
-		csvmap   = flag.String("csvmap", "", "CSV column mapping preset or spec for csv traces (default, azure, or key=value pairs)")
-		app      = flag.String("app", "", "simulate copies of a built-in app instead of trace files")
-		copies   = flag.Int("copies", 1, "number of copies of -app")
-		series   = flag.Bool("series", false, "print disk-traffic chart")
-		sweep    = flag.String("sweep", "", "comma-separated cache sizes in MB: sweep instead of a single run")
-		blocks   = flag.String("sweepblocks", "", "comma-separated block sizes in KB for -sweep (default: -block)")
-		svols    = flag.String("sweepvols", "", "comma-separated volume counts for -sweep (default: -volumes)")
-		workers  = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
-		par      = flag.Int("par", 1, "event-engine goroutines per run (needs -sched sstf/scan/aged-sstf; results identical at any value)")
-		backbone = flag.Float64("backbone", 0, "shared I/O backbone bandwidth in MB/s (0 = off)")
-		bsched   = flag.String("bsched", "fifo", "backbone scheduling: fifo, fair, or periodic")
-		bperiod  = flag.Float64("bperiod", 0, "periodic backbone round length in ms (0 = 1000)")
-		burst    = flag.Int64("burst", 0, "burst-buffer capacity in MB (0 = off)")
-		drain    = flag.Float64("drain", 0, "burst-buffer drain bandwidth in MB/s (required with -burst)")
-		sbb      = flag.String("sweepbackbone", "", "comma-separated backbone MB/s values for -sweep (0 = off)")
-		faults   = flag.String("faults", "", "fault plan, e.g. vol1:down@200s+30s,backbone:down@800s+10s")
-		sfaults  = flag.String("sweepfaults", "", "semicolon-separated fault plans for -sweep ('off' = no faults)")
+		ssched  = flag.String("sweepsched", "", "comma-separated scheduling policies for -sweep (each implies queueing)")
+		app     = flag.String("app", "", "simulate copies of a built-in app instead of trace files")
+		copies  = flag.Int("copies", 1, "number of copies of -app")
+		series  = flag.Bool("series", false, "print disk-traffic chart")
+		sweep   = flag.String("sweep", "", "comma-separated cache sizes in MB: sweep instead of a single run")
+		blocks  = flag.String("sweepblocks", "", "comma-separated block sizes in KB for -sweep (default: -block)")
+		svols   = flag.String("sweepvols", "", "comma-separated volume counts for -sweep (default: -volumes)")
+		workers = flag.Int("workers", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+		sbb     = flag.String("sweepbackbone", "", "comma-separated backbone MB/s values for -sweep (0 = off)")
+		sfaults = flag.String("sweepfaults", "", "semicolon-separated fault plans for -sweep ('off' = no faults)")
 	)
 	flag.Parse()
 
-	cfg := iotrace.DefaultConfig()
-	if *ssd {
-		cfg = iotrace.SSDConfig()
-	}
-	cfg.CacheBytes = *cacheMB << 20
-	cfg.BlockBytes = *blockKB << 10
-	cfg.ReadAhead = *ra
-	cfg.WriteBehind = *wb
-	cfg.WarmCache = *warm
-	cfg.PerProcessBlockLimit = *limit
-	cfg.QuantumTicks = trace.TicksFromSeconds(*quantum / 1000)
-	cfg.DiskQueueing = *queueing
-	cfg = iotrace.Configure(cfg, iotrace.Parallelism(*par))
-	if *sched != "" {
-		pol, err := iotrace.ParseScheduler(*sched)
-		if err != nil {
-			fatal(err)
-		}
-		cfg = iotrace.Configure(cfg, iotrace.Scheduling(pol))
-	}
-	policy, err := iotrace.ParsePlacement(*place)
+	cfg, err := sim.Config()
 	if err != nil {
 		fatal(err)
-	}
-	cfg = iotrace.Configure(cfg,
-		iotrace.Volumes(*volumes),
-		iotrace.Placement(policy),
-	)
-	cfg.StripeUnitBytes = *unitKB << 10
-	bpol, err := iotrace.ParseBackboneSched(*bsched)
-	if err != nil {
-		fatal(err)
-	}
-	if *backbone > 0 || *sbb != "" {
-		cfg = iotrace.Configure(cfg, iotrace.Backbone(*backbone, bpol))
-		cfg.BackbonePeriodTicks = trace.TicksFromSeconds(*bperiod / 1000)
-	}
-	if *burst > 0 {
-		cfg = iotrace.Configure(cfg, iotrace.BurstBuffer(*burst, *drain))
-	}
-	if *faults != "" {
-		plan, err := iotrace.ParseFaultPlan(*faults)
-		if err != nil {
-			fatal(err)
-		}
-		cfg = iotrace.Configure(cfg, iotrace.Faults(plan))
 	}
 	// -split is applied per scenario in -sweep mode: the Volumes axis
 	// overrides NumVolumes after the base config is built, so splitting
 	// here would divide by the wrong (flag-level) volume count.
-	if *splitVol && *sweep == "" {
+	if *sim.Split && *sweep == "" {
 		cfg = iotrace.Configure(cfg, iotrace.SplitSpindles())
 	}
 
@@ -134,7 +70,7 @@ func main() {
 			fatal(err)
 		}
 	case flag.NArg() > 0:
-		opts, err := iotrace.ImportOpts(*format, *csvmap)
+		opts, err := im.Options()
 		if err != nil {
 			fatal(err)
 		}
@@ -159,7 +95,7 @@ func main() {
 		if *series {
 			fmt.Fprintln(os.Stderr, "iosim: -series is ignored in -sweep mode (charts are per-run)")
 		}
-		runSweep(ctx, w, cfg, *sweep, *blocks, *svols, *ssched, *sbb, *sfaults, *blockKB, *workers, *splitVol)
+		runSweep(ctx, w, cfg, *sweep, *blocks, *svols, *ssched, *sbb, *sfaults, *sim.BlockKB, *workers, *sim.Split)
 		return
 	}
 
@@ -169,9 +105,9 @@ func main() {
 	}
 
 	fmt.Printf("config: %d MB %s cache, %d KB blocks, read-ahead %v, write-behind %v",
-		*cacheMB, cfg.Tier, *blockKB, *ra, *wb)
-	if *limit > 0 {
-		fmt.Printf(", per-process cap %d blocks", *limit)
+		*sim.CacheMB, cfg.Tier, *sim.BlockKB, *sim.ReadAhead, *sim.WriteBehind)
+	if *sim.Limit > 0 {
+		fmt.Printf(", per-process cap %d blocks", *sim.Limit)
 	}
 	if cfg.DiskQueueing {
 		fmt.Printf(", %v disk queueing", cfg.Scheduler)

@@ -1,0 +1,71 @@
+// Command iosimd serves the paper's simulator as a long-running
+// capacity-planning service: upload traces once (content-addressed),
+// then query single simulations or whole configuration sweeps over
+// HTTP. Identical cells — same trace bytes, same effective config —
+// are simulated once ever: repeats come from the result cache
+// byte-identical, and concurrent duplicates coalesce onto one run.
+//
+// Usage:
+//
+//	iosimd -addr :8080 -data /var/lib/iosimd
+//	iosimd -addr 127.0.0.1:0 -workers 4            # ephemeral port, printed on stdout
+//	iosimd -format csv -csvmap azure               # default import knobs for uploads
+//
+// See docs/api.md for the endpoint reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"iotrace"
+	"iotrace/internal/cliflags"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks one)")
+		data    = flag.String("data", "", "data directory for traces and cached results (default: a temp dir)")
+		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		entries = flag.Int("mementries", 0, "in-memory result-cache entries (0 = default)")
+	)
+	im := cliflags.AddImport(flag.CommandLine)
+	flag.Parse()
+
+	// Validate the default import knobs up front, not on first upload.
+	if _, err := im.Options(); err != nil {
+		fatal(err)
+	}
+	formatName := *im.Format
+	if formatName == "auto" {
+		formatName = "" // per-upload auto-detection
+	}
+	srv, err := iotrace.NewServer(iotrace.ServerConfig{
+		DataDir:       *data,
+		Workers:       *workers,
+		CacheEntries:  *entries,
+		DefaultFormat: formatName,
+		DefaultCSVMap: *im.CSVMap,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("iosimd: listening on http://%s\n", ln.Addr())
+	if err := http.Serve(ln, srv); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iosimd:", err)
+	os.Exit(1)
+}

@@ -21,19 +21,20 @@ import (
 	"sort"
 
 	"iotrace"
+	"iotrace/internal/cliflags"
 	"iotrace/internal/trace"
 )
 
 func main() {
+	im := cliflags.AddImportNamed(flag.CommandLine, "in",
+		"input format: auto, ascii, binary, ascii-raw, csv, darshan")
 	var (
-		inFormat  = flag.String("in", "auto", "input format: auto, ascii, binary, ascii-raw, csv, darshan")
 		outFormat = flag.String("out", "binary", "output format (a native one: ascii, binary, ascii-raw)")
-		csvmap    = flag.String("csvmap", "", "CSV column mapping preset or spec for csv inputs (default, azure, or key=value pairs)")
 		merge     = flag.Bool("merge", false, "merge several inputs into one time-ordered trace")
 	)
 	flag.Parse()
 
-	inOpts, err := iotrace.ImportOpts(*inFormat, *csvmap)
+	inOpts, err := im.Options()
 	if err != nil {
 		fatal(err)
 	}
@@ -117,7 +118,7 @@ func main() {
 	}
 	// Report the concrete input format, resolving an auto flag against
 	// the file so the line documents what actually happened.
-	resolvedIn, err := iotrace.ResolveFormat(*inFormat, args[0])
+	resolvedIn, err := iotrace.ResolveFormat(*im.Format, args[0])
 	if err != nil {
 		fatal(err)
 	}

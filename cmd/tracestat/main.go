@@ -21,14 +21,14 @@ import (
 
 	"iotrace"
 	"iotrace/internal/analysis"
+	"iotrace/internal/cliflags"
 	"iotrace/internal/stats"
 	"iotrace/internal/trace"
 )
 
 func main() {
+	im := cliflags.AddImport(flag.CommandLine)
 	var (
-		format = flag.String("format", "auto", "trace format: auto, ascii, binary, ascii-raw, csv, darshan")
-		csvmap = flag.String("csvmap", "", "CSV column mapping preset or spec for csv traces (default, azure, or key=value pairs)")
 		files  = flag.Bool("files", false, "include the per-file breakdown")
 		series = flag.Bool("series", false, "include the data-rate-over-CPU-time chart")
 	)
@@ -37,7 +37,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: tracestat [-format f] [-files] [-series] trace...")
 		os.Exit(2)
 	}
-	opts, err := iotrace.ImportOpts(*format, *csvmap)
+	opts, err := im.Options()
 	if err != nil {
 		fatal(err)
 	}

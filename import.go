@@ -41,6 +41,21 @@ func DetectFormat(path string) (Format, error) {
 	return format, nil
 }
 
+// DetectFormatBytes determines the format of a trace from its name (an
+// extension hint, possibly empty) and leading bytes, without touching
+// the filesystem. It is DetectFormat for content that isn't a file yet —
+// iosimd resolves uploaded traces through it before storing them.
+func DetectFormatBytes(name string, prefix []byte) (Format, error) {
+	if len(prefix) > detectPeekBytes {
+		prefix = prefix[:detectPeekBytes]
+	}
+	format, err := trace.DetectFormat(name, prefix)
+	if err != nil {
+		return FormatAuto, fmt.Errorf("iotrace: %w", err)
+	}
+	return format, nil
+}
+
 // ResolveFormat turns a format-flag value into a concrete Format:
 // ParseFormat on the name, then — for "auto" — DetectFormat on the
 // file. It is the one flag path every cmd shares.

@@ -1,0 +1,57 @@
+// Package svc holds the generic service plumbing behind the iosimd
+// simulation server: request coalescing (Flight), a content-addressed
+// blob store for uploaded traces (BlobStore), and a two-level result
+// cache (ResultCache). The packages are byte-oriented and carry no
+// simulator types — the root package composes them with scenario keys
+// and trace sources.
+package svc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Flight coalesces concurrent calls with the same key onto one
+// execution: the first caller runs fn, everyone arriving before it
+// finishes waits and shares the same result. Unlike a cache, a
+// completed call is immediately forgotten — pair it with a ResultCache
+// so later callers hit that instead of re-running.
+type Flight struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg      sync.WaitGroup
+	waiters atomic.Int64 // callers parked on wg, beyond the executor
+	val     []byte
+	err     error
+}
+
+// Do runs fn under key, coalescing concurrent duplicates. The returned
+// bool reports whether this caller joined an execution started by
+// another (true) rather than running fn itself (false).
+func (f *Flight) Do(key string, fn func() ([]byte, error)) ([]byte, bool, error) {
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = make(map[string]*flightCall)
+	}
+	if c, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		c.waiters.Add(1)
+		c.wg.Wait()
+		return c.val, true, c.err
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	f.m[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	f.mu.Lock()
+	delete(f.m, key)
+	f.mu.Unlock()
+	c.wg.Done()
+	return c.val, false, c.err
+}

@@ -1,0 +1,131 @@
+package iotrace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scenario identity. A sweep cell's result is a pure function of three
+// inputs: the trace content feeding the simulator, the effective
+// configuration, and the cell's seed offset. ScenarioKey names that
+// triple stably — across processes, machines, and time — so results can
+// be cached, deduplicated, and coalesced: the same cell asked twice is
+// the same key, and the same key is always the same result bytes.
+//
+// The trace half comes from Workload.Fingerprint (content digests for
+// file-backed sources, record hashes for in-memory traces, generator
+// coordinates for built-in apps); the config half from the canonical
+// form Config.CanonicalString, which normalizes away knobs the engine
+// provably ignores (see internal/sim's Canonical). Sweep stamps every
+// SweepResult with its key, and iosimd keys its result cache and
+// request coalescing on it.
+
+// A ScenarioKey is the stable content-addressed identity of one
+// scenario cell: "sk-" plus 64 hex digits of sha256. The zero value ""
+// means the cell has no identity (its workload contains a process whose
+// content cannot be fingerprinted, such as an opaque stream).
+type ScenarioKey string
+
+// Valid reports whether k has the well-formed "sk-<64 hex>" shape.
+// Servers use it to reject malformed cache lookups before touching
+// storage.
+func (k ScenarioKey) Valid() bool {
+	if len(k) != 3+64 || !strings.HasPrefix(string(k), "sk-") {
+		return false
+	}
+	for _, c := range k[3:] {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Key derives the scenario's stable identity against a workload trace
+// fingerprint (Workload.Fingerprint). The scenario's Name does not
+// participate — it is a display label; the identity is the canonical
+// config plus the seed offset.
+func (sc Scenario) Key(traceFingerprint string) ScenarioKey {
+	h := sha256.New()
+	io.WriteString(h, "iotrace.scenario.v1\x00")
+	io.WriteString(h, traceFingerprint)
+	h.Write([]byte{0})
+	io.WriteString(h, sc.Config.CanonicalString())
+	h.Write([]byte{0})
+	var off [8]byte
+	binary.LittleEndian.PutUint64(off[:], sc.SeedOffset)
+	h.Write(off[:])
+	return ScenarioKey("sk-" + hex.EncodeToString(h.Sum(nil)))
+}
+
+// Fingerprint returns a stable identity for the workload's trace
+// content: one line per process, in declaration order, each naming the
+// process's records independent of path, label, or load order —
+//
+//   - generated applications by (app, effective seed, pid), the exact
+//     coordinates the deterministic generator consumes;
+//   - source-backed processes by the source file's content digest plus
+//     its resolved format and importer options;
+//   - materialized traces by a hash of their encoded records.
+//
+// Two workloads with equal fingerprints feed simulators byte-identical
+// input. Streamed processes (TraceStream) are opaque — their sequences
+// cannot be hashed without consuming them — so workloads containing one
+// have no fingerprint and return an error; their sweep cells carry no
+// ScenarioKey and are simply never cached.
+func (w *Workload) Fingerprint() (string, error) {
+	firstPID := w.firstPID
+	if firstPID == 0 {
+		firstPID = 1
+	}
+	perApp := map[string]uint64{}
+	lines := make([]string, 0, len(w.specs)+1)
+	lines = append(lines, "wl.v1")
+	for i, sp := range w.specs {
+		switch {
+		case sp.app != "":
+			idx := perApp[sp.app]
+			perApp[sp.app]++
+			seed := DefaultSeed(sp.app)
+			if w.seed != nil {
+				seed = *w.seed
+			}
+			// The same (app, seed, pid) triple materialize consumes: a
+			// scenario's SeedOffset shifts these seeds uniformly, and the
+			// offset is already part of the ScenarioKey, so the
+			// fingerprint itself stays offset-independent.
+			lines = append(lines, fmt.Sprintf("app/%s/%d/%d", sp.app, seed+idx, firstPID+uint32(i)))
+		case sp.src != nil:
+			id, err := sp.src.identity()
+			if err != nil {
+				return "", err
+			}
+			lines = append(lines, id)
+		case sp.seq != nil:
+			return "", fmt.Errorf("iotrace: workload has no fingerprint: process %d is stream-backed", i)
+		default:
+			lines = append(lines, "recs/"+hashRecords(sp.recs))
+		}
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
+// hashRecords content-addresses a materialized trace by encoding it
+// (ASCII, the canonical interchange form) into a hash. Encoding is
+// deterministic, so equal record slices — however they were obtained —
+// hash equal.
+func hashRecords(recs []*Record) string {
+	h := sha256.New()
+	tw := NewTraceWriter(h, FormatASCII)
+	for _, r := range recs {
+		// Encoding can only fail on the writer's behalf, and a hash
+		// never errors; records that made it into a workload encode.
+		_ = tw.WriteRecord(r)
+	}
+	_ = tw.Flush()
+	return hex.EncodeToString(h.Sum(nil))
+}

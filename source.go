@@ -2,7 +2,10 @@ package iotrace
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"iter"
 	"os"
 	"sync"
@@ -38,7 +41,8 @@ type TraceSource struct {
 	data     []*Record // validated data records (what simulators replay)
 	pid      uint32
 	endCPU   Ticks
-	nbytes   int64 // data bytes requested (sweep-scheduler pressure)
+	nbytes   int64  // data bytes requested (sweep-scheduler pressure)
+	digest   string // sha256 of the raw file bytes (content address)
 	err      error
 }
 
@@ -89,22 +93,37 @@ func NewTraceSourceFormat(path string, format Format) *TraceSource {
 // Path returns the path the source decodes.
 func (s *TraceSource) Path() string { return s.path }
 
-// Decodes reports how many times the underlying file has been decoded:
-// 0 before first use, 1 ever after. It exists so callers (and tests) can
-// pin the decode-once contract.
+// Decodes reports how many times the underlying file has been
+// successfully decoded: 0 before first use (and forever, if the single
+// attempt fails — a failed decode produced nothing to count, and its
+// sticky error surfaces from every consumer instead), 1 ever after. It
+// exists so callers (and tests) can pin the decode-once contract.
 func (s *TraceSource) Decodes() int64 { return s.decodes.Load() }
 
 // load performs the single decode-and-validate pass, resolving the
 // auto format against the file's extension and first bytes.
 func (s *TraceSource) load() error {
 	s.once.Do(func() {
-		s.decodes.Add(1)
 		f, err := os.Open(s.path)
 		if err != nil {
 			s.err = fmt.Errorf("iotrace: trace source: %w", err)
 			return
 		}
 		defer f.Close()
+		// Content digest first: one sequential pass over the raw bytes,
+		// then rewind for the decode. The digest is the trace's content
+		// address — what scenario keys and the result cache hang off —
+		// so it hashes the file exactly as stored, independent of format.
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			s.err = fmt.Errorf("iotrace: trace source: %w", err)
+			return
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			s.err = fmt.Errorf("iotrace: trace source: %w", err)
+			return
+		}
+		digest := hex.EncodeToString(h.Sum(nil))
 		br := bufio.NewReaderSize(f, 64<<10)
 		format := s.format
 		if format == FormatAuto {
@@ -129,10 +148,11 @@ func (s *TraceSource) load() error {
 			s.err = err
 			return
 		}
-		s.recs, s.data, s.pid, s.endCPU = recs, data, pid, endCPU
+		s.recs, s.data, s.pid, s.endCPU, s.digest = recs, data, pid, endCPU, digest
 		for _, r := range data {
 			s.nbytes += r.RequestBytes()
 		}
+		s.decodes.Add(1)
 	})
 	return s.err
 }
@@ -175,6 +195,29 @@ func (s *TraceSource) checked() (data []*Record, pid uint32, endCPU Ticks, err e
 		return nil, 0, 0, err
 	}
 	return s.data, s.pid, s.endCPU, nil
+}
+
+// ContentDigest returns the hex sha256 of the source file's raw bytes —
+// its content address. Two sources over byte-identical files share a
+// digest regardless of path or name, which is what lets scenario keys
+// (and iosimd's result cache) recognize the same trace uploaded twice.
+// It triggers the one-time decode.
+func (s *TraceSource) ContentDigest() (string, error) {
+	if err := s.load(); err != nil {
+		return "", err
+	}
+	return s.digest, nil
+}
+
+// identity returns the source's contribution to a workload fingerprint:
+// the content digest plus everything that changes how those bytes
+// decode (the resolved format and the importer options). Two sources
+// are interchangeable simulator feeds iff their identities match.
+func (s *TraceSource) identity() (string, error) {
+	if err := s.load(); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("src/%s/%v/%+v", s.digest, s.resolved, s.opts), nil
 }
 
 // dataBytes returns the total bytes the data records request —

@@ -207,11 +207,93 @@ func TestSourceErrorsSurfaceFromConsumers(t *testing.T) {
 	if _, err := wb.Simulate(iotrace.DefaultConfig()); err == nil {
 		t.Error("sticky decode error did not resurface")
 	}
-	if src.Decodes() != 1 {
-		t.Errorf("failing source decoded %d times, want 1 sticky attempt", src.Decodes())
+	if src.Decodes() != 0 {
+		t.Errorf("failing source counted %d decodes, want 0 (failed decodes do not count)", src.Decodes())
 	}
 
 	if _, err := iotrace.New(iotrace.Source("nil", nil)); err == nil {
 		t.Error("nil source accepted")
+	}
+}
+
+// Regression: a failed decode must not count in Decodes(). The counter
+// pins the decode-once contract — "how many times was this file
+// successfully decoded" — and a sticky failure used to report 1, as if
+// a decode had produced records.
+func TestFailedDecodeDoesNotCount(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(bad, []byte("garbage, not a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := iotrace.NewTraceSource(bad, iotrace.WithFormat(iotrace.FormatASCII))
+	for i := 0; i < 3; i++ {
+		if _, err := iotrace.Materialize(src.Records()); err == nil {
+			t.Fatal("corrupt trace decoded successfully")
+		}
+		if n := src.Decodes(); n != 0 {
+			t.Fatalf("after %d failed uses Decodes() = %d, want 0", i+1, n)
+		}
+	}
+
+	// A missing file behaves the same: the attempt never decodes.
+	missing := iotrace.NewTraceSource(filepath.Join(t.TempDir(), "nope.trace"))
+	if _, err := missing.ContentDigest(); err == nil {
+		t.Fatal("digesting a missing file succeeded")
+	}
+	if n := missing.Decodes(); n != 0 {
+		t.Fatalf("missing file counted %d decodes, want 0", n)
+	}
+}
+
+// The content digest is a property of the file bytes alone: same bytes
+// under two names share it, different bytes do not.
+func TestSourceContentDigest(t *testing.T) {
+	path, recs := stageTrace(t, "upw", iotrace.FormatASCII)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyPath := filepath.Join(t.TempDir(), "copy.trace")
+	if err := os.WriteFile(copyPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	a := iotrace.NewTraceSource(path, iotrace.WithFormat(iotrace.FormatASCII))
+	b := iotrace.NewTraceSource(copyPath, iotrace.WithFormat(iotrace.FormatASCII))
+	da, err := a.ContentDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.ContentDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da != db {
+		t.Errorf("identical bytes, different digests: %s vs %s", da, db)
+	}
+	if len(da) != 64 {
+		t.Errorf("digest %q is not 64 hex chars", da)
+	}
+
+	// A different encoding of the same records is different content.
+	binPath := filepath.Join(t.TempDir(), "upw.bin")
+	if _, err := iotrace.WriteTraceFile(binPath, iotrace.FormatBinary, iotrace.RecordSeq(recs)); err != nil {
+		t.Fatal(err)
+	}
+	c := iotrace.NewTraceSource(binPath, iotrace.WithFormat(iotrace.FormatBinary))
+	dc, err := c.ContentDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dc == da {
+		t.Error("binary and ASCII encodings share a content digest")
+	}
+
+	// The digest pass does not break decode-once.
+	if _, err := iotrace.Materialize(a.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if a.Decodes() != 1 {
+		t.Errorf("digest+records decoded %d times, want 1", a.Decodes())
 	}
 }

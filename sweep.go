@@ -27,6 +27,13 @@ type SweepResult struct {
 	Scenario Scenario
 	Result   *Result
 	Err      error
+
+	// Key is the cell's stable content-addressed identity (see
+	// ScenarioKey): the workload's trace fingerprint combined with the
+	// scenario's canonical config and seed offset. It is "" when the
+	// workload has no fingerprint (a stream-backed process), in which
+	// case the cell cannot be cached or deduplicated.
+	Key ScenarioKey
 }
 
 // String renders the result compactly (scenario name plus the simulator's
@@ -69,6 +76,15 @@ func (w *Workload) Sweep(ctx context.Context, scenarios []Scenario, workers int)
 	out := make([]SweepResult, len(scenarios))
 	for i, sc := range scenarios {
 		out[i] = SweepResult{Scenario: sc}
+	}
+	// Stamp every cell with its stable identity. Computing the trace
+	// fingerprint triggers at most the decode the sweep needs anyway;
+	// an unfingerprintable workload (streamed process, failing source)
+	// leaves the keys empty and the cells uncacheable, nothing more.
+	if fp, err := w.Fingerprint(); err == nil {
+		for i := range out {
+			out[i].Key = scenarios[i].Key(fp)
+		}
 	}
 
 	// Scenarios sharing a seed offset share one materialized process
